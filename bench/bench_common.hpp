@@ -1,0 +1,71 @@
+// Shared helpers for the experiment binaries (bench/table*_*.cpp).
+//
+// Flags understood by the table binaries:
+//   --full               run the whole paper suite (default: fast suite)
+//   --circuit=NAME       run a single suite circuit
+//   --bench-dir=DIR      load real .bench files from DIR when present
+//   --seed=N             ATPG seed
+//   --no-scan-knowledge  disable the Section-2 functional scan knowledge
+//   --x-fill=random|zero translation x-fill policy
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/uniscan.hpp"
+
+namespace uniscan::bench {
+
+struct Args {
+  bool full = false;
+  bool scan_knowledge = true;
+  std::string circuit;
+  std::string bench_dir;
+  std::uint64_t seed = 1;
+  XFillPolicy fill = XFillPolicy::RandomFill;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") a.full = true;
+    else if (arg == "--no-scan-knowledge") a.scan_knowledge = false;
+    else if (arg.rfind("--circuit=", 0) == 0) a.circuit = arg.substr(10);
+    else if (arg.rfind("--bench-dir=", 0) == 0) a.bench_dir = arg.substr(12);
+    else if (arg.rfind("--seed=", 0) == 0) a.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    else if (arg == "--x-fill=zero") a.fill = XFillPolicy::ZeroFill;
+    else if (arg == "--x-fill=random") a.fill = XFillPolicy::RandomFill;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+inline std::vector<SuiteEntry> select_suite(const Args& a) {
+  if (!a.circuit.empty()) {
+    const auto e = find_suite_entry(a.circuit);
+    if (!e) {
+      std::fprintf(stderr, "unknown circuit: %s\n", a.circuit.c_str());
+      std::exit(2);
+    }
+    return {*e};
+  }
+  return a.full ? paper_suite() : fast_suite();
+}
+
+inline PipelineConfig make_config(const Args& a) {
+  PipelineConfig cfg;
+  cfg.atpg.seed = a.seed;
+  cfg.atpg.use_scan_knowledge = a.scan_knowledge;
+  cfg.baseline.seed = a.seed + 10;
+  return cfg;
+}
+
+}  // namespace uniscan::bench

@@ -1,0 +1,117 @@
+// Microbenchmarks + ablation: parallel-fault (63 machines/word) versus
+// serial (one machine/word) sequential fault simulation — DESIGN.md §5
+// ablation 1.
+#include <benchmark/benchmark.h>
+
+#include "core/uniscan.hpp"
+
+using namespace uniscan;
+
+namespace {
+
+struct Setup {
+  Netlist nl;
+  FaultList fl;
+  TestSequence seq;
+
+  explicit Setup(const char* circuit, std::size_t len) :
+      nl(load_circuit(*find_suite_entry(circuit))),
+      fl(FaultList::collapsed(nl)),
+      seq(nl.num_inputs()) {
+    Rng rng(7);
+    for (std::size_t t = 0; t < len; ++t) seq.append_x();
+    seq.random_fill(rng);
+  }
+};
+
+Setup& s298() {
+  static Setup s("s298", 256);
+  return s;
+}
+
+void BM_ParallelFaultSim(benchmark::State& state) {
+  Setup& s = s298();
+  FaultSimulator sim(s.nl);
+  for (auto _ : state) {
+    auto records = sim.run(s.seq, s.fl.faults());
+    benchmark::DoNotOptimize(records);
+  }
+  state.counters["faults"] = static_cast<double>(s.fl.size());
+  state.counters["fault_frames/s"] = benchmark::Counter(
+      static_cast<double>(s.fl.size() * s.seq.length()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelFaultSim)->Unit(benchmark::kMillisecond);
+
+void BM_SerialFaultSim(benchmark::State& state) {
+  // One fault per word: the cost model of a naive serial simulator on the
+  // same levelized engine.
+  Setup& s = s298();
+  FaultSimulator sim(s.nl);
+  for (auto _ : state) {
+    std::size_t detected = 0;
+    for (std::size_t i = 0; i < s.fl.size(); ++i) {
+      auto records = sim.run(s.seq, std::span<const Fault>(&s.fl[i], 1));
+      detected += records[0].detected;
+    }
+    benchmark::DoNotOptimize(detected);
+  }
+  state.counters["fault_frames/s"] = benchmark::Counter(
+      static_cast<double>(s.fl.size() * s.seq.length()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SerialFaultSim)->Unit(benchmark::kMillisecond);
+
+void BM_GoodMachineSim(benchmark::State& state) {
+  Setup& s = s298();
+  const SequentialSimulator sim(s.nl);
+  for (auto _ : state) {
+    auto trace = sim.simulate(s.seq, sim.initial_state());
+    benchmark::DoNotOptimize(trace);
+  }
+  state.counters["frames/s"] =
+      benchmark::Counter(static_cast<double>(s.seq.length()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GoodMachineSim)->Unit(benchmark::kMicrosecond);
+
+void BM_EventDrivenSim(benchmark::State& state) {
+  // Event-driven vs levelized good-machine simulation; the event engine
+  // shines when activity is low (here: constant inputs, settling state).
+  Setup& s = s298();
+  TestSequence quiet(s.nl.num_inputs());
+  for (int t = 0; t < 256; ++t) quiet.append(std::vector<V3>(s.nl.num_inputs(), V3::Zero));
+  EventSimulator sim(s.nl);
+  for (auto _ : state) {
+    auto trace = sim.simulate(quiet, State(s.nl.num_dffs(), V3::X));
+    benchmark::DoNotOptimize(trace);
+  }
+  state.counters["gate_evals"] = static_cast<double>(sim.gate_evals());
+}
+BENCHMARK(BM_EventDrivenSim)->Unit(benchmark::kMicrosecond);
+
+void BM_LevelizedQuietSim(benchmark::State& state) {
+  Setup& s = s298();
+  TestSequence quiet(s.nl.num_inputs());
+  for (int t = 0; t < 256; ++t) quiet.append(std::vector<V3>(s.nl.num_inputs(), V3::Zero));
+  const SequentialSimulator sim(s.nl);
+  for (auto _ : state) {
+    auto trace = sim.simulate(quiet, State(s.nl.num_dffs(), V3::X));
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_LevelizedQuietSim)->Unit(benchmark::kMicrosecond);
+
+void BM_SessionAdvance(benchmark::State& state) {
+  // Streaming session: cost of advancing the whole fault universe one chunk.
+  Setup& s = s298();
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultSimSession session(s.nl, s.fl.faults());
+    state.ResumeTiming();
+    session.advance(s.seq);
+    benchmark::DoNotOptimize(session.num_detected());
+  }
+}
+BENCHMARK(BM_SessionAdvance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Regenerates the paper's Table 6: test application time of the unified
+// approach. For every circuit: the generated sequence T (total vectors and
+// scan_sel=1 vectors), after restoration-based compaction [23], after
+// omission-based compaction [22], faults gained by compaction (`ext det`),
+// and the complete-scan baseline cycles (the paper's [26] column; here our
+// second-approach generator, see DESIGN.md §3).
+#include "bench_common.hpp"
+
+#include <iostream>
+
+using namespace uniscan;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto suite = bench::select_suite(args);
+
+  std::cout << "=== Table 6: test length after test generation and compaction ===\n\n";
+
+  TextTable table({"circ", "test.total", "test.scan", "restor.total", "restor.scan",
+                   "omit.total", "omit.scan", "ext", "base.cyc"});
+  std::size_t total_omit = 0, total_base = 0;
+  for (const SuiteEntry& entry : suite) {
+    const Netlist c = load_circuit(entry, args.bench_dir);
+    PipelineConfig cfg = bench::make_config(args);
+    const GenerateCompactReport r = run_generate_and_compact(c, cfg);
+
+    table.add_row({entry.name, std::to_string(r.raw.total), std::to_string(r.raw.scan),
+                   std::to_string(r.restored.total), std::to_string(r.restored.scan),
+                   std::to_string(r.omitted.total), std::to_string(r.omitted.scan),
+                   r.extra_detected ? "+" + std::to_string(r.extra_detected) : "",
+                   std::to_string(r.baseline.application_cycles())});
+    total_omit += r.omitted.total;
+    total_base += r.baseline.application_cycles();
+  }
+  table.print(std::cout);
+  std::cout << "\nsuite totals: unified+compacted = " << total_omit
+            << " cycles, complete-scan baseline = " << total_base << " cycles ("
+            << format_pct(100.0 * static_cast<double>(total_omit) /
+                          static_cast<double>(total_base))
+            << "% of baseline)\n";
+  return 0;
+}

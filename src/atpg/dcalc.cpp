@@ -1,0 +1,26 @@
+#include "atpg/dcalc.hpp"
+
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+
+char v5_to_char(V5 v) noexcept {
+  if (v == V5::d()) return 'D';
+  if (v == V5::dbar()) return 'B';
+  if (v == V5::zero()) return '0';
+  if (v == V5::one()) return '1';
+  if (v == V5::x()) return 'x';
+  return '?';
+}
+
+V5 eval_gate_v5(GateType type, const V5* in, std::size_t n) noexcept {
+  V3 good_buf[64];
+  V3 faulty_buf[64];
+  for (std::size_t i = 0; i < n; ++i) {
+    good_buf[i] = in[i].good;
+    faulty_buf[i] = in[i].faulty;
+  }
+  return V5{eval_gate_v3(type, good_buf, n), eval_gate_v3(type, faulty_buf, n)};
+}
+
+}  // namespace uniscan

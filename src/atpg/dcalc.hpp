@@ -1,0 +1,46 @@
+// Five-valued D-calculus as good/faulty V3 pairs.
+//
+// A V5 carries the good-machine and faulty-machine values of a net:
+//   0 = (0,0)   1 = (1,1)   X = (x,x)   D = (1,0)   D' = (0,1)
+// plus partially known combinations such as (1,x). Gate evaluation applies
+// the 3-valued function to each component, which is exact for the single
+// stuck-at fault model with the fault forced on the faulty component.
+#pragma once
+
+#include "netlist/gate.hpp"
+#include "sim/logic3.hpp"
+
+namespace uniscan {
+
+struct V5 {
+  V3 good = V3::X;
+  V3 faulty = V3::X;
+
+  static constexpr V5 zero() noexcept { return {V3::Zero, V3::Zero}; }
+  static constexpr V5 one() noexcept { return {V3::One, V3::One}; }
+  static constexpr V5 x() noexcept { return {V3::X, V3::X}; }
+  static constexpr V5 d() noexcept { return {V3::One, V3::Zero}; }
+  static constexpr V5 dbar() noexcept { return {V3::Zero, V3::One}; }
+
+  static constexpr V5 both(V3 v) noexcept { return {v, v}; }
+
+  constexpr bool operator==(const V5&) const noexcept = default;
+};
+
+/// True iff the net carries a fault effect (both components known, unequal).
+inline constexpr bool is_d_or_dbar(V5 v) noexcept {
+  return v.good != V3::X && v.faulty != V3::X && v.good != v.faulty;
+}
+
+/// True iff both components are known (0/1/D/D').
+inline constexpr bool is_fully_known(V5 v) noexcept {
+  return v.good != V3::X && v.faulty != V3::X;
+}
+
+/// 'D', 'B' (for D-bar), '0', '1', 'x', or '?' for partial values.
+char v5_to_char(V5 v) noexcept;
+
+/// Evaluate a gate over V5 fanins: component-wise 3-valued evaluation.
+V5 eval_gate_v5(GateType type, const V5* in, std::size_t n) noexcept;
+
+}  // namespace uniscan

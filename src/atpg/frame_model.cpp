@@ -1,0 +1,291 @@
+#include "atpg/frame_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uniscan {
+
+FrameModel::FrameModel(const Netlist& nl, Fault fault, std::size_t num_frames)
+    : nl_(&nl), fault_(fault), num_frames_(num_frames), npi_(nl.num_inputs()) {
+  if (!nl.is_finalized()) throw std::invalid_argument("FrameModel: netlist not finalized");
+  if (num_frames == 0) throw std::invalid_argument("FrameModel: zero frames");
+  init_good_.assign(nl.num_dffs(), V3::X);
+  init_faulty_.assign(nl.num_dffs(), V3::X);
+  state_assign_.assign(nl.num_dffs(), V3::X);
+  pi_pins_.assign(npi_, V3::X);
+  pi_assign_.assign(num_frames_ * npi_, V3::X);
+  values_.assign(num_frames_ * nl.num_gates(), V5::x());
+  tf_prev_by_frame_.assign(num_frames_, V3::X);
+  compute_costs();
+}
+
+FrameModel::FrameModel(const Netlist& nl, TransitionFault fault, std::size_t num_frames)
+    : FrameModel(nl, Fault{fault.gate, fault.pin, /*stuck_one=*/!fault.slow_to_rise},
+                 num_frames) {
+  // The equivalent-looking stuck value is only used by the activation
+  // objective (an STR fault needs the line driven to 1, like s-a-0);
+  // simulate() applies the real delay semantics below.
+  is_transition_ = true;
+  slow_to_rise_ = fault.slow_to_rise;
+}
+
+void FrameModel::set_initial_state(const State& good, const State& faulty) {
+  if (good.size() != nl_->num_dffs() || faulty.size() != nl_->num_dffs())
+    throw std::invalid_argument("FrameModel: state width mismatch");
+  init_good_ = good;
+  init_faulty_ = faulty;
+}
+
+void FrameModel::pin_input(std::size_t pi, V3 v) {
+  pi_pins_[pi] = v;
+  for (std::size_t f = 0; f < num_frames_; ++f) pi_assign_[f * npi_ + pi] = v;
+}
+
+void FrameModel::clear_assignments() {
+  std::fill(pi_assign_.begin(), pi_assign_.end(), V3::X);
+  std::fill(state_assign_.begin(), state_assign_.end(), V3::X);
+  for (std::size_t i = 0; i < npi_; ++i)
+    if (pi_pins_[i] != V3::X)
+      for (std::size_t f = 0; f < num_frames_; ++f) pi_assign_[f * npi_ + i] = pi_pins_[i];
+}
+
+V5 FrameModel::pin_value(std::size_t f, GateId g, std::size_t p) const {
+  V5 v = value(f, nl_->gate(g).fanins[p]);
+  if (fault_.pin != kStemPin && fault_.gate == g && fault_.pin == static_cast<std::int16_t>(p))
+    v.faulty = forced_faulty(f, v.faulty);
+  return v;
+}
+
+V3 FrameModel::forced_faulty(std::size_t frame, V3 driven_faulty) const {
+  if (!is_transition_) return fault_.stuck_one ? V3::One : V3::Zero;
+  const V3 prev = tf_prev_by_frame_[frame];
+  return slow_to_rise_ ? v3_and(driven_faulty, prev) : v3_or(driven_faulty, prev);
+}
+
+void FrameModel::simulate() {
+  const Netlist& nl = *nl_;
+  const std::size_t ng = nl.num_gates();
+  po_detect_.reset();
+  latch_.reset();
+  frontier_.clear();
+  any_effect_ = false;
+
+  std::vector<V5> state_good(nl.num_dffs());
+  for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+    state_good[j] = state_assignable_ ? V5::both(state_assign_[j])
+                                      : V5{init_good_[j], init_faulty_[j]};
+  }
+
+  V5 fanin_buf[64];
+  V3 tf_prev = tf_prev_init_;
+  for (std::size_t f = 0; f < num_frames_; ++f) {
+    V5* vals = values_.data() + f * ng;
+    tf_prev_by_frame_[f] = tf_prev;
+    V3 tf_now = V3::X;  // faulted line's faulty driven value this frame
+
+    // Frame boundary values, with stem-fault forcing on PIs / DFF outputs.
+    for (std::size_t i = 0; i < npi_; ++i) {
+      const GateId pi = nl.inputs()[i];
+      vals[pi] = V5::both(pi_assign_[f * npi_ + i]);
+    }
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) vals[nl.dffs()[j]] = state_good[j];
+    if (fault_.pin == kStemPin) {
+      const GateType bt = nl.gate(fault_.gate).type;
+      if (bt == GateType::Input || bt == GateType::Dff) {
+        tf_now = vals[fault_.gate].faulty;
+        vals[fault_.gate].faulty = forced_faulty(f, tf_now);
+      }
+    }
+
+    // Combinational evaluation with fault forcing.
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      const std::size_t n = gate.fanins.size();
+      for (std::size_t p = 0; p < n; ++p) {
+        fanin_buf[p] = vals[gate.fanins[p]];
+        if (fault_.pin != kStemPin && fault_.gate == g &&
+            fault_.pin == static_cast<std::int16_t>(p)) {
+          tf_now = fanin_buf[p].faulty;
+          fanin_buf[p].faulty = forced_faulty(f, tf_now);
+        }
+      }
+      V5 out = eval_gate_v5(gate.type, fanin_buf, n);
+      if (fault_.pin == kStemPin && fault_.gate == g) {
+        tf_now = out.faulty;
+        out.faulty = forced_faulty(f, tf_now);
+      }
+      vals[g] = out;
+    }
+
+    // PO detection.
+    if (!po_detect_) {
+      for (GateId po : nl.outputs()) {
+        if (is_d_or_dbar(vals[po])) {
+          po_detect_ = f;
+          break;
+        }
+      }
+    }
+
+    // Next state (with DFF D-pin branch forcing).
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      V5 d = vals[nl.gate(ff).fanins[0]];
+      if (fault_.pin != kStemPin && fault_.gate == ff && fault_.pin == 0) {
+        tf_now = d.faulty;
+        d.faulty = forced_faulty(f, tf_now);
+      }
+      state_good[j] = d;
+    }
+    tf_prev = tf_now;
+
+    // Latched-effect bookkeeping: earliest frame; among DFFs of that frame,
+    // the largest index (deepest in the scan chain).
+    if (!latch_) {
+      std::optional<std::size_t> best;
+      for (std::size_t j = 0; j < nl.num_dffs(); ++j)
+        if (is_d_or_dbar(state_good[j])) best = j;
+      if (best) latch_ = LatchedEffect{f, *best};
+    }
+  }
+
+  // D-frontier and any-effect scan over the simulated window.
+  for (std::size_t f = 0; f < num_frames_; ++f) {
+    const V5* vals = values_.data() + f * ng;
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      if (is_d_or_dbar(vals[g])) {
+        any_effect_ = true;
+        continue;
+      }
+      if (is_fully_known(vals[g])) continue;
+      bool has_d_input = false;
+      for (std::size_t p = 0; p < gate.fanins.size() && !has_d_input; ++p)
+        has_d_input = is_d_or_dbar(pin_value(f, g, p));
+      if (has_d_input) {
+        frontier_.emplace_back(f, g);
+        any_effect_ = true;
+      }
+    }
+  }
+  if (latch_ || po_detect_) any_effect_ = true;
+}
+
+TestSequence FrameModel::extract_sequence(std::size_t frames_used) const {
+  TestSequence seq(npi_);
+  for (std::size_t f = 0; f < frames_used && f < num_frames_; ++f) {
+    std::vector<V3> vec(npi_);
+    for (std::size_t i = 0; i < npi_; ++i) vec[i] = pi_assign_[f * npi_ + i];
+    seq.append(std::move(vec));
+  }
+  return seq;
+}
+
+namespace {
+constexpr std::uint32_t kInf = 1000000;
+constexpr std::uint32_t kDffPenalty = 16;
+}  // namespace
+
+void FrameModel::compute_costs() {
+  const Netlist& nl = *nl_;
+  cost0_.assign(nl.num_gates(), kInf);
+  cost1_.assign(nl.num_gates(), kInf);
+
+  for (GateId pi : nl.inputs()) {
+    cost0_[pi] = 1;
+    cost1_[pi] = 1;
+  }
+
+  const auto saturating_add = [](std::uint32_t a, std::uint32_t b) {
+    return std::min(kInf, a + b);
+  };
+
+  // A few sweeps so DFF-output costs converge through feedback loops.
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      const auto& fi = gate.fanins;
+      std::uint32_t c0 = kInf, c1 = kInf;
+      const auto and_like = [&](bool invert) {
+        // output 0 (pre-inversion): cheapest single 0 input; output 1: all 1s.
+        std::uint32_t zero_side = kInf, one_side = 1;
+        for (GateId in : fi) {
+          zero_side = std::min(zero_side, cost0_[in]);
+          one_side = saturating_add(one_side, cost1_[in]);
+        }
+        zero_side = saturating_add(zero_side, 1);
+        c0 = invert ? one_side : zero_side;
+        c1 = invert ? zero_side : one_side;
+      };
+      const auto or_like = [&](bool invert) {
+        std::uint32_t one_side = kInf, zero_side = 1;
+        for (GateId in : fi) {
+          one_side = std::min(one_side, cost1_[in]);
+          zero_side = saturating_add(zero_side, cost0_[in]);
+        }
+        one_side = saturating_add(one_side, 1);
+        c0 = invert ? one_side : zero_side;
+        c1 = invert ? zero_side : one_side;
+      };
+      switch (gate.type) {
+        case GateType::Buf:
+          c0 = saturating_add(cost0_[fi[0]], 1);
+          c1 = saturating_add(cost1_[fi[0]], 1);
+          break;
+        case GateType::Not:
+          c0 = saturating_add(cost1_[fi[0]], 1);
+          c1 = saturating_add(cost0_[fi[0]], 1);
+          break;
+        case GateType::And: and_like(false); break;
+        case GateType::Nand: and_like(true); break;
+        case GateType::Or: or_like(false); break;
+        case GateType::Nor: or_like(true); break;
+        case GateType::Xor:
+        case GateType::Xnor: {
+          // Two-input approximation extended pairwise.
+          std::uint32_t even = 1, odd = kInf;
+          for (GateId in : fi) {
+            const std::uint32_t e2 = std::min(saturating_add(even, cost0_[in]),
+                                              saturating_add(odd, cost1_[in]));
+            const std::uint32_t o2 = std::min(saturating_add(even, cost1_[in]),
+                                              saturating_add(odd, cost0_[in]));
+            even = e2;
+            odd = o2;
+          }
+          c0 = gate.type == GateType::Xor ? even : odd;
+          c1 = gate.type == GateType::Xor ? odd : even;
+          break;
+        }
+        case GateType::Mux2: {
+          const std::uint32_t via0_0 = saturating_add(cost0_[fi[2]], cost0_[fi[0]]);
+          const std::uint32_t via1_0 = saturating_add(cost1_[fi[2]], cost0_[fi[1]]);
+          const std::uint32_t via0_1 = saturating_add(cost0_[fi[2]], cost1_[fi[0]]);
+          const std::uint32_t via1_1 = saturating_add(cost1_[fi[2]], cost1_[fi[1]]);
+          c0 = saturating_add(std::min(via0_0, via1_0), 1);
+          c1 = saturating_add(std::min(via0_1, via1_1), 1);
+          break;
+        }
+        case GateType::Const0:
+          c0 = 0;
+          c1 = kInf;
+          break;
+        case GateType::Const1:
+          c0 = kInf;
+          c1 = 0;
+          break;
+        case GateType::Input:
+        case GateType::Dff:
+          break;
+      }
+      cost0_[g] = c0;
+      cost1_[g] = c1;
+    }
+    for (GateId ff : nl.dffs()) {
+      const GateId d = nl.gate(ff).fanins[0];
+      cost0_[ff] = saturating_add(cost0_[d], kDffPenalty);
+      cost1_[ff] = saturating_add(cost1_[d], kDffPenalty);
+    }
+  }
+}
+
+}  // namespace uniscan

@@ -1,0 +1,72 @@
+#include "atpg/ndetect.hpp"
+
+#include "sim/fault_sim.hpp"
+
+namespace uniscan {
+
+namespace {
+
+/// Count-preserving vector omission: a vector is dropped only if no fault's
+/// (n-saturated) detection count decreases.
+TestSequence omission_keep_counts(const Netlist& nl, const TestSequence& seq,
+                                  std::span<const Fault> faults, std::uint32_t n,
+                                  std::size_t passes) {
+  FaultSimulator sim(nl);
+  TestSequence cur = seq;
+  std::vector<std::uint32_t> base = sim.run_counts(cur, faults, n);
+
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    std::size_t removed = 0;
+    for (std::size_t t = cur.length(); t-- > 0;) {
+      TestSequence trial = cur;
+      trial.erase(t);
+      const auto counts = sim.run_counts(trial, faults, n);
+      bool ok = true;
+      for (std::size_t i = 0; i < counts.size() && ok; ++i) ok = counts[i] >= base[i];
+      if (ok) {
+        cur = std::move(trial);
+        base = counts;
+        ++removed;
+      }
+    }
+    if (removed == 0) break;
+  }
+  return cur;
+}
+
+}  // namespace
+
+NDetectResult generate_n_detect_tests(const ScanCircuit& sc, const FaultList& faults,
+                                      const NDetectOptions& options) {
+  NDetectResult result;
+  result.num_faults = faults.size();
+  result.sequence = TestSequence(sc.netlist.num_inputs());
+
+  FaultSimulator sim(sc.netlist);
+  for (std::uint32_t round = 0; round < options.n; ++round) {
+    AtpgOptions opt = options.atpg;
+    opt.seed = options.atpg.seed + 0x9e37 * (round + 1);
+    const AtpgResult r = generate_tests(sc, faults, opt);
+    result.sequence.append_sequence(r.sequence);
+
+    // Early exit: all faults already at target count.
+    const auto counts = sim.run_counts(result.sequence, faults.faults(), options.n);
+    bool all = true;
+    for (std::size_t i = 0; i < counts.size() && all; ++i)
+      all = counts[i] >= options.n || counts[i] == 0;
+    if (all) break;
+  }
+
+  if (options.compact)
+    result.sequence = omission_keep_counts(sc.netlist, result.sequence, faults.faults(),
+                                           options.n, options.compact_passes);
+
+  result.counts = sim.run_counts(result.sequence, faults.faults(), options.n);
+  for (std::uint32_t c : result.counts) {
+    if (c >= 1) ++result.detected;
+    if (c >= options.n) ++result.satisfied;
+  }
+  return result;
+}
+
+}  // namespace uniscan

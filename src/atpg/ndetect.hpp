@@ -1,0 +1,45 @@
+// n-detect test generation (extension).
+//
+// n-detect test sets observe every fault at n or more distinct time points,
+// which empirically improves defect coverage beyond the single-detection
+// stuck-at metric. Under the unified view this composes naturally: run the
+// Section-2 generator n times with independent seeds (each round produces
+// structurally different tests for the same faults), concatenate, and
+// compact with a count-preserving variant of vector omission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/seq_atpg.hpp"
+#include "fault/fault_list.hpp"
+#include "scan/scan_insertion.hpp"
+
+namespace uniscan {
+
+struct NDetectOptions {
+  std::uint32_t n = 3;
+  AtpgOptions atpg;           // per-round options; the seed varies per round
+  bool compact = true;        // count-preserving omission afterwards
+  std::size_t compact_passes = 1;
+};
+
+struct NDetectResult {
+  TestSequence sequence;
+  std::vector<std::uint32_t> counts;  // per fault, saturated at n
+  std::size_t num_faults = 0;
+  std::size_t detected = 0;           // count >= 1
+  std::size_t satisfied = 0;          // count >= n
+
+  /// Percentage of faults observed at least n times.
+  double n_coverage() const {
+    return num_faults == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(satisfied) / static_cast<double>(num_faults);
+  }
+};
+
+NDetectResult generate_n_detect_tests(const ScanCircuit& sc, const FaultList& faults,
+                                      const NDetectOptions& options = {});
+
+}  // namespace uniscan

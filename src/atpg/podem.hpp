@@ -1,0 +1,52 @@
+// PODEM-style branch-and-bound test search on the time-frame model.
+//
+// Decision variables are primary-input assignments (any input, any frame —
+// scan_sel and scan_inp included, which is how limited scan operations
+// emerge without being scheduled explicitly). Implication is full forward
+// pair simulation of the window; objectives are derived from fault
+// activation and the D-frontier; backtrace walks to an unassigned input,
+// crossing DFF boundaries into earlier frames.
+//
+// Two goals are supported:
+//  * ObservePo   — classical detection: a fault effect at a primary output.
+//  * LatchIntoFf — the paper's Section-2 hook: it is enough to latch the
+//                  fault effect into a flip-flop; the driver then appends a
+//                  scan flush to carry it to scan_out.
+#pragma once
+
+#include <cstddef>
+
+#include "atpg/frame_model.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+// ScanObserve models the conventional scan test (SI, T): the fault is
+// observed either at a primary output of some frame or in the state latched
+// after the last frame (which a complete scan-out would shift out). Used by
+// the baseline generators together with FrameModel::set_state_assignable().
+enum class PodemGoal { ObservePo, LatchIntoFf, ScanObserve };
+
+struct PodemOptions {
+  int max_backtracks = 300;
+};
+
+struct PodemResult {
+  bool success = false;
+  TestSequence subsequence;    // frames 0..frames_used-1; unassigned inputs are X
+  std::size_t frames_used = 0;
+  // Valid when success && goal != ObservePo and the success came from a
+  // latched effect: the DFF (Netlist::dffs() index) holding the fault effect
+  // after the last vector of `subsequence`.
+  std::size_t latched_dff = 0;
+  bool observed_at_po = false;  // true when a PO exposed the effect directly
+  // Valid when the model had state_assignable(): the scan-in assignment.
+  std::vector<V3> scan_in;
+  int backtracks = 0;
+};
+
+/// Run the search. The model's fault, window length and initial state must
+/// be configured; its assignments are clobbered.
+PodemResult run_podem(FrameModel& model, PodemGoal goal, const PodemOptions& options = {});
+
+}  // namespace uniscan

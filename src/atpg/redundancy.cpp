@@ -1,0 +1,36 @@
+#include "atpg/redundancy.hpp"
+
+#include "atpg/frame_model.hpp"
+#include "atpg/podem.hpp"
+
+namespace uniscan {
+
+RedundancyReport classify_faults(const ScanCircuit& sc, std::span<const Fault> faults,
+                                 const RedundancyOptions& options) {
+  RedundancyReport report;
+  report.classes.reserve(faults.size());
+
+  for (const Fault& f : faults) {
+    FrameModel model(sc.netlist, f, options.window);
+    model.set_state_assignable(true);
+    const PodemResult r = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
+
+    FaultClass cls;
+    if (r.success) {
+      cls = FaultClass::Testable;
+      ++report.testable;
+    } else if (r.backtracks <= options.max_backtracks) {
+      // The search ran out of alternatives (stack emptied), not out of
+      // budget: the space was exhausted.
+      cls = FaultClass::Redundant;
+      ++report.redundant;
+    } else {
+      cls = FaultClass::Aborted;
+      ++report.aborted;
+    }
+    report.classes.push_back(cls);
+  }
+  return report;
+}
+
+}  // namespace uniscan

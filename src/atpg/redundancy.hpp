@@ -1,0 +1,53 @@
+// Bounded untestability analysis — the completeness the paper's Section-5
+// remark points out its generator lacks ("it is not able to prove that a
+// fault is undetectable").
+//
+// A fault of the scan circuit is classified by an exhaustive PODEM search on
+// the (SI, T) model: frame-0 state fully assignable (any state is reachable
+// through the chain), `window` functional frames, observation at any PO or
+// in the final latched state (which a scan-out makes visible). With an
+// unbounded backtrack budget the search is exhaustive over the input/state
+// space, so:
+//
+//  * window = 1 failure  => the fault is UNTESTABLE BY ANY conventional
+//    single-vector scan test (combinationally redundant under full scan,
+//    modulo the optimistic X-propagation of the MUX model);
+//  * window = k failure  => no (SI, T) test with |T| <= k exists.
+//
+// Faults that exhaust the backtrack cap before the space is exhausted are
+// reported as Aborted, never as Redundant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "scan/scan_insertion.hpp"
+
+namespace uniscan {
+
+enum class FaultClass : std::uint8_t {
+  Testable,   // a test exists (found by the exhaustive search)
+  Redundant,  // proved: no (SI, T) test with |T| <= window exists
+  Aborted,    // backtrack cap hit before the space was exhausted
+};
+
+struct RedundancyOptions {
+  std::size_t window = 1;       // |T| bound of the proof
+  int max_backtracks = 200000;  // proof budget per fault
+};
+
+struct RedundancyReport {
+  std::vector<FaultClass> classes;  // one per fault
+  std::size_t testable = 0;
+  std::size_t redundant = 0;
+  std::size_t aborted = 0;
+};
+
+/// Classify every fault in `faults` (usually the subset a generator left
+/// undetected). `sc` must have its chains inserted already.
+RedundancyReport classify_faults(const ScanCircuit& sc, std::span<const Fault> faults,
+                                 const RedundancyOptions& options = {});
+
+}  // namespace uniscan

@@ -1,0 +1,48 @@
+// Unified test generation for TRANSITION faults (at-speed extension).
+//
+// The unified view is a natural fit for at-speed testing: every pair of
+// consecutive vectors in the sequence is a launch/capture pair applied at
+// speed — including scan-shift cycles, so transitions can be launched by the
+// last shift of a (limited) scan operation exactly as the enhanced-scan and
+// LOS/LOC schemes do, without any special-casing. The driver mirrors the
+// Section-2 stuck-at generator: random bootstrap, per-fault PODEM on the
+// time-frame window with the transition launch condition, scan-load
+// justification, and the latch-and-flush fallback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/seq_atpg.hpp"
+#include "fault/transition_fault.hpp"
+#include "scan/scan_insertion.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+struct TransitionAtpgResult {
+  TestSequence sequence;
+  std::size_t num_faults = 0;
+  std::size_t detected = 0;
+  std::size_t detected_by_scan_knowledge = 0;
+  std::vector<DetectionRecord> detection;
+  AtpgStats stats;
+
+  double fault_coverage() const {
+    return num_faults == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(detected) / static_cast<double>(num_faults);
+  }
+};
+
+/// Options are shared with the stuck-at generator (AtpgOptions); the window
+/// schedule applies unchanged, with every window extended by one frame for
+/// the launch cycle.
+TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
+                                               const std::vector<TransitionFault>& faults,
+                                               const AtpgOptions& options = {});
+TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
+                                               const AtpgOptions& options = {});
+
+}  // namespace uniscan

@@ -1,0 +1,20 @@
+#include "baseline/comb_atpg.hpp"
+
+namespace uniscan {
+
+BaselineResult generate_comb_scan_tests(const ScanCircuit& sc, const FaultList& faults,
+                                        const CombAtpgOptions& options) {
+  BaselineOptions base;
+  base.seed = options.seed;
+  base.max_seq_len = 1;
+  base.max_backtracks = options.max_backtracks;
+  base.compact_test_set = options.compact_test_set;
+  return generate_baseline_tests(sc, faults, base);
+}
+
+BaselineResult generate_comb_scan_tests(const ScanCircuit& sc, const CombAtpgOptions& options) {
+  const FaultList faults = FaultList::collapsed(sc.netlist);
+  return generate_comb_scan_tests(sc, faults, options);
+}
+
+}  // namespace uniscan

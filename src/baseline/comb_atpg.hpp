@@ -1,0 +1,26 @@
+// Baseline scan ATPG, "first approach" (paper Section 1, refs [1]-[5]):
+// combinational-style test generation where the present state is treated as
+// inputs and the next state as outputs — i.e. every test is a complete
+// scan-in, ONE primary input vector, and a complete scan-out.
+//
+// Implemented as the max_seq_len = 1 specialization of the second-approach
+// generator; kept as its own entry point because the two approaches are
+// distinct baselines in the paper.
+#pragma once
+
+#include "baseline/scan_testset_gen.hpp"
+
+namespace uniscan {
+
+struct CombAtpgOptions {
+  std::uint64_t seed = 13;
+  int max_backtracks = 120;
+  bool compact_test_set = true;
+};
+
+BaselineResult generate_comb_scan_tests(const ScanCircuit& sc, const FaultList& faults,
+                                        const CombAtpgOptions& options = {});
+BaselineResult generate_comb_scan_tests(const ScanCircuit& sc,
+                                        const CombAtpgOptions& options = {});
+
+}  // namespace uniscan

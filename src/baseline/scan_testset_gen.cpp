@@ -1,0 +1,172 @@
+#include "baseline/scan_testset_gen.hpp"
+
+#include <stdexcept>
+
+#include "atpg/frame_model.hpp"
+#include "atpg/podem.hpp"
+#include "sim/fault_sim_session.hpp"
+#include "util/rng.hpp"
+
+namespace uniscan {
+
+namespace {
+
+/// Fully specified translated fragment of one test: max-chain-length load
+/// vectors (every chain's scan_inp feeds its slice of scan_in reversed)
+/// followed by the functional vectors with scan_sel = 0. Original inputs
+/// during loads are random. scan_in is indexed like Netlist::dffs().
+TestSequence test_fragment(const ScanCircuit& sc, const ScanTest& test, Rng& rng) {
+  const std::size_t shifts = sc.max_chain_length();
+  const std::size_t npi = sc.netlist.num_inputs();
+  const std::size_t num_chains = sc.nets.chains.size();
+  const std::size_t npi_orig = npi - 1 - num_chains;
+
+  TestSequence seq(npi);
+  for (std::size_t t = 0; t < shifts; ++t) {
+    std::vector<V3> vec(npi);
+    for (auto& v : vec) v = rng.next_bool() ? V3::One : V3::Zero;
+    vec[sc.scan_sel_index()] = V3::One;
+    std::size_t base = 0;
+    for (const ScanChain& chain : sc.nets.chains) {
+      const std::size_t len = chain.cells.size();
+      const std::size_t target = shifts - 1 - t;
+      if (target < len) {
+        const V3 si = test.scan_in[base + target];
+        if (si != V3::X) vec[chain.scan_inp_index] = si;
+      }
+      base += len;
+    }
+    seq.append(std::move(vec));
+  }
+  for (const auto& v : test.vectors) {
+    std::vector<V3> vec(npi);
+    for (auto& x : vec) x = rng.next_bool() ? V3::One : V3::Zero;
+    for (std::size_t i = 0; i < npi_orig; ++i)
+      if (v[i] != V3::X) vec[i] = v[i];
+    vec[sc.scan_sel_index()] = V3::Zero;
+    seq.append(std::move(vec));
+  }
+  return seq;
+}
+
+TestSequence unload_fragment(const ScanCircuit& sc, Rng& rng) {
+  const std::size_t shifts = sc.max_chain_length();
+  const std::size_t npi = sc.netlist.num_inputs();
+  TestSequence seq(npi);
+  for (std::size_t k = 0; k < shifts; ++k) {
+    std::vector<V3> vec(npi);
+    for (auto& v : vec) v = rng.next_bool() ? V3::One : V3::Zero;
+    vec[sc.scan_sel_index()] = V3::One;
+    seq.append(std::move(vec));
+  }
+  return seq;
+}
+
+TestSequence concat_fragments(const std::vector<TestSequence>& fragments,
+                              const std::vector<char>& keep, const TestSequence& unload,
+                              std::size_t npi) {
+  TestSequence seq(npi);
+  for (std::size_t i = 0; i < fragments.size(); ++i)
+    if (keep[i]) seq.append_sequence(fragments[i]);
+  seq.append_sequence(unload);
+  return seq;
+}
+
+}  // namespace
+
+BaselineResult generate_baseline_tests(const ScanCircuit& sc, const BaselineOptions& options) {
+  const FaultList faults = FaultList::collapsed(sc.netlist);
+  return generate_baseline_tests(sc, faults, options);
+}
+
+BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& faults,
+                                       const BaselineOptions& options) {
+  const Netlist& nl = sc.netlist;
+  const std::size_t n = sc.max_chain_length();
+  const std::size_t npi_orig = nl.num_inputs() - 1 - sc.nets.chains.size();
+  Rng rng(options.seed);
+
+  BaselineResult result;
+  result.num_faults = faults.size();
+  result.test_set.num_original_inputs = npi_orig;
+  result.test_set.chain_length = n;
+
+  FaultSimSession session(nl, faults.faults());
+  std::vector<ScanTest> tests;
+  std::vector<TestSequence> fragments;
+
+  const auto try_commit = [&](ScanTest test, std::size_t target_fault) -> bool {
+    TestSequence frag = test_fragment(sc, test, rng);
+    const auto snap0 = session.snapshot();
+    session.advance(frag);
+    const auto snap1 = session.snapshot();
+    // A latched effect is only observable once shifted out; peek with a
+    // tentative unload, then roll back to just-after-the-fragment.
+    Rng peek_rng(rng.next());
+    session.advance(unload_fragment(sc, peek_rng));
+    const bool ok = session.is_detected(target_fault);
+    session.restore(ok ? snap1 : snap0);
+    if (ok) {
+      tests.push_back(std::move(test));
+      fragments.push_back(std::move(frag));
+    }
+    return ok;
+  };
+
+  // Deterministic per-fault generation.
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (session.is_detected(fi)) continue;
+    for (std::size_t w = 1; w <= options.max_seq_len; ++w) {
+      FrameModel model(nl, faults[fi], w);
+      model.set_state_assignable(true);
+      model.pin_input(sc.scan_sel_index(), V3::Zero);
+      for (const ScanChain& chain : sc.nets.chains)
+        model.pin_input(chain.scan_inp_index, V3::Zero);
+      PodemResult pr = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
+      if (!pr.success) continue;
+
+      ScanTest test;
+      test.scan_in = pr.scan_in;
+      for (std::size_t t = 0; t < pr.subsequence.length(); ++t) {
+        std::vector<V3> v(npi_orig);
+        for (std::size_t i = 0; i < npi_orig; ++i) v[i] = pr.subsequence.at(t, i);
+        test.vectors.push_back(std::move(v));
+      }
+      if (try_commit(std::move(test), fi)) break;
+    }
+  }
+
+  // Trailing scan-out.
+  TestSequence unload = unload_fragment(sc, rng);
+  session.advance(unload);
+
+  // Greedy test-omission compaction: drop whole tests whose removal keeps
+  // every currently detected fault detected (checked on the exact translated
+  // sequence).
+  std::vector<char> keep(tests.size(), 1);
+  FaultSimulator sim(nl);
+  {
+    TestSequence full = concat_fragments(fragments, keep, unload, nl.num_inputs());
+    std::vector<Fault> must;
+    const auto det = sim.run(full, faults.faults());
+    for (std::size_t i = 0; i < det.size(); ++i)
+      if (det[i].detected) must.push_back(faults[i]);
+    if (options.compact_test_set) {
+      for (std::size_t i = tests.size(); i-- > 0;) {
+        keep[i] = 0;
+        if (!sim.detects_all(concat_fragments(fragments, keep, unload, nl.num_inputs()), must))
+          keep[i] = 1;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < tests.size(); ++i)
+    if (keep[i]) result.test_set.tests.push_back(tests[i]);
+  result.translated = concat_fragments(fragments, keep, unload, nl.num_inputs());
+  result.detection = sim.run(result.translated, faults.faults());
+  for (const auto& d : result.detection)
+    if (d.detected) ++result.detected;
+  return result;
+}
+
+}  // namespace uniscan

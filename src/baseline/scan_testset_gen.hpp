@@ -1,0 +1,55 @@
+// Baseline scan ATPG: the "second approach" of the paper's Section 1 and
+// the stand-in for the comparison procedure [26] (see DESIGN.md §3).
+//
+// Tests have the conventional form (SI, T): a COMPLETE scan-in, a short
+// functional primary-input sequence T (1..max_seq_len vectors, chosen
+// minimal), and a complete scan-out overlapped with the next scan-in.
+// Per-fault search is PODEM on C_scan with scan_sel pinned to 0, the frame-0
+// state assignable (the scan-in), and the ScanObserve goal (effects latched
+// at the end of T are scanned out). Detection bookkeeping simulates the
+// exact translated sequence of the growing test set, so chain/mux faults
+// detected incidentally by the shift operations are credited too.
+//
+// With max_seq_len = 1 this degenerates to the "first approach"
+// (combinational-style scan ATPG); see comb_atpg.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "scan/scan_insertion.hpp"
+#include "scan/scan_test.hpp"
+#include "fault/fault_list.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+struct BaselineOptions {
+  std::uint64_t seed = 11;
+  std::size_t max_seq_len = 4;   // max |T_i| (1 = first approach)
+  int max_backtracks = 120;
+  bool compact_test_set = true;  // greedy test-omission pass (the [26] flavour)
+};
+
+struct BaselineResult {
+  ScanTestSet test_set;
+  TestSequence translated;  // exact unified sequence the bookkeeping simulated
+  std::size_t num_faults = 0;
+  std::size_t detected = 0;
+  std::vector<DetectionRecord> detection;  // on the translated sequence
+
+  /// Clock cycles with complete scan operations == translated.length().
+  std::size_t application_cycles() const { return test_set.application_cycles(); }
+  double fault_coverage() const {
+    return num_faults == 0 ? 0.0
+                           : 100.0 * static_cast<double>(detected) / static_cast<double>(num_faults);
+  }
+};
+
+/// Generate a complete-scan baseline test set for the faults of C_scan.
+BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& faults,
+                                       const BaselineOptions& options = {});
+BaselineResult generate_baseline_tests(const ScanCircuit& sc,
+                                       const BaselineOptions& options = {});
+
+}  // namespace uniscan

@@ -1,0 +1,161 @@
+// Shared implementation of the static compaction procedures, generic over
+// the fault model: any (Simulator, Fault) pair with
+//   Simulator(const Netlist&)
+//   run(seq, span<Fault>) -> vector<DetectionRecord>
+//   detects_all(seq, span<Fault>) -> bool
+// works — instantiated for stuck-at and transition faults.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "compact/compaction.hpp"
+#include "compact/omission.hpp"
+#include "compact/restoration.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan::detail {
+
+template <typename Simulator, typename FaultT>
+CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
+                               std::span<const FaultT> faults, const OmissionOptions& options) {
+  Simulator sim(nl);
+  CompactionResult result;
+  result.original_length = seq.length();
+
+  const auto base = sim.run(seq, faults);
+  std::vector<FaultT> must;
+  for (std::size_t i = 0; i < base.size(); ++i)
+    if (base[i].detected) must.push_back(faults[i]);
+
+  TestSequence cur = seq;
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++result.rounds;
+    std::size_t removed_this_pass = 0;
+
+    if (options.back_to_front) {
+      for (std::size_t t = cur.length(); t-- > 0;) {
+        TestSequence trial = cur;
+        trial.erase(t);
+        if (sim.detects_all(trial, must)) {
+          cur = std::move(trial);
+          ++removed_this_pass;
+        }
+      }
+    } else {
+      for (std::size_t t = 0; t < cur.length();) {
+        TestSequence trial = cur;
+        trial.erase(t);
+        if (sim.detects_all(trial, must)) {
+          cur = std::move(trial);
+          ++removed_this_pass;
+        } else {
+          ++t;
+        }
+      }
+    }
+    if (removed_this_pass == 0) break;
+  }
+
+  result.vectors_removed = seq.length() - cur.length();
+  result.sequence = std::move(cur);
+
+  const auto final_det = sim.run(result.sequence, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
+  return result;
+}
+
+template <typename Simulator, typename FaultT>
+CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
+                                  std::span<const FaultT> faults,
+                                  const RestorationOptions& options) {
+  Simulator sim(nl);
+  CompactionResult result;
+  result.original_length = seq.length();
+
+  const auto masked = [&](const std::vector<char>& keep) {
+    std::vector<std::size_t> idx;
+    for (std::size_t t = 0; t < keep.size(); ++t)
+      if (keep[t]) idx.push_back(t);
+    return seq.select(idx);
+  };
+
+  const auto base = sim.run(seq, faults);
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < base.size(); ++i)
+    if (base[i].detected) targets.push_back(i);
+  std::sort(targets.begin(), targets.end(), [&](std::size_t a, std::size_t b) {
+    return base[a].time > base[b].time;
+  });
+
+  std::vector<char> keep(seq.length(), 0);
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+    bool all_ok = true;
+
+    TestSequence cur = masked(keep);
+    std::vector<FaultT> target_faults;
+    target_faults.reserve(targets.size());
+    for (std::size_t i : targets) target_faults.push_back(faults[i]);
+    const auto cur_det = sim.run(cur, target_faults);
+
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      if (cur_det[k].detected) continue;
+      const std::size_t fi = targets[k];
+      const FaultT f = faults[fi];
+      const std::size_t t_f = base[fi].time;
+
+      const FaultT one[1] = {f};
+      if (sim.detects_all(masked(keep), one)) continue;
+      all_ok = false;
+
+      std::size_t lo = t_f;
+      for (;;) {
+        for (std::size_t t = lo; t <= t_f; ++t) keep[t] = 1;
+        if (sim.detects_all(masked(keep), one)) break;
+        if (lo == 0) break;
+        const std::size_t width = t_f - lo + 1;
+        lo = width * 2 >= lo ? 0 : lo - width * 2;
+      }
+    }
+    if (all_ok) break;
+  }
+
+  if (options.prune_segments) {
+    std::vector<FaultT> target_faults;
+    for (std::size_t i : targets) target_faults.push_back(faults[i]);
+    std::vector<std::pair<std::size_t, std::size_t>> segments;
+    for (std::size_t t = 0; t < keep.size();) {
+      if (!keep[t]) {
+        ++t;
+        continue;
+      }
+      std::size_t end = t;
+      while (end < keep.size() && keep[end]) ++end;
+      segments.emplace_back(t, end);
+      t = end;
+    }
+    std::sort(segments.begin(), segments.end(), [](const auto& a, const auto& b) {
+      return (a.second - a.first) > (b.second - b.first);
+    });
+    for (const auto& [begin, end] : segments) {
+      for (std::size_t t = begin; t < end; ++t) keep[t] = 0;
+      if (!sim.detects_all(masked(keep), target_faults))
+        for (std::size_t t = begin; t < end; ++t) keep[t] = 1;
+    }
+  }
+
+  result.sequence = masked(keep);
+  result.vectors_removed = seq.length() - result.sequence.length();
+
+  const auto final_det = sim.run(result.sequence, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
+  return result;
+}
+
+}  // namespace uniscan::detail

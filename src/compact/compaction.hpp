@@ -1,0 +1,20 @@
+// Shared result type of the static compaction procedures.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+struct CompactionResult {
+  TestSequence sequence;            // the compacted sequence
+  std::size_t original_length = 0;
+  std::size_t vectors_removed = 0;
+  // Faults detected by the compacted sequence that the original sequence did
+  // NOT detect (compaction can gain coverage; Table 6's `ext det` column).
+  std::size_t extra_detected = 0;
+  std::size_t rounds = 0;           // passes/rounds the procedure ran
+};
+
+}  // namespace uniscan

@@ -1,0 +1,22 @@
+#include "compact/omission.hpp"
+
+#include "compact/compact_impl.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/transition_sim.hpp"
+
+namespace uniscan {
+
+CompactionResult omission_compact(const Netlist& nl, const TestSequence& seq,
+                                  std::span<const Fault> faults,
+                                  const OmissionOptions& options) {
+  return detail::omission_impl<FaultSimulator, Fault>(nl, seq, faults, options);
+}
+
+CompactionResult omission_compact(const Netlist& nl, const TestSequence& seq,
+                                  std::span<const TransitionFault> faults,
+                                  const OmissionOptions& options) {
+  return detail::omission_impl<TransitionFaultSimulator, TransitionFault>(nl, seq, faults,
+                                                                          options);
+}
+
+}  // namespace uniscan

@@ -1,0 +1,22 @@
+#include "compact/restoration.hpp"
+
+#include "compact/compact_impl.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/transition_sim.hpp"
+
+namespace uniscan {
+
+CompactionResult restoration_compact(const Netlist& nl, const TestSequence& seq,
+                                     std::span<const Fault> faults,
+                                     const RestorationOptions& options) {
+  return detail::restoration_impl<FaultSimulator, Fault>(nl, seq, faults, options);
+}
+
+CompactionResult restoration_compact(const Netlist& nl, const TestSequence& seq,
+                                     std::span<const TransitionFault> faults,
+                                     const RestorationOptions& options) {
+  return detail::restoration_impl<TransitionFaultSimulator, TransitionFault>(nl, seq, faults,
+                                                                             options);
+}
+
+}  // namespace uniscan

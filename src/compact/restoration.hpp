@@ -1,0 +1,45 @@
+// Vector-restoration-based static compaction for sequential test sequences
+// (after Pomeranz & Reddy, ICCD-97 [23]).
+//
+// Starting from an empty selection, faults are processed in decreasing order
+// of their detection time under the original sequence. For each fault not
+// yet detected by the selected subsequence, vectors are restored backwards
+// from the fault's detection time (with geometric growth of the restored
+// segment) until the fault is detected again. The final subsequence keeps
+// the original vector order.
+//
+// Because restored segments interact through the circuit state, the result
+// is re-verified and additional restoration rounds run until every
+// originally detected fault is detected by the compacted sequence — the
+// procedure never trades away coverage.
+#pragma once
+
+#include <span>
+
+#include "compact/compaction.hpp"
+#include "fault/fault.hpp"
+#include "fault/transition_fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+struct RestorationOptions {
+  std::size_t max_rounds = 8;  // safety bound; convergence is typically 1-2
+  /// After restoration converges, try dropping each restored contiguous
+  /// segment wholesale (in the spirit of the segment pruning of Bommu et
+  /// al., ICCAD-98 [24]); a drop is kept when every target fault stays
+  /// detected. Cheap relative to vector omission because segments are few.
+  bool prune_segments = false;
+};
+
+CompactionResult restoration_compact(const Netlist& nl, const TestSequence& seq,
+                                     std::span<const Fault> faults,
+                                     const RestorationOptions& options = {});
+
+/// Transition-fault variant: identical algorithm over the gross-delay model.
+CompactionResult restoration_compact(const Netlist& nl, const TestSequence& seq,
+                                     std::span<const TransitionFault> faults,
+                                     const RestorationOptions& options = {});
+
+}  // namespace uniscan

@@ -1,0 +1,62 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+
+SequenceMetrics compute_metrics(const ScanCircuit& sc, const TestSequence& seq) {
+  SequenceMetrics m;
+  m.length = seq.length();
+  const std::size_t sel = sc.scan_sel_index();
+  const std::size_t chain_len = sc.max_chain_length();
+
+  std::size_t run = 0;
+  for (std::size_t t = 0; t <= seq.length(); ++t) {
+    const bool shifting = t < seq.length() && seq.at(t, sel) == V3::One;
+    if (shifting) {
+      ++m.scan_vectors;
+      ++run;
+    } else if (run) {
+      ++m.scan_operations;
+      ++m.scan_op_histogram[run];
+      m.longest_scan_op = std::max(m.longest_scan_op, run);
+      if (run >= chain_len) ++m.complete_scan_ops;
+      run = 0;
+    }
+  }
+
+  for (std::size_t t = 1; t < seq.length(); ++t)
+    for (std::size_t i = 0; i < seq.num_inputs(); ++i) {
+      const V3 a = seq.at(t - 1, i);
+      const V3 b = seq.at(t, i);
+      if (a != V3::X && b != V3::X && a != b) ++m.input_transitions;
+    }
+
+  const SequentialSimulator sim(sc.netlist);
+  const SimTrace trace = sim.simulate(seq, sim.initial_state());
+  for (std::size_t t = 1; t < trace.state.size(); ++t)
+    for (std::size_t j = 0; j < sc.netlist.num_dffs(); ++j) {
+      const V3 a = trace.state[t - 1][j];
+      const V3 b = trace.state[t][j];
+      if (a != V3::X && b != V3::X && a != b) ++m.state_transitions;
+    }
+  return m;
+}
+
+std::string format_metrics(const SequenceMetrics& m) {
+  std::ostringstream os;
+  os << "cycles:            " << m.length << "\n";
+  os << "scan vectors:      " << m.scan_vectors << " (" << static_cast<int>(m.scan_fraction() * 100)
+     << "% of cycles)\n";
+  os << "scan operations:   " << m.scan_operations << " (longest " << m.longest_scan_op
+     << ", complete " << m.complete_scan_ops << ", limited "
+     << m.scan_operations - m.complete_scan_ops << ")\n";
+  os << "input transitions: " << m.input_transitions << "\n";
+  os << "state transitions: " << m.state_transitions << "\n";
+  return os.str();
+}
+
+}  // namespace uniscan

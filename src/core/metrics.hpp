@@ -1,0 +1,48 @@
+// Sequence quality metrics: test application cost and tester-power proxies.
+//
+// Besides cycle count (the paper's metric), test engineers care about how
+// scan time is spent and how much switching the sequence causes. The
+// scan-operation histogramming quantifies the paper's limited-scan claim;
+// the transition counts give the standard shift/capture power proxies
+// (weighted switching activity on inputs and state).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "scan/scan_insertion.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+struct SequenceMetrics {
+  std::size_t length = 0;              // clock cycles
+  std::size_t scan_vectors = 0;        // vectors with scan_sel = 1
+  std::size_t scan_operations = 0;     // maximal runs of scan_sel = 1
+  std::size_t complete_scan_ops = 0;   // runs of exactly the chain length or more
+  std::size_t longest_scan_op = 0;
+  std::map<std::size_t, std::size_t> scan_op_histogram;  // run length -> count
+
+  std::size_t input_transitions = 0;   // PI value changes between consecutive cycles
+  std::size_t state_transitions = 0;   // FF toggles (good machine, known->known changes)
+
+  double scan_fraction() const {
+    return length == 0 ? 0.0 : static_cast<double>(scan_vectors) / static_cast<double>(length);
+  }
+  double limited_scan_fraction() const {
+    return scan_operations == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(complete_scan_ops) /
+                           static_cast<double>(scan_operations);
+  }
+};
+
+/// Compute metrics for a (fully specified or partial) sequence; X entries
+/// never count as transitions.
+SequenceMetrics compute_metrics(const ScanCircuit& sc, const TestSequence& seq);
+
+/// Multi-line human-readable rendering.
+std::string format_metrics(const SequenceMetrics& m);
+
+}  // namespace uniscan

@@ -1,0 +1,71 @@
+#include "core/pipeline.hpp"
+
+#include "fault/fault_list.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace uniscan {
+
+SequenceStats sequence_stats(const ScanCircuit& sc, const TestSequence& seq) {
+  SequenceStats s;
+  s.total = seq.length();
+  s.scan = seq.count_ones(sc.scan_sel_index());
+  return s;
+}
+
+GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineConfig& config) {
+  GenerateCompactReport report;
+  report.circuit = c.name();
+
+  const ScanCircuit sc = insert_scan(c);
+  report.num_inputs = sc.netlist.num_inputs();
+  report.num_dffs = sc.netlist.num_dffs();
+
+  const FaultList faults = FaultList::collapsed(sc.netlist);
+  report.atpg = generate_tests(sc, faults, config.atpg);
+  report.raw = sequence_stats(sc, report.atpg.sequence);
+
+  report.restoration =
+      restoration_compact(sc.netlist, report.atpg.sequence, faults.faults(), config.restoration);
+  report.restored = sequence_stats(sc, report.restoration.sequence);
+
+  report.omission =
+      omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), config.omission);
+  report.omitted = sequence_stats(sc, report.omission.sequence);
+
+  // ext det: final compacted sequence vs. the generated sequence.
+  FaultSimulator sim(sc.netlist);
+  const auto final_det = sim.run(report.omission.sequence, faults.faults());
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (final_det[i].detected && !report.atpg.detection[i].detected) ++report.extra_detected;
+
+  if (config.run_baseline) {
+    report.baseline = generate_baseline_tests(sc, faults, config.baseline);
+    report.baseline_run = true;
+  }
+  return report;
+}
+
+TranslateCompactReport run_translate_and_compact(const Netlist& c, const PipelineConfig& config) {
+  TranslateCompactReport report;
+  report.circuit = c.name();
+
+  const ScanCircuit sc = insert_scan(c);
+  const FaultList faults = FaultList::collapsed(sc.netlist);
+
+  report.baseline = generate_baseline_tests(sc, faults, config.baseline);
+  // The baseline's bookkeeping sequence IS the Section-3 translation of its
+  // test set (fully specified), so it is the compaction input.
+  const TestSequence& translated = report.baseline.translated;
+  report.translated = sequence_stats(sc, translated);
+
+  report.restoration =
+      restoration_compact(sc.netlist, translated, faults.faults(), config.restoration);
+  report.restored = sequence_stats(sc, report.restoration.sequence);
+
+  report.omission =
+      omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), config.omission);
+  report.omitted = sequence_stats(sc, report.omission.sequence);
+  return report;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,69 @@
+// High-level flows: everything the paper's experiments do, one call each.
+//
+//  * run_generate_and_compact — Section 2 generation on C_scan, then [23]
+//    restoration, then [22] omission (Tables 5 and 6).
+//  * run_translate_and_compact — baseline complete-scan test set, Section-3
+//    translation, then the same two compactions (Table 7).
+#pragma once
+
+#include <string>
+
+#include "atpg/seq_atpg.hpp"
+#include "baseline/scan_testset_gen.hpp"
+#include "compact/omission.hpp"
+#include "compact/restoration.hpp"
+#include "netlist/netlist.hpp"
+#include "scan/scan_insertion.hpp"
+#include "translate/translation.hpp"
+
+namespace uniscan {
+
+/// Vector counts of a unified sequence: total and how many hold scan_sel = 1
+/// (the paper reports both in Tables 6 and 7).
+struct SequenceStats {
+  std::size_t total = 0;
+  std::size_t scan = 0;
+};
+
+SequenceStats sequence_stats(const ScanCircuit& sc, const TestSequence& seq);
+
+struct PipelineConfig {
+  AtpgOptions atpg;
+  RestorationOptions restoration;
+  OmissionOptions omission;
+  BaselineOptions baseline;
+  bool run_baseline = true;  // generate the "[26]"-style comparison column
+};
+
+/// One row of Tables 5+6.
+struct GenerateCompactReport {
+  std::string circuit;
+  std::size_t num_inputs = 0;  // C_scan inputs (paper's `inp`, includes scan lines)
+  std::size_t num_dffs = 0;
+  AtpgResult atpg;
+
+  SequenceStats raw, restored, omitted;
+  CompactionResult restoration;
+  CompactionResult omission;
+  /// Faults detected by the final compacted sequence that the generated
+  /// sequence did not detect (Table 6 `ext det`).
+  std::size_t extra_detected = 0;
+
+  bool baseline_run = false;
+  BaselineResult baseline;  // valid when baseline_run
+};
+
+GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineConfig& config = {});
+
+/// One row of Table 7.
+struct TranslateCompactReport {
+  std::string circuit;
+  BaselineResult baseline;
+  SequenceStats translated, restored, omitted;
+  CompactionResult restoration;
+  CompactionResult omission;
+};
+
+TranslateCompactReport run_translate_and_compact(const Netlist& c, const PipelineConfig& config = {});
+
+}  // namespace uniscan

@@ -1,0 +1,47 @@
+// Plain-text table rendering for the experiment binaries; mirrors the look
+// of the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "scan/scan_insertion.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Add a data row (must match the header width).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with right-aligned numeric cells and a separator under the header.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double like the paper's coverage column ("99.63").
+std::string format_pct(double v);
+
+/// Render a unified test sequence like the paper's Tables 1/3/4: one row per
+/// time unit with original inputs, then scan_sel, then scan_inp.
+std::string format_sequence_table(const ScanCircuit& sc, const TestSequence& seq);
+
+/// Emit an annotated per-cycle tester program: inputs, expected primary
+/// output values (from good-machine simulation; 'x' = don't compare), and
+/// scan-operation annotations. This is the artifact a test engineer would
+/// load; the expected outputs make every cycle a measurement point, which is
+/// what gives the unified sequences their observation power.
+std::string format_tester_program(const ScanCircuit& sc, const TestSequence& seq);
+
+}  // namespace uniscan

@@ -1,0 +1,135 @@
+#include "diag/diagnosis.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/fault_sim.hpp"
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+
+namespace {
+
+/// Per-batch fail-log extraction: simulate 63 faults in parallel and emit
+/// every (time, po, value) mismatch per slot. Reuses the same machine
+/// organisation as FaultSimulator but records all mismatches instead of the
+/// first detection.
+void batch_fail_logs(const Netlist& nl, const TestSequence& seq,
+                     std::span<const Fault> faults, std::vector<FailLog>& out) {
+  struct Forcing {
+    std::uint64_t set0 = 0, set1 = 0;
+    W3 apply(W3 w) const noexcept {
+      const std::uint64_t touched = set0 | set1;
+      return W3{(w.v0 & ~touched) | set0, (w.v1 & ~touched) | set1};
+    }
+  };
+  std::vector<Forcing> stem(nl.num_gates());
+  struct BranchForce {
+    GateId gate;
+    std::int16_t pin;
+    Forcing force;
+  };
+  std::vector<BranchForce> branches;
+  std::vector<std::uint8_t> has_branch(nl.num_gates(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    const std::uint64_t bit = 1ULL << (i + 1);
+    if (f.pin == kStemPin) {
+      (f.stuck_one ? stem[f.gate].set1 : stem[f.gate].set0) |= bit;
+    } else {
+      BranchForce* bf = nullptr;
+      for (auto& b : branches)
+        if (b.gate == f.gate && b.pin == f.pin) bf = &b;
+      if (!bf) {
+        branches.push_back(BranchForce{f.gate, f.pin, {}});
+        bf = &branches.back();
+        has_branch[f.gate] = 1;
+      }
+      (f.stuck_one ? bf->force.set1 : bf->force.set0) |= bit;
+    }
+  }
+  const auto branch_force = [&](GateId g, std::size_t pin, W3 w) -> W3 {
+    for (const auto& b : branches)
+      if (b.gate == g && b.pin == static_cast<std::int16_t>(pin)) return b.force.apply(w);
+    return w;
+  };
+
+  std::vector<W3> values(nl.num_gates(), W3::all_x());
+  std::vector<W3> state(nl.num_dffs(), W3::all_x());
+  W3 fanin_buf[64];
+
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    const auto& vec = seq.vector_at(t);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      const GateId pi = nl.inputs()[i];
+      values[pi] = stem[pi].apply(W3::broadcast(vec[i]));
+    }
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      values[ff] = stem[ff].apply(state[j]);
+    }
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      const std::size_t n = gate.fanins.size();
+      if (has_branch[g]) {
+        for (std::size_t p = 0; p < n; ++p)
+          fanin_buf[p] = branch_force(g, p, values[gate.fanins[p]]);
+      } else {
+        for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values[gate.fanins[p]];
+      }
+      values[g] = stem[g].apply(eval_gate_w3(gate.type, fanin_buf, n));
+    }
+
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+      const W3 w = values[nl.outputs()[o]];
+      const bool good0 = (w.v0 & 1) != 0;
+      const bool good1 = (w.v1 & 1) != 0;
+      std::uint64_t diff = 0;
+      V3 faulty_value = V3::X;
+      if (good1) {
+        diff = w.v0 & ~1ULL;
+        faulty_value = V3::Zero;
+      } else if (good0) {
+        diff = w.v1 & ~1ULL;
+        faulty_value = V3::One;
+      }
+      while (diff) {
+        const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
+        diff &= diff - 1;
+        out[slot - 1].push_back(FailEntry{static_cast<std::uint32_t>(t),
+                                          static_cast<std::uint32_t>(o), faulty_value});
+      }
+    }
+
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      W3 d = values[nl.gate(ff).fanins[0]];
+      if (has_branch[ff]) d = branch_force(ff, 0, d);
+      state[j] = d;
+    }
+  }
+}
+
+}  // namespace
+
+FailLog simulate_fail_log(const Netlist& nl, const TestSequence& seq, const Fault& fault) {
+  std::vector<FailLog> logs(1);
+  const Fault faults[1] = {fault};
+  batch_fail_logs(nl, seq, faults, logs);
+  return std::move(logs[0]);
+}
+
+std::vector<std::size_t> diagnose(const Netlist& nl, const TestSequence& seq,
+                                  std::span<const Fault> faults, const FailLog& observed) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+    std::vector<FailLog> logs(count);
+    batch_fail_logs(nl, seq, faults.subspan(base, count), logs);
+    for (std::size_t i = 0; i < count; ++i)
+      if (logs[i] == observed) candidates.push_back(base + i);
+  }
+  return candidates;
+}
+
+}  // namespace uniscan

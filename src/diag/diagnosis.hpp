@@ -1,0 +1,46 @@
+// Cause-effect fault diagnosis on unified test sequences.
+//
+// When a device fails the test, the tester records WHICH cycles and outputs
+// mismatched and what value was seen — the fail log. Diagnosis simulates the
+// fault universe against the same sequence and reports the candidates whose
+// predicted fail log matches the observation exactly. Because the unified
+// sequence observes outputs every cycle (scan shifts included), fail logs
+// carry far more resolution than end-of-test scan dumps, which sharpens the
+// diagnosis — another payoff of the paper's "no special scan operations"
+// view.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+/// One observed mismatch: output `po` (Netlist::outputs() index) showed
+/// `value` at cycle `time` where the good machine expected the opposite.
+struct FailEntry {
+  std::uint32_t time = 0;
+  std::uint32_t po = 0;
+  V3 value = V3::X;
+
+  bool operator==(const FailEntry&) const = default;
+  auto operator<=>(const FailEntry&) const = default;
+};
+
+using FailLog = std::vector<FailEntry>;
+
+/// Predicted fail log of `fault` under `seq` (entries sorted by time, po).
+/// Only positions where both machines have known values are recorded.
+FailLog simulate_fail_log(const Netlist& nl, const TestSequence& seq, const Fault& fault);
+
+/// Indices (into `faults`) of candidates whose predicted fail log equals
+/// `observed` exactly. An empty observed log matches faults the sequence
+/// does not expose at all — pass the log of a failing run.
+std::vector<std::size_t> diagnose(const Netlist& nl, const TestSequence& seq,
+                                  std::span<const Fault> faults, const FailLog& observed);
+
+}  // namespace uniscan

@@ -1,0 +1,18 @@
+#include "fault/fault.hpp"
+
+namespace uniscan {
+
+std::string fault_to_string(const Netlist& nl, const Fault& f) {
+  std::string s = nl.gate(f.gate).name;
+  if (f.pin != kStemPin) {
+    s += "/in";
+    s += std::to_string(f.pin);
+    s += "(";
+    s += nl.gate(nl.gate(f.gate).fanins[static_cast<std::size_t>(f.pin)]).name;
+    s += ")";
+  }
+  s += f.stuck_one ? " s-a-1" : " s-a-0";
+  return s;
+}
+
+}  // namespace uniscan

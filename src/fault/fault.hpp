@@ -1,0 +1,29 @@
+// Single stuck-at fault model.
+//
+// Faults live on *lines*: the output stem of a gate (pin == kStemPin) or an
+// input pin of a gate (a fanout branch). Both are needed because a branch
+// fault on a multi-fanout net is not equivalent to the stem fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+inline constexpr std::int16_t kStemPin = -1;
+
+struct Fault {
+  GateId gate = kNoGate;     // the gate whose output (stem) or input pin (branch) is faulty
+  std::int16_t pin = kStemPin;
+  bool stuck_one = false;    // false: stuck-at-0, true: stuck-at-1
+
+  bool operator==(const Fault&) const = default;
+  auto operator<=>(const Fault&) const = default;
+};
+
+/// "G12/2 s-a-1" style rendering using netlist names.
+std::string fault_to_string(const Netlist& nl, const Fault& f);
+
+}  // namespace uniscan

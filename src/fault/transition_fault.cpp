@@ -1,0 +1,37 @@
+#include "fault/transition_fault.hpp"
+
+#include "fault/fault.hpp"
+
+namespace uniscan {
+
+std::string transition_fault_to_string(const Netlist& nl, const TransitionFault& f) {
+  std::string s = nl.gate(f.gate).name;
+  if (f.pin != kStemPin) {
+    s += "/in";
+    s += std::to_string(f.pin);
+    s += "(";
+    s += nl.gate(nl.gate(f.gate).fanins[static_cast<std::size_t>(f.pin)]).name;
+    s += ")";
+  }
+  s += f.slow_to_rise ? " slow-to-rise" : " slow-to-fall";
+  return s;
+}
+
+std::vector<TransitionFault> enumerate_transition_faults(const Netlist& nl) {
+  std::vector<TransitionFault> out;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    out.push_back(TransitionFault{g, kStemPin, false});
+    out.push_back(TransitionFault{g, kStemPin, true});
+  }
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
+      if (nl.fanout_count(gate.fanins[p]) == 1) continue;
+      out.push_back(TransitionFault{g, static_cast<std::int16_t>(p), false});
+      out.push_back(TransitionFault{g, static_cast<std::int16_t>(p), true});
+    }
+  }
+  return out;
+}
+
+}  // namespace uniscan

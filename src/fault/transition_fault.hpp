@@ -1,0 +1,45 @@
+// Transition (gross-delay) fault model — the at-speed metric used by the
+// paper's comparison procedure [26] ("Test Compaction for At-Speed Testing
+// of Scan Circuits ...").
+//
+// A slow-to-rise (STR) fault on a line delays every 0->1 transition past the
+// capture edge; slow-to-fall (STF) symmetrically. Under the one-cycle
+// gross-delay model the faulty line value is
+//     STR: and(driven(t), driven(t-1))      STF: or(driven(t), driven(t-1))
+// so a fault effect exists exactly at launch cycles, and detection requires
+// launching a transition AND propagating the stale value to an observation
+// point — which unified sequences provide for free, since consecutive
+// vectors are applied at speed (scan shifts included).
+//
+// Simulation keeps each faulty machine's own driven-value history, so the
+// one-cycle gross-delay semantics is modelled exactly (including fault
+// effects that feed back into the faulted line's driver cone through the
+// state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+struct TransitionFault {
+  GateId gate = kNoGate;
+  std::int16_t pin = -1;      // kStemPin semantics as for stuck-at faults
+  bool slow_to_rise = false;  // false: slow-to-fall
+
+  bool operator==(const TransitionFault&) const = default;
+  auto operator<=>(const TransitionFault&) const = default;
+};
+
+std::string transition_fault_to_string(const Netlist& nl, const TransitionFault& f);
+
+/// Enumerate transition faults on every stem and every multi-fanout branch
+/// (single-fanout branches are equivalent to their stems, as for stuck-at).
+/// No gate-rule collapsing: the classical stuck-at equivalences do not carry
+/// over to transitions.
+std::vector<TransitionFault> enumerate_transition_faults(const Netlist& nl);
+
+}  // namespace uniscan

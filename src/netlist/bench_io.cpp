@@ -1,0 +1,167 @@
+#include "netlist/bench_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/string_utils.hpp"
+
+namespace uniscan {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error("bench parse error at line " + std::to_string(line_no) + ": " + msg);
+}
+
+struct PendingGate {
+  GateType type;
+  std::string name;
+  std::vector<std::string> operand_names;
+  std::size_t line_no;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string circuit_name) {
+  Netlist nl(std::move(circuit_name));
+
+  std::vector<std::string> output_names;
+  std::vector<std::size_t> output_lines;
+  std::vector<PendingGate> pending;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view body = line;
+    if (const auto hash = body.find('#'); hash != std::string_view::npos)
+      body = body.substr(0, hash);
+    body = trim(body);
+    if (body.empty()) continue;
+
+    if (starts_with(to_upper(body), "INPUT(")) {
+      const auto open = body.find('(');
+      const auto close = body.rfind(')');
+      if (close == std::string_view::npos || close < open) fail_at(line_no, "missing ')'");
+      const auto name = std::string(trim(body.substr(open + 1, close - open - 1)));
+      if (name.empty()) fail_at(line_no, "empty INPUT name");
+      nl.add_input(name);
+      continue;
+    }
+    if (starts_with(to_upper(body), "OUTPUT(")) {
+      const auto open = body.find('(');
+      const auto close = body.rfind(')');
+      if (close == std::string_view::npos || close < open) fail_at(line_no, "missing ')'");
+      const auto name = std::string(trim(body.substr(open + 1, close - open - 1)));
+      if (name.empty()) fail_at(line_no, "empty OUTPUT name");
+      output_names.push_back(name);
+      output_lines.push_back(line_no);
+      continue;
+    }
+
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) fail_at(line_no, "expected INPUT/OUTPUT or assignment");
+    const auto lhs = std::string(trim(body.substr(0, eq)));
+    const std::string_view rhs = trim(body.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (lhs.empty()) fail_at(line_no, "empty left-hand side");
+    if (open == std::string_view::npos || close == std::string_view::npos || close < open)
+      fail_at(line_no, "malformed gate expression");
+
+    GateType type;
+    const auto keyword = trim(rhs.substr(0, open));
+    if (!parse_gate_type(keyword, type))
+      fail_at(line_no, "unknown gate type '" + std::string(keyword) + "'");
+
+    std::vector<std::string> operands;
+    const std::string_view arg_list = trim(rhs.substr(open + 1, close - open - 1));
+    if (!arg_list.empty()) {
+      operands = split(arg_list, ',');
+      for (const auto& op : operands)
+        if (op.empty()) fail_at(line_no, "empty operand");
+    }
+    pending.push_back(PendingGate{type, lhs, std::move(operands), line_no});
+  }
+
+  // First pass: create all gates (fanins resolved later so definitions may
+  // appear in any order, which real ISCAS files rely on).
+  std::unordered_map<std::string, GateId> ids;
+  for (GateId pi : nl.inputs()) ids.emplace(nl.gate(pi).name, pi);
+  for (const PendingGate& pg : pending) {
+    GateId id;
+    if (pg.type == GateType::Dff) {
+      id = nl.add_dff(pg.name);
+    } else {
+      // Create with empty fanins; fill in pass two via replace_fanin.
+      std::vector<GateId> placeholder(pg.operand_names.size(), kNoGate);
+      id = nl.add_gate(pg.type, pg.name, std::move(placeholder));
+    }
+    if (!ids.emplace(pg.name, id).second) fail_at(pg.line_no, "duplicate definition of '" + pg.name + "'");
+  }
+
+  // Second pass: resolve fanins.
+  for (const PendingGate& pg : pending) {
+    const GateId id = ids.at(pg.name);
+    if (pg.type == GateType::Dff) {
+      if (pg.operand_names.size() != 1) fail_at(pg.line_no, "DFF takes exactly one operand");
+      const auto it = ids.find(pg.operand_names[0]);
+      if (it == ids.end()) fail_at(pg.line_no, "undefined net '" + pg.operand_names[0] + "'");
+      nl.set_dff_input(id, it->second);
+    } else {
+      for (std::size_t pin = 0; pin < pg.operand_names.size(); ++pin) {
+        const auto it = ids.find(pg.operand_names[pin]);
+        if (it == ids.end()) fail_at(pg.line_no, "undefined net '" + pg.operand_names[pin] + "'");
+        nl.replace_fanin(id, pin, it->second);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < output_names.size(); ++i) {
+    const auto it = ids.find(output_names[i]);
+    if (it == ids.end()) fail_at(output_lines[i], "OUTPUT references undefined net '" + output_names[i] + "'");
+    nl.add_output(it->second);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist read_bench_string(std::string_view text, std::string circuit_name) {
+  std::istringstream is{std::string(text)};
+  return read_bench(is, std::move(circuit_name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open bench file: " + path);
+  return read_bench(f, std::filesystem::path(path).stem().string());
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " — written by uniscan\n";
+  for (GateId pi : nl.inputs()) out << "INPUT(" << nl.gate(pi).name << ")\n";
+  for (GateId po : nl.outputs()) out << "OUTPUT(" << nl.gate(po).name << ")\n";
+  out << "\n";
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::Input) continue;
+    out << gate.name << " = " << gate_type_name(gate.type) << "(";
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.gate(gate.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(os, nl);
+  return os.str();
+}
+
+}  // namespace uniscan

@@ -1,0 +1,31 @@
+// Reader and writer for the ISCAS-89 `.bench` netlist format.
+//
+// Grammar accepted (a superset of the classical format):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(op1, op2, ...)       GATE in {AND,NAND,OR,NOR,XOR,XNOR,NOT,BUF(F),DFF,MUX,CONST0,CONST1}
+//
+// OUTPUT lines may appear before the net they reference is defined.
+// MUX operand order is (d0, d1, select).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+/// Parse .bench text. Throws std::runtime_error with a line number on
+/// malformed input. The returned netlist is finalized.
+Netlist read_bench(std::istream& in, std::string circuit_name);
+Netlist read_bench_string(std::string_view text, std::string circuit_name);
+Netlist read_bench_file(const std::string& path);
+
+/// Serialize a netlist into .bench text (round-trips through read_bench).
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace uniscan

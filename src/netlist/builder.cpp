@@ -1,0 +1,3 @@
+#include "netlist/builder.hpp"
+
+// Header-only; translation unit kept for component symmetry.

@@ -1,0 +1,64 @@
+// Fluent programmatic netlist construction, used by tests and the synthetic
+// workload generator. Thin convenience layer over Netlist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string circuit_name) : nl_(std::move(circuit_name)) {}
+
+  GateId input(const std::string& name) { return nl_.add_input(name); }
+  GateId dff(const std::string& name, GateId d = kNoGate) { return nl_.add_dff(name, d); }
+
+  GateId and_(const std::string& name, std::vector<GateId> in) {
+    return nl_.add_gate(GateType::And, name, std::move(in));
+  }
+  GateId nand_(const std::string& name, std::vector<GateId> in) {
+    return nl_.add_gate(GateType::Nand, name, std::move(in));
+  }
+  GateId or_(const std::string& name, std::vector<GateId> in) {
+    return nl_.add_gate(GateType::Or, name, std::move(in));
+  }
+  GateId nor_(const std::string& name, std::vector<GateId> in) {
+    return nl_.add_gate(GateType::Nor, name, std::move(in));
+  }
+  GateId xor_(const std::string& name, std::vector<GateId> in) {
+    return nl_.add_gate(GateType::Xor, name, std::move(in));
+  }
+  GateId xnor_(const std::string& name, std::vector<GateId> in) {
+    return nl_.add_gate(GateType::Xnor, name, std::move(in));
+  }
+  GateId not_(const std::string& name, GateId in) {
+    return nl_.add_gate(GateType::Not, name, {in});
+  }
+  GateId buf(const std::string& name, GateId in) {
+    return nl_.add_gate(GateType::Buf, name, {in});
+  }
+  /// MUX pin order: (d0, d1, select); output = select ? d1 : d0.
+  GateId mux(const std::string& name, GateId d0, GateId d1, GateId sel) {
+    return nl_.add_gate(GateType::Mux2, name, {d0, d1, sel});
+  }
+
+  void output(GateId g) { nl_.add_output(g); }
+  void connect_dff(GateId dff, GateId d) { nl_.set_dff_input(dff, d); }
+
+  /// Finalize and return the netlist; the builder must not be reused.
+  Netlist build() {
+    nl_.finalize();
+    return std::move(nl_);
+  }
+
+  /// Access the netlist under construction (e.g., for find()).
+  const Netlist& peek() const noexcept { return nl_; }
+
+ private:
+  Netlist nl_;
+};
+
+}  // namespace uniscan

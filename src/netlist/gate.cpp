@@ -1,0 +1,67 @@
+#include "netlist/gate.hpp"
+
+#include "util/string_utils.hpp"
+
+namespace uniscan {
+
+std::string_view gate_type_name(GateType type) noexcept {
+  switch (type) {
+    case GateType::Input: return "INPUT";
+    case GateType::Dff: return "DFF";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Mux2: return "MUX";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+  }
+  return "?";
+}
+
+bool parse_gate_type(std::string_view keyword, GateType& out) noexcept {
+  const std::string k = to_upper(keyword);
+  if (k == "DFF") out = GateType::Dff;
+  else if (k == "BUF" || k == "BUFF") out = GateType::Buf;
+  else if (k == "NOT") out = GateType::Not;
+  else if (k == "AND") out = GateType::And;
+  else if (k == "NAND") out = GateType::Nand;
+  else if (k == "OR") out = GateType::Or;
+  else if (k == "NOR") out = GateType::Nor;
+  else if (k == "XOR") out = GateType::Xor;
+  else if (k == "XNOR") out = GateType::Xnor;
+  else if (k == "MUX") out = GateType::Mux2;
+  else if (k == "CONST0") out = GateType::Const0;
+  else if (k == "CONST1") out = GateType::Const1;
+  else return false;
+  return true;
+}
+
+int gate_type_arity(GateType type) noexcept {
+  switch (type) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:
+      return 1;
+    case GateType::Mux2:
+      return 3;
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return -1;  // one or more
+  }
+  return -1;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,57 @@
+// Gate-level primitives.
+//
+// A netlist is a vector of single-output gates; the gate's index doubles as
+// the identifier of the net it drives. Primary inputs and D flip-flops are
+// modelled as gates without combinational fanin (the DFF's D connection is
+// its single fanin, sampled at the end of each clock cycle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uniscan {
+
+/// Identifier of a gate and of the net it drives.
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xffffffffU;
+
+enum class GateType : std::uint8_t {
+  Input,   // primary input; no fanin
+  Dff,     // D flip-flop; fanin[0] = D; output = Q
+  Buf,     // 1 fanin
+  Not,     // 1 fanin
+  And,     // >= 1 fanin
+  Nand,    // >= 1 fanin
+  Or,      // >= 1 fanin
+  Nor,     // >= 1 fanin
+  Xor,     // >= 1 fanin
+  Xnor,    // >= 1 fanin
+  Mux2,    // fanin[0] = d0, fanin[1] = d1, fanin[2] = select (used by scan insertion)
+  Const0,  // no fanin
+  Const1,  // no fanin
+};
+
+/// Printable name of a gate type ("AND", "DFF", ...).
+std::string_view gate_type_name(GateType type) noexcept;
+
+/// Parse an ISCAS .bench gate keyword; returns true on success.
+bool parse_gate_type(std::string_view keyword, GateType& out) noexcept;
+
+/// Number of fanins required by a type; -1 means "one or more".
+int gate_type_arity(GateType type) noexcept;
+
+/// True for types evaluated in the combinational core (everything except
+/// Input and Dff, whose values are boundary conditions of a time frame).
+constexpr bool is_combinational(GateType type) noexcept {
+  return type != GateType::Input && type != GateType::Dff;
+}
+
+struct Gate {
+  GateType type = GateType::Buf;
+  std::vector<GateId> fanins;
+  std::string name;  // net name; unique within a netlist
+};
+
+}  // namespace uniscan

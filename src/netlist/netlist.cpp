@@ -1,0 +1,158 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace uniscan {
+
+namespace {
+[[noreturn]] void fail(const std::string& msg) { throw std::runtime_error("netlist: " + msg); }
+}  // namespace
+
+void Netlist::check_not_finalized(const char* op) const {
+  if (finalized_) fail(std::string(op) + " called on a finalized netlist");
+}
+
+GateId Netlist::add_raw(GateType type, std::string net_name, std::vector<GateId> fanins) {
+  check_not_finalized("add");
+  if (net_name.empty()) fail("empty net name");
+  if (by_name_.contains(net_name)) fail("duplicate net name '" + net_name + "'");
+  const GateId id = static_cast<GateId>(gates_.size());
+  by_name_.emplace(net_name, id);
+  gates_.push_back(Gate{type, std::move(fanins), std::move(net_name)});
+  return id;
+}
+
+GateId Netlist::add_input(std::string net_name) {
+  const GateId id = add_raw(GateType::Input, std::move(net_name), {});
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_dff(std::string net_name, GateId d) {
+  std::vector<GateId> fi;
+  if (d != kNoGate) fi.push_back(d);
+  const GateId id = add_raw(GateType::Dff, std::move(net_name), std::move(fi));
+  dffs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::string net_name, std::vector<GateId> fanins) {
+  if (type == GateType::Input || type == GateType::Dff)
+    fail("add_gate cannot create INPUT/DFF; use add_input/add_dff");
+  return add_raw(type, std::move(net_name), std::move(fanins));
+}
+
+void Netlist::add_output(GateId g) {
+  check_not_finalized("add_output");
+  if (g >= gates_.size()) fail("add_output: no such gate");
+  if (std::find(outputs_.begin(), outputs_.end(), g) != outputs_.end())
+    fail("gate '" + gates_[g].name + "' declared PO twice");
+  outputs_.push_back(g);
+}
+
+void Netlist::set_dff_input(GateId dff, GateId d) {
+  check_not_finalized("set_dff_input");
+  if (dff >= gates_.size() || gates_[dff].type != GateType::Dff) fail("set_dff_input: not a DFF");
+  gates_[dff].fanins.assign(1, d);
+}
+
+void Netlist::replace_fanin(GateId g, std::size_t pin, GateId new_net) {
+  check_not_finalized("replace_fanin");
+  if (g >= gates_.size()) fail("replace_fanin: no such gate");
+  if (pin >= gates_[g].fanins.size()) fail("replace_fanin: no such pin");
+  gates_[g].fanins[pin] = new_net;
+}
+
+void Netlist::finalize() {
+  if (finalized_) fail("finalize called twice");
+
+  // Arity and dangling-fanin checks.
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    const int arity = gate_type_arity(gate.type);
+    const auto n = gate.fanins.size();
+    if (arity >= 0 && n != static_cast<std::size_t>(arity))
+      fail("gate '" + gate.name + "' (" + std::string(gate_type_name(gate.type)) + ") has " +
+           std::to_string(n) + " fanins, expected " + std::to_string(arity));
+    if (arity < 0 && n < 1)
+      fail("gate '" + gate.name + "' has no fanins");
+    if (n > 64)
+      fail("gate '" + gate.name + "' has " + std::to_string(n) +
+           " fanins; the simulators support at most 64 — decompose wide gates");
+    for (GateId fi : gate.fanins)
+      if (fi == kNoGate || fi >= gates_.size())
+        fail("gate '" + gate.name + "' has a dangling fanin");
+  }
+  if (outputs_.empty()) fail("circuit '" + name_ + "' has no primary outputs");
+
+  // Kahn topological sort of the combinational core. DFF outputs and PIs are
+  // sources; a DFF's D pin is a sink (consumes a combinational value but
+  // introduces no combinational edge).
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  fanouts_.assign(gates_.size(), {});
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    for (GateId fi : gates_[g].fanins) fanouts_[fi].push_back(g);
+    if (is_combinational(gates_[g].type))
+      for (GateId fi : gates_[g].fanins)
+        if (is_combinational(gates_[fi].type)) ++pending[g];
+  }
+
+  levels_.assign(gates_.size(), 0);
+  topo_.clear();
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < gates_.size(); ++g)
+    if (is_combinational(gates_[g].type) && pending[g] == 0) ready.push_back(g);
+
+  while (!ready.empty()) {
+    const GateId g = ready.back();
+    ready.pop_back();
+    topo_.push_back(g);
+    std::uint32_t lvl = 0;
+    for (GateId fi : gates_[g].fanins) lvl = std::max(lvl, levels_[fi] + 1);
+    levels_[g] = lvl;
+    for (GateId fo : fanouts_[g])
+      if (is_combinational(gates_[fo].type) && --pending[fo] == 0) ready.push_back(fo);
+  }
+
+  std::size_t comb_count = 0;
+  for (const Gate& g : gates_)
+    if (is_combinational(g.type)) ++comb_count;
+  if (topo_.size() != comb_count) fail("combinational cycle detected in '" + name_ + "'");
+
+  // Deterministic order: sort the topological order by (level, id) so that
+  // results do not depend on the DFS/queue order above.
+  std::sort(topo_.begin(), topo_.end(), [this](GateId a, GateId b) {
+    return levels_[a] != levels_[b] ? levels_[a] < levels_[b] : a < b;
+  });
+
+  finalized_ = true;
+}
+
+std::optional<GateId> Netlist::find(std::string_view net_name) const {
+  const auto it = by_name_.find(std::string(net_name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> Netlist::dff_index(GateId g) const {
+  const auto it = std::find(dffs_.begin(), dffs_.end(), g);
+  if (it == dffs_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - dffs_.begin());
+}
+
+std::optional<std::size_t> Netlist::output_index(GateId g) const {
+  const auto it = std::find(outputs_.begin(), outputs_.end(), g);
+  if (it == outputs_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - outputs_.begin());
+}
+
+std::string Netlist::stats_string() const {
+  std::ostringstream os;
+  os << name_ << ": " << inputs_.size() << " PIs, " << outputs_.size() << " POs, "
+     << dffs_.size() << " DFFs, " << num_comb_gates() << " comb gates";
+  return os.str();
+}
+
+}  // namespace uniscan

@@ -1,0 +1,263 @@
+#include "netlist/verilog_io.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/string_utils.hpp"
+
+namespace uniscan {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("verilog parse error: " + msg);
+}
+
+std::string strip_comments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size();) {
+    if (text.compare(i, 2, "//") == 0) {
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (text.compare(i, 2, "/*") == 0) {
+      const auto end = text.find("*/", i + 2);
+      if (end == std::string_view::npos) fail("unterminated /* comment");
+      i = end + 2;
+      out.push_back(' ');
+    } else {
+      out.push_back(text[i++]);
+    }
+  }
+  return out;
+}
+
+/// Split "a , b , c" keeping identifiers only.
+std::vector<std::string> id_list(std::string_view s) {
+  std::vector<std::string> out;
+  for (auto& part : split(s, ','))
+    if (!part.empty()) out.push_back(std::move(part));
+  return out;
+}
+
+struct Instance {
+  std::string keyword;  // lowercase primitive name
+  std::string name;
+  std::vector<std::string> args;
+};
+
+}  // namespace
+
+Netlist read_verilog(std::istream& in, std::string fallback_name) {
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = strip_comments(buffer.str());
+
+  std::string module_name = std::move(fallback_name);
+  std::vector<std::string> inputs, outputs;
+  std::set<std::string> wires;
+  std::vector<Instance> instances;
+  bool in_module = false, ended = false;
+
+  // Statements are ';'-terminated; `endmodule` has no semicolon, handle it.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t semi = text.find(';', pos);
+    std::string stmt(trim(std::string_view(text).substr(
+        pos, (semi == std::string::npos ? text.size() : semi) - pos)));
+    pos = semi == std::string::npos ? text.size() : semi + 1;
+
+    // `endmodule` may be glued in front of / behind a statement chunk.
+    while (starts_with(stmt, "endmodule")) {
+      ended = true;
+      stmt = std::string(trim(std::string_view(stmt).substr(9)));
+    }
+    if (const auto e = stmt.find("endmodule"); e != std::string::npos) {
+      ended = true;
+      stmt = std::string(trim(std::string_view(stmt).substr(0, e)));
+    }
+    if (stmt.empty()) continue;
+    if (ended) fail("statement after endmodule: '" + stmt + "'");
+
+    if (stmt.find('[') != std::string::npos)
+      fail("bus/vector declarations are not supported: '" + stmt + "'");
+    if (starts_with(stmt, "assign")) fail("assign statements are not supported");
+
+    // First token.
+    std::size_t ws = 0;
+    while (ws < stmt.size() && !std::isspace(static_cast<unsigned char>(stmt[ws]))) ++ws;
+    const std::string keyword = to_upper(stmt.substr(0, ws));
+    const std::string_view rest = trim(std::string_view(stmt).substr(ws));
+
+    if (keyword == "MODULE") {
+      if (in_module) fail("nested modules are not supported");
+      in_module = true;
+      const auto paren = rest.find('(');
+      module_name = std::string(trim(rest.substr(0, paren)));
+      continue;  // port list is informational
+    }
+    if (keyword == "INPUT") {
+      for (auto& n : id_list(rest)) inputs.push_back(std::move(n));
+      continue;
+    }
+    if (keyword == "OUTPUT") {
+      for (auto& n : id_list(rest)) outputs.push_back(std::move(n));
+      continue;
+    }
+    if (keyword == "WIRE") {
+      for (auto& n : id_list(rest)) wires.insert(std::move(n));
+      continue;
+    }
+
+    // Primitive instance: keyword name ( args );
+    const auto open = rest.find('(');
+    const auto close = rest.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos || close < open)
+      fail("malformed instance: '" + stmt + "'");
+    Instance inst;
+    inst.keyword = keyword;
+    inst.name = std::string(trim(rest.substr(0, open)));
+    inst.args = id_list(rest.substr(open + 1, close - open - 1));
+    if (inst.args.empty()) fail("instance with no connections: '" + stmt + "'");
+    instances.push_back(std::move(inst));
+  }
+  if (!ended && in_module) fail("missing endmodule");
+
+  // Identify clock nets: inputs used ONLY as the first argument of 3-arg dff
+  // instances.
+  std::set<std::string> clock_candidates;
+  std::set<std::string> non_clock_uses;
+  for (const Instance& inst : instances) {
+    if (inst.keyword == "DFF" && inst.args.size() == 3) {
+      clock_candidates.insert(inst.args[0]);
+      non_clock_uses.insert(inst.args.begin() + 1, inst.args.end());
+    } else {
+      non_clock_uses.insert(inst.args.begin(), inst.args.end());
+    }
+  }
+
+  Netlist nl(module_name);
+  std::unordered_map<std::string, GateId> ids;
+  for (const std::string& n : inputs) {
+    if (clock_candidates.contains(n) && !non_clock_uses.contains(n)) continue;  // clock
+    ids.emplace(n, nl.add_input(n));
+  }
+
+  // First pass: create gates (output net = first arg, except dff forms).
+  struct Pending {
+    GateId id;
+    GateType type;
+    std::vector<std::string> fanin_names;
+  };
+  std::vector<Pending> pending;
+  for (const Instance& inst : instances) {
+    GateType type;
+    if (!parse_gate_type(inst.keyword, type))
+      fail("unknown primitive '" + inst.keyword + "' (instance " + inst.name + ")");
+
+    std::string out_net;
+    std::vector<std::string> fanin_names;
+    if (type == GateType::Dff) {
+      if (inst.args.size() == 2) {
+        out_net = inst.args[0];
+        fanin_names = {inst.args[1]};
+      } else if (inst.args.size() == 3) {
+        out_net = inst.args[1];
+        fanin_names = {inst.args[2]};
+      } else {
+        fail("dff '" + inst.name + "' must have 2 or 3 connections");
+      }
+    } else {
+      out_net = inst.args[0];
+      fanin_names.assign(inst.args.begin() + 1, inst.args.end());
+    }
+
+    if (ids.contains(out_net)) fail("net '" + out_net + "' driven twice");
+    const GateId id = type == GateType::Dff
+                          ? nl.add_dff(out_net)
+                          : nl.add_gate(type, out_net,
+                                        std::vector<GateId>(fanin_names.size(), kNoGate));
+    ids.emplace(out_net, id);
+    pending.push_back(Pending{id, type, std::move(fanin_names)});
+  }
+
+  // Second pass: resolve fanins.
+  for (const Pending& p : pending) {
+    for (std::size_t pin = 0; pin < p.fanin_names.size(); ++pin) {
+      const auto it = ids.find(p.fanin_names[pin]);
+      if (it == ids.end()) fail("undriven net '" + p.fanin_names[pin] + "'");
+      if (p.type == GateType::Dff) nl.set_dff_input(p.id, it->second);
+      else nl.replace_fanin(p.id, pin, it->second);
+    }
+  }
+
+  for (const std::string& n : outputs) {
+    const auto it = ids.find(n);
+    if (it == ids.end()) fail("output '" + n + "' is never driven");
+    nl.add_output(it->second);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist read_verilog_string(std::string_view text, std::string fallback_name) {
+  std::istringstream is{std::string(text)};
+  return read_verilog(is, std::move(fallback_name));
+}
+
+Netlist read_verilog_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open verilog file: " + path);
+  return read_verilog(f, std::filesystem::path(path).stem().string());
+}
+
+void write_verilog(std::ostream& out, const Netlist& nl) {
+  out << "// " << nl.name() << " — written by uniscan\n";
+  out << "module " << nl.name() << " (";
+  bool first = true;
+  for (GateId pi : nl.inputs()) {
+    out << (first ? "" : ", ") << nl.gate(pi).name;
+    first = false;
+  }
+  for (GateId po : nl.outputs()) out << ", " << nl.gate(po).name << "_po";
+  out << ");\n";
+
+  for (GateId pi : nl.inputs()) out << "  input " << nl.gate(pi).name << ";\n";
+  for (GateId po : nl.outputs()) out << "  output " << nl.gate(po).name << "_po;\n";
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    if (nl.gate(g).type != GateType::Input) out << "  wire " << nl.gate(g).name << ";\n";
+
+  std::size_t n = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::Input) continue;
+    if (gate.type == GateType::Mux2 || gate.type == GateType::Const0 ||
+        gate.type == GateType::Const1)
+      throw std::runtime_error("write_verilog: no primitive for " +
+                               std::string(gate_type_name(gate.type)));
+    std::string kw(gate_type_name(gate.type));
+    std::transform(kw.begin(), kw.end(), kw.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    out << "  " << kw << " u" << n++ << " (" << gate.name;
+    for (GateId fi : gate.fanins) out << ", " << nl.gate(fi).name;
+    out << ");\n";
+  }
+  // PO buffers so output port names never collide with internal nets.
+  for (GateId po : nl.outputs())
+    out << "  buf u" << n++ << " (" << nl.gate(po).name << "_po, " << nl.gate(po).name
+        << ");\n";
+  out << "endmodule\n";
+}
+
+std::string write_verilog_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(os, nl);
+  return os.str();
+}
+
+}  // namespace uniscan

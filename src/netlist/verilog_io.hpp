@@ -1,0 +1,35 @@
+// Reader for structural gate-level Verilog — the other common distribution
+// format of the ISCAS/ITC benchmarks.
+//
+// Supported subset (one module per file):
+//   module name (ports);            // port list informational only
+//   input  a, b, c;                 // scalar nets only
+//   output y;
+//   wire   w1, w2;
+//   and    g1 (y, a, b);            // primitives: and or nand nor xor xnor
+//   not    g2 (w1, a);              //             not buf
+//   dff    q1 (Q, D);               // 2-arg form
+//   dff    q2 (CK, Q, D);           // 3-arg form, clock ignored
+//   endmodule
+// Comments // and /* */ are stripped. Clock inputs that are used only as
+// dff clocks are excluded from the primary inputs. Buses, assigns and
+// hierarchies are rejected with a clear diagnostic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+Netlist read_verilog(std::istream& in, std::string fallback_name);
+Netlist read_verilog_string(std::string_view text, std::string fallback_name = "top");
+Netlist read_verilog_file(const std::string& path);
+
+/// Serialize as structural Verilog (round-trips through read_verilog).
+void write_verilog(std::ostream& out, const Netlist& nl);
+std::string write_verilog_string(const Netlist& nl);
+
+}  // namespace uniscan

@@ -1,0 +1,47 @@
+// Scan chain insertion: C -> C_scan.
+//
+// Every D flip-flop gets a 2:1 multiplexer in front of its D pin:
+//   D' = MUX(d0 = functional D, d1 = previous scan cell (or scan_inp), sel = scan_sel)
+// scan_sel and scan_inp are appended to the primary inputs; scan_out (the Q
+// of the last cell in the chain) is appended to the primary outputs — the
+// paper's view of scan lines as conventional PIs/POs.
+//
+// The chain order equals the flip-flop order in the circuit description
+// (Netlist::dffs()), as in the paper's Section 5. Multiple balanced chains
+// are supported as an extension.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+struct ScanChain {
+  std::size_t scan_inp_index = 0;  // position of this chain's scan-in among PIs
+  std::size_t scan_out_index = 0;  // position of this chain's scan-out among POs
+  std::vector<GateId> cells;       // FFs in shift order: cells[0] is fed by scan_inp,
+                                   // cells.back() drives scan_out
+};
+
+struct ScanNets {
+  std::size_t scan_sel_index = 0;  // position of scan_sel among PIs
+  std::vector<ScanChain> chains;
+};
+
+struct ScanCircuit {
+  Netlist netlist;  // finalized C_scan
+  ScanNets nets;
+
+  const ScanChain& chain(std::size_t i = 0) const { return nets.chains[i]; }
+  std::size_t scan_sel_index() const noexcept { return nets.scan_sel_index; }
+  /// Length of the longest chain (the N_SV of the paper for a single chain).
+  std::size_t max_chain_length() const;
+};
+
+/// Insert `num_chains` balanced scan chains (default 1, the paper's setup).
+/// The input netlist must be finalized and have at least one DFF.
+ScanCircuit insert_scan(const Netlist& c, std::size_t num_chains = 1);
+
+}  // namespace uniscan

@@ -1,0 +1,16 @@
+#include "scan/scan_test.hpp"
+
+namespace uniscan {
+
+std::string scan_test_to_string(const ScanTest& t) {
+  std::string s;
+  for (V3 v : t.scan_in) s.push_back(to_char(v));
+  s += " |";
+  for (const auto& vec : t.vectors) {
+    s.push_back(' ');
+    for (V3 v : vec) s.push_back(to_char(v));
+  }
+  return s;
+}
+
+}  // namespace uniscan

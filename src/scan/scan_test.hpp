@@ -1,0 +1,50 @@
+// Conventional scan-based tests (SI, T): the representation used by the
+// paper's "first" and "second" approaches, and the input of the Section-3
+// translation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/logic3.hpp"
+
+namespace uniscan {
+
+/// One scan-based test: scan in `scan_in` (scan_in[j] is the value loaded
+/// into flip-flop j, in Netlist::dffs() order — with multiple chains the
+/// contiguous chain slices load in parallel), then apply the primary-input
+/// vectors of `vectors` (over the ORIGINAL circuit inputs, without the scan
+/// lines), then scan out. Under the first approach `vectors` has length 1;
+/// under the second it may be longer.
+struct ScanTest {
+  std::vector<V3> scan_in;
+  std::vector<std::vector<V3>> vectors;
+};
+
+struct ScanTestSet {
+  std::size_t num_original_inputs = 0;
+  std::size_t chain_length = 0;  // N_SV (max chain length with multiple chains)
+  std::vector<ScanTest> tests;
+
+  /// Clock cycles to apply the whole set with COMPLETE scan operations,
+  /// overlapping each test's scan-out with the next test's scan-in:
+  ///   sum_i (N_SV + |T_i|) + N_SV  (final scan-out not overlapped).
+  std::size_t application_cycles() const {
+    std::size_t cyc = chain_length;  // trailing scan-out of the last test
+    for (const auto& t : tests) cyc += chain_length + t.vectors.size();
+    return cyc;
+  }
+
+  /// Total functional (non-shift) cycles.
+  std::size_t functional_cycles() const {
+    std::size_t n = 0;
+    for (const auto& t : tests) n += t.vectors.size();
+    return n;
+  }
+};
+
+/// Compact textual form for tests/examples: "011 | 0000 1101".
+std::string scan_test_to_string(const ScanTest& t);
+
+}  // namespace uniscan

@@ -1,0 +1,102 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uniscan {
+
+EventSimulator::EventSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.is_finalized()) throw std::invalid_argument("EventSimulator: netlist not finalized");
+  values_.assign(nl.num_gates(), V3::X);
+  state_.assign(nl.num_dffs(), V3::X);
+  prev_pi_.assign(nl.num_inputs(), V3::X);
+  std::uint32_t max_level = 0;
+  for (GateId g : nl.topo_order()) max_level = std::max(max_level, nl.levels()[g]);
+  buckets_.assign(max_level + 1, {});
+  queued_.assign(nl.num_gates(), 0);
+}
+
+void EventSimulator::reset(const State& initial) {
+  if (initial.size() != nl_->num_dffs())
+    throw std::invalid_argument("EventSimulator::reset: state width mismatch");
+  state_ = initial;
+  needs_full_eval_ = true;
+}
+
+void EventSimulator::enqueue_fanouts(GateId g) {
+  for (GateId fo : nl_->fanouts()[g]) {
+    if (!is_combinational(nl_->gate(fo).type)) continue;  // DFFs sampled at end of frame
+    if (queued_[fo]) continue;
+    queued_[fo] = 1;
+    buckets_[nl_->levels()[fo]].push_back(fo);
+  }
+}
+
+void EventSimulator::set_boundary(GateId g, V3 v) {
+  if (values_[g] == v) return;
+  values_[g] = v;
+  enqueue_fanouts(g);
+}
+
+FrameValues EventSimulator::step(const std::vector<V3>& pi) {
+  const Netlist& nl = *nl_;
+  if (pi.size() != nl.num_inputs())
+    throw std::invalid_argument("EventSimulator::step: PI width mismatch");
+
+  V3 fanin_buf[64];
+  const auto evaluate = [&](GateId g) {
+    const Gate& gate = nl.gate(g);
+    const std::size_t n = gate.fanins.size();
+    for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values_[gate.fanins[p]];
+    ++gate_evals_;
+    return eval_gate_v3(gate.type, fanin_buf, n);
+  };
+
+  if (needs_full_eval_) {
+    needs_full_eval_ = false;
+    for (std::size_t i = 0; i < pi.size(); ++i) values_[nl.inputs()[i]] = pi[i];
+    for (std::size_t j = 0; j < state_.size(); ++j) values_[nl.dffs()[j]] = state_[j];
+    for (GateId g : nl.topo_order()) values_[g] = evaluate(g);
+  } else {
+    // Seed events from changed boundary values, then propagate by level.
+    for (std::size_t i = 0; i < pi.size(); ++i) set_boundary(nl.inputs()[i], pi[i]);
+    for (std::size_t j = 0; j < state_.size(); ++j) set_boundary(nl.dffs()[j], state_[j]);
+    for (auto& bucket : buckets_) {
+      // enqueue_fanouts may append to HIGHER buckets while this one drains;
+      // same-level appends cannot happen (fanout level > fanin level).
+      for (std::size_t k = 0; k < bucket.size(); ++k) {
+        const GateId g = bucket[k];
+        queued_[g] = 0;
+        const V3 v = evaluate(g);
+        if (v != values_[g]) {
+          values_[g] = v;
+          enqueue_fanouts(g);
+        }
+      }
+      bucket.clear();
+    }
+  }
+  prev_pi_ = pi;
+
+  FrameValues out;
+  out.po.reserve(nl.num_outputs());
+  for (GateId po : nl.outputs()) out.po.push_back(values_[po]);
+  out.next_state.reserve(nl.num_dffs());
+  for (GateId ff : nl.dffs()) out.next_state.push_back(values_[nl.gate(ff).fanins[0]]);
+  state_ = out.next_state;
+  return out;
+}
+
+SimTrace EventSimulator::simulate(const TestSequence& seq, const State& initial) {
+  reset(initial);
+  SimTrace trace;
+  trace.state.push_back(initial);
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    FrameValues fv = step(seq.vector_at(t));
+    trace.po.push_back(std::move(fv.po));
+    trace.state.push_back(fv.next_state);
+  }
+  return trace;
+}
+
+}  // namespace uniscan

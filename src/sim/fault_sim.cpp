@@ -1,0 +1,231 @@
+#include "sim/fault_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+
+namespace {
+
+/// Slot-forcing masks for fault injection. Slots listed in set0 are forced
+/// to 0, slots in set1 forced to 1; set0 & set1 == 0.
+struct Forcing {
+  std::uint64_t set0 = 0;
+  std::uint64_t set1 = 0;
+
+  W3 apply(W3 w) const noexcept {
+    const std::uint64_t touched = set0 | set1;
+    return W3{(w.v0 & ~touched) | set0, (w.v1 & ~touched) | set1};
+  }
+  bool empty() const noexcept { return (set0 | set1) == 0; }
+};
+
+}  // namespace
+
+FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.is_finalized()) throw std::invalid_argument("FaultSimulator: netlist not finalized");
+  values_.assign(nl.num_gates(), W3::all_x());
+}
+
+FaultSimulator::BatchResult FaultSimulator::run_batch(const TestSequence& seq,
+                                                      std::span<const Fault> faults,
+                                                      std::span<LatchRecord> latched,
+                                                      bool early_exit,
+                                                      std::uint32_t count_cap) const {
+  const Netlist& nl = *nl_;
+  if (faults.size() > 63) throw std::invalid_argument("run_batch: batch too large");
+
+  // Injection tables for this batch. Stem forcing is indexed by gate;
+  // branch forcing is a small list per affected gate.
+  std::vector<Forcing> stem(nl.num_gates());
+  // (gate, pin) -> forcing, stored as parallel arrays for cache friendliness.
+  struct BranchForce {
+    GateId gate;
+    std::int16_t pin;
+    Forcing force;
+  };
+  std::vector<BranchForce> branches;
+  std::vector<std::uint8_t> has_branch(nl.num_gates(), 0);
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    const std::uint64_t bit = 1ULL << (i + 1);  // slot 0 is the good machine
+    if (f.pin == kStemPin) {
+      (f.stuck_one ? stem[f.gate].set1 : stem[f.gate].set0) |= bit;
+    } else {
+      BranchForce* bf = nullptr;
+      for (auto& b : branches)
+        if (b.gate == f.gate && b.pin == f.pin) bf = &b;
+      if (!bf) {
+        branches.push_back(BranchForce{f.gate, f.pin, {}});
+        bf = &branches.back();
+        has_branch[f.gate] = 1;
+      }
+      (f.stuck_one ? bf->force.set1 : bf->force.set0) |= bit;
+    }
+  }
+
+  const auto branch_force = [&](GateId g, std::size_t pin, W3 w) -> W3 {
+    for (const auto& b : branches)
+      if (b.gate == g && b.pin == static_cast<std::int16_t>(pin)) return b.force.apply(w);
+    return w;
+  };
+
+  // Mask of live (not-yet-detected) fault slots; bit 0 (good machine) stays 0.
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) live |= 1ULL << (i + 1);
+
+  BatchResult result;
+  for (auto& c : result.detect_count) c = 0;
+  std::vector<W3> state(nl.num_dffs(), W3::all_x());
+  std::vector<W3>& values = values_;
+  W3 fanin_buf[64];
+
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    // Boundary values (with stem forcing on PIs and DFF outputs).
+    const auto& vec = seq.vector_at(t);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      const GateId pi = nl.inputs()[i];
+      values[pi] = stem[pi].apply(W3::broadcast(vec[i]));
+    }
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      values[ff] = stem[ff].apply(state[j]);
+    }
+
+    // Combinational evaluation in topological order.
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      const std::size_t n = gate.fanins.size();
+      if (has_branch[g]) {
+        for (std::size_t p = 0; p < n; ++p)
+          fanin_buf[p] = branch_force(g, p, values[gate.fanins[p]]);
+      } else {
+        for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values[gate.fanins[p]];
+      }
+      values[g] = stem[g].apply(eval_gate_w3(gate.type, fanin_buf, n));
+    }
+    gate_evals_ += nl.topo_order().size();
+
+    // Detection at primary outputs. A frame contributes at most one count
+    // per fault even if several outputs expose it.
+    std::uint64_t observed_this_frame = 0;
+    for (GateId po : nl.outputs()) {
+      const W3 w = values[po];
+      const bool good0 = (w.v0 & 1) != 0;
+      const bool good1 = (w.v1 & 1) != 0;
+      if (good1) observed_this_frame |= w.v0 & live;
+      else if (good0) observed_this_frame |= w.v1 & live;
+    }
+    while (observed_this_frame) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(observed_this_frame));
+      observed_this_frame &= observed_this_frame - 1;
+      if (!(result.detected_slots & (1ULL << slot))) {
+        result.detected_slots |= 1ULL << slot;
+        result.detect_time[slot] = static_cast<std::uint32_t>(t);
+      }
+      if (++result.detect_count[slot] >= count_cap) live &= ~(1ULL << slot);
+    }
+
+    if (early_exit && live == 0) break;
+
+    // Next state (with branch forcing on DFF D pins).
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      W3 d = values[nl.gate(ff).fanins[0]];
+      if (has_branch[ff]) d = branch_force(ff, 0, d);
+      state[j] = d;
+    }
+
+    // Latched fault effects: faulty slot differs (known vs opposite known)
+    // from the good machine in the state entering frame t+1.
+    if (!latched.empty()) {
+      for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+        const W3 w = state[j];
+        const bool good0 = (w.v0 & 1) != 0;
+        const bool good1 = (w.v1 & 1) != 0;
+        std::uint64_t diff = 0;
+        if (good1) diff = w.v0;
+        else if (good0) diff = w.v1;
+        diff &= ~1ULL;
+        while (diff) {
+          const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
+          diff &= diff - 1;
+          LatchRecord& lr = latched[slot - 1];
+          // Keep the occurrence deepest in the chain (fewest flush shifts).
+          if (!lr.latched || j >= lr.ff_index) {
+            lr.latched = true;
+            lr.ff_index = static_cast<std::uint32_t>(j);
+            lr.time = static_cast<std::uint32_t>(t);
+          }
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+std::vector<DetectionRecord> FaultSimulator::run(const TestSequence& seq,
+                                                 std::span<const Fault> faults,
+                                                 std::vector<LatchRecord>* latched) const {
+  std::vector<DetectionRecord> out(faults.size());
+  if (latched) latched->assign(faults.size(), LatchRecord{});
+
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+    std::span<LatchRecord> latch_span;
+    if (latched) latch_span = std::span<LatchRecord>(latched->data() + base, count);
+    const BatchResult br =
+        run_batch(seq, faults.subspan(base, count), latch_span, /*early_exit=*/latched == nullptr);
+    for (std::size_t i = 0; i < count; ++i) {
+      const unsigned slot = static_cast<unsigned>(i + 1);
+      if (br.detected_slots & (1ULL << slot)) {
+        out[base + i].detected = true;
+        out[base + i].time = br.detect_time[slot];
+      }
+    }
+  }
+  return out;
+}
+
+bool FaultSimulator::detects_all(const TestSequence& seq, std::span<const Fault> faults) const {
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+    const BatchResult br =
+        run_batch(seq, faults.subspan(base, count), {}, /*early_exit=*/true);
+    std::uint64_t want = 0;
+    for (std::size_t i = 0; i < count; ++i) want |= 1ULL << (i + 1);
+    if ((br.detected_slots & want) != want) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> FaultSimulator::run_counts(const TestSequence& seq,
+                                                      std::span<const Fault> faults,
+                                                      std::uint32_t cap) const {
+  std::vector<std::uint32_t> counts(faults.size(), 0);
+  if (cap == 0) return counts;
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+    const BatchResult br =
+        run_batch(seq, faults.subspan(base, count), {}, /*early_exit=*/true, cap);
+    for (std::size_t i = 0; i < count; ++i)
+      counts[base + i] = br.detect_count[i + 1];
+  }
+  return counts;
+}
+
+std::vector<std::size_t> FaultSimulator::detected_indices(const TestSequence& seq,
+                                                          std::span<const Fault> faults) const {
+  std::vector<std::size_t> out;
+  const auto records = run(seq, faults);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    if (records[i].detected) out.push_back(i);
+  return out;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,90 @@
+// Parallel-fault sequential fault simulation (PROOFS-style).
+//
+// Faults are processed in batches of 63: bit slot 0 of every W3 word carries
+// the good machine, slots 1..63 carry one faulty machine each. All machines
+// see the same primary-input vectors; fault effects are injected by forcing
+// the faulted line's value in the corresponding slot. Simulation starts from
+// the all-X power-up state and runs the full sequence.
+//
+// A fault is *detected* at frame t if some primary output has a known good
+// value and the opposite known value in the fault's slot. The simulator can
+// additionally record where fault effects get *latched* into flip-flops —
+// the hook used by the paper's Section-2 functional scan knowledge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logic3.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+struct DetectionRecord {
+  bool detected = false;
+  std::uint32_t time = 0;  // first frame at which the fault was observed at a PO
+};
+
+/// Fault effect captured in a flip-flop: after clocking frame `time`, the
+/// state entering frame time+1 differs from the good machine at DFF
+/// `ff_index` (Netlist::dffs() order). For the scan fallback we keep the
+/// occurrence with the largest ff_index (fewest shifts to scan_out).
+struct LatchRecord {
+  bool latched = false;
+  std::uint32_t ff_index = 0;
+  std::uint32_t time = 0;
+};
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const noexcept { return *nl_; }
+
+  /// Simulate `seq` against every fault in `faults`. Returns one detection
+  /// record per fault (same order). If `latched` is non-null it receives one
+  /// latch record per fault.
+  std::vector<DetectionRecord> run(const TestSequence& seq, std::span<const Fault> faults,
+                                   std::vector<LatchRecord>* latched = nullptr) const;
+
+  /// True iff `seq` detects every fault in `faults`. Early-exits both within
+  /// a batch (all 63 detected) and across batches (first miss fails fast).
+  bool detects_all(const TestSequence& seq, std::span<const Fault> faults) const;
+
+  /// Indices (into `faults`) of the faults detected by `seq`.
+  std::vector<std::size_t> detected_indices(const TestSequence& seq,
+                                            std::span<const Fault> faults) const;
+
+  /// Per-fault detection count, saturated at `cap`: the number of frames at
+  /// which the fault is observed at some primary output (at most one count
+  /// per frame). Used by the n-detect extension.
+  std::vector<std::uint32_t> run_counts(const TestSequence& seq, std::span<const Fault> faults,
+                                        std::uint32_t cap) const;
+
+  /// Total gate-word evaluations performed since construction (for benches).
+  std::uint64_t gate_evals() const noexcept { return gate_evals_; }
+
+ private:
+  // One batch: up to 63 faults in slots 1..63. A slot stays live until it
+  // has been observed at `count_cap` distinct frames; detect_time records
+  // the first observation.
+  struct BatchResult {
+    std::uint64_t detected_slots = 0;  // bit k set => fault in slot k detected
+    std::uint32_t detect_time[64];     // valid where detected_slots bit set
+    std::uint32_t detect_count[64];    // observations, saturated at count_cap
+  };
+
+  BatchResult run_batch(const TestSequence& seq, std::span<const Fault> faults,
+                        std::span<LatchRecord> latched, bool early_exit,
+                        std::uint32_t count_cap = 1) const;
+
+  const Netlist* nl_;
+  mutable std::vector<W3> values_;  // scratch: per-net word values
+  mutable std::uint64_t gate_evals_ = 0;
+};
+
+}  // namespace uniscan

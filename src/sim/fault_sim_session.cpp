@@ -1,0 +1,176 @@
+#include "sim/fault_sim_session.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace uniscan {
+
+FaultSimSession::FaultSimSession(const Netlist& nl, std::span<const Fault> faults)
+    : nl_(&nl), faults_(faults.begin(), faults.end()) {
+  if (!nl.is_finalized()) throw std::invalid_argument("FaultSimSession: netlist not finalized");
+  values_.assign(nl.num_gates(), W3::all_x());
+  detection_.assign(faults_.size(), DetectionRecord{});
+
+  for (std::size_t base = 0; base < faults_.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults_.size() - base);
+    Batch b;
+    b.first_fault_index = base;
+    b.faults.assign(faults_.begin() + static_cast<std::ptrdiff_t>(base),
+                    faults_.begin() + static_cast<std::ptrdiff_t>(base + count));
+    b.state.assign(nl.num_dffs(), W3::all_x());
+    b.stem_set0.assign(nl.num_gates(), 0);
+    b.stem_set1.assign(nl.num_gates(), 0);
+    b.has_branch.assign(nl.num_gates(), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Fault& f = b.faults[i];
+      const std::uint64_t bit = 1ULL << (i + 1);
+      b.live |= bit;
+      if (f.pin == kStemPin) {
+        (f.stuck_one ? b.stem_set1[f.gate] : b.stem_set0[f.gate]) |= bit;
+      } else {
+        Batch::BranchForce* bf = nullptr;
+        for (auto& br : b.branches)
+          if (br.gate == f.gate && br.pin == f.pin) bf = &br;
+        if (!bf) {
+          b.branches.push_back(Batch::BranchForce{f.gate, f.pin, 0, 0});
+          bf = &b.branches.back();
+          b.has_branch[f.gate] = 1;
+        }
+        (f.stuck_one ? bf->set1 : bf->set0) |= bit;
+      }
+    }
+    batches_.push_back(std::move(b));
+  }
+  // Ensure at least one batch exists so good_state() works on empty universes.
+  if (batches_.empty()) {
+    Batch b;
+    b.state.assign(nl.num_dffs(), W3::all_x());
+    b.stem_set0.assign(nl.num_gates(), 0);
+    b.stem_set1.assign(nl.num_gates(), 0);
+    b.has_branch.assign(nl.num_gates(), 0);
+    batches_.push_back(std::move(b));
+  }
+}
+
+void FaultSimSession::advance_batch(Batch& b, const TestSequence& chunk) {
+  const Netlist& nl = *nl_;
+  std::vector<W3>& values = values_;
+  W3 fanin_buf[64];
+
+  const auto apply_stem = [&](GateId g, W3 w) -> W3 {
+    const std::uint64_t touched = b.stem_set0[g] | b.stem_set1[g];
+    if (!touched) return w;
+    return W3{(w.v0 & ~touched) | b.stem_set0[g], (w.v1 & ~touched) | b.stem_set1[g]};
+  };
+  const auto apply_branch = [&](GateId g, std::size_t pin, W3 w) -> W3 {
+    for (const auto& br : b.branches) {
+      if (br.gate == g && br.pin == static_cast<std::int16_t>(pin)) {
+        const std::uint64_t touched = br.set0 | br.set1;
+        return W3{(w.v0 & ~touched) | br.set0, (w.v1 & ~touched) | br.set1};
+      }
+    }
+    return w;
+  };
+
+  for (std::size_t t = 0; t < chunk.length(); ++t) {
+    const auto& vec = chunk.vector_at(t);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      const GateId pi = nl.inputs()[i];
+      values[pi] = apply_stem(pi, W3::broadcast(vec[i]));
+    }
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      values[ff] = apply_stem(ff, b.state[j]);
+    }
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      const std::size_t n = gate.fanins.size();
+      if (b.has_branch[g]) {
+        for (std::size_t p = 0; p < n; ++p)
+          fanin_buf[p] = apply_branch(g, p, values[gate.fanins[p]]);
+      } else {
+        for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values[gate.fanins[p]];
+      }
+      values[g] = apply_stem(g, eval_gate_w3(gate.type, fanin_buf, n));
+    }
+
+    for (GateId po : nl.outputs()) {
+      const W3 w = values[po];
+      const bool good0 = (w.v0 & 1) != 0;
+      const bool good1 = (w.v1 & 1) != 0;
+      std::uint64_t newly = 0;
+      if (good1) newly = w.v0 & b.live;
+      else if (good0) newly = w.v1 & b.live;
+      while (newly) {
+        const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+        newly &= newly - 1;
+        b.live &= ~(1ULL << slot);
+        DetectionRecord& dr = detection_[b.first_fault_index + slot - 1];
+        dr.detected = true;
+        dr.time = static_cast<std::uint32_t>(now_ + t);
+        ++num_detected_;
+      }
+    }
+
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      W3 d = values[nl.gate(ff).fanins[0]];
+      if (b.has_branch[ff]) d = apply_branch(ff, 0, d);
+      b.state[j] = d;
+    }
+  }
+}
+
+std::size_t FaultSimSession::advance(const TestSequence& chunk) {
+  if (chunk.num_inputs() != nl_->num_inputs())
+    throw std::invalid_argument("FaultSimSession::advance: input width mismatch");
+  const std::size_t before = num_detected_;
+  for (auto& b : batches_) advance_batch(b, chunk);
+  now_ += chunk.length();
+  return num_detected_ - before;
+}
+
+State FaultSimSession::good_state() const {
+  State s(nl_->num_dffs(), V3::X);
+  const Batch& b = batches_.front();
+  for (std::size_t j = 0; j < s.size(); ++j) s[j] = b.state[j].get(0);
+  return s;
+}
+
+void FaultSimSession::pair_state(std::size_t fault_index, State& good, State& faulty) const {
+  const std::size_t batch_idx = fault_index / 63;
+  const unsigned slot = static_cast<unsigned>(fault_index % 63 + 1);
+  const Batch& b = batches_[batch_idx];
+  good.assign(nl_->num_dffs(), V3::X);
+  faulty.assign(nl_->num_dffs(), V3::X);
+  for (std::size_t j = 0; j < good.size(); ++j) {
+    good[j] = b.state[j].get(0);
+    faulty[j] = b.state[j].get(slot);
+  }
+}
+
+FaultSimSession::Snapshot FaultSimSession::snapshot() const {
+  Snapshot s;
+  s.states.reserve(batches_.size());
+  s.live.reserve(batches_.size());
+  for (const auto& b : batches_) {
+    s.states.push_back(b.state);
+    s.live.push_back(b.live);
+  }
+  s.detection = detection_;
+  s.num_detected = num_detected_;
+  s.now = now_;
+  return s;
+}
+
+void FaultSimSession::restore(const Snapshot& s) {
+  for (std::size_t i = 0; i < batches_.size(); ++i) {
+    batches_[i].state = s.states[i];
+    batches_[i].live = s.live[i];
+  }
+  detection_ = s.detection;
+  num_detected_ = s.num_detected;
+  now_ = s.now;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,86 @@
+// Streaming fault simulation session.
+//
+// The sequential test generator extends one global test sequence T by
+// subsequences. Re-simulating T from power-up after every extension would be
+// quadratic, so the session keeps the good and faulty machine states of the
+// whole fault universe (63 faulty machines + the good machine per W3 batch)
+// and advances them incrementally. Candidate subsequences can be evaluated
+// tentatively via snapshot/restore.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/sequence.hpp"
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+
+class FaultSimSession {
+ public:
+  /// The session references (not copies) `nl` and `faults`; both must
+  /// outlive it.
+  FaultSimSession(const Netlist& nl, std::span<const Fault> faults);
+
+  /// Advance all machines by the vectors of `chunk` (which must be fully
+  /// specified — no X primary inputs — so that detections are real).
+  /// Returns the number of newly detected faults.
+  std::size_t advance(const TestSequence& chunk);
+
+  /// Current clock cycle (total vectors advanced so far).
+  std::size_t now() const noexcept { return now_; }
+
+  std::size_t num_faults() const noexcept { return faults_.size(); }
+  bool is_detected(std::size_t fault_index) const { return detection_[fault_index].detected; }
+  const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
+  std::size_t num_detected() const noexcept { return num_detected_; }
+
+  /// Good-machine state entering the next frame.
+  State good_state() const;
+
+  /// (good, faulty) state pair of fault `fault_index` entering the next
+  /// frame; faulty == good wherever no effect is latched.
+  void pair_state(std::size_t fault_index, State& good, State& faulty) const;
+
+  struct Snapshot {
+    std::vector<std::vector<W3>> states;
+    std::vector<std::uint64_t> live;
+    std::vector<DetectionRecord> detection;
+    std::size_t num_detected;
+    std::size_t now;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+ private:
+  struct Batch {
+    std::vector<Fault> faults;          // <= 63
+    std::vector<W3> state;              // per DFF
+    std::uint64_t live = 0;             // undetected slots (bit 1..63)
+    // Injection tables (fixed per batch).
+    std::vector<std::uint64_t> stem_set0, stem_set1;  // per gate
+    struct BranchForce {
+      GateId gate;
+      std::int16_t pin;
+      std::uint64_t set0, set1;
+    };
+    std::vector<BranchForce> branches;
+    std::vector<std::uint8_t> has_branch;  // per gate
+    std::size_t first_fault_index = 0;     // index of slot-1 fault in the universe
+  };
+
+  void advance_batch(Batch& b, const TestSequence& chunk);
+
+  const Netlist* nl_;
+  std::vector<Fault> faults_;
+  std::vector<Batch> batches_;
+  std::vector<DetectionRecord> detection_;
+  std::size_t num_detected_ = 0;
+  std::size_t now_ = 0;
+  mutable std::vector<W3> values_;  // scratch per net
+};
+
+}  // namespace uniscan

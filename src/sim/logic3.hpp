@@ -1,0 +1,122 @@
+// Three-valued logic (0, 1, X) in two representations:
+//
+//  * V3  — scalar, for ATPG decision making and small examples.
+//  * W3  — 64-way bit-parallel, two words per signal with the encoding
+//            0 -> (v0=1, v1=0),  1 -> (v0=0, v1=1),  X -> (v0=0, v1=0).
+//          The invariant v0 & v1 == 0 holds for every well-formed value.
+//
+// Gate evaluation over W3 is branch-free and is the inner loop of both the
+// good-machine simulator and the parallel-fault simulator.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace uniscan {
+
+enum class V3 : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+inline char to_char(V3 v) noexcept {
+  switch (v) {
+    case V3::Zero: return '0';
+    case V3::One: return '1';
+    case V3::X: return 'x';
+  }
+  return '?';
+}
+
+inline V3 v3_from_char(char c) noexcept {
+  if (c == '0') return V3::Zero;
+  if (c == '1') return V3::One;
+  return V3::X;
+}
+
+inline V3 v3_not(V3 a) noexcept {
+  if (a == V3::Zero) return V3::One;
+  if (a == V3::One) return V3::Zero;
+  return V3::X;
+}
+
+inline V3 v3_and(V3 a, V3 b) noexcept {
+  if (a == V3::Zero || b == V3::Zero) return V3::Zero;
+  if (a == V3::One && b == V3::One) return V3::One;
+  return V3::X;
+}
+
+inline V3 v3_or(V3 a, V3 b) noexcept {
+  if (a == V3::One || b == V3::One) return V3::One;
+  if (a == V3::Zero && b == V3::Zero) return V3::Zero;
+  return V3::X;
+}
+
+inline V3 v3_xor(V3 a, V3 b) noexcept {
+  if (a == V3::X || b == V3::X) return V3::X;
+  return (a == b) ? V3::Zero : V3::One;
+}
+
+/// MUX with optimistic X handling: if select is X but both data inputs agree
+/// on a known value, that value is produced.
+inline V3 v3_mux(V3 d0, V3 d1, V3 sel) noexcept {
+  if (sel == V3::Zero) return d0;
+  if (sel == V3::One) return d1;
+  return (d0 == d1) ? d0 : V3::X;
+}
+
+// ---------------------------------------------------------------------------
+
+/// 64 three-valued signals packed in two machine words.
+struct W3 {
+  std::uint64_t v0 = 0;  // bit set => that slot is 0
+  std::uint64_t v1 = 0;  // bit set => that slot is 1
+
+  static constexpr W3 all_x() noexcept { return {0, 0}; }
+  static constexpr W3 all_zero() noexcept { return {~0ULL, 0}; }
+  static constexpr W3 all_one() noexcept { return {0, ~0ULL}; }
+
+  /// Broadcast a scalar into all 64 slots.
+  static constexpr W3 broadcast(V3 v) noexcept {
+    if (v == V3::Zero) return all_zero();
+    if (v == V3::One) return all_one();
+    return all_x();
+  }
+
+  constexpr bool valid() const noexcept { return (v0 & v1) == 0; }
+
+  V3 get(unsigned slot) const noexcept {
+    const std::uint64_t m = 1ULL << slot;
+    if (v0 & m) return V3::Zero;
+    if (v1 & m) return V3::One;
+    return V3::X;
+  }
+
+  void set(unsigned slot, V3 v) noexcept {
+    const std::uint64_t m = 1ULL << slot;
+    v0 &= ~m;
+    v1 &= ~m;
+    if (v == V3::Zero) v0 |= m;
+    else if (v == V3::One) v1 |= m;
+  }
+
+  constexpr bool operator==(const W3&) const noexcept = default;
+};
+
+inline constexpr W3 w3_not(W3 a) noexcept { return {a.v1, a.v0}; }
+inline constexpr W3 w3_and(W3 a, W3 b) noexcept { return {a.v0 | b.v0, a.v1 & b.v1}; }
+inline constexpr W3 w3_or(W3 a, W3 b) noexcept { return {a.v0 & b.v0, a.v1 | b.v1}; }
+inline constexpr W3 w3_xor(W3 a, W3 b) noexcept {
+  return {(a.v0 & b.v0) | (a.v1 & b.v1), (a.v0 & b.v1) | (a.v1 & b.v0)};
+}
+
+/// Word-parallel MUX with the same optimistic X rule as v3_mux.
+inline constexpr W3 w3_mux(W3 d0, W3 d1, W3 sel) noexcept {
+  W3 out;
+  out.v1 = (sel.v0 & d0.v1) | (sel.v1 & d1.v1) | (d0.v1 & d1.v1);
+  out.v0 = (sel.v0 & d0.v0) | (sel.v1 & d1.v0) | (d0.v0 & d1.v0);
+  return out;
+}
+
+/// Render slot values "0/1/x" LSB-first, for diagnostics.
+std::string to_string(W3 w, unsigned slots = 8);
+
+}  // namespace uniscan

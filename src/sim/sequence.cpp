@@ -1,0 +1,86 @@
+#include "sim/sequence.hpp"
+
+#include <stdexcept>
+
+namespace uniscan {
+
+void TestSequence::append(std::vector<V3> vec) {
+  if (vec.size() != num_inputs_)
+    throw std::invalid_argument("TestSequence::append: vector width mismatch");
+  vectors_.push_back(std::move(vec));
+}
+
+void TestSequence::append_sequence(const TestSequence& other) {
+  if (other.num_inputs_ != num_inputs_)
+    throw std::invalid_argument("TestSequence::append_sequence: input count mismatch");
+  vectors_.insert(vectors_.end(), other.vectors_.begin(), other.vectors_.end());
+}
+
+void TestSequence::truncate(std::size_t new_length) {
+  if (new_length < vectors_.size()) vectors_.resize(new_length);
+}
+
+void TestSequence::random_fill(Rng& rng) {
+  for (auto& vec : vectors_)
+    for (auto& v : vec)
+      if (v == V3::X) v = rng.next_bool() ? V3::One : V3::Zero;
+}
+
+void TestSequence::repeat_fill() {
+  for (std::size_t t = 0; t < vectors_.size(); ++t) {
+    for (std::size_t i = 0; i < num_inputs_; ++i) {
+      if (vectors_[t][i] != V3::X) continue;
+      vectors_[t][i] = t == 0 ? V3::Zero : vectors_[t - 1][i];
+    }
+  }
+}
+
+void TestSequence::constant_fill(V3 fill) {
+  for (auto& vec : vectors_)
+    for (auto& v : vec)
+      if (v == V3::X) v = fill;
+}
+
+std::size_t TestSequence::count_ones(std::size_t input) const {
+  std::size_t n = 0;
+  for (const auto& vec : vectors_)
+    if (vec[input] == V3::One) ++n;
+  return n;
+}
+
+TestSequence TestSequence::select(const std::vector<std::size_t>& keep) const {
+  TestSequence out(num_inputs_);
+  for (std::size_t idx : keep) {
+    if (idx >= vectors_.size()) throw std::out_of_range("TestSequence::select: index out of range");
+    out.vectors_.push_back(vectors_[idx]);
+  }
+  return out;
+}
+
+std::string TestSequence::to_string() const {
+  std::string s;
+  s.reserve(vectors_.size() * (num_inputs_ + 1));
+  for (const auto& vec : vectors_) {
+    for (V3 v : vec) s.push_back(to_char(v));
+    s.push_back('\n');
+  }
+  return s;
+}
+
+TestSequence TestSequence::from_rows(std::size_t num_inputs, const std::vector<std::string>& rows) {
+  TestSequence seq(num_inputs);
+  for (const auto& row : rows) {
+    std::vector<V3> vec;
+    vec.reserve(num_inputs);
+    for (char c : row) {
+      if (c == ' ' || c == '\t') continue;
+      vec.push_back(v3_from_char(c));
+    }
+    if (vec.size() != num_inputs)
+      throw std::invalid_argument("TestSequence::from_rows: row width mismatch: '" + row + "'");
+    seq.append(std::move(vec));
+  }
+  return seq;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,83 @@
+// Test sequences: the central object of the unified approach.
+//
+// A TestSequence is an ordered list of primary-input vectors for a
+// (finalized) netlist. For a scan circuit C_scan the scan_sel / scan_inp
+// lines are ordinary columns of the sequence — exactly the paper's view.
+// Values are three-valued; 'x' entries are free and may be filled randomly
+// before application.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/logic3.hpp"
+#include "util/rng.hpp"
+
+namespace uniscan {
+
+class TestSequence {
+ public:
+  TestSequence() = default;
+  explicit TestSequence(std::size_t num_inputs) : num_inputs_(num_inputs) {}
+
+  std::size_t num_inputs() const noexcept { return num_inputs_; }
+  std::size_t length() const noexcept { return vectors_.size(); }
+  bool empty() const noexcept { return vectors_.empty(); }
+
+  /// Append an all-X vector and return its index.
+  std::size_t append_x() {
+    vectors_.emplace_back(num_inputs_, V3::X);
+    return vectors_.size() - 1;
+  }
+
+  /// Append a fully specified vector (must have num_inputs entries).
+  void append(std::vector<V3> vec);
+
+  /// Append every vector of `other` (input counts must match).
+  void append_sequence(const TestSequence& other);
+
+  V3 at(std::size_t time, std::size_t input) const { return vectors_[time][input]; }
+  void set(std::size_t time, std::size_t input, V3 v) { vectors_[time][input] = v; }
+
+  const std::vector<V3>& vector_at(std::size_t time) const { return vectors_[time]; }
+  std::vector<V3>& vector_at(std::size_t time) { return vectors_[time]; }
+
+  /// Remove the vector at `time`.
+  void erase(std::size_t time) { vectors_.erase(vectors_.begin() + static_cast<std::ptrdiff_t>(time)); }
+
+  /// Truncate to the first `new_length` vectors.
+  void truncate(std::size_t new_length);
+
+  /// Replace every X entry with a random 0/1 draw.
+  void random_fill(Rng& rng);
+
+  /// Replace every X entry with `fill`.
+  void constant_fill(V3 fill);
+
+  /// Replace every X entry with the previous vector's value in the same
+  /// column (0 for the first vector) — minimizes input transitions.
+  void repeat_fill();
+
+  /// Number of vectors in which column `input` has the value 1.
+  std::size_t count_ones(std::size_t input) const;
+
+  /// Sequence consisting of the vectors whose indices are in `keep`
+  /// (indices must be strictly increasing).
+  TestSequence select(const std::vector<std::size_t>& keep) const;
+
+  /// Render as rows of 0/1/x characters, one vector per line.
+  std::string to_string() const;
+
+  /// Parse from rows of 0/1/x characters (whitespace ignored inside a row);
+  /// used by tests to state expected sequences compactly.
+  static TestSequence from_rows(std::size_t num_inputs, const std::vector<std::string>& rows);
+
+  bool operator==(const TestSequence&) const = default;
+
+ private:
+  std::size_t num_inputs_ = 0;
+  std::vector<std::vector<V3>> vectors_;
+};
+
+}  // namespace uniscan

@@ -1,0 +1,175 @@
+#include "sim/sequence_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace uniscan {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error("sequence parse error at line " + std::to_string(line_no) + ": " + msg);
+}
+
+/// Read the next non-empty, non-comment line; returns false on EOF.
+bool next_line(std::istream& in, std::string& line, std::size_t& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    line = std::string(trim(line));
+    if (!line.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<V3> parse_row(const std::string& line, std::size_t width, std::size_t line_no) {
+  std::vector<V3> row;
+  row.reserve(width);
+  for (char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    if (c != '0' && c != '1' && c != 'x' && c != 'X') fail_at(line_no, "bad value character");
+    row.push_back(v3_from_char(c));
+  }
+  if (row.size() != width)
+    fail_at(line_no, "expected " + std::to_string(width) + " values, got " +
+                         std::to_string(row.size()));
+  return row;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write file: " + path);
+  return f;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot read file: " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_sequence(std::ostream& out, const TestSequence& seq) {
+  out << "useq v1 " << seq.num_inputs() << "\n";
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    for (std::size_t i = 0; i < seq.num_inputs(); ++i) out << to_char(seq.at(t, i));
+    out << "\n";
+  }
+}
+
+std::string write_sequence_string(const TestSequence& seq) {
+  std::ostringstream os;
+  write_sequence(os, seq);
+  return os.str();
+}
+
+void write_sequence_file(const std::string& path, const TestSequence& seq) {
+  auto f = open_out(path);
+  write_sequence(f, seq);
+}
+
+TestSequence read_sequence(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!next_line(in, line, line_no)) fail_at(line_no, "empty input");
+  std::istringstream header(line);
+  std::string magic, version;
+  std::size_t width = 0;
+  header >> magic >> version >> width;
+  if (magic != "useq" || version != "v1" || header.fail())
+    fail_at(line_no, "expected header 'useq v1 <num_inputs>'");
+
+  TestSequence seq(width);
+  while (next_line(in, line, line_no)) seq.append(parse_row(line, width, line_no));
+  return seq;
+}
+
+TestSequence read_sequence_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_sequence(is);
+}
+
+TestSequence read_sequence_file(const std::string& path) {
+  auto f = open_in(path);
+  return read_sequence(f);
+}
+
+void write_test_set(std::ostream& out, const ScanTestSet& set) {
+  out << "utst v1 " << set.num_original_inputs << " " << set.chain_length << "\n";
+  for (const ScanTest& t : set.tests) {
+    out << "test ";
+    for (V3 v : t.scan_in) out << to_char(v);
+    out << "\n";
+    for (const auto& vec : t.vectors) {
+      for (V3 v : vec) out << to_char(v);
+      out << "\n";
+    }
+  }
+}
+
+std::string write_test_set_string(const ScanTestSet& set) {
+  std::ostringstream os;
+  write_test_set(os, set);
+  return os.str();
+}
+
+void write_test_set_file(const std::string& path, const ScanTestSet& set) {
+  auto f = open_out(path);
+  write_test_set(f, set);
+}
+
+ScanTestSet read_test_set(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!next_line(in, line, line_no)) fail_at(line_no, "empty input");
+  std::istringstream header(line);
+  std::string magic, version;
+  std::size_t width = 0, chain = 0;
+  header >> magic >> version >> width >> chain;
+  if (magic != "utst" || version != "v1" || header.fail())
+    fail_at(line_no, "expected header 'utst v1 <num_inputs> <chain_length>'");
+
+  ScanTestSet set;
+  set.num_original_inputs = width;
+  set.chain_length = chain;
+  while (next_line(in, line, line_no)) {
+    if (starts_with(line, "test ")) {
+      ScanTest t;
+      const std::string si(trim(line.substr(5)));
+      for (char c : si) {
+        if (c != '0' && c != '1' && c != 'x' && c != 'X') fail_at(line_no, "bad scan-in character");
+        t.scan_in.push_back(v3_from_char(c));
+      }
+      // scan_in covers every flip-flop; with multiple chains this exceeds
+      // chain_length (the shift count), so only cross-test consistency is
+      // checked here.
+      if (t.scan_in.size() < chain) fail_at(line_no, "scan-in narrower than the chain length");
+      if (!set.tests.empty() && t.scan_in.size() != set.tests.front().scan_in.size())
+        fail_at(line_no, "inconsistent scan-in width");
+      set.tests.push_back(std::move(t));
+    } else {
+      if (set.tests.empty()) fail_at(line_no, "vector before first 'test' line");
+      set.tests.back().vectors.push_back(parse_row(line, width, line_no));
+    }
+  }
+  for (std::size_t i = 0; i < set.tests.size(); ++i)
+    if (set.tests[i].vectors.empty())
+      throw std::runtime_error("test " + std::to_string(i + 1) + " has no vectors");
+  return set;
+}
+
+ScanTestSet read_test_set_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_test_set(is);
+}
+
+ScanTestSet read_test_set_file(const std::string& path) {
+  auto f = open_in(path);
+  return read_test_set(f);
+}
+
+}  // namespace uniscan

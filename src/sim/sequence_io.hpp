@@ -1,0 +1,41 @@
+// Text serialization for test sequences and scan test sets, so generated
+// tests can be stored, diffed and shipped to a tester flow.
+//
+// Sequence format (".useq"):
+//   # comment
+//   useq v1 <num_inputs>
+//   <row of 0/1/x per vector, one per line>
+//
+// Scan test set format (".utst"):
+//   utst v1 <num_original_inputs> <chain_length>
+//   test <scan_in>
+//   <vector rows over the original inputs>
+//   (repeat)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scan/scan_test.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+void write_sequence(std::ostream& out, const TestSequence& seq);
+std::string write_sequence_string(const TestSequence& seq);
+void write_sequence_file(const std::string& path, const TestSequence& seq);
+
+/// Throws std::runtime_error with a line number on malformed input.
+TestSequence read_sequence(std::istream& in);
+TestSequence read_sequence_string(const std::string& text);
+TestSequence read_sequence_file(const std::string& path);
+
+void write_test_set(std::ostream& out, const ScanTestSet& set);
+std::string write_test_set_string(const ScanTestSet& set);
+void write_test_set_file(const std::string& path, const ScanTestSet& set);
+
+ScanTestSet read_test_set(std::istream& in);
+ScanTestSet read_test_set_string(const std::string& text);
+ScanTestSet read_test_set_file(const std::string& path);
+
+}  // namespace uniscan

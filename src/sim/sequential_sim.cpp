@@ -1,0 +1,129 @@
+#include "sim/sequential_sim.hpp"
+
+#include <stdexcept>
+
+namespace uniscan {
+
+V3 eval_gate_v3(GateType type, const V3* in, std::size_t n) noexcept {
+  switch (type) {
+    case GateType::Buf:
+      return in[0];
+    case GateType::Not:
+      return v3_not(in[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      V3 acc = in[0];
+      for (std::size_t i = 1; i < n; ++i) acc = v3_and(acc, in[i]);
+      return type == GateType::Nand ? v3_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      V3 acc = in[0];
+      for (std::size_t i = 1; i < n; ++i) acc = v3_or(acc, in[i]);
+      return type == GateType::Nor ? v3_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      V3 acc = in[0];
+      for (std::size_t i = 1; i < n; ++i) acc = v3_xor(acc, in[i]);
+      return type == GateType::Xnor ? v3_not(acc) : acc;
+    }
+    case GateType::Mux2:
+      return v3_mux(in[0], in[1], in[2]);
+    case GateType::Const0:
+      return V3::Zero;
+    case GateType::Const1:
+      return V3::One;
+    case GateType::Input:
+    case GateType::Dff:
+      break;  // boundary values; never evaluated
+  }
+  return V3::X;
+}
+
+W3 eval_gate_w3(GateType type, const W3* in, std::size_t n) noexcept {
+  switch (type) {
+    case GateType::Buf:
+      return in[0];
+    case GateType::Not:
+      return w3_not(in[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      W3 acc = in[0];
+      for (std::size_t i = 1; i < n; ++i) acc = w3_and(acc, in[i]);
+      return type == GateType::Nand ? w3_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      W3 acc = in[0];
+      for (std::size_t i = 1; i < n; ++i) acc = w3_or(acc, in[i]);
+      return type == GateType::Nor ? w3_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      W3 acc = in[0];
+      for (std::size_t i = 1; i < n; ++i) acc = w3_xor(acc, in[i]);
+      return type == GateType::Xnor ? w3_not(acc) : acc;
+    }
+    case GateType::Mux2:
+      return w3_mux(in[0], in[1], in[2]);
+    case GateType::Const0:
+      return W3::all_zero();
+    case GateType::Const1:
+      return W3::all_one();
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  return W3::all_x();
+}
+
+SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.is_finalized()) throw std::invalid_argument("SequentialSimulator: netlist not finalized");
+  values_.assign(nl.num_gates(), V3::X);
+}
+
+FrameValues SequentialSimulator::eval_frame(const State& state, const std::vector<V3>& pi) const {
+  const Netlist& nl = *nl_;
+  if (pi.size() != nl.num_inputs())
+    throw std::invalid_argument("SequentialSimulator: PI vector width mismatch");
+  if (state.size() != nl.num_dffs())
+    throw std::invalid_argument("SequentialSimulator: state width mismatch");
+
+  for (std::size_t i = 0; i < pi.size(); ++i) values_[nl.inputs()[i]] = pi[i];
+  for (std::size_t i = 0; i < state.size(); ++i) values_[nl.dffs()[i]] = state[i];
+
+  V3 fanin_buf[64];
+  for (GateId g : nl.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    const std::size_t n = gate.fanins.size();
+    for (std::size_t i = 0; i < n; ++i) fanin_buf[i] = values_[gate.fanins[i]];
+    values_[g] = eval_gate_v3(gate.type, fanin_buf, n);
+  }
+
+  FrameValues out;
+  out.po.reserve(nl.num_outputs());
+  for (GateId po : nl.outputs()) out.po.push_back(values_[po]);
+  out.next_state.reserve(nl.num_dffs());
+  for (GateId ff : nl.dffs()) out.next_state.push_back(values_[nl.gate(ff).fanins[0]]);
+  return out;
+}
+
+FrameValues SequentialSimulator::step(const State& state, const std::vector<V3>& pi) const {
+  return eval_frame(state, pi);
+}
+
+SimTrace SequentialSimulator::simulate(const TestSequence& seq, const State& initial) const {
+  SimTrace trace;
+  trace.state.push_back(initial);
+  State cur = initial;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    FrameValues fv = eval_frame(cur, seq.vector_at(t));
+    trace.po.push_back(std::move(fv.po));
+    cur = std::move(fv.next_state);
+    trace.state.push_back(cur);
+  }
+  return trace;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,344 @@
+#include "sim/transition_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "fault/fault.hpp"
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+
+namespace {
+
+/// Faulty slot value under the one-cycle gross-delay model.
+inline V3 delayed_value(bool slow_to_rise, V3 driven_now, V3 driven_prev) noexcept {
+  return slow_to_rise ? v3_and(driven_now, driven_prev) : v3_or(driven_now, driven_prev);
+}
+
+/// One simulation frame shared by the one-shot simulator and the session.
+/// Batch-scoped: build once per batch, call run() per frame. Keeps the
+/// per-fault launch history (previous driven value) internally; sync it with
+/// external storage via prev()/set_prev().
+class FrameKernel {
+ public:
+  FrameKernel(const Netlist& nl, std::span<const TransitionFault> faults,
+              std::vector<W3>& values)
+      : nl_(nl), faults_(faults), values_(values) {
+    prev_.assign(faults.size(), V3::X);
+    pending_.assign(faults.size(), V3::X);
+    stem_head_.assign(nl.num_gates(), kNone);
+    stem_next_.assign(faults.size(), kNone);
+    branch_any_.assign(nl.num_gates(), 0);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const TransitionFault& f = faults[i];
+      if (f.pin == kStemPin) {
+        // A line carries up to two stem faults (STR and STF) per batch;
+        // chain them in a per-gate intrusive list.
+        stem_next_[i] = stem_head_[f.gate];
+        stem_head_[f.gate] = static_cast<std::uint32_t>(i);
+      } else {
+        branch_any_[f.gate] = 1;
+      }
+    }
+  }
+
+  std::vector<V3>& prev() noexcept { return prev_; }
+  void set_prev(const std::vector<V3>& p) { prev_ = p; }
+
+  void run(const std::vector<V3>& pi, std::vector<W3>& state) {
+    const Netlist& nl = nl_;
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      values_[nl.inputs()[i]] = W3::broadcast(pi[i]);
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) values_[nl.dffs()[j]] = state[j];
+
+    // Stem faults on boundary gates force before combinational evaluation.
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j)
+      if (stem_head_[nl.dffs()[j]] != kNone) apply_stems(nl.dffs()[j]);
+    for (GateId pi_gate : nl.inputs())
+      if (stem_head_[pi_gate] != kNone) apply_stems(pi_gate);
+
+    W3 fanin_buf[64];
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      const std::size_t n = gate.fanins.size();
+      for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values_[gate.fanins[p]];
+      if (branch_any_[g]) apply_branches(g, fanin_buf, n);
+      values_[g] = eval_gate_w3(gate.type, fanin_buf, n);
+      if (stem_head_[g] != kNone) apply_stems(g);
+    }
+
+    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+      const GateId ff = nl.dffs()[j];
+      W3 d = values_[nl.gate(ff).fanins[0]];
+      if (branch_any_[ff]) {
+        W3 buf[1] = {d};
+        apply_branches(ff, buf, 1);
+        d = buf[0];
+      }
+      state[j] = d;
+    }
+
+    // Commit launch histories (a site not exercised this frame keeps X; that
+    // only happens for sites whose value could not be computed, which does
+    // not occur — every site is evaluated every frame).
+    for (std::size_t i = 0; i < faults_.size(); ++i) prev_[i] = pending_[i];
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffU;
+
+  void apply_stems(GateId g) {
+    for (std::uint32_t i = stem_head_[g]; i != kNone; i = stem_next_[i]) {
+      const unsigned slot = static_cast<unsigned>(i + 1);
+      const V3 now = values_[g].get(slot);
+      values_[g].set(slot, delayed_value(faults_[i].slow_to_rise, now, prev_[i]));
+      pending_[i] = now;
+    }
+  }
+
+  void apply_branches(GateId g, W3* fanin_buf, std::size_t n) {
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      const TransitionFault& f = faults_[i];
+      if (f.gate != g || f.pin == kStemPin) continue;
+      const std::size_t p = static_cast<std::size_t>(f.pin);
+      if (p >= n) continue;
+      const unsigned slot = static_cast<unsigned>(i + 1);
+      const V3 now = values_[nl_.gate(g).fanins[p]].get(slot);
+      fanin_buf[p].set(slot, delayed_value(f.slow_to_rise, now, prev_[i]));
+      pending_[i] = now;
+    }
+  }
+
+  const Netlist& nl_;
+  std::span<const TransitionFault> faults_;
+  std::vector<W3>& values_;
+  std::vector<V3> prev_;
+  std::vector<V3> pending_;
+  std::vector<std::uint32_t> stem_head_;
+  std::vector<std::uint32_t> stem_next_;
+  std::vector<std::uint8_t> branch_any_;
+};
+
+std::uint64_t observed_mask(const Netlist& nl, const std::vector<W3>& values) {
+  std::uint64_t observed = 0;
+  for (GateId po : nl.outputs()) {
+    const W3 w = values[po];
+    const bool good0 = (w.v0 & 1) != 0;
+    const bool good1 = (w.v1 & 1) != 0;
+    if (good1) observed |= w.v0;
+    else if (good0) observed |= w.v1;
+  }
+  return observed & ~1ULL;
+}
+
+void record_latches(const Netlist& nl, const std::vector<W3>& state,
+                    std::span<LatchRecord> latched, std::size_t t) {
+  if (latched.empty()) return;
+  for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+    const W3 w = state[j];
+    const bool good0 = (w.v0 & 1) != 0;
+    const bool good1 = (w.v1 & 1) != 0;
+    std::uint64_t diff = 0;
+    if (good1) diff = w.v0;
+    else if (good0) diff = w.v1;
+    diff &= ~1ULL;
+    while (diff) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
+      diff &= diff - 1;
+      LatchRecord& lr = latched[slot - 1];
+      if (!lr.latched || j >= lr.ff_index) {
+        lr.latched = true;
+        lr.ff_index = static_cast<std::uint32_t>(j);
+        lr.time = static_cast<std::uint32_t>(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+TransitionFaultSimulator::TransitionFaultSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.is_finalized())
+    throw std::invalid_argument("TransitionFaultSimulator: netlist not finalized");
+  values_.assign(nl.num_gates(), W3::all_x());
+}
+
+TransitionFaultSimulator::BatchResult TransitionFaultSimulator::run_batch(
+    const TestSequence& seq, std::span<const TransitionFault> faults,
+    std::span<LatchRecord> latched, bool early_exit) const {
+  const Netlist& nl = *nl_;
+  if (faults.size() > 63) throw std::invalid_argument("run_batch: batch too large");
+
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) live |= 1ULL << (i + 1);
+
+  BatchResult result;
+  std::vector<W3> state(nl.num_dffs(), W3::all_x());
+
+  FrameKernel kernel{nl, faults, values_};
+
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    kernel.run(seq.vector_at(t), state);
+
+    std::uint64_t newly = observed_mask(nl, values_) & live;
+    while (newly) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+      newly &= newly - 1;
+      result.detected_slots |= 1ULL << slot;
+      result.detect_time[slot] = static_cast<std::uint32_t>(t);
+      live &= ~(1ULL << slot);
+    }
+    if (early_exit && live == 0) break;
+    record_latches(nl, state, latched, t);
+  }
+  return result;
+}
+
+std::vector<DetectionRecord> TransitionFaultSimulator::run(
+    const TestSequence& seq, std::span<const TransitionFault> faults,
+    std::vector<LatchRecord>* latched) const {
+  std::vector<DetectionRecord> out(faults.size());
+  if (latched) latched->assign(faults.size(), LatchRecord{});
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+    std::span<LatchRecord> latch_span;
+    if (latched) latch_span = std::span<LatchRecord>(latched->data() + base, count);
+    const BatchResult br = run_batch(seq, faults.subspan(base, count), latch_span,
+                                     /*early_exit=*/latched == nullptr);
+    for (std::size_t i = 0; i < count; ++i) {
+      const unsigned slot = static_cast<unsigned>(i + 1);
+      if (br.detected_slots & (1ULL << slot)) {
+        out[base + i].detected = true;
+        out[base + i].time = br.detect_time[slot];
+      }
+    }
+  }
+  return out;
+}
+
+bool TransitionFaultSimulator::detects_all(const TestSequence& seq,
+                                           std::span<const TransitionFault> faults) const {
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+    const BatchResult br = run_batch(seq, faults.subspan(base, count), {}, /*early_exit=*/true);
+    std::uint64_t want = 0;
+    for (std::size_t i = 0; i < count; ++i) want |= 1ULL << (i + 1);
+    if ((br.detected_slots & want) != want) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
+    const TestSequence& seq, std::span<const TransitionFault> faults) const {
+  std::vector<std::size_t> out;
+  const auto records = run(seq, faults);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    if (records[i].detected) out.push_back(i);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+TransitionSimSession::TransitionSimSession(const Netlist& nl,
+                                           std::span<const TransitionFault> faults)
+    : nl_(&nl), faults_(faults.begin(), faults.end()) {
+  if (!nl.is_finalized())
+    throw std::invalid_argument("TransitionSimSession: netlist not finalized");
+  values_.assign(nl.num_gates(), W3::all_x());
+  detection_.assign(faults_.size(), DetectionRecord{});
+  for (std::size_t base = 0; base < faults_.size(); base += 63) {
+    const std::size_t count = std::min<std::size_t>(63, faults_.size() - base);
+    Batch b;
+    b.first_fault_index = base;
+    b.faults.assign(faults_.begin() + static_cast<std::ptrdiff_t>(base),
+                    faults_.begin() + static_cast<std::ptrdiff_t>(base + count));
+    b.state.assign(nl.num_dffs(), W3::all_x());
+    b.prev_driven.assign(count, V3::X);
+    for (std::size_t i = 0; i < count; ++i) b.live |= 1ULL << (i + 1);
+    batches_.push_back(std::move(b));
+  }
+  if (batches_.empty()) {
+    Batch b;
+    b.state.assign(nl.num_dffs(), W3::all_x());
+    batches_.push_back(std::move(b));
+  }
+}
+
+void TransitionSimSession::advance_batch(Batch& b, const TestSequence& chunk) {
+  const Netlist& nl = *nl_;
+  FrameKernel kernel{nl, b.faults, values_};
+  kernel.set_prev(b.prev_driven);
+  for (std::size_t t = 0; t < chunk.length(); ++t) {
+    kernel.run(chunk.vector_at(t), b.state);
+    std::uint64_t newly = observed_mask(nl, values_) & b.live;
+    while (newly) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+      newly &= newly - 1;
+      b.live &= ~(1ULL << slot);
+      DetectionRecord& dr = detection_[b.first_fault_index + slot - 1];
+      dr.detected = true;
+      dr.time = static_cast<std::uint32_t>(now_ + t);
+      ++num_detected_;
+    }
+  }
+  b.prev_driven = kernel.prev();
+}
+
+std::size_t TransitionSimSession::advance(const TestSequence& chunk) {
+  if (chunk.num_inputs() != nl_->num_inputs())
+    throw std::invalid_argument("TransitionSimSession::advance: input width mismatch");
+  const std::size_t before = num_detected_;
+  for (auto& b : batches_) advance_batch(b, chunk);
+  now_ += chunk.length();
+  return num_detected_ - before;
+}
+
+State TransitionSimSession::good_state() const {
+  State s(nl_->num_dffs(), V3::X);
+  const Batch& b = batches_.front();
+  for (std::size_t j = 0; j < s.size(); ++j) s[j] = b.state[j].get(0);
+  return s;
+}
+
+void TransitionSimSession::pair_state(std::size_t i, State& good, State& faulty,
+                                      V3& prev_driven) const {
+  const std::size_t batch_idx = i / 63;
+  const unsigned slot = static_cast<unsigned>(i % 63 + 1);
+  const Batch& b = batches_[batch_idx];
+  good.assign(nl_->num_dffs(), V3::X);
+  faulty.assign(nl_->num_dffs(), V3::X);
+  for (std::size_t j = 0; j < good.size(); ++j) {
+    good[j] = b.state[j].get(0);
+    faulty[j] = b.state[j].get(slot);
+  }
+  prev_driven = b.prev_driven[i % 63];
+}
+
+TransitionSimSession::Snapshot TransitionSimSession::snapshot() const {
+  Snapshot s;
+  for (const auto& b : batches_) {
+    s.states.push_back(b.state);
+    s.prevs.push_back(b.prev_driven);
+    s.live.push_back(b.live);
+  }
+  s.detection = detection_;
+  s.num_detected = num_detected_;
+  s.now = now_;
+  return s;
+}
+
+void TransitionSimSession::restore(const Snapshot& s) {
+  for (std::size_t i = 0; i < batches_.size(); ++i) {
+    batches_[i].state = s.states[i];
+    batches_[i].prev_driven = s.prevs[i];
+    batches_[i].live = s.live[i];
+  }
+  detection_ = s.detection;
+  num_detected_ = s.num_detected;
+  now_ = s.now;
+}
+
+}  // namespace uniscan

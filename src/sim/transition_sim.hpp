@@ -1,0 +1,94 @@
+// Parallel-fault sequential simulation for transition (gross-delay) faults.
+//
+// Same 63-machines-per-word organisation as FaultSimulator; the injected
+// value is dynamic: each faulty slot remembers the faulted line's driven
+// value from the previous cycle and forces
+//     STR: and(driven(t), driven(t-1))     STF: or(driven(t), driven(t-1))
+// onto its slot. Slot 0 remains the good machine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/transition_fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/sequence.hpp"
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+
+class TransitionFaultSimulator {
+ public:
+  explicit TransitionFaultSimulator(const Netlist& nl);
+
+  /// Simulate from power-up; one detection record per fault.
+  std::vector<DetectionRecord> run(const TestSequence& seq,
+                                   std::span<const TransitionFault> faults,
+                                   std::vector<LatchRecord>* latched = nullptr) const;
+
+  bool detects_all(const TestSequence& seq, std::span<const TransitionFault> faults) const;
+
+  std::vector<std::size_t> detected_indices(const TestSequence& seq,
+                                            std::span<const TransitionFault> faults) const;
+
+ private:
+  struct BatchResult {
+    std::uint64_t detected_slots = 0;
+    std::uint32_t detect_time[64];
+  };
+  BatchResult run_batch(const TestSequence& seq, std::span<const TransitionFault> faults,
+                        std::span<LatchRecord> latched, bool early_exit) const;
+
+  const Netlist* nl_;
+  mutable std::vector<W3> values_;
+};
+
+/// Streaming session for the transition generator (mirrors FaultSimSession).
+class TransitionSimSession {
+ public:
+  TransitionSimSession(const Netlist& nl, std::span<const TransitionFault> faults);
+
+  std::size_t advance(const TestSequence& chunk);
+  std::size_t now() const noexcept { return now_; }
+  std::size_t num_faults() const noexcept { return faults_.size(); }
+  bool is_detected(std::size_t i) const { return detection_[i].detected; }
+  const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
+  std::size_t num_detected() const noexcept { return num_detected_; }
+  State good_state() const;
+  /// Machine-pair state plus the faulted line's previous driven value for
+  /// fault `i` (needed to seed the ATPG window's launch history).
+  void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const;
+
+  struct Snapshot {
+    std::vector<std::vector<W3>> states;
+    std::vector<std::vector<V3>> prevs;  // per batch: previous driven value per fault
+    std::vector<std::uint64_t> live;
+    std::vector<DetectionRecord> detection;
+    std::size_t num_detected;
+    std::size_t now;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+ private:
+  struct Batch {
+    std::vector<TransitionFault> faults;
+    std::vector<W3> state;       // per DFF
+    std::vector<V3> prev_driven; // per fault slot (slot i-1)
+    std::uint64_t live = 0;
+    std::size_t first_fault_index = 0;
+  };
+  void advance_batch(Batch& b, const TestSequence& chunk);
+
+  const Netlist* nl_;
+  std::vector<TransitionFault> faults_;
+  std::vector<Batch> batches_;
+  std::vector<DetectionRecord> detection_;
+  std::size_t num_detected_ = 0;
+  std::size_t now_ = 0;
+  mutable std::vector<W3> values_;
+};
+
+}  // namespace uniscan

@@ -1,0 +1,68 @@
+#include "translate/translation.hpp"
+
+#include <stdexcept>
+
+namespace uniscan {
+
+TestSequence translate_test_set(const ScanCircuit& sc, const ScanTestSet& set,
+                                const TranslationOptions& options) {
+  const std::size_t total_cells = sc.netlist.num_dffs();
+  const std::size_t shifts = sc.max_chain_length();
+  if (set.chain_length != shifts)
+    throw std::invalid_argument("translate_test_set: chain length mismatch");
+  const std::size_t npi_scan = sc.netlist.num_inputs();
+  const std::size_t npi_orig = set.num_original_inputs;
+  if (npi_scan != npi_orig + 1 + sc.nets.chains.size())
+    throw std::invalid_argument("translate_test_set: input count mismatch");
+
+  TestSequence seq(npi_scan);
+
+  // One scan operation: `shifts` vectors with scan_sel = 1. When `state` is
+  // non-null each chain's scan_inp feeds its slice of the target state in
+  // reverse order (the value fed at time t lands in cell shifts-1-t); a null
+  // state leaves scan_inp free (pure unload).
+  const auto append_scan_op = [&](const std::vector<V3>* state) {
+    for (std::size_t t = 0; t < shifts; ++t) {
+      std::vector<V3> vec(npi_scan, V3::X);
+      vec[sc.scan_sel_index()] = V3::One;
+      if (state) {
+        std::size_t base = 0;
+        for (const ScanChain& chain : sc.nets.chains) {
+          const std::size_t len = chain.cells.size();
+          const std::size_t target = shifts - 1 - t;
+          if (target < len) vec[chain.scan_inp_index] = (*state)[base + target];
+          base += len;
+        }
+      }
+      seq.append(std::move(vec));
+    }
+  };
+
+  for (const ScanTest& test : set.tests) {
+    if (test.scan_in.size() != total_cells)
+      throw std::invalid_argument("translate_test_set: scan-in width mismatch");
+    append_scan_op(&test.scan_in);
+    // Functional vectors with scan_sel = 0.
+    for (const auto& v : test.vectors) {
+      if (v.size() != npi_orig)
+        throw std::invalid_argument("translate_test_set: vector width mismatch");
+      std::vector<V3> vec(npi_scan, V3::X);
+      for (std::size_t i = 0; i < npi_orig; ++i) vec[i] = v[i];
+      vec[sc.scan_sel_index()] = V3::Zero;
+      seq.append(std::move(vec));
+    }
+  }
+  append_scan_op(nullptr);  // final scan-out
+
+  if (options.fill == XFillPolicy::RandomFill) {
+    Rng rng(options.seed);
+    seq.random_fill(rng);
+  } else if (options.fill == XFillPolicy::ZeroFill) {
+    seq.constant_fill(V3::Zero);
+  } else if (options.fill == XFillPolicy::RepeatFill) {
+    seq.repeat_fill();
+  }
+  return seq;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,39 @@
+// Test set translation (paper Section 3).
+//
+// A conventional scan test set S = {(SI_i, T_i)} is rewritten as ONE test
+// sequence for C_scan in which scan operations appear explicitly as vectors
+// with scan_sel = 1:
+//   for each test i:  N_SV load vectors (scan_inp feeds SI_i reversed,
+//                     original inputs x), then the vectors of T_i with
+//                     scan_sel = 0;
+//   finally:          N_SV unload vectors (scan_sel = 1, scan_inp x).
+// Each test's scan-out overlaps the next test's scan-in, exactly as in the
+// paper's Table 3, so the sequence length equals the conventional test
+// application time. The translated sequence detects every fault S detects;
+// the point is that non-scan compaction can then shorten it freely.
+#pragma once
+
+#include "scan/scan_insertion.hpp"
+#include "scan/scan_test.hpp"
+#include "sim/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace uniscan {
+
+/// RepeatFill copies each free value from the previous vector's same column
+/// (first vector: 0) — the classic low-transition fill that reduces shift
+/// power on the tester.
+enum class XFillPolicy { KeepX, RandomFill, ZeroFill, RepeatFill };
+
+struct TranslationOptions {
+  XFillPolicy fill = XFillPolicy::RandomFill;
+  std::uint64_t seed = 7;
+};
+
+/// Translate `set` (defined over the original inputs of the circuit behind
+/// `sc`) into a unified sequence over C_scan's inputs. Requires a single
+/// scan chain whose length equals set.chain_length.
+TestSequence translate_test_set(const ScanCircuit& sc, const ScanTestSet& set,
+                                const TranslationOptions& options = {});
+
+}  // namespace uniscan

@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace uniscan {
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[uniscan %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace uniscan

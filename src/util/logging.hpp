@@ -1,0 +1,44 @@
+// Minimal leveled logging. Experiments print structured tables to stdout;
+// the logger is for diagnostics on stderr and is off (Warn) by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace uniscan {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold. Messages below this level are discarded.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Stream-style log statement: LOG(Info) << "fault " << f;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_threshold()) {}
+  ~LogLine() {
+    if (enabled_) detail::log_emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace uniscan
+
+#define UNISCAN_LOG(level) ::uniscan::LogLine(::uniscan::LogLevel::level)

@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the library
+// always has at least one object for the util component and to catch ODR
+// problems early.
+namespace uniscan {
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == 0xffffffffffffffffULL);
+}  // namespace uniscan

@@ -1,0 +1,24 @@
+// Small string helpers used by the .bench parser and table writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uniscan {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a single-character delimiter; elements are trimmed.
+/// Empty elements (after trimming) are kept so callers can detect syntax
+/// errors such as "AND(a,,b)".
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Uppercase ASCII copy.
+std::string to_upper(std::string_view s);
+
+}  // namespace uniscan

@@ -1,0 +1,50 @@
+#include "workloads/circuits.hpp"
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+
+namespace uniscan {
+
+namespace {
+constexpr std::string_view kS27Bench = R"(# ISCAS-89 benchmark s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+}  // namespace
+
+std::string_view s27_bench_text() { return kS27Bench; }
+
+Netlist make_s27() { return read_bench_string(kS27Bench, "s27"); }
+
+Netlist make_toy_pipeline() {
+  NetlistBuilder b("toy_pipeline");
+  const GateId a = b.input("a");
+  const GateId en = b.input("en");
+  const GateId f0 = b.dff("f0");
+  const GateId f1 = b.dff("f1");
+  const GateId x = b.xor_("x", {a, f1});
+  const GateId g = b.and_("g", {x, en});
+  b.connect_dff(f0, g);
+  b.connect_dff(f1, f0);
+  const GateId out = b.or_("out", {f1, g});
+  b.output(out);
+  return b.build();
+}
+
+}  // namespace uniscan

@@ -1,0 +1,26 @@
+// Embedded benchmark circuits.
+//
+// s27 (ISCAS-89) is embedded verbatim — it is the circuit the paper's
+// Tables 1-4 use. Larger ISCAS-89/ITC-99 circuits are not shipped (see
+// DESIGN.md §3); load real .bench files with read_bench_file() or use the
+// synthetic suite in suite.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+/// The ISCAS-89 s27 benchmark: 4 PIs, 1 PO, 3 DFFs, 10 combinational gates.
+Netlist make_s27();
+
+/// Raw .bench text of s27 (for parser tests and documentation).
+std::string_view s27_bench_text();
+
+/// A tiny handcrafted pipeline circuit used by unit tests: 2 PIs, 1 PO,
+/// 2 DFFs forming a shift-like structure with XOR feedback.
+Netlist make_toy_pipeline();
+
+}  // namespace uniscan

@@ -1,0 +1,42 @@
+// The benchmark suite used by the paper's Tables 5-7.
+//
+// Each entry mirrors one row of Table 5: the circuit name, its primary
+// input count (original inputs, i.e. the paper's `inp` minus the two scan
+// lines) and its flip-flop count (`stvr`). s27 resolves to the embedded
+// real netlist; every other name resolves to a deterministic synthetic
+// circuit with the same PI/FF profile (see DESIGN.md §3). Real .bench files
+// placed in a directory can be used instead via load_circuit()'s
+// `bench_dir` parameter.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+struct SuiteEntry {
+  std::string name;
+  std::size_t num_inputs;  // original PIs (paper's inp - 2)
+  std::size_t num_dffs;    // paper's stvr
+  std::size_t num_gates;   // synthetic gate budget (≈ real circuit size)
+  bool in_fast_suite;      // included in the default (fast) experiment runs
+};
+
+/// All circuits appearing in the paper's tables (plus s27).
+const std::vector<SuiteEntry>& paper_suite();
+
+/// Entries flagged for the default fast experiment runs.
+std::vector<SuiteEntry> fast_suite();
+
+/// Look up a suite entry by name.
+std::optional<SuiteEntry> find_suite_entry(const std::string& name);
+
+/// Materialize a suite circuit: the embedded netlist for s27, a real .bench
+/// file from `bench_dir` when one named `<name>.bench` exists there, or the
+/// deterministic synthetic stand-in otherwise.
+Netlist load_circuit(const SuiteEntry& entry, const std::string& bench_dir = {});
+
+}  // namespace uniscan

@@ -1,0 +1,30 @@
+// Deterministic synthetic sequential circuit generator.
+//
+// Stands in for the ISCAS-89 / ITC-99 netlists that are not shipped with
+// the repository (DESIGN.md §3). Given a target PI/FF/gate profile and a
+// seed, the generator produces a connected synchronous circuit with:
+//  * every PI and every FF consumed by the combinational logic,
+//  * state feedback (each FF's D is driven by combinational logic),
+//  * reconvergent fanout and mixed gate types,
+//  * all sink gates promoted to primary outputs.
+// The same spec + seed always yields the identical netlist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+struct SynthSpec {
+  std::string name;
+  std::size_t num_inputs = 4;
+  std::size_t num_dffs = 4;
+  std::size_t num_gates = 40;   // combinational gates
+  std::uint64_t seed = 1;
+};
+
+Netlist generate_synthetic(const SynthSpec& spec);
+
+}  // namespace uniscan

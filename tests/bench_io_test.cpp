@@ -1,0 +1,116 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(BenchIo, ParsesS27) {
+  const Netlist nl = read_bench_string(s27_bench_text(), "s27");
+  EXPECT_EQ(nl.num_inputs(), 4u);
+  EXPECT_EQ(nl.num_dffs(), 3u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.gate(nl.outputs()[0]).name, "G17");
+  // Flip-flop order matches the description order.
+  EXPECT_EQ(nl.gate(nl.dffs()[0]).name, "G5");
+  EXPECT_EQ(nl.gate(nl.dffs()[1]).name, "G6");
+  EXPECT_EQ(nl.gate(nl.dffs()[2]).name, "G7");
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Netlist a = make_s27();
+  const Netlist b = read_bench_string(write_bench_string(a), "s27");
+  EXPECT_EQ(a.num_inputs(), b.num_inputs());
+  EXPECT_EQ(a.num_outputs(), b.num_outputs());
+  EXPECT_EQ(a.num_dffs(), b.num_dffs());
+  EXPECT_EQ(a.num_comb_gates(), b.num_comb_gates());
+  for (GateId g = 0; g < a.num_gates(); ++g) {
+    const auto found = b.find(a.gate(g).name);
+    ASSERT_TRUE(found.has_value()) << a.gate(g).name;
+    EXPECT_EQ(b.gate(*found).type, a.gate(g).type);
+    EXPECT_EQ(b.gate(*found).fanins.size(), a.gate(g).fanins.size());
+  }
+}
+
+TEST(BenchIo, ForwardReferencesAllowed) {
+  // G2 uses G3, defined later.
+  const auto text = R"(
+INPUT(a)
+OUTPUT(G2)
+G2 = NOT(G3)
+G3 = BUF(a)
+)";
+  const Netlist nl = read_bench_string(text, "fwd");
+  EXPECT_EQ(nl.num_comb_gates(), 2u);
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored) {
+  const auto text = R"(
+# a comment
+INPUT(a)   # trailing comment
+
+OUTPUT(o)
+o = NOT(a)
+)";
+  const Netlist nl = read_bench_string(text, "c");
+  EXPECT_EQ(nl.num_inputs(), 1u);
+}
+
+TEST(BenchIo, UndefinedNetReported) {
+  const auto text = "INPUT(a)\nOUTPUT(o)\no = AND(a, ghost)\n";
+  EXPECT_THROW(read_bench_string(text, "bad"), std::runtime_error);
+}
+
+TEST(BenchIo, UnknownGateReported) {
+  const auto text = "INPUT(a)\nOUTPUT(o)\no = FOO(a)\n";
+  EXPECT_THROW(read_bench_string(text, "bad"), std::runtime_error);
+}
+
+TEST(BenchIo, DuplicateDefinitionReported) {
+  const auto text = "INPUT(a)\nOUTPUT(o)\no = NOT(a)\no = BUF(a)\n";
+  EXPECT_THROW(read_bench_string(text, "bad"), std::runtime_error);
+}
+
+TEST(BenchIo, OutputOfUndefinedNetReported) {
+  const auto text = "INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n";
+  EXPECT_THROW(read_bench_string(text, "bad"), std::runtime_error);
+}
+
+TEST(BenchIo, MalformedAssignmentReported) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\no NOT(a)\n", "bad"), std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\no = NOT a\n", "bad"), std::runtime_error);
+}
+
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(o)\no = FOO(a)\n", "bad");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BenchIo, MuxAndConstParse) {
+  const auto text = R"(
+INPUT(a)
+INPUT(s)
+OUTPUT(o)
+c1 = CONST1(  )
+o = MUX(a, c1, s)
+)";
+  const Netlist nl = read_bench_string(text, "m");
+  const auto o = nl.find("o");
+  ASSERT_TRUE(o);
+  EXPECT_EQ(nl.gate(*o).type, GateType::Mux2);
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/foo.bench"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,148 @@
+// End-to-end tests of the uniscan_cli binary (path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef UNISCAN_CLI_PATH
+#define UNISCAN_CLI_PATH ""
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code;
+  std::string output;  // stdout + stderr
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "cli_out.txt";
+  const std::string cmd = std::string(UNISCAN_CLI_PATH) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  std::ifstream f(out_path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  std::remove(out_path.c_str());
+  return {WEXITSTATUS(status), ss.str()};
+}
+
+std::string write_demo_bench() {
+  const std::string path = ::testing::TempDir() + "cli_demo.bench";
+  std::ofstream f(path);
+  f << "INPUT(a)\nINPUT(b)\nOUTPUT(o)\n"
+    << "f0 = DFF(n0)\nf1 = DFF(f0)\n"
+    << "n0 = XOR(a, f1)\no = AND(b, f0)\n";
+  return path;
+}
+
+class CliFlow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(UNISCAN_CLI_PATH).empty()) GTEST_SKIP() << "CLI path not configured";
+    bench_ = write_demo_bench();
+  }
+  void TearDown() override { std::remove(bench_.c_str()); }
+  std::string bench_;
+};
+
+TEST_F(CliFlow, NoArgsShowsUsage) {
+  const RunResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliFlow, Stats) {
+  const RunResult r = run_cli("stats " + bench_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 PIs"), std::string::npos);
+  EXPECT_NE(r.output.find("collapsed faults"), std::string::npos);
+}
+
+TEST_F(CliFlow, InsertScanEmitsParsableBench) {
+  const RunResult r = run_cli("insert-scan " + bench_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("INPUT(scan_sel)"), std::string::npos);
+  EXPECT_NE(r.output.find("MUX"), std::string::npos);
+}
+
+TEST_F(CliFlow, GenerateCompactFaultsimPipeline) {
+  const std::string seq = ::testing::TempDir() + "cli_seq.useq";
+  const std::string cseq = ::testing::TempDir() + "cli_cseq.useq";
+
+  RunResult r = run_cli("generate " + bench_ + " -o " + seq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("coverage"), std::string::npos);
+
+  r = run_cli("compact " + bench_ + " " + seq + " -o " + cseq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("omission:"), std::string::npos);
+
+  r = run_cli("faultsim " + bench_ + " " + cseq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("detected"), std::string::npos);
+
+  std::remove(seq.c_str());
+  std::remove(cseq.c_str());
+}
+
+TEST_F(CliFlow, BaselineAndTranslate) {
+  const std::string tst = ::testing::TempDir() + "cli_tests.utst";
+  RunResult r = run_cli("baseline " + bench_ + " -o " + tst);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  r = run_cli("translate " + bench_ + " " + tst + " --x-fill=repeat");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("useq v1"), std::string::npos);
+  std::remove(tst.c_str());
+}
+
+TEST_F(CliFlow, Classify) {
+  const RunResult r = run_cli("classify " + bench_);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("testable"), std::string::npos);
+}
+
+TEST_F(CliFlow, ExportEmitsTesterProgram) {
+  const std::string seq = ::testing::TempDir() + "cli_exp.useq";
+  RunResult r = run_cli("generate " + bench_ + " -o " + seq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = run_cli("export " + bench_ + " " + seq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("tester program"), std::string::npos);
+  EXPECT_NE(r.output.find("scan operation"), std::string::npos);
+  EXPECT_NE(r.output.find("expected outputs"), std::string::npos);
+  std::remove(seq.c_str());
+}
+
+TEST_F(CliFlow, MetricsCommand) {
+  const std::string seq = ::testing::TempDir() + "cli_met.useq";
+  RunResult r = run_cli("generate " + bench_ + " -o " + seq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = run_cli("metrics " + bench_ + " " + seq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("scan operations"), std::string::npos);
+  EXPECT_NE(r.output.find("input transitions"), std::string::npos);
+  std::remove(seq.c_str());
+}
+
+TEST_F(CliFlow, MultiChainFlow) {
+  const RunResult r = run_cli("baseline " + bench_ + " --chains=2");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("coverage"), std::string::npos);
+}
+
+TEST_F(CliFlow, BadFileFailsCleanly) {
+  const RunResult r = run_cli("stats /nonexistent/file.bench");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliFlow, UnknownFlagRejected) {
+  const RunResult r = run_cli("stats " + bench_ + " --frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+}  // namespace

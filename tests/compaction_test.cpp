@@ -1,0 +1,184 @@
+#include "compact/omission.hpp"
+#include "compact/restoration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/seq_atpg.hpp"
+#include "fault/fault_list.hpp"
+#include "scan/scan_insertion.hpp"
+#include "sim/fault_sim.hpp"
+#include "util/rng.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+struct Fixture {
+  ScanCircuit sc = insert_scan(make_s27());
+  FaultList fl = FaultList::collapsed(sc.netlist);
+  AtpgResult atpg = generate_tests(sc, fl, {});
+};
+
+std::vector<std::size_t> detected_set(const Netlist& nl, const TestSequence& seq,
+                                      std::span<const Fault> faults) {
+  FaultSimulator sim(nl);
+  return sim.detected_indices(seq, faults);
+}
+
+TEST(Restoration, PreservesDetectedFaults) {
+  Fixture fx;
+  const auto before = detected_set(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  const CompactionResult r =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  const auto after = detected_set(fx.sc.netlist, r.sequence, fx.fl.faults());
+  // after ⊇ before
+  std::size_t covered = 0;
+  for (std::size_t f : before)
+    covered += std::find(after.begin(), after.end(), f) != after.end();
+  EXPECT_EQ(covered, before.size());
+}
+
+TEST(Restoration, NeverLengthens) {
+  Fixture fx;
+  const CompactionResult r =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  EXPECT_LE(r.sequence.length(), fx.atpg.sequence.length());
+  EXPECT_EQ(r.original_length, fx.atpg.sequence.length());
+  EXPECT_EQ(r.vectors_removed, fx.atpg.sequence.length() - r.sequence.length());
+}
+
+TEST(Restoration, ShortensGeneratedSequences) {
+  // The Section-2 generator uses no compaction heuristics; restoration must
+  // find slack (the paper's Table 6 shows large reductions).
+  Fixture fx;
+  const CompactionResult r =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  EXPECT_LT(r.sequence.length(), fx.atpg.sequence.length());
+}
+
+TEST(Restoration, KeepsOriginalVectorOrder) {
+  Fixture fx;
+  const CompactionResult r =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  // Every compacted vector must appear in the original sequence (restoration
+  // only selects, never rewrites). Check by value multiset inclusion on a
+  // rolling scan.
+  std::size_t orig_pos = 0;
+  for (std::size_t t = 0; t < r.sequence.length(); ++t) {
+    bool found = false;
+    while (orig_pos < fx.atpg.sequence.length()) {
+      if (fx.atpg.sequence.vector_at(orig_pos++) == r.sequence.vector_at(t)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "vector " << t << " not in original order";
+  }
+}
+
+TEST(Omission, PreservesDetectedFaults) {
+  Fixture fx;
+  const auto before = detected_set(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  const CompactionResult r = omission_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  const auto after = detected_set(fx.sc.netlist, r.sequence, fx.fl.faults());
+  std::size_t covered = 0;
+  for (std::size_t f : before)
+    covered += std::find(after.begin(), after.end(), f) != after.end();
+  EXPECT_EQ(covered, before.size());
+}
+
+TEST(Omission, ReachesLocalMinimum) {
+  // After omission converges, removing ANY single vector must lose coverage.
+  Fixture fx;
+  OmissionOptions opt;
+  opt.max_passes = 10;  // run to convergence on this small case
+  const CompactionResult r =
+      omission_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), opt);
+  FaultSimulator sim(fx.sc.netlist);
+  std::vector<Fault> must;
+  const auto det = sim.run(r.sequence, fx.fl.faults());
+  const auto base = sim.run(fx.atpg.sequence, fx.fl.faults());
+  for (std::size_t i = 0; i < fx.fl.size(); ++i)
+    if (base[i].detected) must.push_back(fx.fl[i]);
+  for (std::size_t t = 0; t < r.sequence.length(); ++t) {
+    TestSequence trial = r.sequence;
+    trial.erase(t);
+    EXPECT_FALSE(sim.detects_all(trial, must)) << "vector " << t << " still removable";
+  }
+}
+
+TEST(Omission, AfterRestorationShrinksFurtherOrEqual) {
+  // The paper's pipeline: restoration first, then omission (Table 6
+  // `omit len` <= `restor len`).
+  Fixture fx;
+  const CompactionResult rest =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  const CompactionResult omit =
+      omission_compact(fx.sc.netlist, rest.sequence, fx.fl.faults());
+  EXPECT_LE(omit.sequence.length(), rest.sequence.length());
+}
+
+TEST(Omission, FrontToBackOrderAlsoSound) {
+  Fixture fx;
+  OmissionOptions opt;
+  opt.back_to_front = false;
+  const auto before = detected_set(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  const CompactionResult r =
+      omission_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), opt);
+  const auto after = detected_set(fx.sc.netlist, r.sequence, fx.fl.faults());
+  std::size_t covered = 0;
+  for (std::size_t f : before)
+    covered += std::find(after.begin(), after.end(), f) != after.end();
+  EXPECT_EQ(covered, before.size());
+}
+
+TEST(Restoration, SegmentPruningSoundAndNotWorse) {
+  Fixture fx;
+  RestorationOptions plain, pruned;
+  pruned.prune_segments = true;
+  const CompactionResult a =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), plain);
+  const CompactionResult b =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), pruned);
+  EXPECT_LE(b.sequence.length(), a.sequence.length());
+
+  const auto before = detected_set(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  const auto after = detected_set(fx.sc.netlist, b.sequence, fx.fl.faults());
+  for (std::size_t f : before)
+    EXPECT_TRUE(std::find(after.begin(), after.end(), f) != after.end()) << f;
+}
+
+TEST(Compaction, EmptySequenceIsFixpoint) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const TestSequence empty(sc.netlist.num_inputs());
+  const CompactionResult a = restoration_compact(sc.netlist, empty, fl.faults());
+  const CompactionResult b = omission_compact(sc.netlist, empty, fl.faults());
+  EXPECT_EQ(a.sequence.length(), 0u);
+  EXPECT_EQ(b.sequence.length(), 0u);
+}
+
+TEST(Compaction, UselessVectorsAreRemoved) {
+  // A sequence padded with vectors that detect nothing new must shrink to at
+  // most the informative prefix length.
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  Rng rng(55);
+  TestSequence seq(sc.netlist.num_inputs());
+  for (int t = 0; t < 10; ++t) seq.append_x();
+  seq.random_fill(rng);
+  // Duplicate the whole block: the second half adds nothing the first half
+  // did not already do from the same reset-free state... not guaranteed in a
+  // sequential circuit, so check the weaker invariant: omission never grows
+  // and preserves coverage.
+  TestSequence doubled = seq;
+  doubled.append_sequence(seq);
+  const auto before = detected_set(sc.netlist, doubled, fl.faults());
+  const CompactionResult r = omission_compact(sc.netlist, doubled, fl.faults());
+  EXPECT_LE(r.sequence.length(), doubled.length());
+  const auto after = detected_set(sc.netlist, r.sequence, fl.faults());
+  EXPECT_GE(after.size(), before.size());
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,95 @@
+// Exhaustive checks of the five-valued D-calculus: pair evaluation must
+// equal independent 3-valued evaluation of the good and faulty components,
+// for every gate type and every input combination.
+#include "atpg/dcalc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "sim/sequential_sim.hpp"
+
+namespace uniscan {
+namespace {
+
+constexpr std::array<V3, 3> kAll = {V3::Zero, V3::One, V3::X};
+
+std::vector<V5> all_pairs() {
+  std::vector<V5> out;
+  for (V3 g : kAll)
+    for (V3 f : kAll) out.push_back(V5{g, f});
+  return out;
+}
+
+class PairAlgebra : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(PairAlgebra, TwoInputExhaustive) {
+  const GateType type = GetParam();
+  for (const V5 a : all_pairs()) {
+    for (const V5 b : all_pairs()) {
+      const V5 in[2] = {a, b};
+      const V5 out = eval_gate_v5(type, in, 2);
+      const V3 good_in[2] = {a.good, b.good};
+      const V3 faulty_in[2] = {a.faulty, b.faulty};
+      EXPECT_EQ(out.good, eval_gate_v3(type, good_in, 2));
+      EXPECT_EQ(out.faulty, eval_gate_v3(type, faulty_in, 2));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates, PairAlgebra,
+                         ::testing::Values(GateType::And, GateType::Nand, GateType::Or,
+                                           GateType::Nor, GateType::Xor, GateType::Xnor),
+                         [](const auto& info) {
+                           return std::string(gate_type_name(info.param));
+                         });
+
+TEST(PairAlgebra, SingleInputExhaustive) {
+  for (const V5 a : all_pairs()) {
+    const V5 in[1] = {a};
+    EXPECT_EQ(eval_gate_v5(GateType::Not, in, 1),
+              (V5{v3_not(a.good), v3_not(a.faulty)}));
+    EXPECT_EQ(eval_gate_v5(GateType::Buf, in, 1), a);
+  }
+}
+
+TEST(PairAlgebra, MuxExhaustive) {
+  for (const V5 d0 : all_pairs())
+    for (const V5 d1 : all_pairs())
+      for (const V5 sel : all_pairs()) {
+        const V5 in[3] = {d0, d1, sel};
+        const V5 out = eval_gate_v5(GateType::Mux2, in, 3);
+        EXPECT_EQ(out.good, v3_mux(d0.good, d1.good, sel.good));
+        EXPECT_EQ(out.faulty, v3_mux(d0.faulty, d1.faulty, sel.faulty));
+      }
+}
+
+TEST(PairAlgebra, DPropagationIdentities) {
+  // The classical D-calculus identities fall out of component evaluation.
+  const auto check2 = [](GateType t, V5 a, V5 b, V5 expect) {
+    const V5 in[2] = {a, b};
+    EXPECT_EQ(eval_gate_v5(t, in, 2), expect)
+        << gate_type_name(t) << "(" << v5_to_char(a) << ", " << v5_to_char(b) << ")";
+  };
+  check2(GateType::And, V5::d(), V5::one(), V5::d());
+  check2(GateType::And, V5::d(), V5::zero(), V5::zero());
+  check2(GateType::And, V5::d(), V5::d(), V5::d());
+  check2(GateType::And, V5::d(), V5::dbar(), V5::zero());
+  check2(GateType::Or, V5::dbar(), V5::zero(), V5::dbar());
+  check2(GateType::Or, V5::d(), V5::dbar(), V5::one());
+  check2(GateType::Xor, V5::d(), V5::one(), V5::dbar());
+  check2(GateType::Nand, V5::d(), V5::one(), V5::dbar());
+  check2(GateType::Nor, V5::dbar(), V5::zero(), V5::d());
+}
+
+TEST(PairAlgebra, XMasksD) {
+  // An X side input absorbs the effect on AND/OR (pessimistic).
+  const V5 in_and[2] = {V5::d(), V5::x()};
+  EXPECT_EQ(eval_gate_v5(GateType::And, in_and, 2), (V5{V3::X, V3::Zero}));
+  const V5 in_or[2] = {V5::d(), V5::x()};
+  EXPECT_EQ(eval_gate_v5(GateType::Or, in_or, 2), (V5{V3::One, V3::X}));
+}
+
+}  // namespace
+}  // namespace uniscan

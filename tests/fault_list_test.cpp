@@ -1,0 +1,104 @@
+#include "fault/fault_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/builder.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(FaultList, UncollapsedCountsEveryLineTwice) {
+  NetlistBuilder b("t");
+  const GateId a = b.input("a");
+  const GateId c = b.input("b");
+  const GateId g = b.and_("g", {a, c});
+  b.output(g);
+  const Netlist nl = b.build();
+  const FaultList fl = FaultList::uncollapsed(nl);
+  // Lines: 3 stems + 2 input pins = 5; faults = 10.
+  EXPECT_EQ(fl.size(), 10u);
+}
+
+TEST(FaultList, SingleFanoutBranchesFoldIntoStems) {
+  NetlistBuilder b("t");
+  const GateId a = b.input("a");
+  const GateId g = b.not_("g", a);
+  b.output(g);
+  const Netlist nl = b.build();
+  const FaultList fl = FaultList::collapsed(nl);
+  // a and g stems only; NOT merges {a sa0 == g sa1, a sa1 == g sa0}, so only
+  // 2 representatives survive.
+  EXPECT_EQ(fl.size(), 2u);
+}
+
+TEST(FaultList, AndGateCollapsing) {
+  NetlistBuilder b("t");
+  const GateId a = b.input("a");
+  const GateId c = b.input("b");
+  const GateId g = b.and_("g", {a, c});
+  b.output(g);
+  const Netlist nl = b.build();
+  const FaultList fl = FaultList::collapsed(nl);
+  // Uncollapsed (branches folded): stems a, b, g -> 6 faults.
+  // AND rule: a-sa0 == b-sa0 == g-sa0 merge into one class.
+  // Survivors: {a0==b0==g0}, a1, b1, g1 -> 4.
+  EXPECT_EQ(fl.size(), 4u);
+}
+
+TEST(FaultList, MultiFanoutBranchesKept) {
+  NetlistBuilder b("t");
+  const GateId a = b.input("a");
+  const GateId g1 = b.not_("g1", a);
+  const GateId g2 = b.buf("g2", a);
+  b.output(g1);
+  b.output(g2);
+  const Netlist nl = b.build();
+  const FaultList fl = FaultList::collapsed(nl);
+  // Lines: stems a,g1,g2 + branches (g1,in0),(g2,in0) = 5 lines, 10 faults.
+  // NOT merges branch(g1) with g1 stem (2 classes), BUF merges branch(g2)
+  // with g2 stem (2 classes). Survivors: a0,a1,g1 pair, g2 pair = 6.
+  EXPECT_EQ(fl.size(), 6u);
+}
+
+TEST(FaultList, RepresentativesAreUnique) {
+  const Netlist nl = make_s27();
+  const FaultList fl = FaultList::collapsed(nl);
+  std::set<Fault> seen;
+  for (const Fault& f : fl.faults()) EXPECT_TRUE(seen.insert(f).second);
+}
+
+TEST(FaultList, CollapsedSmallerThanUncollapsed) {
+  const Netlist nl = make_s27();
+  const FaultList collapsed = FaultList::collapsed(nl);
+  const FaultList uncollapsed = FaultList::uncollapsed(nl);
+  EXPECT_LT(collapsed.size(), uncollapsed.size());
+  EXPECT_GT(collapsed.size(), uncollapsed.size() / 4);  // sane collapse ratio
+  EXPECT_EQ(collapsed.uncollapsed_count(), uncollapsed.size());
+}
+
+TEST(FaultList, BranchFaultsReferenceValidPins) {
+  const Netlist nl = make_s27();
+  const FaultList fl = FaultList::collapsed(nl);
+  for (const Fault& f : fl.faults()) {
+    ASSERT_LT(f.gate, nl.num_gates());
+    if (f.pin != kStemPin) {
+      ASSERT_LT(static_cast<std::size_t>(f.pin), nl.gate(f.gate).fanins.size());
+      // Branch faults only on multi-fanout nets.
+      EXPECT_GT(nl.fanout_count(nl.gate(f.gate).fanins[f.pin]), 1u);
+    }
+  }
+}
+
+TEST(FaultList, FaultToStringIsReadable) {
+  const Netlist nl = make_s27();
+  const FaultList fl = FaultList::collapsed(nl);
+  const std::string s = fault_to_string(nl, fl[0]);
+  EXPECT_FALSE(s.empty());
+  EXPECT_NE(s.find("s-a-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,127 @@
+// Fuzz-style property sweeps: random synthetic circuits through the whole
+// stack, asserting the invariants that must hold for ANY circuit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/uniscan.hpp"
+
+namespace uniscan {
+namespace {
+
+SynthSpec fuzz_spec(std::uint64_t seed) {
+  Rng rng(seed * 7919 + 13);
+  SynthSpec spec;
+  spec.name = "fuzz" + std::to_string(seed);
+  spec.num_inputs = 2 + rng.next_below(6);
+  spec.num_dffs = 2 + rng.next_below(8);
+  spec.num_gates = 20 + rng.next_below(60);
+  spec.seed = seed;
+  return spec;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, EndToEndInvariants) {
+  const SynthSpec spec = fuzz_spec(GetParam());
+  const Netlist c = generate_synthetic(spec);
+  const ScanCircuit sc = insert_scan(c);
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  ASSERT_GT(fl.size(), 0u);
+
+  // Generation: reported detections must match independent simulation.
+  AtpgOptions opt;
+  opt.seed = GetParam();
+  opt.final_effort_backtracks = 500;  // keep fuzz runs quick
+  const AtpgResult atpg = generate_tests(sc, fl, opt);
+  FaultSimulator sim(sc.netlist);
+  const auto check = sim.run(atpg.sequence, fl.faults());
+  std::size_t detected = 0;
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    ASSERT_EQ(check[i].detected, atpg.detection[i].detected) << spec.name << " fault " << i;
+    detected += check[i].detected;
+  }
+  ASSERT_EQ(detected, atpg.detected);
+
+  // Compaction: never longer, never loses a detection.
+  const CompactionResult rest = restoration_compact(sc.netlist, atpg.sequence, fl.faults());
+  ASSERT_LE(rest.sequence.length(), atpg.sequence.length());
+  const auto after = sim.run(rest.sequence, fl.faults());
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    if (check[i].detected) {
+      ASSERT_TRUE(after[i].detected) << spec.name << " fault " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range<std::uint64_t>(1, 9));
+
+class FuzzScanChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzScanChain, LoadUnloadIdentityAnyChainCount) {
+  const SynthSpec spec = fuzz_spec(GetParam() + 100);
+  const Netlist c = generate_synthetic(spec);
+  Rng rng(GetParam());
+  const std::size_t chains = 1 + rng.next_below(std::min<std::size_t>(c.num_dffs(), 4));
+  const ScanCircuit sc = insert_scan(c, chains);
+  const SequentialSimulator sim(sc.netlist);
+
+  // Load a random state, then unload while observing every chain's scan_out:
+  // the observed stream must equal the loaded slice (shifted out in order).
+  State target(sc.netlist.num_dffs());
+  for (auto& v : target) v = rng.next_bool() ? V3::One : V3::Zero;
+  const TestSequence load = make_scan_load_all(sc, target, rng);
+  SimTrace lt = sim.simulate(load, sim.initial_state());
+  ASSERT_EQ(lt.state.back(), target) << spec.name << " chains=" << chains;
+
+  // Unload: max-chain-length shift cycles.
+  TestSequence unload(sc.netlist.num_inputs());
+  for (std::size_t k = 0; k < sc.max_chain_length(); ++k) {
+    std::vector<V3> vec(sc.netlist.num_inputs(), V3::Zero);
+    vec[sc.scan_sel_index()] = V3::One;
+    unload.append(std::move(vec));
+  }
+  const SimTrace ut = sim.simulate(unload, target);
+  // During unload cycle k, chain c's scan_out shows cell (len-1-k) of its
+  // loaded slice (the tail cell leaves first).
+  std::size_t base = 0;
+  for (const ScanChain& chain : sc.nets.chains) {
+    const std::size_t len = chain.cells.size();
+    for (std::size_t k = 0; k < len; ++k) {
+      ASSERT_EQ(ut.po[k][chain.scan_out_index], target[base + len - 1 - k])
+          << spec.name << " chains=" << chains << " k=" << k;
+    }
+    base += len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzScanChain, ::testing::Range<std::uint64_t>(1, 9));
+
+class FuzzBaselineTranslate : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzBaselineTranslate, BaselineBookkeepingIsExactTranslation) {
+  const SynthSpec spec = fuzz_spec(GetParam() + 200);
+  const Netlist c = generate_synthetic(spec);
+  const ScanCircuit sc = insert_scan(c);
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  BaselineOptions opt;
+  opt.seed = GetParam();
+  const BaselineResult r = generate_baseline_tests(sc, fl, opt);
+
+  // Structure: length matches the conventional application-cycle count and
+  // the scan_sel column follows load/functional/unload periods.
+  ASSERT_EQ(r.translated.length(), r.application_cycles());
+  FaultSimulator sim(sc.netlist);
+  const auto det = sim.run(r.translated, fl.faults());
+  std::size_t detected = 0;
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    ASSERT_EQ(det[i].detected, r.detection[i].detected);
+    detected += det[i].detected;
+  }
+  ASSERT_EQ(detected, r.detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBaselineTranslate, ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,130 @@
+// Exhaustive truth-table tests for the scalar and word-parallel 3-valued
+// algebra, and consistency between the two representations.
+#include "sim/logic3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace uniscan {
+namespace {
+
+constexpr std::array<V3, 3> kAll = {V3::Zero, V3::One, V3::X};
+
+TEST(Logic3Scalar, NotTruthTable) {
+  EXPECT_EQ(v3_not(V3::Zero), V3::One);
+  EXPECT_EQ(v3_not(V3::One), V3::Zero);
+  EXPECT_EQ(v3_not(V3::X), V3::X);
+}
+
+TEST(Logic3Scalar, AndTruthTable) {
+  EXPECT_EQ(v3_and(V3::Zero, V3::X), V3::Zero);
+  EXPECT_EQ(v3_and(V3::X, V3::Zero), V3::Zero);
+  EXPECT_EQ(v3_and(V3::One, V3::One), V3::One);
+  EXPECT_EQ(v3_and(V3::One, V3::X), V3::X);
+  EXPECT_EQ(v3_and(V3::X, V3::X), V3::X);
+}
+
+TEST(Logic3Scalar, OrTruthTable) {
+  EXPECT_EQ(v3_or(V3::One, V3::X), V3::One);
+  EXPECT_EQ(v3_or(V3::X, V3::One), V3::One);
+  EXPECT_EQ(v3_or(V3::Zero, V3::Zero), V3::Zero);
+  EXPECT_EQ(v3_or(V3::Zero, V3::X), V3::X);
+}
+
+TEST(Logic3Scalar, XorTruthTable) {
+  EXPECT_EQ(v3_xor(V3::Zero, V3::One), V3::One);
+  EXPECT_EQ(v3_xor(V3::One, V3::One), V3::Zero);
+  EXPECT_EQ(v3_xor(V3::X, V3::One), V3::X);
+  EXPECT_EQ(v3_xor(V3::Zero, V3::X), V3::X);
+}
+
+TEST(Logic3Scalar, MuxSelectsData) {
+  for (V3 d0 : kAll)
+    for (V3 d1 : kAll) {
+      EXPECT_EQ(v3_mux(d0, d1, V3::Zero), d0);
+      EXPECT_EQ(v3_mux(d0, d1, V3::One), d1);
+    }
+}
+
+TEST(Logic3Scalar, MuxWithUnknownSelect) {
+  // Optimistic X: agreeing known data dominates an unknown select.
+  EXPECT_EQ(v3_mux(V3::One, V3::One, V3::X), V3::One);
+  EXPECT_EQ(v3_mux(V3::Zero, V3::Zero, V3::X), V3::Zero);
+  EXPECT_EQ(v3_mux(V3::Zero, V3::One, V3::X), V3::X);
+  EXPECT_EQ(v3_mux(V3::X, V3::One, V3::X), V3::X);
+}
+
+TEST(Logic3Word, BroadcastAndGet) {
+  for (V3 v : kAll) {
+    const W3 w = W3::broadcast(v);
+    EXPECT_TRUE(w.valid());
+    for (unsigned slot : {0u, 1u, 31u, 63u}) EXPECT_EQ(w.get(slot), v);
+  }
+}
+
+TEST(Logic3Word, SetIndividualSlots) {
+  W3 w = W3::all_x();
+  w.set(3, V3::One);
+  w.set(7, V3::Zero);
+  EXPECT_EQ(w.get(3), V3::One);
+  EXPECT_EQ(w.get(7), V3::Zero);
+  EXPECT_EQ(w.get(0), V3::X);
+  EXPECT_TRUE(w.valid());
+  w.set(3, V3::Zero);  // overwrite
+  EXPECT_EQ(w.get(3), V3::Zero);
+  EXPECT_TRUE(w.valid());
+}
+
+// Word ops must agree with the scalar ops on every slot value combination.
+TEST(Logic3Word, MatchesScalarAlgebra) {
+  for (V3 a : kAll) {
+    for (V3 b : kAll) {
+      W3 wa = W3::all_x();
+      W3 wb = W3::all_x();
+      // Put the combination in several slots to exercise word logic.
+      for (unsigned slot : {0u, 5u, 63u}) {
+        wa.set(slot, a);
+        wb.set(slot, b);
+      }
+      for (unsigned slot : {0u, 5u, 63u}) {
+        EXPECT_EQ(w3_and(wa, wb).get(slot), v3_and(a, b));
+        EXPECT_EQ(w3_or(wa, wb).get(slot), v3_or(a, b));
+        EXPECT_EQ(w3_xor(wa, wb).get(slot), v3_xor(a, b));
+        EXPECT_EQ(w3_not(wa).get(slot), v3_not(a));
+      }
+      EXPECT_TRUE(w3_and(wa, wb).valid());
+      EXPECT_TRUE(w3_xor(wa, wb).valid());
+    }
+  }
+}
+
+TEST(Logic3Word, MuxMatchesScalar) {
+  for (V3 d0 : kAll)
+    for (V3 d1 : kAll)
+      for (V3 sel : kAll) {
+        W3 w0 = W3::broadcast(d0);
+        W3 w1 = W3::broadcast(d1);
+        W3 ws = W3::broadcast(sel);
+        const W3 out = w3_mux(w0, w1, ws);
+        EXPECT_TRUE(out.valid());
+        EXPECT_EQ(out.get(17), v3_mux(d0, d1, sel))
+            << "d0=" << to_char(d0) << " d1=" << to_char(d1) << " sel=" << to_char(sel);
+      }
+}
+
+TEST(Logic3Word, ToStringRendersSlots) {
+  W3 w = W3::all_x();
+  w.set(0, V3::One);
+  w.set(1, V3::Zero);
+  EXPECT_EQ(to_string(w, 4), "10xx");
+}
+
+TEST(Logic3Chars, RoundTrip) {
+  EXPECT_EQ(v3_from_char(to_char(V3::Zero)), V3::Zero);
+  EXPECT_EQ(v3_from_char(to_char(V3::One)), V3::One);
+  EXPECT_EQ(v3_from_char(to_char(V3::X)), V3::X);
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,131 @@
+#include "core/metrics.hpp"
+#include "diag/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/seq_atpg.hpp"
+#include "fault/fault_list.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(Metrics, ScanOperationHistogram) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  // scan_sel column: 0 1 1 0 1 1 1 0  -> one run of 2, one run of 3 (chain=3).
+  TestSequence seq(sc.netlist.num_inputs());
+  const int pattern[] = {0, 1, 1, 0, 1, 1, 1, 0};
+  for (int v : pattern) {
+    std::vector<V3> vec(sc.netlist.num_inputs(), V3::Zero);
+    vec[sc.scan_sel_index()] = v ? V3::One : V3::Zero;
+    seq.append(std::move(vec));
+  }
+  const SequenceMetrics m = compute_metrics(sc, seq);
+  EXPECT_EQ(m.length, 8u);
+  EXPECT_EQ(m.scan_vectors, 5u);
+  EXPECT_EQ(m.scan_operations, 2u);
+  EXPECT_EQ(m.longest_scan_op, 3u);
+  EXPECT_EQ(m.complete_scan_ops, 1u);  // the 3-run equals the chain length
+  EXPECT_EQ(m.scan_op_histogram.at(2), 1u);
+  EXPECT_EQ(m.scan_op_histogram.at(3), 1u);
+  EXPECT_DOUBLE_EQ(m.limited_scan_fraction(), 0.5);
+}
+
+TEST(Metrics, TrailingScanRunCounted) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  TestSequence seq(sc.netlist.num_inputs());
+  for (int t = 0; t < 2; ++t) {
+    std::vector<V3> vec(sc.netlist.num_inputs(), V3::Zero);
+    vec[sc.scan_sel_index()] = V3::One;
+    seq.append(std::move(vec));
+  }
+  const SequenceMetrics m = compute_metrics(sc, seq);
+  EXPECT_EQ(m.scan_operations, 1u);
+  EXPECT_EQ(m.longest_scan_op, 2u);
+}
+
+TEST(Metrics, InputTransitionsIgnoreX) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  TestSequence seq = TestSequence::from_rows(
+      sc.netlist.num_inputs(), {"000000", "100000", "x00000", "000000"});
+  const SequenceMetrics m = compute_metrics(sc, seq);
+  // Only the 0->1 flip at t=1 counts; X boundaries do not.
+  EXPECT_EQ(m.input_transitions, 1u);
+}
+
+TEST(Metrics, CompactedSequencesAreMostlyLimitedScan) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const AtpgResult atpg = generate_tests(sc, fl, {});
+  const SequenceMetrics m = compute_metrics(sc, atpg.sequence);
+  EXPECT_GT(m.scan_operations, 0u);
+  EXPECT_GT(m.limited_scan_fraction(), 0.5) << "generated scan ops should be mostly limited";
+}
+
+TEST(Metrics, FormatIsHumanReadable) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  TestSequence seq(sc.netlist.num_inputs());
+  seq.append_x();
+  const std::string s = format_metrics(compute_metrics(sc, seq));
+  EXPECT_NE(s.find("cycles"), std::string::npos);
+  EXPECT_NE(s.find("scan operations"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+
+struct DiagFixture {
+  ScanCircuit sc = insert_scan(make_s27());
+  FaultList fl = FaultList::collapsed(sc.netlist);
+  AtpgResult atpg = generate_tests(sc, fl, {});
+};
+
+TEST(Diagnosis, InjectedFaultIsAlwaysACandidate) {
+  DiagFixture fx;
+  for (std::size_t i = 0; i < fx.fl.size(); i += 5) {
+    const FailLog observed = simulate_fail_log(fx.sc.netlist, fx.atpg.sequence, fx.fl[i]);
+    const auto candidates = diagnose(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), observed);
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), i) != candidates.end())
+        << "fault " << i << " not among its own candidates";
+  }
+}
+
+TEST(Diagnosis, ResolutionIsUsuallySharp) {
+  // On a high-observability sequence most faults diagnose to few candidates.
+  DiagFixture fx;
+  std::size_t total_candidates = 0, cases = 0;
+  for (std::size_t i = 0; i < fx.fl.size(); i += 3) {
+    const FailLog observed = simulate_fail_log(fx.sc.netlist, fx.atpg.sequence, fx.fl[i]);
+    if (observed.empty()) continue;  // undetected faults have no log
+    total_candidates +=
+        diagnose(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), observed).size();
+    ++cases;
+  }
+  ASSERT_GT(cases, 0u);
+  EXPECT_LT(static_cast<double>(total_candidates) / static_cast<double>(cases), 3.0)
+      << "average candidate-set size too large";
+}
+
+TEST(Diagnosis, FailLogsMatchDetectionVerdicts) {
+  DiagFixture fx;
+  FaultSimulator sim(fx.sc.netlist);
+  const auto det = sim.run(fx.atpg.sequence, fx.fl.faults());
+  for (std::size_t i = 0; i < fx.fl.size(); i += 7) {
+    const FailLog log = simulate_fail_log(fx.sc.netlist, fx.atpg.sequence, fx.fl[i]);
+    EXPECT_EQ(!log.empty(), det[i].detected) << i;
+    if (det[i].detected) {
+      EXPECT_EQ(log.front().time, det[i].time) << i;
+    }
+  }
+}
+
+TEST(Diagnosis, PassingDeviceMatchesNoDetectedFault) {
+  DiagFixture fx;
+  const auto candidates =
+      diagnose(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), FailLog{});
+  FaultSimulator sim(fx.sc.netlist);
+  const auto det = sim.run(fx.atpg.sequence, fx.fl.faults());
+  for (std::size_t c : candidates) EXPECT_FALSE(det[c].detected) << c;
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,93 @@
+#include "atpg/ndetect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_sim.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(RunCounts, CapOneMatchesDetection) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const AtpgResult atpg = generate_tests(sc, fl, {});
+  FaultSimulator sim(sc.netlist);
+  const auto counts = sim.run_counts(atpg.sequence, fl.faults(), 1);
+  const auto records = sim.run(atpg.sequence, fl.faults());
+  for (std::size_t i = 0; i < fl.size(); ++i)
+    EXPECT_EQ(counts[i] == 1, records[i].detected) << i;
+}
+
+TEST(RunCounts, CountsAreMonotoneInCap) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const AtpgResult atpg = generate_tests(sc, fl, {});
+  FaultSimulator sim(sc.netlist);
+  const auto c1 = sim.run_counts(atpg.sequence, fl.faults(), 1);
+  const auto c3 = sim.run_counts(atpg.sequence, fl.faults(), 3);
+  const auto c9 = sim.run_counts(atpg.sequence, fl.faults(), 9);
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    EXPECT_LE(c1[i], c3[i]);
+    EXPECT_LE(c3[i], c9[i]);
+    EXPECT_LE(c1[i], 1u);
+    EXPECT_LE(c3[i], 3u);
+  }
+}
+
+TEST(RunCounts, LongerSequencesCountMore) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const AtpgResult atpg = generate_tests(sc, fl, {});
+  TestSequence doubled = atpg.sequence;
+  doubled.append_sequence(atpg.sequence);
+  FaultSimulator sim(sc.netlist);
+  const auto once = sim.run_counts(atpg.sequence, fl.faults(), 10);
+  const auto twice = sim.run_counts(doubled, fl.faults(), 10);
+  std::size_t grew = 0;
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    EXPECT_GE(twice[i], once[i]) << i;
+    grew += twice[i] > once[i];
+  }
+  EXPECT_GT(grew, fl.size() / 4);
+}
+
+TEST(NDetect, ReachesTargetOnS27) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  NDetectOptions opt;
+  opt.n = 3;
+  opt.compact = false;
+  const NDetectResult r = generate_n_detect_tests(sc, fl, opt);
+  EXPECT_EQ(r.detected, fl.size());
+  // Nearly every fault should reach 3 detections across 3 rounds.
+  EXPECT_GE(r.satisfied, fl.size() * 9 / 10) << r.satisfied << "/" << fl.size();
+}
+
+TEST(NDetect, CompactionPreservesCounts) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  NDetectOptions raw, compacted;
+  raw.n = compacted.n = 2;
+  raw.compact = false;
+  compacted.compact = true;
+  const NDetectResult a = generate_n_detect_tests(sc, fl, raw);
+  const NDetectResult b = generate_n_detect_tests(sc, fl, compacted);
+  EXPECT_LE(b.sequence.length(), a.sequence.length());
+  EXPECT_GE(b.satisfied, a.satisfied);
+  EXPECT_GE(b.detected, a.detected);
+}
+
+TEST(NDetect, NOneDegeneratesToSingleDetection) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  NDetectOptions opt;
+  opt.n = 1;
+  opt.compact = false;
+  const NDetectResult r = generate_n_detect_tests(sc, fl, opt);
+  EXPECT_EQ(r.satisfied, r.detected);
+  EXPECT_EQ(r.detected, fl.size());
+}
+
+}  // namespace
+}  // namespace uniscan

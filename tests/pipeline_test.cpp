@@ -1,0 +1,70 @@
+// Integration tests: full paper pipelines on s27 and a synthetic circuit.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/circuits.hpp"
+#include "workloads/suite.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(Pipeline, GenerateAndCompactS27) {
+  const GenerateCompactReport r = run_generate_and_compact(make_s27());
+  EXPECT_EQ(r.circuit, "s27");
+  EXPECT_EQ(r.num_inputs, 6u);  // 4 original + scan_sel + scan_inp (Table 5 `inp`)
+  EXPECT_EQ(r.num_dffs, 3u);
+
+  // Table 6 shape: omit <= restor <= test len, same for scan counts.
+  EXPECT_LE(r.restored.total, r.raw.total);
+  EXPECT_LE(r.omitted.total, r.restored.total);
+  EXPECT_LE(r.omitted.scan, r.omitted.total);
+  EXPECT_GT(r.atpg.fault_coverage(), 99.0);
+
+  // The unified compacted sequence must beat the complete-scan baseline
+  // cycles (the paper's headline claim).
+  ASSERT_TRUE(r.baseline_run);
+  EXPECT_LT(r.omitted.total, r.baseline.application_cycles());
+}
+
+TEST(Pipeline, TranslateAndCompactS27) {
+  const TranslateCompactReport r = run_translate_and_compact(make_s27());
+  // Table 7 shape: translated length equals baseline cycles; compaction
+  // strictly helps on this circuit.
+  EXPECT_EQ(r.translated.total, r.baseline.application_cycles());
+  EXPECT_LE(r.restored.total, r.translated.total);
+  EXPECT_LE(r.omitted.total, r.restored.total);
+  EXPECT_LT(r.omitted.total, r.translated.total);
+}
+
+TEST(Pipeline, GenerateAndCompactSyntheticB01) {
+  const Netlist c = load_circuit(*find_suite_entry("b01"));
+  PipelineConfig cfg;
+  cfg.run_baseline = true;
+  const GenerateCompactReport r = run_generate_and_compact(c, cfg);
+  EXPECT_GE(r.atpg.fault_coverage(), 90.0);
+  EXPECT_LE(r.omitted.total, r.restored.total);
+  EXPECT_LE(r.restored.total, r.raw.total);
+}
+
+TEST(Pipeline, SequenceStatsCountsScanVectors) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  TestSequence seq(sc.netlist.num_inputs());
+  for (int i = 0; i < 4; ++i) seq.append_x();
+  seq.constant_fill(V3::Zero);
+  seq.set(1, sc.scan_sel_index(), V3::One);
+  seq.set(3, sc.scan_sel_index(), V3::One);
+  const SequenceStats st = sequence_stats(sc, seq);
+  EXPECT_EQ(st.total, 4u);
+  EXPECT_EQ(st.scan, 2u);
+}
+
+TEST(Pipeline, BaselineCanBeSkipped) {
+  PipelineConfig cfg;
+  cfg.run_baseline = false;
+  const GenerateCompactReport r = run_generate_and_compact(make_s27(), cfg);
+  EXPECT_FALSE(r.baseline_run);
+}
+
+}  // namespace
+}  // namespace uniscan

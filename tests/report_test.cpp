@@ -1,0 +1,55 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"circ", "total", "scan"});
+  t.add_row({"s27", "25", "7"});
+  t.add_row({"s5378", "5381", "4594"});
+  const std::string s = t.to_string();
+  // Header, separator, two data rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // Right-aligned numbers: the '7' of "7" lines up under "scan"'s 'n' column.
+  const auto lines_at = [&](int n) {
+    std::size_t pos = 0;
+    for (int i = 0; i < n; ++i) pos = s.find('\n', pos) + 1;
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(lines_at(0).size(), lines_at(2).size());
+  EXPECT_EQ(lines_at(2).size(), lines_at(3).size());
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Report, FormatPct) {
+  EXPECT_EQ(format_pct(99.626), "99.63");
+  EXPECT_EQ(format_pct(100.0), "100.00");
+  EXPECT_EQ(format_pct(0.0), "0.00");
+  EXPECT_EQ(format_pct(97.989), "97.99");
+}
+
+TEST(Report, SequenceTableShowsScanColumnsLast) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  TestSequence seq(sc.netlist.num_inputs());
+  seq.append_x();
+  seq.set(0, sc.scan_sel_index(), V3::One);
+  const std::string s = format_sequence_table(sc, seq);
+  EXPECT_NE(s.find("scan_sel"), std::string::npos);
+  EXPECT_NE(s.find("scan_inp"), std::string::npos);
+  EXPECT_NE(s.find("G0"), std::string::npos);
+  // scan_sel column shows the 1.
+  const std::size_t data_line = s.rfind('\n', s.size() - 2);
+  const std::string last = s.substr(data_line + 1);
+  EXPECT_NE(last.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uniscan

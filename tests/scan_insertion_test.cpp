@@ -1,0 +1,140 @@
+#include "scan/scan_insertion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sequential_sim.hpp"
+#include "util/rng.hpp"
+#include "workloads/circuits.hpp"
+#include "workloads/synth_gen.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(ScanInsertion, AddsScanNets) {
+  const Netlist c = make_s27();
+  const ScanCircuit sc = insert_scan(c);
+  EXPECT_EQ(sc.netlist.num_inputs(), c.num_inputs() + 2);
+  EXPECT_EQ(sc.netlist.num_outputs(), c.num_outputs() + 1);
+  EXPECT_EQ(sc.netlist.num_dffs(), c.num_dffs());
+  EXPECT_EQ(sc.netlist.num_comb_gates(), c.num_comb_gates() + c.num_dffs());  // one mux per FF
+  EXPECT_EQ(sc.nets.chains.size(), 1u);
+  EXPECT_EQ(sc.chain().cells.size(), c.num_dffs());
+  EXPECT_EQ(sc.max_chain_length(), c.num_dffs());
+  EXPECT_EQ(sc.netlist.name(), "s27_scan");
+}
+
+TEST(ScanInsertion, ChainOrderMatchesCircuitDescription) {
+  const Netlist c = make_s27();
+  const ScanCircuit sc = insert_scan(c);
+  for (std::size_t j = 0; j < c.num_dffs(); ++j)
+    EXPECT_EQ(sc.chain().cells[j], c.dffs()[j]);
+}
+
+TEST(ScanInsertion, FunctionalModePreservesBehaviour) {
+  // With scan_sel = 0, C_scan must step exactly like C.
+  const Netlist c = make_s27();
+  const ScanCircuit sc = insert_scan(c);
+  const SequentialSimulator sim_c(c);
+  const SequentialSimulator sim_s(sc.netlist);
+
+  Rng rng(31);
+  State state_c(c.num_dffs(), V3::X);
+  State state_s(c.num_dffs(), V3::X);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<V3> pi(c.num_inputs());
+    for (auto& v : pi) v = rng.next_bool() ? V3::One : V3::Zero;
+    std::vector<V3> pi_scan = pi;
+    pi_scan.push_back(V3::Zero);                          // scan_sel
+    pi_scan.push_back(rng.next_bool() ? V3::One : V3::Zero);  // scan_inp (must not matter)
+
+    const FrameValues fc = sim_c.step(state_c, pi);
+    const FrameValues fs = sim_s.step(state_s, pi_scan);
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) EXPECT_EQ(fc.po[o], fs.po[o]);
+    EXPECT_EQ(fc.next_state, fs.next_state);
+    state_c = fc.next_state;
+    state_s = fs.next_state;
+  }
+}
+
+TEST(ScanInsertion, ShiftModeShiftsChain) {
+  const Netlist c = make_s27();
+  const ScanCircuit sc = insert_scan(c);
+  const SequentialSimulator sim(sc.netlist);
+
+  // Load 1,0,1 via three shifts: feed reversed (cell j gets value fed at
+  // shift n-1-j).
+  State s(c.num_dffs(), V3::X);
+  const V3 pattern[3] = {V3::One, V3::Zero, V3::One};
+  for (int k = 0; k < 3; ++k) {
+    std::vector<V3> pi(sc.netlist.num_inputs(), V3::Zero);
+    pi[sc.scan_sel_index()] = V3::One;
+    pi[sc.chain().scan_inp_index] = pattern[2 - k];
+    s = sim.step(s, pi).next_state;
+  }
+  EXPECT_EQ(s[0], pattern[0]);
+  EXPECT_EQ(s[1], pattern[1]);
+  EXPECT_EQ(s[2], pattern[2]);
+}
+
+TEST(ScanInsertion, ScanOutObservesLastCell) {
+  const Netlist c = make_s27();
+  const ScanCircuit sc = insert_scan(c);
+  const SequentialSimulator sim(sc.netlist);
+
+  State s{V3::Zero, V3::One, V3::Zero};
+  std::vector<V3> pi(sc.netlist.num_inputs(), V3::Zero);
+  pi[sc.scan_sel_index()] = V3::One;
+  const FrameValues fv = sim.step(s, pi);
+  // scan_out is the Q of the last chain cell: currently 0.
+  EXPECT_EQ(fv.po[sc.chain().scan_out_index], V3::Zero);
+  // After one shift the middle 1 moved into the last cell.
+  const FrameValues fv2 = sim.step(fv.next_state, pi);
+  EXPECT_EQ(fv2.po[sc.chain().scan_out_index], V3::One);
+}
+
+TEST(ScanInsertion, MultipleChainsPartitionCells) {
+  SynthSpec spec;
+  spec.name = "multi";
+  spec.num_inputs = 4;
+  spec.num_dffs = 7;
+  spec.num_gates = 40;
+  const Netlist c = generate_synthetic(spec);
+  const ScanCircuit sc = insert_scan(c, 3);
+  ASSERT_EQ(sc.nets.chains.size(), 3u);
+  EXPECT_EQ(sc.nets.chains[0].cells.size(), 3u);  // 7 = 3+2+2 balanced
+  EXPECT_EQ(sc.nets.chains[1].cells.size(), 2u);
+  EXPECT_EQ(sc.nets.chains[2].cells.size(), 2u);
+  EXPECT_EQ(sc.max_chain_length(), 3u);
+  // Distinct scan-in inputs and scan-out outputs per chain.
+  EXPECT_EQ(sc.netlist.num_inputs(), c.num_inputs() + 1 + 3);
+  EXPECT_EQ(sc.netlist.num_outputs(), c.num_outputs() + 3);
+}
+
+TEST(ScanInsertion, LastCellAlreadyPoGetsBuffer) {
+  // Build a circuit whose last DFF output is itself a PO.
+  Netlist c("po_ff");
+  const GateId a = c.add_input("a");
+  const GateId f = c.add_dff("f", a);
+  c.add_output(f);
+  c.finalize();
+  const ScanCircuit sc = insert_scan(c);
+  // scan_out must be a distinct PO (through a buffer).
+  EXPECT_EQ(sc.netlist.num_outputs(), 2u);
+  const GateId so = sc.netlist.outputs()[sc.chain().scan_out_index];
+  EXPECT_EQ(sc.netlist.gate(so).type, GateType::Buf);
+}
+
+TEST(ScanInsertion, RejectsBadArguments) {
+  const Netlist c = make_s27();
+  EXPECT_THROW(insert_scan(c, 0), std::invalid_argument);
+  EXPECT_THROW(insert_scan(c, 99), std::invalid_argument);
+
+  Netlist comb("comb");
+  const GateId a = comb.add_input("a");
+  comb.add_output(comb.add_gate(GateType::Not, "n", {a}));
+  comb.finalize();
+  EXPECT_THROW(insert_scan(comb), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uniscan

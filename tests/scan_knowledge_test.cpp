@@ -1,0 +1,75 @@
+#include "atpg/scan_knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sequential_sim.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(ScanKnowledge, FlushLengthCountsRemainingCells) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  // 3 cells: effect in cell 0 needs 2 shifts + 1 observation frame = 3.
+  EXPECT_EQ(flush_length(sc.chain(), 0), 3u);
+  EXPECT_EQ(flush_length(sc.chain(), 1), 2u);
+  EXPECT_EQ(flush_length(sc.chain(), 2), 1u);
+}
+
+TEST(ScanKnowledge, FlushSequenceHoldsScanSel) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  Rng rng(5);
+  const TestSequence seq = make_flush_sequence(sc, 0, 4, rng);
+  ASSERT_EQ(seq.length(), 4u);
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    EXPECT_EQ(seq.at(t, sc.scan_sel_index()), V3::One);
+    for (std::size_t i = 0; i < seq.num_inputs(); ++i)
+      EXPECT_NE(seq.at(t, i), V3::X) << "flush vectors must be fully specified";
+  }
+}
+
+TEST(ScanKnowledge, FlushCarriesValueToScanOut) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const SequentialSimulator sim(sc.netlist);
+  Rng rng(17);
+
+  // Start with a distinctive value in cell 0; flush must surface it on
+  // scan_out after 2 shifts (observed during the 3rd frame).
+  State s{V3::One, V3::Zero, V3::Zero};
+  const TestSequence flush = make_flush_sequence(sc, 0, flush_length(sc.chain(), 0), rng);
+  const SimTrace trace = sim.simulate(flush, s);
+  EXPECT_EQ(trace.po[2][sc.chain().scan_out_index], V3::One);
+}
+
+TEST(ScanKnowledge, LoadSequenceBringsCircuitToState) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const SequentialSimulator sim(sc.netlist);
+  Rng rng(23);
+
+  const State target{V3::One, V3::Zero, V3::One};
+  const TestSequence load = make_scan_load_sequence(sc, 0, target, rng);
+  ASSERT_EQ(load.length(), 3u);
+  const SimTrace trace = sim.simulate(load, sim.initial_state());
+  EXPECT_EQ(trace.state.back(), target);
+}
+
+TEST(ScanKnowledge, LoadSequenceWorksFromAnyState) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const SequentialSimulator sim(sc.netlist);
+  Rng rng(29);
+  const State target{V3::Zero, V3::Zero, V3::One};
+  const TestSequence load = make_scan_load_sequence(sc, 0, target, rng);
+  for (const State& start :
+       {State{V3::One, V3::One, V3::One}, State{V3::X, V3::X, V3::X}, State{V3::Zero, V3::One, V3::X}}) {
+    EXPECT_EQ(sim.simulate(load, start).state.back(), target);
+  }
+}
+
+TEST(ScanKnowledge, LoadRejectsWrongWidth) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  Rng rng(1);
+  EXPECT_THROW(make_scan_load_sequence(sc, 0, State{V3::One}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,108 @@
+#include "sim/sequence_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(SequenceIo, RoundTrip) {
+  TestSequence seq = TestSequence::from_rows(4, {"01x1", "1110", "xxxx"});
+  const TestSequence back = read_sequence_string(write_sequence_string(seq));
+  EXPECT_EQ(seq, back);
+}
+
+TEST(SequenceIo, EmptySequenceRoundTrips) {
+  const TestSequence seq(7);
+  const TestSequence back = read_sequence_string(write_sequence_string(seq));
+  EXPECT_EQ(back.num_inputs(), 7u);
+  EXPECT_EQ(back.length(), 0u);
+}
+
+TEST(SequenceIo, CommentsAndBlanksIgnored) {
+  const auto text = "# header comment\nuseq v1 2\n\n01  # trailing\n# mid comment\n1x\n";
+  const TestSequence seq = read_sequence_string(text);
+  ASSERT_EQ(seq.length(), 2u);
+  EXPECT_EQ(seq.at(1, 1), V3::X);
+}
+
+TEST(SequenceIo, RejectsBadHeader) {
+  EXPECT_THROW(read_sequence_string("frob v1 3\n000\n"), std::runtime_error);
+  EXPECT_THROW(read_sequence_string("useq v2 3\n000\n"), std::runtime_error);
+  EXPECT_THROW(read_sequence_string(""), std::runtime_error);
+}
+
+TEST(SequenceIo, RejectsBadRows) {
+  EXPECT_THROW(read_sequence_string("useq v1 3\n01\n"), std::runtime_error);
+  EXPECT_THROW(read_sequence_string("useq v1 3\n012\n"), std::runtime_error);
+}
+
+TEST(SequenceIo, FileRoundTrip) {
+  TestSequence seq = TestSequence::from_rows(3, {"101", "x0x"});
+  const std::string path = ::testing::TempDir() + "seq_io_test.useq";
+  write_sequence_file(path, seq);
+  EXPECT_EQ(read_sequence_file(path), seq);
+  std::remove(path.c_str());
+}
+
+TEST(SequenceIo, MissingFileThrows) {
+  EXPECT_THROW(read_sequence_file("/nonexistent/x.useq"), std::runtime_error);
+}
+
+ScanTestSet demo_set() {
+  ScanTestSet set;
+  set.num_original_inputs = 3;
+  set.chain_length = 2;
+  set.tests.push_back({{V3::One, V3::Zero}, {{V3::Zero, V3::One, V3::X}}});
+  set.tests.push_back(
+      {{V3::X, V3::One}, {{V3::One, V3::One, V3::One}, {V3::Zero, V3::Zero, V3::Zero}}});
+  return set;
+}
+
+TEST(TestSetIo, RoundTrip) {
+  const ScanTestSet set = demo_set();
+  const ScanTestSet back = read_test_set_string(write_test_set_string(set));
+  ASSERT_EQ(back.tests.size(), 2u);
+  EXPECT_EQ(back.num_original_inputs, 3u);
+  EXPECT_EQ(back.chain_length, 2u);
+  EXPECT_EQ(back.tests[0].scan_in, set.tests[0].scan_in);
+  EXPECT_EQ(back.tests[1].vectors, set.tests[1].vectors);
+}
+
+TEST(TestSetIo, RejectsVectorBeforeTest) {
+  EXPECT_THROW(read_test_set_string("utst v1 3 2\n000\n"), std::runtime_error);
+}
+
+TEST(TestSetIo, RejectsScanInNarrowerThanChain) {
+  EXPECT_THROW(read_test_set_string("utst v1 3 2\ntest 1\n000\n"), std::runtime_error);
+}
+
+TEST(TestSetIo, MultiChainScanInWiderThanChainAccepted) {
+  // With multiple chains scan_in covers every flip-flop while chain_length
+  // is only the (max) shift count.
+  const ScanTestSet set = read_test_set_string("utst v1 3 2\ntest 1010\n000\n");
+  EXPECT_EQ(set.tests[0].scan_in.size(), 4u);
+}
+
+TEST(TestSetIo, RejectsInconsistentScanInWidths) {
+  EXPECT_THROW(read_test_set_string("utst v1 3 2\ntest 10\n000\ntest 101\n111\n"),
+               std::runtime_error);
+}
+
+TEST(TestSetIo, RejectsTestWithoutVectors) {
+  EXPECT_THROW(read_test_set_string("utst v1 3 2\ntest 10\n"), std::runtime_error);
+}
+
+TEST(TestSetIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "testset_io_test.utst";
+  write_test_set_file(path, demo_set());
+  const ScanTestSet back = read_test_set_file(path);
+  EXPECT_EQ(back.tests.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,110 @@
+#include "sim/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace uniscan {
+namespace {
+
+TEST(Sequence, AppendAndAccess) {
+  TestSequence seq(3);
+  seq.append({V3::Zero, V3::One, V3::X});
+  seq.append_x();
+  ASSERT_EQ(seq.length(), 2u);
+  EXPECT_EQ(seq.at(0, 1), V3::One);
+  EXPECT_EQ(seq.at(1, 2), V3::X);
+  seq.set(1, 2, V3::Zero);
+  EXPECT_EQ(seq.at(1, 2), V3::Zero);
+}
+
+TEST(Sequence, AppendRejectsWidthMismatch) {
+  TestSequence seq(2);
+  EXPECT_THROW(seq.append({V3::One}), std::invalid_argument);
+}
+
+TEST(Sequence, AppendSequenceConcatenates) {
+  TestSequence a(2), b(2);
+  a.append({V3::One, V3::Zero});
+  b.append({V3::Zero, V3::Zero});
+  b.append({V3::One, V3::One});
+  a.append_sequence(b);
+  ASSERT_EQ(a.length(), 3u);
+  EXPECT_EQ(a.at(2, 1), V3::One);
+}
+
+TEST(Sequence, AppendSequenceRejectsWidthMismatch) {
+  TestSequence a(2), b(3);
+  EXPECT_THROW(a.append_sequence(b), std::invalid_argument);
+}
+
+TEST(Sequence, RandomFillReplacesOnlyX) {
+  TestSequence seq = TestSequence::from_rows(4, {"01xx", "xx10"});
+  Rng rng(42);
+  seq.random_fill(rng);
+  EXPECT_EQ(seq.at(0, 0), V3::Zero);
+  EXPECT_EQ(seq.at(0, 1), V3::One);
+  EXPECT_EQ(seq.at(1, 2), V3::One);
+  EXPECT_EQ(seq.at(1, 3), V3::Zero);
+  for (std::size_t t = 0; t < seq.length(); ++t)
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_NE(seq.at(t, i), V3::X);
+}
+
+TEST(Sequence, RandomFillIsDeterministic) {
+  TestSequence a = TestSequence::from_rows(8, {"xxxxxxxx", "xxxxxxxx"});
+  TestSequence b = a;
+  Rng r1(7), r2(7);
+  a.random_fill(r1);
+  b.random_fill(r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sequence, ConstantFill) {
+  TestSequence seq = TestSequence::from_rows(3, {"x1x"});
+  seq.constant_fill(V3::Zero);
+  EXPECT_EQ(seq.at(0, 0), V3::Zero);
+  EXPECT_EQ(seq.at(0, 1), V3::One);
+  EXPECT_EQ(seq.at(0, 2), V3::Zero);
+}
+
+TEST(Sequence, CountOnes) {
+  TestSequence seq = TestSequence::from_rows(2, {"10", "11", "0x"});
+  EXPECT_EQ(seq.count_ones(0), 2u);
+  EXPECT_EQ(seq.count_ones(1), 1u);
+}
+
+TEST(Sequence, EraseRemovesVector) {
+  TestSequence seq = TestSequence::from_rows(1, {"0", "1", "x"});
+  seq.erase(1);
+  ASSERT_EQ(seq.length(), 2u);
+  EXPECT_EQ(seq.at(0, 0), V3::Zero);
+  EXPECT_EQ(seq.at(1, 0), V3::X);
+}
+
+TEST(Sequence, SelectBuildsSubsequence) {
+  TestSequence seq = TestSequence::from_rows(1, {"0", "1", "x", "0"});
+  const TestSequence sub = seq.select({0, 2, 3});
+  ASSERT_EQ(sub.length(), 3u);
+  EXPECT_EQ(sub.at(1, 0), V3::X);
+  EXPECT_THROW(seq.select({9}), std::out_of_range);
+}
+
+TEST(Sequence, TruncateShortens) {
+  TestSequence seq = TestSequence::from_rows(1, {"0", "1", "0"});
+  seq.truncate(1);
+  EXPECT_EQ(seq.length(), 1u);
+  seq.truncate(5);  // no-op beyond current length
+  EXPECT_EQ(seq.length(), 1u);
+}
+
+TEST(Sequence, FromRowsRejectsBadWidth) {
+  EXPECT_THROW(TestSequence::from_rows(3, {"01"}), std::invalid_argument);
+}
+
+TEST(Sequence, ToStringRendersRows) {
+  TestSequence seq = TestSequence::from_rows(3, {"01x"});
+  EXPECT_EQ(seq.to_string(), "01x\n");
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,159 @@
+#include "workloads/synth_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "netlist/bench_io.hpp"
+#include "scan/scan_insertion.hpp"
+#include "workloads/suite.hpp"
+
+namespace uniscan {
+namespace {
+
+SynthSpec spec(std::size_t pi, std::size_t ff, std::size_t gates, std::uint64_t seed = 1) {
+  SynthSpec s;
+  s.name = "synth";
+  s.num_inputs = pi;
+  s.num_dffs = ff;
+  s.num_gates = gates;
+  s.seed = seed;
+  return s;
+}
+
+TEST(SynthGen, MeetsRequestedProfile) {
+  const Netlist nl = generate_synthetic(spec(7, 12, 120));
+  EXPECT_EQ(nl.num_inputs(), 7u);
+  EXPECT_EQ(nl.num_dffs(), 12u);
+  EXPECT_EQ(nl.num_comb_gates(), 120u);
+  EXPECT_GE(nl.num_outputs(), 1u);
+}
+
+TEST(SynthGen, DeterministicForSameSeed) {
+  const Netlist a = generate_synthetic(spec(5, 6, 60, 42));
+  const Netlist b = generate_synthetic(spec(5, 6, 60, 42));
+  const std::string sa = write_bench_string(a);
+  const std::string sb = write_bench_string(b);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(SynthGen, DifferentSeedsDiffer) {
+  const Netlist a = generate_synthetic(spec(5, 6, 60, 1));
+  const Netlist b = generate_synthetic(spec(5, 6, 60, 2));
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(SynthGen, EveryInputAndFlipFlopIsConsumed) {
+  const Netlist nl = generate_synthetic(spec(9, 11, 100));
+  for (GateId pi : nl.inputs()) EXPECT_GT(nl.fanout_count(pi), 0u) << nl.gate(pi).name;
+  for (GateId ff : nl.dffs()) {
+    // Q consumed by logic (not only by the scan chain to be inserted later).
+    EXPECT_GT(nl.fanout_count(ff), 0u) << nl.gate(ff).name;
+    // D driven by combinational logic.
+    EXPECT_TRUE(is_combinational(nl.gate(nl.gate(ff).fanins[0]).type));
+  }
+}
+
+TEST(SynthGen, AllSinkGatesArePrimaryOutputs) {
+  const Netlist nl = generate_synthetic(spec(6, 8, 80));
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (!is_combinational(nl.gate(g).type)) continue;
+    if (nl.fanout_count(g) == 0) {
+      EXPECT_TRUE(nl.output_index(g).has_value());
+    }
+  }
+}
+
+TEST(SynthGen, NoDuplicateFaninPins) {
+  const Netlist nl = generate_synthetic(spec(6, 8, 150, 9));
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const auto& fi = nl.gate(g).fanins;
+    for (std::size_t i = 0; i < fi.size(); ++i)
+      for (std::size_t j = i + 1; j < fi.size(); ++j)
+        EXPECT_NE(fi[i], fi[j]) << "gate " << nl.gate(g).name;
+  }
+}
+
+TEST(SynthGen, RoundTripsThroughBenchFormat) {
+  const Netlist a = generate_synthetic(spec(4, 5, 50, 3));
+  const Netlist b = read_bench_string(write_bench_string(a), a.name());
+  EXPECT_EQ(a.num_inputs(), b.num_inputs());
+  EXPECT_EQ(a.num_dffs(), b.num_dffs());
+  EXPECT_EQ(a.num_comb_gates(), b.num_comb_gates());
+}
+
+TEST(SynthGen, TinyProfilesStillValid) {
+  const Netlist nl = generate_synthetic(spec(1, 1, 1));
+  EXPECT_GE(nl.num_comb_gates(), 1u);
+  EXPECT_EQ(nl.num_inputs(), 1u);
+  EXPECT_EQ(nl.num_dffs(), 1u);
+}
+
+TEST(SynthGen, RejectsDegenerateSpecs) {
+  EXPECT_THROW(generate_synthetic(spec(0, 1, 10)), std::invalid_argument);
+  EXPECT_THROW(generate_synthetic(spec(1, 0, 10)), std::invalid_argument);
+}
+
+TEST(Suite, ContainsAllPaperCircuits) {
+  EXPECT_EQ(paper_suite().size(), 27u);  // 18 ISCAS-89 rows + 8 ITC-99 rows + s27
+  EXPECT_TRUE(find_suite_entry("s298").has_value());
+  EXPECT_TRUE(find_suite_entry("b11").has_value());
+  EXPECT_FALSE(find_suite_entry("nope").has_value());
+}
+
+TEST(Suite, ProfilesMatchPaperTable5) {
+  // inp column of Table 5 includes the two scan lines.
+  const auto s298 = *find_suite_entry("s298");
+  EXPECT_EQ(s298.num_inputs + 2, 5u);
+  EXPECT_EQ(s298.num_dffs, 14u);
+  const auto b09 = *find_suite_entry("b09");
+  EXPECT_EQ(b09.num_inputs + 2, 4u);
+  EXPECT_EQ(b09.num_dffs, 28u);
+}
+
+TEST(Suite, LoadCircuitProducesMatchingProfiles) {
+  for (const char* name : {"s27", "s298", "b01"}) {
+    const auto entry = *find_suite_entry(name);
+    const Netlist nl = load_circuit(entry);
+    EXPECT_EQ(nl.num_inputs(), entry.num_inputs) << name;
+    EXPECT_EQ(nl.num_dffs(), entry.num_dffs) << name;
+  }
+}
+
+TEST(Suite, S27IsTheRealCircuit) {
+  const Netlist nl = load_circuit(*find_suite_entry("s27"));
+  EXPECT_TRUE(nl.find("G17").has_value());
+  EXPECT_EQ(nl.num_comb_gates(), 10u);
+}
+
+TEST(Suite, EveryPaperCircuitConstructs) {
+  // All 27 suite circuits — including the large --full ones up to s35932
+  // (1728 FFs, ~16k gates) — must build, finalize and scan-insert cleanly.
+  for (const auto& entry : paper_suite()) {
+    const Netlist nl = load_circuit(entry);
+    EXPECT_EQ(nl.num_inputs(), entry.num_inputs) << entry.name;
+    EXPECT_EQ(nl.num_dffs(), entry.num_dffs) << entry.name;
+    EXPECT_TRUE(nl.is_finalized());
+    const ScanCircuit sc = insert_scan(nl);
+    EXPECT_EQ(sc.netlist.num_inputs(), entry.num_inputs + 2) << entry.name;
+  }
+}
+
+TEST(Suite, MediumCircuitFullPipeline) {
+  // One --full-only circuit end to end (s641-class: 35 PIs, 19 FFs).
+  const Netlist c = load_circuit(*find_suite_entry("s641"));
+  PipelineConfig cfg;
+  cfg.run_baseline = false;
+  const GenerateCompactReport r = run_generate_and_compact(c, cfg);
+  EXPECT_GE(r.atpg.fault_coverage(), 90.0);
+  EXPECT_LE(r.omitted.total, r.restored.total);
+}
+
+TEST(Suite, FastSuiteIsSubset) {
+  const auto fast = fast_suite();
+  EXPECT_GT(fast.size(), 10u);
+  EXPECT_LT(fast.size(), paper_suite().size());
+  for (const auto& e : fast) EXPECT_TRUE(e.in_fast_suite);
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,161 @@
+#include "translate/translation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_list.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/sequential_sim.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+std::vector<V3> vec(const std::string& s) {
+  std::vector<V3> out;
+  for (char c : s) out.push_back(v3_from_char(c));
+  return out;
+}
+
+/// The paper's Table 2 test set for s27_scan (T_4 has three vectors — Table 3
+/// shows the translated sequence with functional vectors at rows 15-17).
+ScanTestSet paper_table2() {
+  ScanTestSet set;
+  set.num_original_inputs = 4;
+  set.chain_length = 3;
+  set.tests.push_back({vec("011"), {vec("0000")}});
+  set.tests.push_back({vec("011"), {vec("1101")}});
+  set.tests.push_back({vec("000"), {vec("1010")}});
+  set.tests.push_back({vec("110"), {vec("0100"), vec("0111"), vec("1001")}});
+  return set;
+}
+
+TEST(Translation, LengthEqualsApplicationCycles) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const ScanTestSet set = paper_table2();
+  TranslationOptions opt;
+  opt.fill = XFillPolicy::KeepX;
+  const TestSequence seq = translate_test_set(sc, set, opt);
+  // Paper Table 3: 21 vectors (4 tests: 3+1, 3+1, 3+1, 3+2, plus final 3).
+  EXPECT_EQ(seq.length(), 21u);
+  EXPECT_EQ(seq.length(), set.application_cycles());
+}
+
+TEST(Translation, MatchesPaperTable3Structure) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  TranslationOptions opt;
+  opt.fill = XFillPolicy::KeepX;
+  const TestSequence seq = translate_test_set(sc, paper_table2(), opt);
+  const std::size_t sel = sc.scan_sel_index();
+  const std::size_t inp = sc.chain().scan_inp_index;
+
+  // Table 3 rows 0-2: scan in 011 -> scan_inp = 1,1,0.
+  for (int t : {0, 1, 2}) EXPECT_EQ(seq.at(t, sel), V3::One);
+  EXPECT_EQ(seq.at(0, inp), V3::One);
+  EXPECT_EQ(seq.at(1, inp), V3::One);
+  EXPECT_EQ(seq.at(2, inp), V3::Zero);
+  // Row 3: T_1 = 0000 with scan_sel = 0.
+  EXPECT_EQ(seq.at(3, sel), V3::Zero);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seq.at(3, i), V3::Zero);
+  // Row 7: T_2 = 1101.
+  EXPECT_EQ(seq.at(7, sel), V3::Zero);
+  EXPECT_EQ(seq.at(7, 0), V3::One);
+  EXPECT_EQ(seq.at(7, 1), V3::One);
+  EXPECT_EQ(seq.at(7, 2), V3::Zero);
+  EXPECT_EQ(seq.at(7, 3), V3::One);
+  // Rows 8-10: scan in 000.
+  for (int t : {8, 9, 10}) {
+    EXPECT_EQ(seq.at(t, sel), V3::One);
+    EXPECT_EQ(seq.at(t, inp), V3::Zero);
+  }
+  // Rows 12-14: scan in 110 -> fed reversed: 0,1,1.
+  EXPECT_EQ(seq.at(12, inp), V3::Zero);
+  EXPECT_EQ(seq.at(13, inp), V3::One);
+  EXPECT_EQ(seq.at(14, inp), V3::One);
+  // Rows 15-17: T_4 = 0100, 0111, 1001.
+  for (int t : {15, 16, 17}) EXPECT_EQ(seq.at(t, sel), V3::Zero);
+  EXPECT_EQ(seq.at(17, 0), V3::One);
+  EXPECT_EQ(seq.at(17, 3), V3::One);
+  // Rows 18-20: final scan-out.
+  for (int t : {18, 19, 20}) EXPECT_EQ(seq.at(t, sel), V3::One);
+}
+
+TEST(Translation, ScanInLoadsCorrectState) {
+  // Simulate the translated sequence and verify the state right before each
+  // functional vector equals the test's scan-in.
+  const ScanCircuit sc = insert_scan(make_s27());
+  const ScanTestSet set = paper_table2();
+  TranslationOptions opt;
+  opt.fill = XFillPolicy::RandomFill;
+  opt.seed = 3;
+  const TestSequence seq = translate_test_set(sc, set, opt);
+  const SequentialSimulator sim(sc.netlist);
+  const SimTrace trace = sim.simulate(seq, sim.initial_state());
+
+  // Test 1's functional vector is at t=3; the state entering t=3 must be 011.
+  EXPECT_EQ(trace.state[3], (State{V3::Zero, V3::One, V3::One}));
+  // Test 3 at t=11: state 000.
+  EXPECT_EQ(trace.state[11], (State{V3::Zero, V3::Zero, V3::Zero}));
+  // Test 4 at t=15: state 110.
+  EXPECT_EQ(trace.state[15], (State{V3::One, V3::One, V3::Zero}));
+}
+
+TEST(Translation, DetectsWhatTheTestSetDetects) {
+  // Property from Section 3: the translated sequence detects every fault the
+  // scan test set detects. We verify the paper's Table 2 set detects a
+  // healthy share of s27_scan faults through its translation.
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const TestSequence seq = translate_test_set(sc, paper_table2(), {});
+  FaultSimulator sim(sc.netlist);
+  const auto det = sim.detected_indices(seq, fl.faults());
+  EXPECT_GT(det.size(), fl.size() / 2);
+}
+
+TEST(Translation, FillPolicies) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  TranslationOptions keep;
+  keep.fill = XFillPolicy::KeepX;
+  TranslationOptions zero;
+  zero.fill = XFillPolicy::ZeroFill;
+  TranslationOptions random;
+  random.fill = XFillPolicy::RandomFill;
+
+  const TestSequence kx = translate_test_set(sc, paper_table2(), keep);
+  bool has_x = false;
+  for (std::size_t t = 0; t < kx.length(); ++t)
+    for (std::size_t i = 0; i < kx.num_inputs(); ++i) has_x |= kx.at(t, i) == V3::X;
+  EXPECT_TRUE(has_x);
+
+  for (const auto& opt : {zero, random}) {
+    const TestSequence full = translate_test_set(sc, paper_table2(), opt);
+    for (std::size_t t = 0; t < full.length(); ++t)
+      for (std::size_t i = 0; i < full.num_inputs(); ++i)
+        EXPECT_NE(full.at(t, i), V3::X);
+  }
+}
+
+TEST(Translation, RejectsMismatchedShapes) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  ScanTestSet bad = paper_table2();
+  bad.chain_length = 5;
+  EXPECT_THROW(translate_test_set(sc, bad), std::invalid_argument);
+
+  ScanTestSet bad2 = paper_table2();
+  bad2.tests[0].scan_in.pop_back();
+  EXPECT_THROW(translate_test_set(sc, bad2), std::invalid_argument);
+
+  ScanTestSet bad3 = paper_table2();
+  bad3.num_original_inputs = 9;
+  EXPECT_THROW(translate_test_set(sc, bad3), std::invalid_argument);
+}
+
+TEST(Translation, ApplicationCycleAccounting) {
+  const ScanTestSet set = paper_table2();
+  // sum (N + |T_i|) + N = (3+1)+(3+1)+(3+1)+(3+3)+3 = 21 (the paper's
+  // Table 3 has 21 rows, 0 through 20).
+  EXPECT_EQ(set.application_cycles(), 21u);
+  EXPECT_EQ(set.functional_cycles(), 6u);
+}
+
+}  // namespace
+}  // namespace uniscan

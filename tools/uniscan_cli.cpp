@@ -1,0 +1,274 @@
+// uniscan command-line tool: the library's flows on .bench files.
+//
+//   uniscan_cli stats       <circuit.bench>
+//   uniscan_cli insert-scan <circuit.bench> [--chains=N] [-o out.bench]
+//   uniscan_cli generate    <circuit.bench> [--chains=N] [--seed=N]
+//                           [--no-scan-knowledge] [-o seq.useq]
+//   uniscan_cli compact     <circuit.bench> <seq.useq> [--chains=N]
+//                           [--skip-restoration] [--skip-omission] [-o out.useq]
+//   uniscan_cli faultsim    <circuit.bench> <seq.useq> [--chains=N]
+//   uniscan_cli baseline    <circuit.bench> [--chains=N] [--seed=N] [-o tests.utst]
+//   uniscan_cli translate   <circuit.bench> <tests.utst> [--x-fill=random|zero|repeat]
+//                           [-o seq.useq]
+//   uniscan_cli classify    <circuit.bench> [--window=K]
+//   uniscan_cli export      <circuit.bench> <seq.useq> [--chains=N]
+//   uniscan_cli metrics     <circuit.bench> <seq.useq> [--chains=N]
+//
+// The circuit argument is always the NON-scan netlist; scan insertion
+// happens internally (--chains, default 1). Sequences are over the scan
+// circuit's inputs (original PIs, then scan_sel, then scan_inp per chain).
+#include <cstdio>
+#include <fstream>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atpg/redundancy.hpp"
+#include "core/uniscan.hpp"
+#include "sim/sequence_io.hpp"
+
+namespace {
+
+using namespace uniscan;
+
+struct CliArgs {
+  std::string command;
+  std::vector<std::string> positional;
+  std::string output;
+  std::size_t chains = 1;
+  std::uint64_t seed = 1;
+  std::size_t window = 1;
+  bool scan_knowledge = true;
+  bool skip_restoration = false;
+  bool skip_omission = false;
+  XFillPolicy fill = XFillPolicy::RandomFill;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: uniscan_cli <stats|insert-scan|generate|compact|faultsim|baseline|"
+               "translate|classify> <circuit.bench> [args] [flags]\n"
+               "run with a command and no arguments for per-command flags\n");
+  return 2;
+}
+
+std::optional<CliArgs> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  CliArgs a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (++i >= argc) return std::nullopt;
+      a.output = argv[i];
+    } else if (arg.rfind("--chains=", 0) == 0) {
+      a.chains = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      a.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      a.window = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg == "--no-scan-knowledge") {
+      a.scan_knowledge = false;
+    } else if (arg == "--skip-restoration") {
+      a.skip_restoration = true;
+    } else if (arg == "--skip-omission") {
+      a.skip_omission = true;
+    } else if (arg == "--x-fill=random") {
+      a.fill = XFillPolicy::RandomFill;
+    } else if (arg == "--x-fill=zero") {
+      a.fill = XFillPolicy::ZeroFill;
+    } else if (arg == "--x-fill=repeat") {
+      a.fill = XFillPolicy::RepeatFill;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return std::nullopt;
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+void emit_sequence(const CliArgs& a, const TestSequence& seq) {
+  if (a.output.empty()) write_sequence(std::cout, seq);
+  else write_sequence_file(a.output, seq);
+}
+
+int cmd_stats(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  std::cout << c.stats_string() << "\n";
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  std::cout << "scan version (" << a.chains << " chain(s)): " << sc.netlist.stats_string()
+            << "\n";
+  std::cout << "collapsed faults: " << fl.size() << " (of " << fl.uncollapsed_count()
+            << " uncollapsed)\n";
+  return 0;
+}
+
+int cmd_insert_scan(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  if (a.output.empty()) write_bench(std::cout, sc.netlist);
+  else {
+    std::ofstream f(a.output);
+    if (!f) throw std::runtime_error("cannot write " + a.output);
+    write_bench(f, sc.netlist);
+  }
+  return 0;
+}
+
+int cmd_generate(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  AtpgOptions opt;
+  opt.seed = a.seed;
+  opt.use_scan_knowledge = a.scan_knowledge;
+  const AtpgResult r = generate_tests(sc, opt);
+  std::fprintf(stderr, "coverage %.2f%% (%zu/%zu), %zu via scan knowledge, %zu vectors\n",
+               r.fault_coverage(), r.detected, r.num_faults, r.detected_by_scan_knowledge,
+               r.sequence.length());
+  emit_sequence(a, r.sequence);
+  return 0;
+}
+
+int cmd_compact(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  TestSequence seq = read_sequence_file(a.positional.at(1));
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  if (seq.num_inputs() != sc.netlist.num_inputs())
+    throw std::runtime_error("sequence width does not match the scan circuit");
+
+  if (!a.skip_restoration) {
+    const CompactionResult r = restoration_compact(sc.netlist, seq, fl.faults());
+    std::fprintf(stderr, "restoration: %zu -> %zu vectors\n", r.original_length,
+                 r.sequence.length());
+    seq = r.sequence;
+  }
+  if (!a.skip_omission) {
+    const CompactionResult r = omission_compact(sc.netlist, seq, fl.faults());
+    std::fprintf(stderr, "omission: %zu -> %zu vectors (+%zu faults)\n", r.original_length,
+                 r.sequence.length(), r.extra_detected);
+    seq = r.sequence;
+  }
+  emit_sequence(a, seq);
+  return 0;
+}
+
+int cmd_faultsim(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  const TestSequence seq = read_sequence_file(a.positional.at(1));
+  if (seq.num_inputs() != sc.netlist.num_inputs())
+    throw std::runtime_error("sequence width does not match the scan circuit");
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  FaultSimulator sim(sc.netlist);
+  const auto det = sim.detected_indices(seq, fl.faults());
+  std::cout << "detected " << det.size() << "/" << fl.size() << " collapsed faults ("
+            << format_pct(100.0 * static_cast<double>(det.size()) /
+                          static_cast<double>(fl.size()))
+            << "%) with " << seq.length() << " vectors\n";
+  return 0;
+}
+
+int cmd_baseline(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  BaselineOptions opt;
+  opt.seed = a.seed;
+  const BaselineResult r = generate_baseline_tests(sc, opt);
+  std::fprintf(stderr, "coverage %.2f%% (%zu/%zu), %zu tests, %zu cycles\n",
+               r.fault_coverage(), r.detected, r.num_faults, r.test_set.tests.size(),
+               r.application_cycles());
+  if (a.output.empty()) write_test_set(std::cout, r.test_set);
+  else write_test_set_file(a.output, r.test_set);
+  return 0;
+}
+
+int cmd_translate(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  const ScanTestSet set = read_test_set_file(a.positional.at(1));
+  TranslationOptions opt;
+  opt.fill = a.fill;
+  opt.seed = a.seed;
+  const TestSequence seq = translate_test_set(sc, set, opt);
+  std::fprintf(stderr, "translated %zu tests into %zu vectors\n", set.tests.size(),
+               seq.length());
+  emit_sequence(a, seq);
+  return 0;
+}
+
+int cmd_export(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  const TestSequence seq = read_sequence_file(a.positional.at(1));
+  if (seq.num_inputs() != sc.netlist.num_inputs())
+    throw std::runtime_error("sequence width does not match the scan circuit");
+  const std::string program = format_tester_program(sc, seq);
+  if (a.output.empty()) std::cout << program;
+  else {
+    std::ofstream f(a.output);
+    if (!f) throw std::runtime_error("cannot write " + a.output);
+    f << program;
+  }
+  return 0;
+}
+
+int cmd_metrics(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  const TestSequence seq = read_sequence_file(a.positional.at(1));
+  if (seq.num_inputs() != sc.netlist.num_inputs())
+    throw std::runtime_error("sequence width does not match the scan circuit");
+  std::cout << format_metrics(compute_metrics(sc, seq));
+  return 0;
+}
+
+int cmd_classify(const CliArgs& a) {
+  const Netlist c = read_bench_file(a.positional.at(0));
+  const ScanCircuit sc = insert_scan(c, a.chains);
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  RedundancyOptions opt;
+  opt.window = a.window;
+  const RedundancyReport r = classify_faults(sc, fl.faults(), opt);
+  std::cout << "faults: " << fl.size() << "\n"
+            << "  testable : " << r.testable << "\n"
+            << "  redundant: " << r.redundant << " (no (SI,T) test with |T| <= " << a.window
+            << ")\n"
+            << "  aborted  : " << r.aborted << "\n";
+  for (std::size_t i = 0; i < fl.size(); ++i)
+    if (r.classes[i] == FaultClass::Redundant)
+      std::cout << "  redundant fault: " << fault_to_string(sc.netlist, fl[i]) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    const auto need = [&](std::size_t n) {
+      if (args->positional.size() < n)
+        throw std::runtime_error("missing arguments; see header comment for usage");
+    };
+    if (args->command == "stats") return need(1), cmd_stats(*args);
+    if (args->command == "insert-scan") return need(1), cmd_insert_scan(*args);
+    if (args->command == "generate") return need(1), cmd_generate(*args);
+    if (args->command == "compact") return need(2), cmd_compact(*args);
+    if (args->command == "faultsim") return need(2), cmd_faultsim(*args);
+    if (args->command == "baseline") return need(1), cmd_baseline(*args);
+    if (args->command == "translate") return need(2), cmd_translate(*args);
+    if (args->command == "classify") return need(1), cmd_classify(*args);
+    if (args->command == "export") return need(2), cmd_export(*args);
+    if (args->command == "metrics") return need(2), cmd_metrics(*args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
