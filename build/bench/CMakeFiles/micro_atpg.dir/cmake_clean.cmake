@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_atpg.dir/micro_atpg.cpp.o"
+  "CMakeFiles/micro_atpg.dir/micro_atpg.cpp.o.d"
+  "micro_atpg"
+  "micro_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compaction.dir/micro_compaction.cpp.o"
+  "CMakeFiles/micro_compaction.dir/micro_compaction.cpp.o.d"
+  "micro_compaction"
+  "micro_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

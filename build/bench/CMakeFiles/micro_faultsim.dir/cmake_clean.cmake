@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_faultsim.dir/micro_faultsim.cpp.o"
+  "CMakeFiles/micro_faultsim.dir/micro_faultsim.cpp.o.d"
+  "micro_faultsim"
+  "micro_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_xfill.dir/micro_xfill.cpp.o"
+  "CMakeFiles/micro_xfill.dir/micro_xfill.cpp.o.d"
+  "micro_xfill"
+  "micro_xfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_xfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

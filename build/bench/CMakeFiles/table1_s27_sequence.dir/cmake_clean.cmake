@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_s27_sequence.dir/table1_s27_sequence.cpp.o"
+  "CMakeFiles/table1_s27_sequence.dir/table1_s27_sequence.cpp.o.d"
+  "table1_s27_sequence"
+  "table1_s27_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_s27_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_translation.dir/table3_translation.cpp.o"
+  "CMakeFiles/table3_translation.dir/table3_translation.cpp.o.d"
+  "table3_translation"
+  "table3_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

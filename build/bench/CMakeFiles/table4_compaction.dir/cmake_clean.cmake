@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_compaction.dir/table4_compaction.cpp.o"
+  "CMakeFiles/table4_compaction.dir/table4_compaction.cpp.o.d"
+  "table4_compaction"
+  "table4_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

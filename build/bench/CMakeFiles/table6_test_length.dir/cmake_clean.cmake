@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_test_length.dir/table6_test_length.cpp.o"
+  "CMakeFiles/table6_test_length.dir/table6_test_length.cpp.o.d"
+  "table6_test_length"
+  "table6_test_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_test_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

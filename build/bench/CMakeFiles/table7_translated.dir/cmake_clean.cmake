@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_translated.dir/table7_translated.cpp.o"
+  "CMakeFiles/table7_translated.dir/table7_translated.cpp.o.d"
+  "table7_translated"
+  "table7_translated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_translated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_transition.dir/table8_transition.cpp.o"
+  "CMakeFiles/table8_transition.dir/table8_transition.cpp.o.d"
+  "table8_transition"
+  "table8_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_analysis.dir/advanced_analysis.cpp.o"
+  "CMakeFiles/advanced_analysis.dir/advanced_analysis.cpp.o.d"
+  "advanced_analysis"
+  "advanced_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_flow.dir/bench_file_flow.cpp.o"
+  "CMakeFiles/bench_file_flow.dir/bench_file_flow.cpp.o.d"
+  "bench_file_flow"
+  "bench_file_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_legacy_tests.dir/translate_legacy_tests.cpp.o"
+  "CMakeFiles/translate_legacy_tests.dir/translate_legacy_tests.cpp.o.d"
+  "translate_legacy_tests"
+  "translate_legacy_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_legacy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/dcalc.cpp" "src/CMakeFiles/uniscan.dir/atpg/dcalc.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/dcalc.cpp.o.d"
+  "/root/repo/src/atpg/frame_model.cpp" "src/CMakeFiles/uniscan.dir/atpg/frame_model.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/frame_model.cpp.o.d"
+  "/root/repo/src/atpg/ndetect.cpp" "src/CMakeFiles/uniscan.dir/atpg/ndetect.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/ndetect.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/CMakeFiles/uniscan.dir/atpg/podem.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/podem.cpp.o.d"
+  "/root/repo/src/atpg/redundancy.cpp" "src/CMakeFiles/uniscan.dir/atpg/redundancy.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/redundancy.cpp.o.d"
+  "/root/repo/src/atpg/scan_knowledge.cpp" "src/CMakeFiles/uniscan.dir/atpg/scan_knowledge.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/scan_knowledge.cpp.o.d"
+  "/root/repo/src/atpg/seq_atpg.cpp" "src/CMakeFiles/uniscan.dir/atpg/seq_atpg.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/seq_atpg.cpp.o.d"
+  "/root/repo/src/atpg/transition_atpg.cpp" "src/CMakeFiles/uniscan.dir/atpg/transition_atpg.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/atpg/transition_atpg.cpp.o.d"
+  "/root/repo/src/baseline/comb_atpg.cpp" "src/CMakeFiles/uniscan.dir/baseline/comb_atpg.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/baseline/comb_atpg.cpp.o.d"
+  "/root/repo/src/baseline/scan_testset_gen.cpp" "src/CMakeFiles/uniscan.dir/baseline/scan_testset_gen.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/baseline/scan_testset_gen.cpp.o.d"
+  "/root/repo/src/compact/omission.cpp" "src/CMakeFiles/uniscan.dir/compact/omission.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/compact/omission.cpp.o.d"
+  "/root/repo/src/compact/restoration.cpp" "src/CMakeFiles/uniscan.dir/compact/restoration.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/compact/restoration.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/uniscan.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/uniscan.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/uniscan.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/core/report.cpp.o.d"
+  "/root/repo/src/diag/diagnosis.cpp" "src/CMakeFiles/uniscan.dir/diag/diagnosis.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/diag/diagnosis.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/uniscan.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_list.cpp" "src/CMakeFiles/uniscan.dir/fault/fault_list.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/fault/fault_list.cpp.o.d"
+  "/root/repo/src/fault/transition_fault.cpp" "src/CMakeFiles/uniscan.dir/fault/transition_fault.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/fault/transition_fault.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "src/CMakeFiles/uniscan.dir/netlist/bench_io.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/uniscan.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/CMakeFiles/uniscan.dir/netlist/gate.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/netlist/gate.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/uniscan.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/CMakeFiles/uniscan.dir/netlist/verilog_io.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/netlist/verilog_io.cpp.o.d"
+  "/root/repo/src/scan/scan_insertion.cpp" "src/CMakeFiles/uniscan.dir/scan/scan_insertion.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/scan/scan_insertion.cpp.o.d"
+  "/root/repo/src/scan/scan_test.cpp" "src/CMakeFiles/uniscan.dir/scan/scan_test.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/scan/scan_test.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/uniscan.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/fault_sim.cpp" "src/CMakeFiles/uniscan.dir/sim/fault_sim.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/fault_sim.cpp.o.d"
+  "/root/repo/src/sim/fault_sim_session.cpp" "src/CMakeFiles/uniscan.dir/sim/fault_sim_session.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/fault_sim_session.cpp.o.d"
+  "/root/repo/src/sim/logic3.cpp" "src/CMakeFiles/uniscan.dir/sim/logic3.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/logic3.cpp.o.d"
+  "/root/repo/src/sim/sequence.cpp" "src/CMakeFiles/uniscan.dir/sim/sequence.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/sequence.cpp.o.d"
+  "/root/repo/src/sim/sequence_io.cpp" "src/CMakeFiles/uniscan.dir/sim/sequence_io.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/sequence_io.cpp.o.d"
+  "/root/repo/src/sim/sequential_sim.cpp" "src/CMakeFiles/uniscan.dir/sim/sequential_sim.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/sequential_sim.cpp.o.d"
+  "/root/repo/src/sim/transition_sim.cpp" "src/CMakeFiles/uniscan.dir/sim/transition_sim.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/sim/transition_sim.cpp.o.d"
+  "/root/repo/src/translate/translation.cpp" "src/CMakeFiles/uniscan.dir/translate/translation.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/translate/translation.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/uniscan.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/uniscan.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/string_utils.cpp" "src/CMakeFiles/uniscan.dir/util/string_utils.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/util/string_utils.cpp.o.d"
+  "/root/repo/src/workloads/circuits.cpp" "src/CMakeFiles/uniscan.dir/workloads/circuits.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/workloads/circuits.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/uniscan.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/workloads/suite.cpp.o.d"
+  "/root/repo/src/workloads/synth_gen.cpp" "src/CMakeFiles/uniscan.dir/workloads/synth_gen.cpp.o" "gcc" "src/CMakeFiles/uniscan.dir/workloads/synth_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

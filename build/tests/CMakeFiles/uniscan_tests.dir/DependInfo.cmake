@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/bench_io_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/bench_io_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/bench_io_test.cpp.o.d"
+  "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/cli_test.cpp.o.d"
+  "/root/repo/tests/compaction_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/compaction_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/compaction_test.cpp.o.d"
+  "/root/repo/tests/dcalc_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/dcalc_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/dcalc_test.cpp.o.d"
+  "/root/repo/tests/event_sim_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/event_sim_test.cpp.o.d"
+  "/root/repo/tests/fault_list_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/fault_list_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/fault_list_test.cpp.o.d"
+  "/root/repo/tests/fault_sim_session_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/fault_sim_session_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/fault_sim_session_test.cpp.o.d"
+  "/root/repo/tests/fault_sim_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/fault_sim_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/fault_sim_test.cpp.o.d"
+  "/root/repo/tests/frame_model_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/frame_model_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/frame_model_test.cpp.o.d"
+  "/root/repo/tests/fuzz_property_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/fuzz_property_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/fuzz_property_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/logic3_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/logic3_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/logic3_test.cpp.o.d"
+  "/root/repo/tests/metrics_diag_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/metrics_diag_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/metrics_diag_test.cpp.o.d"
+  "/root/repo/tests/ndetect_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/ndetect_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/ndetect_test.cpp.o.d"
+  "/root/repo/tests/netlist_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/netlist_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/podem_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/podem_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/podem_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/redundancy_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/redundancy_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/redundancy_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/scan_insertion_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/scan_insertion_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/scan_insertion_test.cpp.o.d"
+  "/root/repo/tests/scan_knowledge_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/scan_knowledge_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/scan_knowledge_test.cpp.o.d"
+  "/root/repo/tests/seq_atpg_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/seq_atpg_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/seq_atpg_test.cpp.o.d"
+  "/root/repo/tests/sequence_io_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/sequence_io_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/sequence_io_test.cpp.o.d"
+  "/root/repo/tests/sequence_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/sequence_test.cpp.o.d"
+  "/root/repo/tests/sequential_sim_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/sequential_sim_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/sequential_sim_test.cpp.o.d"
+  "/root/repo/tests/synth_gen_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/synth_gen_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/synth_gen_test.cpp.o.d"
+  "/root/repo/tests/transition_property_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/transition_property_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/transition_property_test.cpp.o.d"
+  "/root/repo/tests/transition_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/transition_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/transition_test.cpp.o.d"
+  "/root/repo/tests/translation_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/translation_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/translation_test.cpp.o.d"
+  "/root/repo/tests/verilog_io_test.cpp" "tests/CMakeFiles/uniscan_tests.dir/verilog_io_test.cpp.o" "gcc" "tests/CMakeFiles/uniscan_tests.dir/verilog_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uniscan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniscan_cli.dir/uniscan_cli.cpp.o"
+  "CMakeFiles/uniscan_cli.dir/uniscan_cli.cpp.o.d"
+  "uniscan_cli"
+  "uniscan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
