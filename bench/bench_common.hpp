@@ -7,16 +7,21 @@
 //   --seed=N             ATPG seed
 //   --no-scan-knowledge  disable the Section-2 functional scan knowledge
 //   --x-fill=random|zero translation x-fill policy
+//   --threads=N          size of the global fault-simulation thread pool
+//   --json=FILE          also write machine-readable results to FILE
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/uniscan.hpp"
+#include "util/thread_pool.hpp"
 
 namespace uniscan::bench {
 
@@ -25,7 +30,9 @@ struct Args {
   bool scan_knowledge = true;
   std::string circuit;
   std::string bench_dir;
+  std::string json;
   std::uint64_t seed = 1;
+  std::size_t threads = 1;
   XFillPolicy fill = XFillPolicy::RandomFill;
 };
 
@@ -37,7 +44,10 @@ inline Args parse_args(int argc, char** argv) {
     else if (arg == "--no-scan-knowledge") a.scan_knowledge = false;
     else if (arg.rfind("--circuit=", 0) == 0) a.circuit = arg.substr(10);
     else if (arg.rfind("--bench-dir=", 0) == 0) a.bench_dir = arg.substr(12);
+    else if (arg.rfind("--json=", 0) == 0) a.json = arg.substr(7);
     else if (arg.rfind("--seed=", 0) == 0) a.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    else if (arg.rfind("--threads=", 0) == 0)
+      a.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     else if (arg == "--x-fill=zero") a.fill = XFillPolicy::ZeroFill;
     else if (arg == "--x-fill=random") a.fill = XFillPolicy::RandomFill;
     else {
@@ -45,8 +55,64 @@ inline Args parse_args(int argc, char** argv) {
       std::exit(2);
     }
   }
+  if (a.threads == 0) a.threads = 1;
+  ThreadPool::set_global_threads(a.threads);
   return a;
 }
+
+/// Wall-clock stopwatch for the experiment binaries.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects per-stage results and writes them as a JSON document:
+///   { "threads": N, "entries": [ {name, wall_ms, gate_evals, in_len,
+///     out_len}, ... ] }
+/// Intended for CI artifacts (BENCH_compaction.json).
+class BenchJson {
+ public:
+  void add(std::string name, double wall_ms, std::uint64_t gate_evals, std::size_t in_len,
+           std::size_t out_len) {
+    entries_.push_back({std::move(name), wall_ms, gate_evals, in_len, out_len});
+  }
+
+  /// No-op when `path` is empty (no --json flag given).
+  void write(const std::string& path, std::size_t threads) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << "{\n  \"threads\": " << threads << ",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "    {\"name\": \"" << e.name << "\", \"wall_ms\": " << e.wall_ms
+          << ", \"gate_evals\": " << e.gate_evals << ", \"in_len\": " << e.in_len
+          << ", \"out_len\": " << e.out_len << "}" << (i + 1 < entries_.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double wall_ms;
+    std::uint64_t gate_evals;
+    std::size_t in_len;
+    std::size_t out_len;
+  };
+  std::vector<Entry> entries_;
+};
 
 inline std::vector<SuiteEntry> select_suite(const Args& a) {
   if (!a.circuit.empty()) {

@@ -1,9 +1,15 @@
 // Microbenchmarks + ablations for the static compaction procedures:
-// restoration-before-omission order (DESIGN.md §5 ablation 4) and the
-// omission trial order (back-to-front vs front-to-back).
+// restoration-before-omission order (DESIGN.md §5 ablation 4), the omission
+// trial order (back-to-front vs front-to-back), and the omission checkpoint
+// interval. Accepts --threads=N (stripped before google-benchmark sees the
+// flags) to size the global fault-simulation pool.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "core/uniscan.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace uniscan;
 
@@ -92,6 +98,44 @@ void BM_OmissionOrder(benchmark::State& state) {
 }
 BENCHMARK(BM_OmissionOrder)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+/// Ablation: omission checkpoint interval (0 = resimulate every trial from
+/// power-up). The result is bit-identical across intervals; only the work
+/// per trial changes.
+void BM_OmissionCheckpoint(benchmark::State& state) {
+  Setup& s = s27();
+  OmissionOptions opt;
+  opt.checkpoint_interval = static_cast<std::size_t>(state.range(0));
+  std::size_t len = 0;
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    CompactionResult r = omission_compact(s.sc.netlist, s.atpg.sequence, s.fl.faults(), opt);
+    len = r.sequence.length();
+    evals = r.gate_evals;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["final_len"] = static_cast<double>(len);
+  state.counters["gate_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_OmissionCheckpoint)->Arg(0)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out --threads=N before google-benchmark rejects it as unknown.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const std::size_t n = std::strtoull(argv[i] + 10, nullptr, 10);
+      uniscan::ThreadPool::set_global_threads(n == 0 ? 1 : n);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,8 +18,17 @@ int main(int argc, char** argv) {
   opt.seed = args.seed;
   const AtpgResult gen = generate_tests(sc, fl, opt);
 
+  bench::BenchJson json;
+
+  bench::Stopwatch t_rest;
   const CompactionResult rest = restoration_compact(sc.netlist, gen.sequence, fl.faults());
+  json.add("restoration_s27", t_rest.ms(), rest.gate_evals, gen.sequence.length(),
+           rest.sequence.length());
+
+  bench::Stopwatch t_omit;
   const CompactionResult omit = omission_compact(sc.netlist, rest.sequence, fl.faults());
+  json.add("omission_s27", t_omit.ms(), omit.gate_evals, rest.sequence.length(),
+           omit.sequence.length());
 
   std::cout << "=== Table 4: compacted test sequence for s27_scan ===\n\n";
   std::cout << format_sequence_table(sc, omit.sequence) << "\n";
@@ -38,5 +47,7 @@ int main(int argc, char** argv) {
   std::cout << "\nfaults detected by compacted sequence: "
             << sim.detected_indices(omit.sequence, fl.faults()).size() << "/" << fl.size()
             << " (original: " << gen.detected << ")\n";
+
+  json.write(args.json, args.threads);
   return 0;
 }

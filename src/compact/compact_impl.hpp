@@ -1,12 +1,38 @@
 // Shared implementation of the static compaction procedures, generic over
 // the fault model: any (Simulator, Fault) pair with
 //   Simulator(const Netlist&)
-//   run(seq, span<Fault>) -> vector<DetectionRecord>
-//   detects_all(seq, span<Fault>) -> bool
+//   Simulator::fault_type
+//   Simulator::BatchRunner (initial_state / advance over a SequenceView)
+//   run(seq_or_view, span<Fault>) -> vector<DetectionRecord>
+//   detects_all(seq_or_view, span<Fault>) -> bool
 // works — instantiated for stuck-at and transition faults.
+//
+// Omission runs on an incremental engine instead of repeated from-scratch
+// resimulation; the produced CompactionResult is bit-identical to the naive
+// procedure (tests/compaction_equivalence_test.cpp pins that down):
+//
+//  * Copy-free trials — the current selection is a keep-list over the base
+//    sequence; a trial erasure is a SequenceView with one logical position
+//    skipped. No O(L·PI) TestSequence copy per trial.
+//  * Fail-fast fault ordering — must-detect faults are batched hardest
+//    (latest-detected) first, so a batch whose every fault is detected
+//    before the trial position needs no resimulation at all: erasing
+//    vector t cannot disturb detections at frames < t.
+//  * Checkpointed restart — while simulating, each batch snapshots its
+//    resumable state every K frames (frames below the trial position only,
+//    where the trial equals the accepted sequence). The next trial resumes
+//    from the nearest snapshot at or below its position instead of frame 0.
+//    An accepted erasure at t invalidates only the snapshots past t.
+//  * Batch parallelism — the per-trial active batches fan out across
+//    ThreadPool::global(); every batch writes only its own slots, so the
+//    result does not depend on the thread count.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
 #include <span>
 #include <vector>
 
@@ -14,9 +40,122 @@
 #include "compact/omission.hpp"
 #include "compact/restoration.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/sequence.hpp"
+#include "sim/sequence_view.hpp"
+#include "util/thread_pool.hpp"
 
 namespace uniscan::detail {
+
+/// Incremental trial-erasure engine for vector omission. Holds the current
+/// selection as a keep-list, one BatchRunner per 63 must-detect faults, the
+/// per-batch detection times under the current selection, and the
+/// checkpoint store.
+template <typename Simulator>
+class OmissionEngine {
+ public:
+  using FaultT = typename Simulator::fault_type;
+  using Runner = typename Simulator::BatchRunner;
+
+  OmissionEngine(const Netlist& nl, const TestSequence& base, std::vector<FaultT> must,
+                 const std::vector<std::uint32_t>& must_time, std::size_t checkpoint_interval)
+      : base_(&base),
+        must_(std::move(must)),
+        store_((must_.size() + 62) / 63, checkpoint_interval) {
+    kept_.resize(base.length());
+    std::iota(kept_.begin(), kept_.end(), 0);
+
+    const std::size_t num_batches = (must_.size() + 62) / 63;
+    runners_.reserve(num_batches);
+    times_.resize(num_batches);
+    max_time_.assign(num_batches, 0);
+    trial_states_.resize(num_batches);
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      const std::size_t lo = b * 63;
+      const std::size_t count = std::min<std::size_t>(63, must_.size() - lo);
+      runners_.emplace_back(nl, std::span<const FaultT>(must_.data() + lo, count));
+      times_[b].fill(0);
+      for (std::size_t i = 0; i < count; ++i) {
+        times_[b][i + 1] = must_time[lo + i];
+        max_time_[b] = std::max<std::size_t>(max_time_[b], must_time[lo + i]);
+      }
+    }
+  }
+
+  std::size_t length() const noexcept { return kept_.size(); }
+
+  /// Trial-erase the vector at logical position `t` of the current
+  /// selection; commit and return true iff every must-detect fault stays
+  /// detected. Exactly the predicate detects_all(selection minus t, must).
+  bool try_erase(std::size_t t) {
+    const SequenceView cur(*base_, kept_);
+    const SequenceView trial = cur.without(t);
+
+    active_.clear();
+    for (std::size_t b = 0; b < runners_.size(); ++b)
+      if (max_time_[b] >= t) active_.push_back(b);
+
+    if (!active_.empty()) {
+      ThreadPool& pool = ThreadPool::global();
+      if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+      std::atomic<bool> pass{true};
+      pool.parallel_for(active_.size(), [&](std::size_t k, std::size_t w) {
+        if (!pass.load(std::memory_order_relaxed)) return;  // fail-fast
+        const std::size_t b = active_[k];
+        const SimBatchState* cp = store_.best_at_or_before(b, t);
+        SimBatchState& s = trial_states_[b];
+        s = cp ? *cp : runners_[b].initial_state();
+        typename Runner::AdvanceOptions opt;
+        opt.early_exit = true;
+        opt.checkpoints = &store_;
+        opt.batch_index = b;
+        opt.capture_limit = t;  // frames <= t equal the accepted sequence
+        gate_evals_.fetch_add(runners_[b].advance(s, trial, scratch_[w], opt),
+                              std::memory_order_relaxed);
+        if ((s.detected_slots & runners_[b].slot_mask()) != runners_[b].slot_mask())
+          pass.store(false, std::memory_order_relaxed);
+      });
+      if (!pass.load(std::memory_order_relaxed)) return false;
+    }
+
+    // Commit. The trial sequence becomes the accepted sequence: snapshots
+    // past t no longer match, and the simulated batches adopt their trial
+    // detection times (inactive batches detect strictly before t, where
+    // nothing moved).
+    kept_.erase(kept_.begin() + static_cast<std::ptrdiff_t>(t));
+    store_.invalidate_after(t);
+    for (std::size_t b : active_) {
+      const std::size_t count = runners_[b].faults().size();
+      max_time_[b] = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        times_[b][i + 1] = trial_states_[b].detect_time[i + 1];
+        max_time_[b] = std::max<std::size_t>(max_time_[b], times_[b][i + 1]);
+      }
+    }
+    return true;
+  }
+
+  TestSequence materialize() const { return SequenceView(*base_, kept_).materialize(); }
+
+  std::uint64_t gate_evals() const noexcept {
+    return gate_evals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const TestSequence* base_;
+  std::vector<FaultT> must_;
+  std::vector<std::size_t> kept_;  // base indices of the current selection
+  CheckpointStore store_;
+  std::vector<Runner> runners_;
+  // Per batch: first-detection frame per slot and their maximum, in current
+  // selection coordinates.
+  std::vector<std::array<std::uint32_t, 64>> times_;
+  std::vector<std::size_t> max_time_;
+  std::vector<SimBatchState> trial_states_;  // written by at most one task each
+  std::vector<std::size_t> active_;
+  std::vector<std::vector<W3>> scratch_;  // per pool worker
+  std::atomic<std::uint64_t> gate_evals_{0};
+};
 
 template <typename Simulator, typename FaultT>
 CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
@@ -26,45 +165,51 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
   result.original_length = seq.length();
 
   const auto base = sim.run(seq, faults);
-  std::vector<FaultT> must;
-  for (std::size_t i = 0; i < base.size(); ++i)
-    if (base[i].detected) must.push_back(faults[i]);
 
-  TestSequence cur = seq;
+  // Must-detect faults ordered hardest (latest-detected) first: a trial
+  // miss surfaces in the first batch, and trailing batches — detected well
+  // before most trial positions — are skipped without simulation.
+  std::vector<std::size_t> must_idx;
+  for (std::size_t i = 0; i < base.size(); ++i)
+    if (base[i].detected) must_idx.push_back(i);
+  std::stable_sort(must_idx.begin(), must_idx.end(),
+                   [&](std::size_t a, std::size_t b) { return base[a].time > base[b].time; });
+  std::vector<FaultT> must;
+  std::vector<std::uint32_t> must_time;
+  must.reserve(must_idx.size());
+  must_time.reserve(must_idx.size());
+  for (std::size_t i : must_idx) {
+    must.push_back(faults[i]);
+    must_time.push_back(base[i].time);
+  }
+
+  OmissionEngine<Simulator> engine(nl, seq, std::move(must), must_time,
+                                   options.checkpoint_interval);
+
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     ++result.rounds;
     std::size_t removed_this_pass = 0;
 
     if (options.back_to_front) {
-      for (std::size_t t = cur.length(); t-- > 0;) {
-        TestSequence trial = cur;
-        trial.erase(t);
-        if (sim.detects_all(trial, must)) {
-          cur = std::move(trial);
-          ++removed_this_pass;
-        }
+      for (std::size_t t = engine.length(); t-- > 0;) {
+        if (engine.try_erase(t)) ++removed_this_pass;
       }
     } else {
-      for (std::size_t t = 0; t < cur.length();) {
-        TestSequence trial = cur;
-        trial.erase(t);
-        if (sim.detects_all(trial, must)) {
-          cur = std::move(trial);
-          ++removed_this_pass;
-        } else {
-          ++t;
-        }
+      for (std::size_t t = 0; t < engine.length();) {
+        if (engine.try_erase(t)) ++removed_this_pass;
+        else ++t;
       }
     }
     if (removed_this_pass == 0) break;
   }
 
-  result.vectors_removed = seq.length() - cur.length();
-  result.sequence = std::move(cur);
+  result.sequence = engine.materialize();
+  result.vectors_removed = seq.length() - result.sequence.length();
 
   const auto final_det = sim.run(result.sequence, faults);
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
+  result.gate_evals = sim.gate_evals() + engine.gate_evals();
   return result;
 }
 
@@ -76,11 +221,15 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
   CompactionResult result;
   result.original_length = seq.length();
 
-  const auto masked = [&](const std::vector<char>& keep) {
-    std::vector<std::size_t> idx;
+  // The selection lives as a keep-mask; trials read it through a copy-free
+  // SequenceView over `seq` instead of materializing a subsequence.
+  std::vector<char> keep(seq.length(), 0);
+  std::vector<std::size_t> kept;
+  const auto selection = [&]() -> SequenceView {
+    kept.clear();
     for (std::size_t t = 0; t < keep.size(); ++t)
-      if (keep[t]) idx.push_back(t);
-    return seq.select(idx);
+      if (keep[t]) kept.push_back(t);
+    return SequenceView(seq, kept);
   };
 
   const auto base = sim.run(seq, faults);
@@ -91,17 +240,14 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
     return base[a].time > base[b].time;
   });
 
-  std::vector<char> keep(seq.length(), 0);
-
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     ++result.rounds;
     bool all_ok = true;
 
-    TestSequence cur = masked(keep);
     std::vector<FaultT> target_faults;
     target_faults.reserve(targets.size());
     for (std::size_t i : targets) target_faults.push_back(faults[i]);
-    const auto cur_det = sim.run(cur, target_faults);
+    const auto cur_det = sim.run(selection(), target_faults);
 
     for (std::size_t k = 0; k < targets.size(); ++k) {
       if (cur_det[k].detected) continue;
@@ -110,13 +256,13 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
       const std::size_t t_f = base[fi].time;
 
       const FaultT one[1] = {f};
-      if (sim.detects_all(masked(keep), one)) continue;
+      if (sim.detects_all(selection(), one)) continue;
       all_ok = false;
 
       std::size_t lo = t_f;
       for (;;) {
         for (std::size_t t = lo; t <= t_f; ++t) keep[t] = 1;
-        if (sim.detects_all(masked(keep), one)) break;
+        if (sim.detects_all(selection(), one)) break;
         if (lo == 0) break;
         const std::size_t width = t_f - lo + 1;
         lo = width * 2 >= lo ? 0 : lo - width * 2;
@@ -144,17 +290,18 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
     });
     for (const auto& [begin, end] : segments) {
       for (std::size_t t = begin; t < end; ++t) keep[t] = 0;
-      if (!sim.detects_all(masked(keep), target_faults))
+      if (!sim.detects_all(selection(), target_faults))
         for (std::size_t t = begin; t < end; ++t) keep[t] = 1;
     }
   }
 
-  result.sequence = masked(keep);
+  result.sequence = selection().materialize();
   result.vectors_removed = seq.length() - result.sequence.length();
 
   const auto final_det = sim.run(result.sequence, faults);
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
+  result.gate_evals = sim.gate_evals();
   return result;
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sim/sequence.hpp"
 
@@ -15,6 +16,7 @@ struct CompactionResult {
   // NOT detect (compaction can gain coverage; Table 6's `ext det` column).
   std::size_t extra_detected = 0;
   std::size_t rounds = 0;           // passes/rounds the procedure ran
+  std::uint64_t gate_evals = 0;     // total gate-word evaluations spent
 };
 
 }  // namespace uniscan

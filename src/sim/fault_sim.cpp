@@ -5,110 +5,96 @@
 #include <stdexcept>
 
 #include "sim/sequential_sim.hpp"
+#include "util/thread_pool.hpp"
 
 namespace uniscan {
 
-namespace {
+// ---------------------------------------------------------------------------
+// BatchRunner
 
-/// Slot-forcing masks for fault injection. Slots listed in set0 are forced
-/// to 0, slots in set1 forced to 1; set0 & set1 == 0.
-struct Forcing {
-  std::uint64_t set0 = 0;
-  std::uint64_t set1 = 0;
-
-  W3 apply(W3 w) const noexcept {
-    const std::uint64_t touched = set0 | set1;
-    return W3{(w.v0 & ~touched) | set0, (w.v1 & ~touched) | set1};
-  }
-  bool empty() const noexcept { return (set0 | set1) == 0; }
-};
-
-}  // namespace
-
-FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
-  if (!nl.is_finalized()) throw std::invalid_argument("FaultSimulator: netlist not finalized");
-  values_.assign(nl.num_gates(), W3::all_x());
-}
-
-FaultSimulator::BatchResult FaultSimulator::run_batch(const TestSequence& seq,
-                                                      std::span<const Fault> faults,
-                                                      std::span<LatchRecord> latched,
-                                                      bool early_exit,
-                                                      std::uint32_t count_cap) const {
-  const Netlist& nl = *nl_;
-  if (faults.size() > 63) throw std::invalid_argument("run_batch: batch too large");
-
-  // Injection tables for this batch. Stem forcing is indexed by gate;
-  // branch forcing is a small list per affected gate.
-  std::vector<Forcing> stem(nl.num_gates());
-  // (gate, pin) -> forcing, stored as parallel arrays for cache friendliness.
-  struct BranchForce {
-    GateId gate;
-    std::int16_t pin;
-    Forcing force;
-  };
-  std::vector<BranchForce> branches;
-  std::vector<std::uint8_t> has_branch(nl.num_gates(), 0);
+FaultSimulator::BatchRunner::BatchRunner(const Netlist& nl, std::span<const Fault> faults)
+    : nl_(&nl), faults_(faults) {
+  if (faults.size() > 63) throw std::invalid_argument("BatchRunner: batch too large");
+  stem_.assign(nl.num_gates(), Forcing{});
+  branch_head_.assign(nl.num_gates(), -1);
 
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const Fault& f = faults[i];
     const std::uint64_t bit = 1ULL << (i + 1);  // slot 0 is the good machine
+    slot_mask_ |= bit;
     if (f.pin == kStemPin) {
-      (f.stuck_one ? stem[f.gate].set1 : stem[f.gate].set0) |= bit;
+      (f.stuck_one ? stem_[f.gate].set1 : stem_[f.gate].set0) |= bit;
     } else {
-      BranchForce* bf = nullptr;
-      for (auto& b : branches)
-        if (b.gate == f.gate && b.pin == f.pin) bf = &b;
-      if (!bf) {
-        branches.push_back(BranchForce{f.gate, f.pin, {}});
-        bf = &branches.back();
-        has_branch[f.gate] = 1;
+      // Per-gate intrusive chain instead of one flat list: lookup during
+      // simulation is O(branches on this gate), not O(branches in batch).
+      std::int32_t idx = branch_head_[f.gate];
+      while (idx >= 0 && branches_[static_cast<std::size_t>(idx)].pin != f.pin)
+        idx = branches_[static_cast<std::size_t>(idx)].next;
+      if (idx < 0) {
+        branches_.push_back(BranchForce{f.pin, branch_head_[f.gate], Forcing{}});
+        branch_head_[f.gate] = static_cast<std::int32_t>(branches_.size() - 1);
+        idx = branch_head_[f.gate];
       }
-      (f.stuck_one ? bf->force.set1 : bf->force.set0) |= bit;
+      Forcing& force = branches_[static_cast<std::size_t>(idx)].force;
+      (f.stuck_one ? force.set1 : force.set0) |= bit;
     }
   }
+}
 
-  const auto branch_force = [&](GateId g, std::size_t pin, W3 w) -> W3 {
-    for (const auto& b : branches)
-      if (b.gate == g && b.pin == static_cast<std::int16_t>(pin)) return b.force.apply(w);
-    return w;
-  };
+W3 FaultSimulator::BatchRunner::branch_force(GateId g, std::size_t pin, W3 w) const noexcept {
+  for (std::int32_t idx = branch_head_[g]; idx >= 0;
+       idx = branches_[static_cast<std::size_t>(idx)].next) {
+    const BranchForce& b = branches_[static_cast<std::size_t>(idx)];
+    if (b.pin == static_cast<std::int16_t>(pin)) return b.force.apply(w);
+  }
+  return w;
+}
 
-  // Mask of live (not-yet-detected) fault slots; bit 0 (good machine) stays 0.
-  std::uint64_t live = 0;
-  for (std::size_t i = 0; i < faults.size(); ++i) live |= 1ULL << (i + 1);
+SimBatchState FaultSimulator::BatchRunner::initial_state() const {
+  SimBatchState s;
+  s.live = slot_mask_;
+  s.state.assign(nl_->num_dffs(), W3::all_x());
+  return s;
+}
 
-  BatchResult result;
-  for (auto& c : result.detect_count) c = 0;
-  std::vector<W3> state(nl.num_dffs(), W3::all_x());
-  std::vector<W3>& values = values_;
+std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const SequenceView& view,
+                                                   std::vector<W3>& values,
+                                                   const AdvanceOptions& opt) const {
+  const Netlist& nl = *nl_;
+  values.resize(nl.num_gates());
+  std::uint64_t frames = 0;
   W3 fanin_buf[64];
 
-  for (std::size_t t = 0; t < seq.length(); ++t) {
+  for (std::size_t t = s.frame; t < view.length(); ++t) {
+    if (opt.checkpoints && t <= opt.capture_limit && opt.checkpoints->want(t)) {
+      s.frame = t;  // snapshot the state entering frame t
+      opt.checkpoints->save(opt.batch_index, s);
+    }
+
     // Boundary values (with stem forcing on PIs and DFF outputs).
-    const auto& vec = seq.vector_at(t);
+    const auto& vec = view.vector_at(t);
     for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
       const GateId pi = nl.inputs()[i];
-      values[pi] = stem[pi].apply(W3::broadcast(vec[i]));
+      values[pi] = stem_[pi].apply(W3::broadcast(vec[i]));
     }
     for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
       const GateId ff = nl.dffs()[j];
-      values[ff] = stem[ff].apply(state[j]);
+      values[ff] = stem_[ff].apply(s.state[j]);
     }
 
     // Combinational evaluation in topological order.
     for (GateId g : nl.topo_order()) {
       const Gate& gate = nl.gate(g);
       const std::size_t n = gate.fanins.size();
-      if (has_branch[g]) {
+      if (branch_head_[g] >= 0) {
         for (std::size_t p = 0; p < n; ++p)
           fanin_buf[p] = branch_force(g, p, values[gate.fanins[p]]);
       } else {
         for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values[gate.fanins[p]];
       }
-      values[g] = stem[g].apply(eval_gate_w3(gate.type, fanin_buf, n));
+      values[g] = stem_[g].apply(eval_gate_w3(gate.type, fanin_buf, n));
     }
-    gate_evals_ += nl.topo_order().size();
+    ++frames;
 
     // Detection at primary outputs. A frame contributes at most one count
     // per fault even if several outputs expose it.
@@ -117,34 +103,37 @@ FaultSimulator::BatchResult FaultSimulator::run_batch(const TestSequence& seq,
       const W3 w = values[po];
       const bool good0 = (w.v0 & 1) != 0;
       const bool good1 = (w.v1 & 1) != 0;
-      if (good1) observed_this_frame |= w.v0 & live;
-      else if (good0) observed_this_frame |= w.v1 & live;
+      if (good1) observed_this_frame |= w.v0 & s.live;
+      else if (good0) observed_this_frame |= w.v1 & s.live;
     }
     while (observed_this_frame) {
       const unsigned slot = static_cast<unsigned>(std::countr_zero(observed_this_frame));
       observed_this_frame &= observed_this_frame - 1;
-      if (!(result.detected_slots & (1ULL << slot))) {
-        result.detected_slots |= 1ULL << slot;
-        result.detect_time[slot] = static_cast<std::uint32_t>(t);
+      if (!(s.detected_slots & (1ULL << slot))) {
+        s.detected_slots |= 1ULL << slot;
+        s.detect_time[slot] = static_cast<std::uint32_t>(t);
       }
-      if (++result.detect_count[slot] >= count_cap) live &= ~(1ULL << slot);
+      if (++s.detect_count[slot] >= opt.count_cap) s.live &= ~(1ULL << slot);
     }
 
-    if (early_exit && live == 0) break;
+    if (opt.early_exit && s.live == 0) {
+      s.frame = t + 1;  // state was not clocked into frame t+1 — see header
+      return frames * nl.topo_order().size();
+    }
 
     // Next state (with branch forcing on DFF D pins).
     for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
       const GateId ff = nl.dffs()[j];
       W3 d = values[nl.gate(ff).fanins[0]];
-      if (has_branch[ff]) d = branch_force(ff, 0, d);
-      state[j] = d;
+      if (branch_head_[ff] >= 0) d = branch_force(ff, 0, d);
+      s.state[j] = d;
     }
 
     // Latched fault effects: faulty slot differs (known vs opposite known)
     // from the good machine in the state entering frame t+1.
-    if (!latched.empty()) {
+    if (!opt.latched.empty()) {
       for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-        const W3 w = state[j];
+        const W3 w = s.state[j];
         const bool good0 = (w.v0 & 1) != 0;
         const bool good1 = (w.v1 & 1) != 0;
         std::uint64_t diff = 0;
@@ -154,7 +143,7 @@ FaultSimulator::BatchResult FaultSimulator::run_batch(const TestSequence& seq,
         while (diff) {
           const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
           diff &= diff - 1;
-          LatchRecord& lr = latched[slot - 1];
+          LatchRecord& lr = opt.latched[slot - 1];
           // Keep the occurrence deepest in the chain (fewest flush shifts).
           if (!lr.latched || j >= lr.ff_index) {
             lr.latched = true;
@@ -166,56 +155,105 @@ FaultSimulator::BatchResult FaultSimulator::run_batch(const TestSequence& seq,
     }
   }
 
-  return result;
+  s.frame = view.length();
+  return frames * nl.topo_order().size();
+}
+
+// ---------------------------------------------------------------------------
+// FaultSimulator
+
+FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.is_finalized()) throw std::invalid_argument("FaultSimulator: netlist not finalized");
+}
+
+std::vector<W3>& FaultSimulator::scratch_for(std::size_t worker) const {
+  return scratch_[worker];
 }
 
 std::vector<DetectionRecord> FaultSimulator::run(const TestSequence& seq,
                                                  std::span<const Fault> faults,
                                                  std::vector<LatchRecord>* latched) const {
+  return run(SequenceView(seq), faults, latched);
+}
+
+std::vector<DetectionRecord> FaultSimulator::run(const SequenceView& view,
+                                                 std::span<const Fault> faults,
+                                                 std::vector<LatchRecord>* latched) const {
   std::vector<DetectionRecord> out(faults.size());
   if (latched) latched->assign(faults.size(), LatchRecord{});
 
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
+  const std::size_t num_batches = (faults.size() + 62) / 63;
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+  pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
+    const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    std::span<LatchRecord> latch_span;
-    if (latched) latch_span = std::span<LatchRecord>(latched->data() + base, count);
-    const BatchResult br =
-        run_batch(seq, faults.subspan(base, count), latch_span, /*early_exit=*/latched == nullptr);
+    BatchRunner runner(*nl_, faults.subspan(base, count));
+    SimBatchState s = runner.initial_state();
+    BatchRunner::AdvanceOptions opt;
+    opt.early_exit = latched == nullptr;
+    if (latched) opt.latched = std::span<LatchRecord>(latched->data() + base, count);
+    gate_evals_.fetch_add(runner.advance(s, view, scratch_for(w), opt),
+                          std::memory_order_relaxed);
     for (std::size_t i = 0; i < count; ++i) {
       const unsigned slot = static_cast<unsigned>(i + 1);
-      if (br.detected_slots & (1ULL << slot)) {
+      if (s.detected_slots & (1ULL << slot)) {
         out[base + i].detected = true;
-        out[base + i].time = br.detect_time[slot];
+        out[base + i].time = s.detect_time[slot];
       }
     }
-  }
+  });
   return out;
 }
 
 bool FaultSimulator::detects_all(const TestSequence& seq, std::span<const Fault> faults) const {
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
+  return detects_all(SequenceView(seq), faults);
+}
+
+bool FaultSimulator::detects_all(const SequenceView& view, std::span<const Fault> faults) const {
+  const std::size_t num_batches = (faults.size() + 62) / 63;
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+  std::atomic<bool> ok{true};
+  pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
+    if (!ok.load(std::memory_order_relaxed)) return;  // cross-batch fail-fast
+    const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    const BatchResult br =
-        run_batch(seq, faults.subspan(base, count), {}, /*early_exit=*/true);
-    std::uint64_t want = 0;
-    for (std::size_t i = 0; i < count; ++i) want |= 1ULL << (i + 1);
-    if ((br.detected_slots & want) != want) return false;
-  }
-  return true;
+    BatchRunner runner(*nl_, faults.subspan(base, count));
+    SimBatchState s = runner.initial_state();
+    gate_evals_.fetch_add(runner.advance(s, view, scratch_for(w), {}),
+                          std::memory_order_relaxed);
+    if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
+      ok.store(false, std::memory_order_relaxed);
+  });
+  return ok.load(std::memory_order_relaxed);
 }
 
 std::vector<std::uint32_t> FaultSimulator::run_counts(const TestSequence& seq,
                                                       std::span<const Fault> faults,
                                                       std::uint32_t cap) const {
+  return run_counts(SequenceView(seq), faults, cap);
+}
+
+std::vector<std::uint32_t> FaultSimulator::run_counts(const SequenceView& view,
+                                                      std::span<const Fault> faults,
+                                                      std::uint32_t cap) const {
   std::vector<std::uint32_t> counts(faults.size(), 0);
   if (cap == 0) return counts;
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
+  const std::size_t num_batches = (faults.size() + 62) / 63;
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+  pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
+    const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    const BatchResult br =
-        run_batch(seq, faults.subspan(base, count), {}, /*early_exit=*/true, cap);
-    for (std::size_t i = 0; i < count; ++i)
-      counts[base + i] = br.detect_count[i + 1];
-  }
+    BatchRunner runner(*nl_, faults.subspan(base, count));
+    SimBatchState s = runner.initial_state();
+    BatchRunner::AdvanceOptions opt;
+    opt.count_cap = cap;
+    gate_evals_.fetch_add(runner.advance(s, view, scratch_for(w), opt),
+                          std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) counts[base + i] = s.detect_count[i + 1];
+  });
   return counts;
 }
 

@@ -10,8 +10,20 @@
 // value and the opposite known value in the fault's slot. The simulator can
 // additionally record where fault effects get *latched* into flip-flops —
 // the hook used by the paper's Section-2 functional scan knowledge.
+//
+// Two layers:
+//  * BatchRunner — the incremental engine for one <=63-fault batch: the
+//    injection tables are built once, advance() resumes a SimBatchState at
+//    any frame (checkpoint restarts) over a copy-free SequenceView, and the
+//    net-value scratch is caller-provided so independent batches can run on
+//    different threads.
+//  * FaultSimulator — the one-shot API (run / detects_all / run_counts),
+//    now fanning its independent batches across ThreadPool::global().
+//    Results are bit-identical for every thread count: each batch writes
+//    only its own output slots and batches never interact.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -19,8 +31,10 @@
 
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/logic3.hpp"
 #include "sim/sequence.hpp"
+#include "sim/sequence_view.hpp"
 
 namespace uniscan {
 
@@ -41,6 +55,8 @@ struct LatchRecord {
 
 class FaultSimulator {
  public:
+  using fault_type = Fault;
+
   explicit FaultSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
@@ -50,10 +66,13 @@ class FaultSimulator {
   /// latch record per fault.
   std::vector<DetectionRecord> run(const TestSequence& seq, std::span<const Fault> faults,
                                    std::vector<LatchRecord>* latched = nullptr) const;
+  std::vector<DetectionRecord> run(const SequenceView& view, std::span<const Fault> faults,
+                                   std::vector<LatchRecord>* latched = nullptr) const;
 
   /// True iff `seq` detects every fault in `faults`. Early-exits both within
   /// a batch (all 63 detected) and across batches (first miss fails fast).
   bool detects_all(const TestSequence& seq, std::span<const Fault> faults) const;
+  bool detects_all(const SequenceView& view, std::span<const Fault> faults) const;
 
   /// Indices (into `faults`) of the faults detected by `seq`.
   std::vector<std::size_t> detected_indices(const TestSequence& seq,
@@ -64,27 +83,84 @@ class FaultSimulator {
   /// per frame). Used by the n-detect extension.
   std::vector<std::uint32_t> run_counts(const TestSequence& seq, std::span<const Fault> faults,
                                         std::uint32_t cap) const;
+  std::vector<std::uint32_t> run_counts(const SequenceView& view, std::span<const Fault> faults,
+                                        std::uint32_t cap) const;
 
   /// Total gate-word evaluations performed since construction (for benches).
-  std::uint64_t gate_evals() const noexcept { return gate_evals_; }
+  std::uint64_t gate_evals() const noexcept {
+    return gate_evals_.load(std::memory_order_relaxed);
+  }
 
- private:
-  // One batch: up to 63 faults in slots 1..63. A slot stays live until it
-  // has been observed at `count_cap` distinct frames; detect_time records
-  // the first observation.
-  struct BatchResult {
-    std::uint64_t detected_slots = 0;  // bit k set => fault in slot k detected
-    std::uint32_t detect_time[64];     // valid where detected_slots bit set
-    std::uint32_t detect_count[64];    // observations, saturated at count_cap
+  /// Incremental engine for one batch of up to 63 faults. The injection
+  /// tables (stem forcing per gate, branch forcing chained per gate) are
+  /// built once at construction; advance() is allocation-free. A runner may
+  /// be shared across trials but is used by one thread at a time.
+  class BatchRunner {
+   public:
+    BatchRunner(const Netlist& nl, std::span<const Fault> faults);
+
+    std::span<const Fault> faults() const noexcept { return faults_; }
+    /// Bits 1..faults().size() — the slots this batch must detect.
+    std::uint64_t slot_mask() const noexcept { return slot_mask_; }
+
+    /// All-X power-up state with every fault slot live.
+    SimBatchState initial_state() const;
+
+    struct AdvanceOptions {
+      bool early_exit = true;      // stop once no slot is live
+      std::uint32_t count_cap = 1; // observations until a slot leaves `live`
+      std::span<LatchRecord> latched = {};  // one record per batch fault
+      // Checkpoint capture: while simulating frames f <= capture_limit,
+      // snapshot the state entering f whenever checkpoints->want(f).
+      CheckpointStore* checkpoints = nullptr;
+      std::size_t batch_index = 0;
+      std::size_t capture_limit = 0;
+    };
+
+    /// Simulate frames [s.frame, view.length()) of `view`, updating `s` in
+    /// place. `values` is per-net scratch (resized as needed; contents
+    /// don't matter). Returns the number of gate-word evaluations.
+    /// After an early exit, only the detection fields of `s` are
+    /// meaningful; a state intended for later resumption must come from a
+    /// checkpoint or a non-early-exit run.
+    std::uint64_t advance(SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+                          const AdvanceOptions& opt) const;
+
+   private:
+    /// Slot-forcing masks for fault injection. Slots listed in set0 are
+    /// forced to 0, slots in set1 to 1; set0 & set1 == 0.
+    struct Forcing {
+      std::uint64_t set0 = 0;
+      std::uint64_t set1 = 0;
+
+      W3 apply(W3 w) const noexcept {
+        const std::uint64_t touched = set0 | set1;
+        return W3{(w.v0 & ~touched) | set0, (w.v1 & ~touched) | set1};
+      }
+    };
+    struct BranchForce {
+      std::int16_t pin;
+      std::int32_t next;  // next BranchForce on the same gate, -1 ends
+      Forcing force;
+    };
+
+    W3 branch_force(GateId g, std::size_t pin, W3 w) const noexcept;
+
+    const Netlist* nl_;
+    std::span<const Fault> faults_;
+    std::uint64_t slot_mask_ = 0;
+    std::vector<Forcing> stem_;             // indexed by gate
+    std::vector<std::int32_t> branch_head_; // per gate: first branch entry or -1
+    std::vector<BranchForce> branches_;
   };
 
-  BatchResult run_batch(const TestSequence& seq, std::span<const Fault> faults,
-                        std::span<LatchRecord> latched, bool early_exit,
-                        std::uint32_t count_cap = 1) const;
+ private:
+  std::vector<W3>& scratch_for(std::size_t worker) const;
 
   const Netlist* nl_;
-  mutable std::vector<W3> values_;  // scratch: per-net word values
-  mutable std::uint64_t gate_evals_ = 0;
+  // Per-pool-worker net-value scratch; index = ThreadPool worker id.
+  mutable std::vector<std::vector<W3>> scratch_;
+  mutable std::atomic<std::uint64_t> gate_evals_{0};
 };
 
 }  // namespace uniscan

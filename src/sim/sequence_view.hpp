@@ -1,0 +1,79 @@
+// Copy-free view of a TestSequence for trial simulations.
+//
+// Static compaction evaluates thousands of trial subsequences ("the current
+// selection minus vector t"); materializing each trial as a TestSequence
+// costs O(L·PI) per trial. A SequenceView instead addresses the base
+// sequence through an optional keep-list (indices of selected frames, as
+// maintained by restoration and the omission engine) plus an optional
+// single skipped logical position (the vector under trial erasure), so
+// building a trial is O(1) and reading a frame is O(1).
+//
+// The view references the base sequence and the keep-list; both must
+// outlive it. A default-constructed view is empty.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/logic3.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+
+class SequenceView {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  SequenceView() = default;
+
+  /// View of the whole sequence.
+  explicit SequenceView(const TestSequence& base) : base_(&base), length_(base.length()) {}
+
+  /// View of the frames whose base indices are in `keep` (strictly
+  /// increasing). The indices are referenced, not copied.
+  SequenceView(const TestSequence& base, std::span<const std::size_t> keep)
+      : base_(&base), keep_(keep.data()), length_(keep.size()) {}
+
+  /// Copy of this view with the frame at logical position `pos` skipped.
+  /// At most one skip level is supported (all a trial erasure needs).
+  SequenceView without(std::size_t pos) const {
+    if (skip_ != npos) throw std::logic_error("SequenceView::without: view already has a skip");
+    if (pos >= length_) throw std::out_of_range("SequenceView::without: position out of range");
+    SequenceView v = *this;
+    v.skip_ = pos;
+    --v.length_;
+    return v;
+  }
+
+  std::size_t length() const noexcept { return length_; }
+  bool empty() const noexcept { return length_ == 0; }
+  std::size_t num_inputs() const noexcept { return base_ ? base_->num_inputs() : 0; }
+
+  /// Index into the base sequence of logical frame `t`.
+  std::size_t base_index(std::size_t t) const noexcept {
+    if (skip_ != npos && t >= skip_) ++t;
+    return keep_ ? keep_[t] : t;
+  }
+
+  const std::vector<V3>& vector_at(std::size_t t) const {
+    return base_->vector_at(base_index(t));
+  }
+
+  /// Materialize into an owning TestSequence (used at API boundaries).
+  TestSequence materialize() const {
+    TestSequence out(num_inputs());
+    for (std::size_t t = 0; t < length_; ++t) out.append(vector_at(t));
+    return out;
+  }
+
+ private:
+  const TestSequence* base_ = nullptr;
+  const std::size_t* keep_ = nullptr;  // null => identity mapping
+  std::size_t length_ = 0;
+  std::size_t skip_ = npos;  // logical position removed from the view
+};
+
+}  // namespace uniscan

@@ -6,6 +6,7 @@
 
 #include "fault/fault.hpp"
 #include "sim/sequential_sim.hpp"
+#include "util/thread_pool.hpp"
 
 namespace uniscan {
 
@@ -15,110 +16,6 @@ namespace {
 inline V3 delayed_value(bool slow_to_rise, V3 driven_now, V3 driven_prev) noexcept {
   return slow_to_rise ? v3_and(driven_now, driven_prev) : v3_or(driven_now, driven_prev);
 }
-
-/// One simulation frame shared by the one-shot simulator and the session.
-/// Batch-scoped: build once per batch, call run() per frame. Keeps the
-/// per-fault launch history (previous driven value) internally; sync it with
-/// external storage via prev()/set_prev().
-class FrameKernel {
- public:
-  FrameKernel(const Netlist& nl, std::span<const TransitionFault> faults,
-              std::vector<W3>& values)
-      : nl_(nl), faults_(faults), values_(values) {
-    prev_.assign(faults.size(), V3::X);
-    pending_.assign(faults.size(), V3::X);
-    stem_head_.assign(nl.num_gates(), kNone);
-    stem_next_.assign(faults.size(), kNone);
-    branch_any_.assign(nl.num_gates(), 0);
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      const TransitionFault& f = faults[i];
-      if (f.pin == kStemPin) {
-        // A line carries up to two stem faults (STR and STF) per batch;
-        // chain them in a per-gate intrusive list.
-        stem_next_[i] = stem_head_[f.gate];
-        stem_head_[f.gate] = static_cast<std::uint32_t>(i);
-      } else {
-        branch_any_[f.gate] = 1;
-      }
-    }
-  }
-
-  std::vector<V3>& prev() noexcept { return prev_; }
-  void set_prev(const std::vector<V3>& p) { prev_ = p; }
-
-  void run(const std::vector<V3>& pi, std::vector<W3>& state) {
-    const Netlist& nl = nl_;
-    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
-      values_[nl.inputs()[i]] = W3::broadcast(pi[i]);
-    for (std::size_t j = 0; j < nl.num_dffs(); ++j) values_[nl.dffs()[j]] = state[j];
-
-    // Stem faults on boundary gates force before combinational evaluation.
-    for (std::size_t j = 0; j < nl.num_dffs(); ++j)
-      if (stem_head_[nl.dffs()[j]] != kNone) apply_stems(nl.dffs()[j]);
-    for (GateId pi_gate : nl.inputs())
-      if (stem_head_[pi_gate] != kNone) apply_stems(pi_gate);
-
-    W3 fanin_buf[64];
-    for (GateId g : nl.topo_order()) {
-      const Gate& gate = nl.gate(g);
-      const std::size_t n = gate.fanins.size();
-      for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values_[gate.fanins[p]];
-      if (branch_any_[g]) apply_branches(g, fanin_buf, n);
-      values_[g] = eval_gate_w3(gate.type, fanin_buf, n);
-      if (stem_head_[g] != kNone) apply_stems(g);
-    }
-
-    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-      const GateId ff = nl.dffs()[j];
-      W3 d = values_[nl.gate(ff).fanins[0]];
-      if (branch_any_[ff]) {
-        W3 buf[1] = {d};
-        apply_branches(ff, buf, 1);
-        d = buf[0];
-      }
-      state[j] = d;
-    }
-
-    // Commit launch histories (a site not exercised this frame keeps X; that
-    // only happens for sites whose value could not be computed, which does
-    // not occur — every site is evaluated every frame).
-    for (std::size_t i = 0; i < faults_.size(); ++i) prev_[i] = pending_[i];
-  }
-
- private:
-  static constexpr std::uint32_t kNone = 0xffffffffU;
-
-  void apply_stems(GateId g) {
-    for (std::uint32_t i = stem_head_[g]; i != kNone; i = stem_next_[i]) {
-      const unsigned slot = static_cast<unsigned>(i + 1);
-      const V3 now = values_[g].get(slot);
-      values_[g].set(slot, delayed_value(faults_[i].slow_to_rise, now, prev_[i]));
-      pending_[i] = now;
-    }
-  }
-
-  void apply_branches(GateId g, W3* fanin_buf, std::size_t n) {
-    for (std::size_t i = 0; i < faults_.size(); ++i) {
-      const TransitionFault& f = faults_[i];
-      if (f.gate != g || f.pin == kStemPin) continue;
-      const std::size_t p = static_cast<std::size_t>(f.pin);
-      if (p >= n) continue;
-      const unsigned slot = static_cast<unsigned>(i + 1);
-      const V3 now = values_[nl_.gate(g).fanins[p]].get(slot);
-      fanin_buf[p].set(slot, delayed_value(f.slow_to_rise, now, prev_[i]));
-      pending_[i] = now;
-    }
-  }
-
-  const Netlist& nl_;
-  std::span<const TransitionFault> faults_;
-  std::vector<W3>& values_;
-  std::vector<V3> prev_;
-  std::vector<V3> pending_;
-  std::vector<std::uint32_t> stem_head_;
-  std::vector<std::uint32_t> stem_next_;
-  std::vector<std::uint8_t> branch_any_;
-};
 
 std::uint64_t observed_mask(const Netlist& nl, const std::vector<W3>& values) {
   std::uint64_t observed = 0;
@@ -159,76 +56,200 @@ void record_latches(const Netlist& nl, const std::vector<W3>& state,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// BatchRunner
+
+TransitionFaultSimulator::BatchRunner::BatchRunner(const Netlist& nl,
+                                                   std::span<const TransitionFault> faults)
+    : nl_(&nl), faults_(faults) {
+  if (faults.size() > 63) throw std::invalid_argument("BatchRunner: batch too large");
+  stem_head_.assign(nl.num_gates(), kNone);
+  branch_head_.assign(nl.num_gates(), kNone);
+  next_.assign(faults.size(), kNone);
+  pending_.assign(faults.size(), V3::X);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const TransitionFault& f = faults[i];
+    slot_mask_ |= 1ULL << (i + 1);
+    auto& head = (f.pin == kStemPin) ? stem_head_ : branch_head_;
+    next_[i] = head[f.gate];
+    head[f.gate] = static_cast<std::int32_t>(i);
+  }
+}
+
+SimBatchState TransitionFaultSimulator::BatchRunner::initial_state() const {
+  SimBatchState s;
+  s.live = slot_mask_;
+  s.state.assign(nl_->num_dffs(), W3::all_x());
+  s.prev_driven.assign(faults_.size(), V3::X);
+  return s;
+}
+
+void TransitionFaultSimulator::BatchRunner::apply_stems(GateId g, SimBatchState& s,
+                                                        std::vector<W3>& values) const {
+  for (std::int32_t i = stem_head_[g]; i != kNone; i = next_[i]) {
+    const unsigned slot = static_cast<unsigned>(i + 1);
+    const V3 now = values[g].get(slot);
+    values[g].set(slot, delayed_value(faults_[i].slow_to_rise, now, s.prev_driven[i]));
+    pending_[i] = now;
+  }
+}
+
+void TransitionFaultSimulator::BatchRunner::apply_branches(GateId g, W3* fanin_buf,
+                                                           std::size_t n, SimBatchState& s,
+                                                           const std::vector<W3>& values) const {
+  for (std::int32_t i = branch_head_[g]; i != kNone; i = next_[i]) {
+    const TransitionFault& f = faults_[i];
+    const std::size_t p = static_cast<std::size_t>(f.pin);
+    if (p >= n) continue;
+    const unsigned slot = static_cast<unsigned>(i + 1);
+    const V3 now = values[nl_->gate(g).fanins[p]].get(slot);
+    fanin_buf[p].set(slot, delayed_value(f.slow_to_rise, now, s.prev_driven[i]));
+    pending_[i] = now;
+  }
+}
+
+void TransitionFaultSimulator::BatchRunner::run_frame(SimBatchState& s,
+                                                      const std::vector<V3>& pi,
+                                                      std::vector<W3>& values) const {
+  const Netlist& nl = *nl_;
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    values[nl.inputs()[i]] = W3::broadcast(pi[i]);
+  for (std::size_t j = 0; j < nl.num_dffs(); ++j) values[nl.dffs()[j]] = s.state[j];
+
+  // Stem faults on boundary gates force before combinational evaluation.
+  for (std::size_t j = 0; j < nl.num_dffs(); ++j)
+    if (stem_head_[nl.dffs()[j]] != kNone) apply_stems(nl.dffs()[j], s, values);
+  for (GateId pi_gate : nl.inputs())
+    if (stem_head_[pi_gate] != kNone) apply_stems(pi_gate, s, values);
+
+  W3 fanin_buf[64];
+  for (GateId g : nl.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    const std::size_t n = gate.fanins.size();
+    for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values[gate.fanins[p]];
+    if (branch_head_[g] != kNone) apply_branches(g, fanin_buf, n, s, values);
+    values[g] = eval_gate_w3(gate.type, fanin_buf, n);
+    if (stem_head_[g] != kNone) apply_stems(g, s, values);
+  }
+
+  for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
+    const GateId ff = nl.dffs()[j];
+    W3 d = values[nl.gate(ff).fanins[0]];
+    if (branch_head_[ff] != kNone) {
+      W3 buf[1] = {d};
+      apply_branches(ff, buf, 1, s, values);
+      d = buf[0];
+    }
+    s.state[j] = d;
+  }
+
+  // Commit launch histories (every fault site is evaluated every frame, so
+  // every pending entry was refreshed above).
+  for (std::size_t i = 0; i < faults_.size(); ++i) s.prev_driven[i] = pending_[i];
+}
+
+std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
+                                                             const SequenceView& view,
+                                                             std::vector<W3>& values,
+                                                             const AdvanceOptions& opt) const {
+  const Netlist& nl = *nl_;
+  values.resize(nl.num_gates());
+  std::uint64_t frames = 0;
+
+  for (std::size_t t = s.frame; t < view.length(); ++t) {
+    if (opt.checkpoints && t <= opt.capture_limit && opt.checkpoints->want(t)) {
+      s.frame = t;  // snapshot the state (and launch history) entering frame t
+      opt.checkpoints->save(opt.batch_index, s);
+    }
+
+    run_frame(s, view.vector_at(t), values);
+    ++frames;
+
+    std::uint64_t newly = observed_mask(nl, values) & s.live;
+    while (newly) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+      newly &= newly - 1;
+      s.detected_slots |= 1ULL << slot;
+      s.detect_time[slot] = static_cast<std::uint32_t>(t);
+      s.detect_count[slot] = 1;
+      s.live &= ~(1ULL << slot);
+    }
+    if (opt.early_exit && s.live == 0) {
+      s.frame = t + 1;
+      return frames * nl.topo_order().size();
+    }
+    record_latches(nl, s.state, opt.latched, t);
+  }
+
+  s.frame = view.length();
+  return frames * nl.topo_order().size();
+}
+
+// ---------------------------------------------------------------------------
+// TransitionFaultSimulator
 
 TransitionFaultSimulator::TransitionFaultSimulator(const Netlist& nl) : nl_(&nl) {
   if (!nl.is_finalized())
     throw std::invalid_argument("TransitionFaultSimulator: netlist not finalized");
-  values_.assign(nl.num_gates(), W3::all_x());
-}
-
-TransitionFaultSimulator::BatchResult TransitionFaultSimulator::run_batch(
-    const TestSequence& seq, std::span<const TransitionFault> faults,
-    std::span<LatchRecord> latched, bool early_exit) const {
-  const Netlist& nl = *nl_;
-  if (faults.size() > 63) throw std::invalid_argument("run_batch: batch too large");
-
-  std::uint64_t live = 0;
-  for (std::size_t i = 0; i < faults.size(); ++i) live |= 1ULL << (i + 1);
-
-  BatchResult result;
-  std::vector<W3> state(nl.num_dffs(), W3::all_x());
-
-  FrameKernel kernel{nl, faults, values_};
-
-  for (std::size_t t = 0; t < seq.length(); ++t) {
-    kernel.run(seq.vector_at(t), state);
-
-    std::uint64_t newly = observed_mask(nl, values_) & live;
-    while (newly) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
-      newly &= newly - 1;
-      result.detected_slots |= 1ULL << slot;
-      result.detect_time[slot] = static_cast<std::uint32_t>(t);
-      live &= ~(1ULL << slot);
-    }
-    if (early_exit && live == 0) break;
-    record_latches(nl, state, latched, t);
-  }
-  return result;
 }
 
 std::vector<DetectionRecord> TransitionFaultSimulator::run(
     const TestSequence& seq, std::span<const TransitionFault> faults,
     std::vector<LatchRecord>* latched) const {
+  return run(SequenceView(seq), faults, latched);
+}
+
+std::vector<DetectionRecord> TransitionFaultSimulator::run(
+    const SequenceView& view, std::span<const TransitionFault> faults,
+    std::vector<LatchRecord>* latched) const {
   std::vector<DetectionRecord> out(faults.size());
   if (latched) latched->assign(faults.size(), LatchRecord{});
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
+  const std::size_t num_batches = (faults.size() + 62) / 63;
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+  pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
+    const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    std::span<LatchRecord> latch_span;
-    if (latched) latch_span = std::span<LatchRecord>(latched->data() + base, count);
-    const BatchResult br = run_batch(seq, faults.subspan(base, count), latch_span,
-                                     /*early_exit=*/latched == nullptr);
+    BatchRunner runner(*nl_, faults.subspan(base, count));
+    SimBatchState s = runner.initial_state();
+    BatchRunner::AdvanceOptions opt;
+    opt.early_exit = latched == nullptr;
+    if (latched) opt.latched = std::span<LatchRecord>(latched->data() + base, count);
+    gate_evals_.fetch_add(runner.advance(s, view, scratch_[w], opt),
+                          std::memory_order_relaxed);
     for (std::size_t i = 0; i < count; ++i) {
       const unsigned slot = static_cast<unsigned>(i + 1);
-      if (br.detected_slots & (1ULL << slot)) {
+      if (s.detected_slots & (1ULL << slot)) {
         out[base + i].detected = true;
-        out[base + i].time = br.detect_time[slot];
+        out[base + i].time = s.detect_time[slot];
       }
     }
-  }
+  });
   return out;
 }
 
 bool TransitionFaultSimulator::detects_all(const TestSequence& seq,
                                            std::span<const TransitionFault> faults) const {
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
+  return detects_all(SequenceView(seq), faults);
+}
+
+bool TransitionFaultSimulator::detects_all(const SequenceView& view,
+                                           std::span<const TransitionFault> faults) const {
+  const std::size_t num_batches = (faults.size() + 62) / 63;
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+  std::atomic<bool> ok{true};
+  pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
+    if (!ok.load(std::memory_order_relaxed)) return;  // cross-batch fail-fast
+    const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    const BatchResult br = run_batch(seq, faults.subspan(base, count), {}, /*early_exit=*/true);
-    std::uint64_t want = 0;
-    for (std::size_t i = 0; i < count; ++i) want |= 1ULL << (i + 1);
-    if ((br.detected_slots & want) != want) return false;
-  }
-  return true;
+    BatchRunner runner(*nl_, faults.subspan(base, count));
+    SimBatchState s = runner.initial_state();
+    gate_evals_.fetch_add(runner.advance(s, view, scratch_[w], {}),
+                          std::memory_order_relaxed);
+    if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
+      ok.store(false, std::memory_order_relaxed);
+  });
+  return ok.load(std::memory_order_relaxed);
 }
 
 std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
@@ -241,6 +262,7 @@ std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
 }
 
 // ---------------------------------------------------------------------------
+// TransitionSimSession
 
 TransitionSimSession::TransitionSimSession(const Netlist& nl,
                                            std::span<const TransitionFault> faults)
@@ -269,22 +291,26 @@ TransitionSimSession::TransitionSimSession(const Netlist& nl,
 
 void TransitionSimSession::advance_batch(Batch& b, const TestSequence& chunk) {
   const Netlist& nl = *nl_;
-  FrameKernel kernel{nl, b.faults, values_};
-  kernel.set_prev(b.prev_driven);
-  for (std::size_t t = 0; t < chunk.length(); ++t) {
-    kernel.run(chunk.vector_at(t), b.state);
-    std::uint64_t newly = observed_mask(nl, values_) & b.live;
-    while (newly) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
-      newly &= newly - 1;
-      b.live &= ~(1ULL << slot);
-      DetectionRecord& dr = detection_[b.first_fault_index + slot - 1];
-      dr.detected = true;
-      dr.time = static_cast<std::uint32_t>(now_ + t);
-      ++num_detected_;
-    }
+  TransitionFaultSimulator::BatchRunner runner(nl, b.faults);
+  SimBatchState s;
+  s.live = b.live;
+  s.state = std::move(b.state);
+  s.prev_driven = std::move(b.prev_driven);
+  TransitionFaultSimulator::BatchRunner::AdvanceOptions opt;
+  opt.early_exit = false;  // the session must carry the state to the chunk end
+  runner.advance(s, SequenceView(chunk), values_, opt);
+  std::uint64_t newly = s.detected_slots;
+  while (newly) {
+    const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+    newly &= newly - 1;
+    DetectionRecord& dr = detection_[b.first_fault_index + slot - 1];
+    dr.detected = true;
+    dr.time = static_cast<std::uint32_t>(now_ + s.detect_time[slot]);
+    ++num_detected_;
   }
-  b.prev_driven = kernel.prev();
+  b.live = s.live;
+  b.state = std::move(s.state);
+  b.prev_driven = std::move(s.prev_driven);
 }
 
 std::size_t TransitionSimSession::advance(const TestSequence& chunk) {

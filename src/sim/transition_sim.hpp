@@ -5,44 +5,106 @@
 // value from the previous cycle and forces
 //     STR: and(driven(t), driven(t-1))     STF: or(driven(t), driven(t-1))
 // onto its slot. Slot 0 remains the good machine.
+//
+// Mirrors FaultSimulator's two-layer structure: BatchRunner is the
+// incremental per-batch engine (checkpoint-resumable over a SequenceView,
+// caller-provided scratch); the one-shot run/detects_all fan batches across
+// ThreadPool::global() with bit-identical results at any thread count. The
+// launch history (previous driven value per fault) is part of
+// SimBatchState::prev_driven so checkpoints capture it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "fault/transition_fault.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/sequence.hpp"
+#include "sim/sequence_view.hpp"
 #include "sim/sequential_sim.hpp"
 
 namespace uniscan {
 
 class TransitionFaultSimulator {
  public:
+  using fault_type = TransitionFault;
+
   explicit TransitionFaultSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const noexcept { return *nl_; }
 
   /// Simulate from power-up; one detection record per fault.
   std::vector<DetectionRecord> run(const TestSequence& seq,
                                    std::span<const TransitionFault> faults,
                                    std::vector<LatchRecord>* latched = nullptr) const;
+  std::vector<DetectionRecord> run(const SequenceView& view,
+                                   std::span<const TransitionFault> faults,
+                                   std::vector<LatchRecord>* latched = nullptr) const;
 
   bool detects_all(const TestSequence& seq, std::span<const TransitionFault> faults) const;
+  bool detects_all(const SequenceView& view, std::span<const TransitionFault> faults) const;
 
   std::vector<std::size_t> detected_indices(const TestSequence& seq,
                                             std::span<const TransitionFault> faults) const;
 
- private:
-  struct BatchResult {
-    std::uint64_t detected_slots = 0;
-    std::uint32_t detect_time[64];
-  };
-  BatchResult run_batch(const TestSequence& seq, std::span<const TransitionFault> faults,
-                        std::span<LatchRecord> latched, bool early_exit) const;
+  /// Total gate-word evaluations performed since construction (for benches).
+  std::uint64_t gate_evals() const noexcept {
+    return gate_evals_.load(std::memory_order_relaxed);
+  }
 
+  /// Incremental engine for one batch of up to 63 transition faults; see
+  /// FaultSimulator::BatchRunner for the contract.
+  class BatchRunner {
+   public:
+    BatchRunner(const Netlist& nl, std::span<const TransitionFault> faults);
+
+    std::span<const TransitionFault> faults() const noexcept { return faults_; }
+    std::uint64_t slot_mask() const noexcept { return slot_mask_; }
+
+    /// All-X power-up state, X launch history, every fault slot live.
+    SimBatchState initial_state() const;
+
+    struct AdvanceOptions {
+      bool early_exit = true;
+      std::span<LatchRecord> latched = {};
+      CheckpointStore* checkpoints = nullptr;
+      std::size_t batch_index = 0;
+      std::size_t capture_limit = 0;
+    };
+
+    std::uint64_t advance(SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+                          const AdvanceOptions& opt) const;
+
+   private:
+    static constexpr std::int32_t kNone = -1;
+
+    void run_frame(SimBatchState& s, const std::vector<V3>& pi, std::vector<W3>& values) const;
+    void apply_stems(GateId g, SimBatchState& s, std::vector<W3>& values) const;
+    void apply_branches(GateId g, W3* fanin_buf, std::size_t n, SimBatchState& s,
+                        const std::vector<W3>& values) const;
+
+    const Netlist* nl_;
+    std::span<const TransitionFault> faults_;
+    std::uint64_t slot_mask_ = 0;
+    // A line carries up to two faults (STR and STF) per batch; both stem and
+    // branch faults are chained in per-gate intrusive lists.
+    std::vector<std::int32_t> stem_head_;    // per gate -> fault index
+    std::vector<std::int32_t> branch_head_;  // per gate -> fault index
+    std::vector<std::int32_t> next_;         // per fault, shared by both chains
+    // Per-fault launch value captured while evaluating the current frame,
+    // committed into SimBatchState::prev_driven at frame end. Scratch: a
+    // runner is used by one thread at a time.
+    mutable std::vector<V3> pending_;
+  };
+
+ private:
   const Netlist* nl_;
-  mutable std::vector<W3> values_;
+  mutable std::vector<std::vector<W3>> scratch_;  // per pool worker
+  mutable std::atomic<std::uint64_t> gate_evals_{0};
 };
 
 /// Streaming session for the transition generator (mirrors FaultSimSession).

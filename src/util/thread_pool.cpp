@@ -1,0 +1,142 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uniscan {
+
+namespace {
+// Set while a thread is executing pool tasks; nested parallel_for calls
+// detect it and run inline on the issuing worker.
+thread_local std::size_t tls_worker_id = 0;
+thread_local bool tls_in_pool_task = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex err_mutex;
+    std::exception_ptr error;
+  };
+
+  std::mutex mutex;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::shared_ptr<Job> job;    // current job, null when idle
+  std::uint64_t generation = 0;
+  bool stopping = false;
+  std::vector<std::thread> threads;
+
+  void worker_loop(std::size_t worker_id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> j;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        start_cv.wait(lock, [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        j = job;  // keeps the job alive past the caller's return
+      }
+      if (j) run_tasks(*j, worker_id);
+    }
+  }
+
+  void run_tasks(Job& j, std::size_t worker_id) {
+    const std::size_t saved_id = tls_worker_id;
+    const bool saved_in = tls_in_pool_task;
+    tls_worker_id = worker_id;
+    tls_in_pool_task = true;
+    for (;;) {
+      const std::size_t t = j.next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= j.n) break;
+      try {
+        (*j.fn)(t, worker_id);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(j.err_mutex);
+        if (!j.error) j.error = std::current_exception();
+      }
+      if (j.done.fetch_add(1, std::memory_order_acq_rel) + 1 == j.n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+    tls_worker_id = saved_id;
+    tls_in_pool_task = saved_in;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_workers) : num_workers_(num_workers ? num_workers : 1) {
+  if (num_workers_ <= 1) return;
+  impl_ = new Impl;
+  impl_->threads.reserve(num_workers_ - 1);
+  for (std::size_t w = 1; w < num_workers_; ++w)
+    impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->start_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (!impl_ || n == 1 || tls_in_pool_task) {
+    // Serial pool, a single task, or a nested call from inside a pool task:
+    // run inline on this thread, keeping its worker index for scratch reuse.
+    const std::size_t w = tls_in_pool_task ? tls_worker_id : 0;
+    for (std::size_t t = 0; t < n; ++t) fn(t, w);
+    return;
+  }
+
+  auto job = std::make_shared<Impl::Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+
+  // The caller participates as worker 0.
+  impl_->run_tasks(*job, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] { return job->done.load(std::memory_order_acquire) == n; });
+    impl_->job.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(1);
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return *global_pool_slot(); }
+
+void ThreadPool::set_global_threads(std::size_t n) {
+  global_pool_slot() = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace uniscan

@@ -1,0 +1,209 @@
+// The incremental omission engine (checkpointed restarts, batch skipping,
+// hardest-first fault ordering, thread-pool fan-out) must produce a
+// CompactionResult bit-identical to the naive procedure it replaces: trial
+// erasures evaluated by full from-scratch resimulation of a materialized
+// subsequence. These tests pin that down by running a self-contained
+// reference implementation of the seed algorithm next to the production
+// path, for both fault models, several thread counts, and checkpoint
+// intervals including the degenerate ones.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "atpg/seq_atpg.hpp"
+#include "compact/compact_impl.hpp"
+#include "compact/omission.hpp"
+#include "compact/restoration.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/transition_fault.hpp"
+#include "scan/scan_insertion.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/transition_sim.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+/// The seed omission algorithm, verbatim: every trial erasure materializes
+/// the candidate subsequence and resimulates it from power-up.
+template <typename Simulator, typename FaultT>
+CompactionResult reference_omission(const Netlist& nl, const TestSequence& seq,
+                                    std::span<const FaultT> faults,
+                                    const OmissionOptions& options) {
+  Simulator sim(nl);
+  CompactionResult result;
+  result.original_length = seq.length();
+
+  const auto base = sim.run(seq, faults);
+  std::vector<FaultT> must;
+  for (std::size_t i = 0; i < base.size(); ++i)
+    if (base[i].detected) must.push_back(faults[i]);
+
+  TestSequence cur = seq;
+  const auto try_erase = [&](std::size_t t) {
+    std::vector<std::size_t> keep;
+    for (std::size_t j = 0; j < cur.length(); ++j)
+      if (j != t) keep.push_back(j);
+    TestSequence trial = cur.select(keep);
+    if (!sim.detects_all(trial, must)) return false;
+    cur = std::move(trial);
+    return true;
+  };
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++result.rounds;
+    std::size_t removed = 0;
+    if (options.back_to_front) {
+      for (std::size_t t = cur.length(); t-- > 0;)
+        if (try_erase(t)) ++removed;
+    } else {
+      for (std::size_t t = 0; t < cur.length();) {
+        if (try_erase(t)) ++removed;
+        else ++t;
+      }
+    }
+    if (removed == 0) break;
+  }
+
+  result.sequence = cur;
+  result.vectors_removed = seq.length() - cur.length();
+  const auto final_det = sim.run(cur, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
+  return result;
+}
+
+void expect_same(const CompactionResult& got, const CompactionResult& want) {
+  EXPECT_EQ(got.sequence, want.sequence);
+  EXPECT_EQ(got.original_length, want.original_length);
+  EXPECT_EQ(got.vectors_removed, want.vectors_removed);
+  EXPECT_EQ(got.rounds, want.rounds);
+  EXPECT_EQ(got.extra_detected, want.extra_detected);
+}
+
+struct PoolGuard {
+  explicit PoolGuard(std::size_t n) { ThreadPool::set_global_threads(n); }
+  ~PoolGuard() { ThreadPool::set_global_threads(1); }
+};
+
+struct StuckAtFixture {
+  ScanCircuit sc = insert_scan(make_s27());
+  FaultList fl = FaultList::collapsed(sc.netlist);
+  AtpgResult atpg = generate_tests(sc, fl, {});
+};
+
+TEST(OmissionEquivalence, StuckAtAcrossThreadsAndIntervals) {
+  StuckAtFixture fx;
+  const CompactionResult want = reference_omission<FaultSimulator, Fault>(
+      fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), {});
+  ASSERT_LT(want.sequence.length(), fx.atpg.sequence.length());
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    PoolGuard guard(threads);
+    for (std::size_t interval : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                 std::size_t{1000000}}) {
+      OmissionOptions opt;
+      opt.checkpoint_interval = interval;
+      const CompactionResult got =
+          omission_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), opt);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " interval=" + std::to_string(interval));
+      expect_same(got, want);
+    }
+  }
+}
+
+TEST(OmissionEquivalence, StuckAtFrontToBack) {
+  StuckAtFixture fx;
+  OmissionOptions opt;
+  opt.back_to_front = false;
+  const CompactionResult want = reference_omission<FaultSimulator, Fault>(
+      fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), opt);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    PoolGuard guard(threads);
+    const CompactionResult got =
+        omission_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults(), opt);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_same(got, want);
+  }
+}
+
+TEST(OmissionEquivalence, TransitionFaults) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const auto faults = enumerate_transition_faults(sc.netlist);
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const AtpgResult atpg = generate_tests(sc, fl, {});
+  const std::span<const TransitionFault> tf(faults);
+
+  const CompactionResult want = reference_omission<TransitionFaultSimulator, TransitionFault>(
+      sc.netlist, atpg.sequence, tf, {});
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    PoolGuard guard(threads);
+    const CompactionResult got = omission_compact(sc.netlist, atpg.sequence, tf, {});
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_same(got, want);
+  }
+}
+
+TEST(RestorationEquivalence, ViewPathMatchesAcrossThreads) {
+  StuckAtFixture fx;
+  PoolGuard one(1);
+  const CompactionResult want =
+      restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+  {
+    PoolGuard four(4);
+    const CompactionResult got =
+        restoration_compact(fx.sc.netlist, fx.atpg.sequence, fx.fl.faults());
+    expect_same(got, want);
+  }
+}
+
+/// Direct unit checks of the engine's trial predicate at the boundary
+/// positions: frame 0 (restart has no usable checkpoint), a checkpoint frame
+/// itself (the snapshot at t must be used, and stays valid after the
+/// accept), and the last frame (shortest possible resimulation).
+TEST(OmissionEngine, EraseAtBoundaryFramesMatchesReference) {
+  StuckAtFixture fx;
+  FaultSimulator sim(fx.sc.netlist);
+  const auto base = sim.run(fx.atpg.sequence, fx.fl.faults());
+  std::vector<Fault> must;
+  std::vector<std::uint32_t> must_time;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (!base[i].detected) continue;
+    must.push_back(fx.fl.faults()[i]);
+    must_time.push_back(base[i].time);
+  }
+  ASSERT_FALSE(must.empty());
+
+  constexpr std::size_t kInterval = 4;
+  detail::OmissionEngine<FaultSimulator> engine(fx.sc.netlist, fx.atpg.sequence, must, must_time,
+                                                kInterval);
+
+  // Reference predicate against the engine's own current selection.
+  TestSequence cur = fx.atpg.sequence;
+  const auto reference_would_accept = [&](std::size_t t) {
+    std::vector<std::size_t> keep;
+    for (std::size_t j = 0; j < cur.length(); ++j)
+      if (j != t) keep.push_back(j);
+    return sim.detects_all(cur.select(keep), must);
+  };
+  const auto check = [&](std::size_t t) {
+    SCOPED_TRACE("erase at t=" + std::to_string(t));
+    const bool want = reference_would_accept(t);
+    ASSERT_EQ(engine.try_erase(t), want);
+    if (want) cur.erase(t);
+    ASSERT_EQ(engine.materialize(), cur);
+  };
+
+  check(0);                  // frame 0: no checkpoint at or below
+  check(kInterval);          // exactly on a checkpoint frame
+  check(cur.length() - 1);   // last frame
+  check(cur.length() - 1);   // last frame again after the state shrank
+  for (std::size_t t = cur.length(); t-- > 0;) check(t);  // full sweep
+  ASSERT_EQ(engine.length(), cur.length());
+}
+
+}  // namespace
+}  // namespace uniscan

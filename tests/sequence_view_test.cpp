@@ -1,0 +1,96 @@
+#include "sim/sequence_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+namespace {
+
+TestSequence make_seq(std::size_t length) {
+  TestSequence seq(2);
+  for (std::size_t t = 0; t < length; ++t) {
+    // Encode the frame index in the vector so identity checks are easy.
+    seq.append({(t & 1) ? V3::One : V3::Zero, (t & 2) ? V3::One : V3::Zero});
+  }
+  return seq;
+}
+
+TEST(SequenceView, WholeSequence) {
+  const TestSequence seq = make_seq(5);
+  const SequenceView v(seq);
+  EXPECT_EQ(v.length(), 5u);
+  EXPECT_EQ(v.num_inputs(), 2u);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(v.base_index(t), t);
+    EXPECT_EQ(v.vector_at(t), seq.vector_at(t));
+  }
+  EXPECT_EQ(v.materialize(), seq);
+}
+
+TEST(SequenceView, DefaultConstructedIsEmpty) {
+  const SequenceView v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.length(), 0u);
+  EXPECT_EQ(v.num_inputs(), 0u);
+}
+
+TEST(SequenceView, KeepListSelectsFrames) {
+  const TestSequence seq = make_seq(6);
+  const std::vector<std::size_t> keep = {0, 2, 5};
+  const SequenceView v(seq, keep);
+  EXPECT_EQ(v.length(), 3u);
+  EXPECT_EQ(v.base_index(0), 0u);
+  EXPECT_EQ(v.base_index(1), 2u);
+  EXPECT_EQ(v.base_index(2), 5u);
+  EXPECT_EQ(v.materialize(), seq.select(keep));
+}
+
+TEST(SequenceView, WithoutSkipsOnePosition) {
+  const TestSequence seq = make_seq(5);
+  const SequenceView whole(seq);
+  for (std::size_t skip = 0; skip < 5; ++skip) {
+    const SequenceView v = whole.without(skip);
+    EXPECT_EQ(v.length(), 4u);
+    std::vector<std::size_t> expect;
+    for (std::size_t t = 0; t < 5; ++t)
+      if (t != skip) expect.push_back(t);
+    for (std::size_t t = 0; t < 4; ++t) EXPECT_EQ(v.base_index(t), expect[t]);
+    EXPECT_EQ(v.materialize(), seq.select(expect));
+  }
+}
+
+TEST(SequenceView, WithoutComposesWithKeepList) {
+  const TestSequence seq = make_seq(8);
+  const std::vector<std::size_t> keep = {1, 3, 4, 7};
+  const SequenceView v = SequenceView(seq, keep).without(2);  // drops base 4
+  EXPECT_EQ(v.length(), 3u);
+  EXPECT_EQ(v.base_index(0), 1u);
+  EXPECT_EQ(v.base_index(1), 3u);
+  EXPECT_EQ(v.base_index(2), 7u);
+  EXPECT_EQ(v.materialize(), seq.select({1, 3, 7}));
+}
+
+TEST(SequenceView, DoubleSkipThrows) {
+  const TestSequence seq = make_seq(4);
+  const SequenceView v = SequenceView(seq).without(1);
+  EXPECT_THROW(v.without(0), std::logic_error);
+}
+
+TEST(SequenceView, OutOfRangeSkipThrows) {
+  const TestSequence seq = make_seq(3);
+  EXPECT_THROW(SequenceView(seq).without(3), std::out_of_range);
+}
+
+TEST(SequenceView, SkipToEmpty) {
+  const TestSequence seq = make_seq(1);
+  const SequenceView v = SequenceView(seq).without(0);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.materialize(), TestSequence(2));
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace uniscan {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t task, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(static_cast<int>(task));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EveryTaskRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.parallel_for(kTasks, [&](std::size_t task, std::size_t worker) {
+    EXPECT_LT(worker, 4u);
+    hits[task].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t task, std::size_t) { sum += task; });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL() << "no task expected"; });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t task, std::size_t) {
+                                   if (task == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t, std::size_t outer_worker) {
+    // A nested parallel_for must not deadlock waiting for the busy workers;
+    // it runs its tasks on the calling worker.
+    pool.parallel_for(3, [&](std::size_t, std::size_t inner_worker) {
+      EXPECT_EQ(inner_worker, outer_worker);
+      ++inner_total;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 12);
+}
+
+TEST(ThreadPool, GlobalPoolResizable) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().num_workers(), 3u);
+  std::atomic<int> count{0};
+  ThreadPool::global().parallel_for(10, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().num_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace uniscan
