@@ -5,7 +5,10 @@
 // through the functional-level scan knowledge.
 //
 // Run with --no-scan-knowledge for the ablation (funct becomes 0 and
-// coverage may drop).
+// coverage may drop). Circuits run as parallel tasks on the global pool
+// (--threads=N) and merge in suite order, so the output is identical at any
+// thread count; --json=FILE records per-circuit wall time and gate
+// evaluations (BENCH_atpg.json).
 #include "bench_common.hpp"
 
 #include <iostream>
@@ -20,31 +23,50 @@ int main(int argc, char** argv) {
   if (!args.scan_knowledge) std::cout << "(functional scan knowledge DISABLED)\n";
   std::cout << "\n";
 
-  // `redund` and `eff` extend the paper's columns: faults PROVED untestable
-  // by any single-vector scan test, and coverage relative to the remaining
-  // (possibly testable) universe.
-  TextTable table({"circ", "inp", "stvr", "faults", "total", "fcov", "funct", "redund", "eff"});
-  std::size_t total_faults = 0, total_detected = 0;
-  for (const SuiteEntry& entry : suite) {
-    const Netlist c = load_circuit(entry, args.bench_dir);
+  struct Row {
+    std::size_t inputs = 0;
+    std::size_t dffs = 0;
+    AtpgResult r;
+    double wall_ms = 0.0;
+  };
+  const auto rows = run_suite_tasks(suite.size(), [&](std::size_t i) {
+    const bench::Stopwatch sw;
+    Row row;
+    const Netlist c = load_circuit(suite[i], args.bench_dir);
     const ScanCircuit sc = insert_scan(c);
     const FaultList fl = FaultList::collapsed(sc.netlist);
 
     AtpgOptions opt;
     opt.seed = args.seed;
     opt.use_scan_knowledge = args.scan_knowledge;
-    const AtpgResult r = generate_tests(sc, fl, opt);
+    row.r = generate_tests(sc, fl, opt);
+    row.inputs = sc.netlist.num_inputs();
+    row.dffs = sc.netlist.num_dffs();
+    row.wall_ms = sw.ms();
+    return row;
+  });
 
+  // `redund` and `eff` extend the paper's columns: faults PROVED untestable
+  // by any single-vector scan test, and coverage relative to the remaining
+  // (possibly testable) universe.
+  TextTable table({"circ", "inp", "stvr", "faults", "total", "fcov", "funct", "redund", "eff"});
+  bench::BenchJson json;
+  std::size_t total_faults = 0, total_detected = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const Row& row = rows[i];
+    const AtpgResult& r = row.r;
     const std::size_t testable_universe = r.num_faults - r.proved_redundant;
     const double efficiency =
         testable_universe == 0
             ? 100.0
             : 100.0 * static_cast<double>(r.detected) / static_cast<double>(testable_universe);
-    table.add_row({entry.name, std::to_string(sc.netlist.num_inputs()),
-                   std::to_string(sc.netlist.num_dffs()), std::to_string(r.num_faults),
-                   std::to_string(r.detected), format_pct(r.fault_coverage()),
-                   std::to_string(r.detected_by_scan_knowledge),
+    table.add_row({suite[i].name, std::to_string(row.inputs), std::to_string(row.dffs),
+                   std::to_string(r.num_faults), std::to_string(r.detected),
+                   format_pct(r.fault_coverage()), std::to_string(r.detected_by_scan_knowledge),
                    std::to_string(r.proved_redundant), format_pct(efficiency)});
+    // Generation builds the sequence from scratch: in_len 0, out_len the
+    // generated vector count.
+    json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length());
     total_faults += r.num_faults;
     total_detected += r.detected;
   }
@@ -53,5 +75,6 @@ int main(int argc, char** argv) {
             << format_pct(100.0 * static_cast<double>(total_detected) /
                           static_cast<double>(total_faults))
             << "%)\n";
+  json.write(args.json, args.threads);
   return 0;
 }

@@ -3,7 +3,8 @@
 // scan_sel=1 vectors), after restoration-based compaction [23], after
 // omission-based compaction [22], faults gained by compaction (`ext det`),
 // and the complete-scan baseline cycles (the paper's [26] column; here our
-// second-approach generator, see DESIGN.md §3).
+// second-approach generator, see DESIGN.md §3). Circuits run as parallel
+// tasks (--threads=N) and merge in suite order.
 #include "bench_common.hpp"
 
 #include <iostream>
@@ -16,19 +17,33 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Table 6: test length after test generation and compaction ===\n\n";
 
+  struct Row {
+    GenerateCompactReport r;
+    double wall_ms = 0.0;
+  };
+  const PipelineConfig cfg = bench::make_config(args);
+  const auto rows = run_suite_tasks(suite.size(), [&](std::size_t i) {
+    const bench::Stopwatch sw;
+    Row row;
+    row.r = run_generate_and_compact(load_circuit(suite[i], args.bench_dir), cfg);
+    row.wall_ms = sw.ms();
+    return row;
+  });
+
   TextTable table({"circ", "test.total", "test.scan", "restor.total", "restor.scan",
                    "omit.total", "omit.scan", "ext", "base.cyc"});
+  bench::BenchJson json;
   std::size_t total_omit = 0, total_base = 0;
-  for (const SuiteEntry& entry : suite) {
-    const Netlist c = load_circuit(entry, args.bench_dir);
-    PipelineConfig cfg = bench::make_config(args);
-    const GenerateCompactReport r = run_generate_and_compact(c, cfg);
-
-    table.add_row({entry.name, std::to_string(r.raw.total), std::to_string(r.raw.scan),
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const GenerateCompactReport& r = rows[i].r;
+    table.add_row({suite[i].name, std::to_string(r.raw.total), std::to_string(r.raw.scan),
                    std::to_string(r.restored.total), std::to_string(r.restored.scan),
                    std::to_string(r.omitted.total), std::to_string(r.omitted.scan),
                    r.extra_detected ? "+" + std::to_string(r.extra_detected) : "",
                    std::to_string(r.baseline.application_cycles())});
+    json.add(suite[i].name, rows[i].wall_ms,
+             r.atpg.gate_evals + r.restoration.gate_evals + r.omission.gate_evals, r.raw.total,
+             r.omitted.total);
     total_omit += r.omitted.total;
     total_base += r.baseline.application_cycles();
   }
@@ -38,5 +53,6 @@ int main(int argc, char** argv) {
             << format_pct(100.0 * static_cast<double>(total_omit) /
                           static_cast<double>(total_base))
             << "% of baseline)\n";
+  json.write(args.json, args.threads);
   return 0;
 }

@@ -2,7 +2,8 @@
 // test set (the [26]-style baseline), translate it into a unified sequence
 // (Section 3), then compact with restoration [23] + omission [22]. Shows
 // that even tests produced by conventional scan ATPG shrink substantially
-// once scan operations become ordinary vectors.
+// once scan operations become ordinary vectors. Circuits run as parallel
+// tasks (--threads=N) and merge in suite order.
 #include "bench_common.hpp"
 
 #include <iostream>
@@ -15,19 +16,33 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Table 7: results for translated test sets ===\n\n";
 
+  struct Row {
+    TranslateCompactReport r;
+    double wall_ms = 0.0;
+  };
+  const PipelineConfig cfg = bench::make_config(args);
+  const auto rows = run_suite_tasks(suite.size(), [&](std::size_t i) {
+    const bench::Stopwatch sw;
+    Row row;
+    row.r = run_translate_and_compact(load_circuit(suite[i], args.bench_dir), cfg);
+    row.wall_ms = sw.ms();
+    return row;
+  });
+
   TextTable table({"circ", "test.total", "test.scan", "restor.total", "restor.scan",
                    "omit.total", "omit.scan", "base.cyc"});
+  bench::BenchJson json;
   std::size_t total_omit = 0, total_base = 0;
-  for (const SuiteEntry& entry : suite) {
-    const Netlist c = load_circuit(entry, args.bench_dir);
-    PipelineConfig cfg = bench::make_config(args);
-    const TranslateCompactReport r = run_translate_and_compact(c, cfg);
-
-    table.add_row({entry.name, std::to_string(r.translated.total),
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const TranslateCompactReport& r = rows[i].r;
+    table.add_row({suite[i].name, std::to_string(r.translated.total),
                    std::to_string(r.translated.scan), std::to_string(r.restored.total),
                    std::to_string(r.restored.scan), std::to_string(r.omitted.total),
                    std::to_string(r.omitted.scan),
                    std::to_string(r.baseline.application_cycles())});
+    json.add(suite[i].name, rows[i].wall_ms,
+             r.restoration.gate_evals + r.omission.gate_evals, r.translated.total,
+             r.omitted.total);
     total_omit += r.omitted.total;
     total_base += r.baseline.application_cycles();
   }
@@ -37,5 +52,6 @@ int main(int argc, char** argv) {
             << format_pct(100.0 * static_cast<double>(total_omit) /
                           static_cast<double>(total_base))
             << "% of baseline)\n";
+  json.write(args.json, args.threads);
   return 0;
 }

@@ -4,6 +4,7 @@
 // generate one sequence on C_scan (consecutive vectors are launch/capture
 // pairs at speed, scan shifts included), then compact with the same
 // restoration + omission machinery, all under gross-delay semantics.
+// Circuits run as parallel tasks (--threads=N) and merge in suite order.
 #include "bench_common.hpp"
 
 #include <iostream>
@@ -16,28 +17,46 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Table 8 (extension): transition-fault generation and compaction ===\n\n";
 
-  TextTable table({"circ", "tfaults", "det", "tcov", "funct", "test.total", "omit.total",
-                   "omit.scan"});
-  std::size_t total_faults = 0, total_detected = 0;
-  for (const SuiteEntry& entry : suite) {
-    const Netlist c = load_circuit(entry, args.bench_dir);
+  struct Row {
+    TransitionAtpgResult r;
+    SequenceStats omitted;
+    std::uint64_t gate_evals = 0;
+    double wall_ms = 0.0;
+  };
+  const auto rows = run_suite_tasks(suite.size(), [&](std::size_t i) {
+    const bench::Stopwatch sw;
+    Row row;
+    const Netlist c = load_circuit(suite[i], args.bench_dir);
     const ScanCircuit sc = insert_scan(c);
     const auto faults = enumerate_transition_faults(sc.netlist);
 
     AtpgOptions opt;
     opt.seed = args.seed;
     opt.use_scan_knowledge = args.scan_knowledge;
-    const TransitionAtpgResult r = generate_transition_tests(sc, faults, opt);
+    row.r = generate_transition_tests(sc, faults, opt);
 
-    const CompactionResult rest = restoration_compact(sc.netlist, r.sequence, faults);
+    const CompactionResult rest = restoration_compact(sc.netlist, row.r.sequence, faults);
     const CompactionResult omit = omission_compact(sc.netlist, rest.sequence, faults);
-    const SequenceStats st = sequence_stats(sc, omit.sequence);
+    row.omitted = sequence_stats(sc, omit.sequence);
+    row.gate_evals = row.r.gate_evals + rest.gate_evals + omit.gate_evals;
+    row.wall_ms = sw.ms();
+    return row;
+  });
 
-    table.add_row({entry.name, std::to_string(r.num_faults), std::to_string(r.detected),
+  TextTable table({"circ", "tfaults", "det", "tcov", "funct", "test.total", "omit.total",
+                   "omit.scan"});
+  bench::BenchJson json;
+  std::size_t total_faults = 0, total_detected = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const Row& row = rows[i];
+    const TransitionAtpgResult& r = row.r;
+    table.add_row({suite[i].name, std::to_string(r.num_faults), std::to_string(r.detected),
                    format_pct(r.fault_coverage()),
                    std::to_string(r.detected_by_scan_knowledge),
-                   std::to_string(r.sequence.length()), std::to_string(st.total),
-                   std::to_string(st.scan)});
+                   std::to_string(r.sequence.length()), std::to_string(row.omitted.total),
+                   std::to_string(row.omitted.scan)});
+    json.add(suite[i].name, row.wall_ms, row.gate_evals, r.sequence.length(),
+             row.omitted.total);
     total_faults += r.num_faults;
     total_detected += r.detected;
   }
@@ -46,5 +65,6 @@ int main(int argc, char** argv) {
             << format_pct(100.0 * static_cast<double>(total_detected) /
                           static_cast<double>(total_faults))
             << "% (" << total_detected << "/" << total_faults << ")\n";
+  json.write(args.json, args.threads);
   return 0;
 }

@@ -202,6 +202,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
   // ---- final verification ----------------------------------------------------
   FaultSimulator verifier(nl);
   result.detection = verifier.run(result.sequence, faults.faults());
+  result.gate_evals = session.gate_evals() + verifier.gate_evals();
   result.detected = 0;
   for (std::size_t i = 0; i < result.detection.size(); ++i) {
     if (result.detection[i].detected) {

@@ -72,6 +72,9 @@ struct AtpgResult {
   std::size_t proved_redundant = 0;
   std::vector<DetectionRecord> detection;      // per collapsed fault, final sequence
   AtpgStats stats;
+  /// Gate-word evaluations spent on fault simulation (session + final
+  /// verification) — the bench binaries' work metric.
+  std::uint64_t gate_evals = 0;
 
   double fault_coverage() const {
     return num_faults == 0 ? 0.0 : 100.0 * static_cast<double>(detected) / static_cast<double>(num_faults);

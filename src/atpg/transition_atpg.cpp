@@ -154,6 +154,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
   // ---- final verification ------------------------------------------------------
   TransitionFaultSimulator verifier(nl);
   result.detection = verifier.run(result.sequence, faults);
+  result.gate_evals = session.gate_evals() + verifier.gate_evals();
   for (std::size_t i = 0; i < result.detection.size(); ++i) {
     if (result.detection[i].detected) {
       ++result.detected;

@@ -28,6 +28,9 @@ struct TransitionAtpgResult {
   std::size_t detected_by_scan_knowledge = 0;
   std::vector<DetectionRecord> detection;
   AtpgStats stats;
+  /// Gate-word evaluations spent on fault simulation (session + final
+  /// verification) — the bench binaries' work metric.
+  std::uint64_t gate_evals = 0;
 
   double fault_coverage() const {
     return num_faults == 0

@@ -68,4 +68,20 @@ TranslateCompactReport run_translate_and_compact(const Netlist& c, const Pipelin
   return report;
 }
 
+std::vector<GenerateCompactReport> run_suite_generate_and_compact(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config,
+    const std::string& bench_dir) {
+  return run_suite_tasks(suite.size(), [&](std::size_t i) {
+    return run_generate_and_compact(load_circuit(suite[i], bench_dir), config);
+  });
+}
+
+std::vector<TranslateCompactReport> run_suite_translate_and_compact(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config,
+    const std::string& bench_dir) {
+  return run_suite_tasks(suite.size(), [&](std::size_t i) {
+    return run_translate_and_compact(load_circuit(suite[i], bench_dir), config);
+  });
+}
+
 }  // namespace uniscan

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "atpg/seq_atpg.hpp"
 #include "baseline/scan_testset_gen.hpp"
@@ -15,6 +17,8 @@
 #include "netlist/netlist.hpp"
 #include "scan/scan_insertion.hpp"
 #include "translate/translation.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/suite.hpp"
 
 namespace uniscan {
 
@@ -65,5 +69,29 @@ struct TranslateCompactReport {
 };
 
 TranslateCompactReport run_translate_and_compact(const Netlist& c, const PipelineConfig& config = {});
+
+/// Fan `fn(index)` for index in [0, n) across ThreadPool::global() and merge
+/// the results in input order. Each result is written only into its
+/// task-indexed slot, so the returned vector is bit-identical at any thread
+/// count (the pool's determinism contract, DESIGN.md §5d). Issued from
+/// inside a pool task, the fan-out degenerates to an inline loop.
+template <typename Fn>
+auto run_suite_tasks(std::size_t n, Fn&& fn) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> out(n);
+  ThreadPool::global().parallel_for(n,
+                                    [&](std::size_t task, std::size_t) { out[task] = fn(task); });
+  return out;
+}
+
+/// Per-circuit parallel versions of the two flows: one task per suite entry,
+/// reports returned in suite order. These back the bench/table5-table8
+/// binaries' --threads=N flag.
+std::vector<GenerateCompactReport> run_suite_generate_and_compact(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config = {},
+    const std::string& bench_dir = {});
+std::vector<TranslateCompactReport> run_suite_translate_and_compact(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config = {},
+    const std::string& bench_dir = {});
 
 }  // namespace uniscan

@@ -1,0 +1,30 @@
+#include "sim/fault_order.hpp"
+
+#include <queue>
+
+namespace uniscan {
+
+std::vector<std::uint32_t> observation_depth(const Netlist& nl) {
+  const std::uint32_t unreachable = static_cast<std::uint32_t>(nl.num_gates());
+  std::vector<std::uint32_t> depth(nl.num_gates(), unreachable);
+  std::queue<GateId> frontier;
+  for (GateId po : nl.outputs()) {
+    if (depth[po] == unreachable) {
+      depth[po] = 0;
+      frontier.push(po);
+    }
+  }
+  while (!frontier.empty()) {
+    const GateId g = frontier.front();
+    frontier.pop();
+    for (GateId f : nl.gate(g).fanins) {
+      if (depth[f] == unreachable) {
+        depth[f] = depth[g] + 1;
+        frontier.push(f);
+      }
+    }
+  }
+  return depth;
+}
+
+}  // namespace uniscan

@@ -1,0 +1,44 @@
+// Hardest-first fault ordering for batch packing.
+//
+// The streaming sessions skip a 63-fault batch entirely once all of its
+// faults are detected, so batch packing decides how much simulation the
+// random bootstrap phase can retire: if accidentally-detected (easy) faults
+// share batches, those batches go cold early and every later advance pays
+// only for the hard remainder. Following the accidental-detection-index
+// observation of Pomeranz & Reddy (PAPERS.md), faults are ranked by a static
+// proxy for how unlikely accidental detection is: the shortest structural
+// distance from the fault site to any primary output (through flip-flops,
+// one edge per crossing). Deep sites are observed rarely, so they are packed
+// first, together. The ordering is a pure function of the netlist and the
+// fault list — identical at every thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace uniscan {
+
+/// Per-gate shortest edge distance to any primary output (multi-source BFS
+/// over the reversed netlist graph, flip-flops crossed like ordinary gates).
+/// Gates that reach no output get num_gates() (hardest).
+std::vector<std::uint32_t> observation_depth(const Netlist& nl);
+
+/// Indices of `faults` ordered hardest (deepest fault site) first; ties keep
+/// fault-list order. Works for any fault type with a `gate` member.
+template <typename FaultT>
+std::vector<std::size_t> hardest_first_order(const Netlist& nl, std::span<const FaultT> faults) {
+  const std::vector<std::uint32_t> depth = observation_depth(nl);
+  std::vector<std::size_t> order(faults.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return depth[faults[a].gate] > depth[faults[b].gate];
+  });
+  return order;
+}
+
+}  // namespace uniscan

@@ -3,160 +3,113 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/fault_order.hpp"
+#include "sim/sequence_view.hpp"
+#include "util/thread_pool.hpp"
+
 namespace uniscan {
 
 FaultSimSession::FaultSimSession(const Netlist& nl, std::span<const Fault> faults)
-    : nl_(&nl), faults_(faults.begin(), faults.end()) {
+    : nl_(&nl),
+      faults_(faults.begin(), faults.end()),
+      good_runner_(nl, std::span<const Fault>{}) {
   if (!nl.is_finalized()) throw std::invalid_argument("FaultSimSession: netlist not finalized");
-  values_.assign(nl.num_gates(), W3::all_x());
   detection_.assign(faults_.size(), DetectionRecord{});
+  good_ = good_runner_.initial_state();
 
-  for (std::size_t base = 0; base < faults_.size(); base += 63) {
-    const std::size_t count = std::min<std::size_t>(63, faults_.size() - base);
-    Batch b;
-    b.first_fault_index = base;
-    b.faults.assign(faults_.begin() + static_cast<std::ptrdiff_t>(base),
-                    faults_.begin() + static_cast<std::ptrdiff_t>(base + count));
-    b.state.assign(nl.num_dffs(), W3::all_x());
-    b.stem_set0.assign(nl.num_gates(), 0);
-    b.stem_set1.assign(nl.num_gates(), 0);
-    b.has_branch.assign(nl.num_gates(), 0);
-    for (std::size_t i = 0; i < count; ++i) {
-      const Fault& f = b.faults[i];
-      const std::uint64_t bit = 1ULL << (i + 1);
-      b.live |= bit;
-      if (f.pin == kStemPin) {
-        (f.stuck_one ? b.stem_set1[f.gate] : b.stem_set0[f.gate]) |= bit;
-      } else {
-        Batch::BranchForce* bf = nullptr;
-        for (auto& br : b.branches)
-          if (br.gate == f.gate && br.pin == f.pin) bf = &br;
-        if (!bf) {
-          b.branches.push_back(Batch::BranchForce{f.gate, f.pin, 0, 0});
-          bf = &b.branches.back();
-          b.has_branch[f.gate] = 1;
-        }
-        (f.stuck_one ? bf->set1 : bf->set0) |= bit;
-      }
-    }
-    batches_.push_back(std::move(b));
+  order_ = hardest_first_order(nl, std::span<const Fault>(faults_));
+  pos_.resize(order_.size());
+  packed_.reserve(order_.size());
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    pos_[order_[p]] = p;
+    packed_.push_back(faults_[order_[p]]);
   }
-  // Ensure at least one batch exists so good_state() works on empty universes.
-  if (batches_.empty()) {
-    Batch b;
-    b.state.assign(nl.num_dffs(), W3::all_x());
-    b.stem_set0.assign(nl.num_gates(), 0);
-    b.stem_set1.assign(nl.num_gates(), 0);
-    b.has_branch.assign(nl.num_gates(), 0);
-    batches_.push_back(std::move(b));
-  }
-}
 
-void FaultSimSession::advance_batch(Batch& b, const TestSequence& chunk) {
-  const Netlist& nl = *nl_;
-  std::vector<W3>& values = values_;
-  W3 fanin_buf[64];
-
-  const auto apply_stem = [&](GateId g, W3 w) -> W3 {
-    const std::uint64_t touched = b.stem_set0[g] | b.stem_set1[g];
-    if (!touched) return w;
-    return W3{(w.v0 & ~touched) | b.stem_set0[g], (w.v1 & ~touched) | b.stem_set1[g]};
-  };
-  const auto apply_branch = [&](GateId g, std::size_t pin, W3 w) -> W3 {
-    for (const auto& br : b.branches) {
-      if (br.gate == g && br.pin == static_cast<std::int16_t>(pin)) {
-        const std::uint64_t touched = br.set0 | br.set1;
-        return W3{(w.v0 & ~touched) | br.set0, (w.v1 & ~touched) | br.set1};
-      }
-    }
-    return w;
-  };
-
-  for (std::size_t t = 0; t < chunk.length(); ++t) {
-    const auto& vec = chunk.vector_at(t);
-    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
-      const GateId pi = nl.inputs()[i];
-      values[pi] = apply_stem(pi, W3::broadcast(vec[i]));
-    }
-    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-      const GateId ff = nl.dffs()[j];
-      values[ff] = apply_stem(ff, b.state[j]);
-    }
-    for (GateId g : nl.topo_order()) {
-      const Gate& gate = nl.gate(g);
-      const std::size_t n = gate.fanins.size();
-      if (b.has_branch[g]) {
-        for (std::size_t p = 0; p < n; ++p)
-          fanin_buf[p] = apply_branch(g, p, values[gate.fanins[p]]);
-      } else {
-        for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values[gate.fanins[p]];
-      }
-      values[g] = apply_stem(g, eval_gate_w3(gate.type, fanin_buf, n));
-    }
-
-    for (GateId po : nl.outputs()) {
-      const W3 w = values[po];
-      const bool good0 = (w.v0 & 1) != 0;
-      const bool good1 = (w.v1 & 1) != 0;
-      std::uint64_t newly = 0;
-      if (good1) newly = w.v0 & b.live;
-      else if (good0) newly = w.v1 & b.live;
-      while (newly) {
-        const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
-        newly &= newly - 1;
-        b.live &= ~(1ULL << slot);
-        DetectionRecord& dr = detection_[b.first_fault_index + slot - 1];
-        dr.detected = true;
-        dr.time = static_cast<std::uint32_t>(now_ + t);
-        ++num_detected_;
-      }
-    }
-
-    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-      const GateId ff = nl.dffs()[j];
-      W3 d = values[nl.gate(ff).fanins[0]];
-      if (b.has_branch[ff]) d = apply_branch(ff, 0, d);
-      b.state[j] = d;
-    }
+  const std::size_t num_batches = (packed_.size() + 62) / 63;
+  runners_.reserve(num_batches);
+  states_.reserve(num_batches);
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t lo = b * 63;
+    const std::size_t count = std::min<std::size_t>(63, packed_.size() - lo);
+    runners_.emplace_back(nl, std::span<const Fault>(packed_.data() + lo, count));
+    states_.push_back(runners_.back().initial_state());
   }
 }
 
 std::size_t FaultSimSession::advance(const TestSequence& chunk) {
   if (chunk.num_inputs() != nl_->num_inputs())
     throw std::invalid_argument("FaultSimSession::advance: input width mismatch");
-  const std::size_t before = num_detected_;
-  for (auto& b : batches_) advance_batch(b, chunk);
+  const SequenceView view(chunk);
+
+  live_idx_.clear();
+  for (std::size_t b = 0; b < states_.size(); ++b)
+    if (states_[b].live != 0) live_idx_.push_back(b);
+  before_.resize(live_idx_.size());
+  evals_.assign(live_idx_.size() + 1, 0);
+
+  // Task 0 advances the good machine; tasks 1.. advance the live batches.
+  // Sessions carry their state across chunks, so every advance restarts the
+  // per-chunk frame counter and runs without early exit (the state must be
+  // valid at the chunk end even when every slot dies mid-chunk).
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+  FaultSimulator::BatchRunner::AdvanceOptions opt;
+  opt.early_exit = false;
+  pool.parallel_for(live_idx_.size() + 1, [&](std::size_t k, std::size_t w) {
+    if (k == 0) {
+      good_.frame = 0;
+      evals_[0] = good_runner_.advance(good_, view, scratch_[w], opt);
+      return;
+    }
+    SimBatchState& s = states_[live_idx_[k - 1]];
+    before_[k - 1] = s.detected_slots;
+    s.frame = 0;
+    evals_[k] = runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
+  });
+
+  // Deterministic merge, in batch order.
+  const std::size_t gained_before = num_detected_;
+  for (std::size_t k = 0; k < live_idx_.size(); ++k) {
+    const std::size_t b = live_idx_[k];
+    const SimBatchState& s = states_[b];
+    std::uint64_t newly = s.detected_slots & ~before_[k];
+    while (newly) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+      newly &= newly - 1;
+      DetectionRecord& dr = detection_[order_[b * 63 + slot - 1]];
+      dr.detected = true;
+      dr.time = static_cast<std::uint32_t>(now_ + s.detect_time[slot]);
+      ++num_detected_;
+    }
+  }
+  for (std::uint64_t e : evals_) gate_evals_ += e;
   now_ += chunk.length();
-  return num_detected_ - before;
+  return num_detected_ - gained_before;
 }
 
 State FaultSimSession::good_state() const {
   State s(nl_->num_dffs(), V3::X);
-  const Batch& b = batches_.front();
-  for (std::size_t j = 0; j < s.size(); ++j) s[j] = b.state[j].get(0);
+  for (std::size_t j = 0; j < s.size(); ++j) s[j] = good_.state[j].get(0);
   return s;
 }
 
 void FaultSimSession::pair_state(std::size_t fault_index, State& good, State& faulty) const {
-  const std::size_t batch_idx = fault_index / 63;
-  const unsigned slot = static_cast<unsigned>(fault_index % 63 + 1);
-  const Batch& b = batches_[batch_idx];
+  const std::size_t p = pos_[fault_index];
+  const unsigned slot = static_cast<unsigned>(p % 63 + 1);
+  const SimBatchState& s = states_[p / 63];
   good.assign(nl_->num_dffs(), V3::X);
   faulty.assign(nl_->num_dffs(), V3::X);
   for (std::size_t j = 0; j < good.size(); ++j) {
-    good[j] = b.state[j].get(0);
-    faulty[j] = b.state[j].get(slot);
+    good[j] = s.state[j].get(0);
+    faulty[j] = s.state[j].get(slot);
   }
 }
 
 FaultSimSession::Snapshot FaultSimSession::snapshot() const {
   Snapshot s;
-  s.states.reserve(batches_.size());
-  s.live.reserve(batches_.size());
-  for (const auto& b : batches_) {
-    s.states.push_back(b.state);
-    s.live.push_back(b.live);
-  }
+  s.good = good_;
+  for (std::size_t b = 0; b < states_.size(); ++b)
+    if (states_[b].live != 0) s.live_states.emplace_back(b, states_[b]);
   s.detection = detection_;
   s.num_detected = num_detected_;
   s.now = now_;
@@ -164,9 +117,20 @@ FaultSimSession::Snapshot FaultSimSession::snapshot() const {
 }
 
 void FaultSimSession::restore(const Snapshot& s) {
-  for (std::size_t i = 0; i < batches_.size(); ++i) {
-    batches_[i].state = s.states[i];
-    batches_[i].live = s.live[i];
+  good_ = s.good;
+  // Batches live at capture time get their state back. Batches absent from
+  // the snapshot were dead at capture time, so only their live mask needs
+  // restoring: a dead batch's machine state is never read (advance skips it,
+  // pair_state is only called for undetected faults), and the batch can only
+  // come back to life through a restore that also carries its state.
+  std::size_t k = 0;
+  for (std::size_t b = 0; b < states_.size(); ++b) {
+    if (k < s.live_states.size() && s.live_states[k].first == b) {
+      states_[b] = s.live_states[k].second;
+      ++k;
+    } else {
+      states_[b].live = 0;
+    }
   }
   detection_ = s.detection;
   num_detected_ = s.num_detected;

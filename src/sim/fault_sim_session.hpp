@@ -3,16 +3,26 @@
 // The sequential test generator extends one global test sequence T by
 // subsequences. Re-simulating T from power-up after every extension would be
 // quadratic, so the session keeps the good and faulty machine states of the
-// whole fault universe (63 faulty machines + the good machine per W3 batch)
-// and advances them incrementally. Candidate subsequences can be evaluated
-// tentatively via snapshot/restore.
+// whole fault universe and advances them incrementally. Candidate
+// subsequences can be evaluated tentatively via snapshot/restore.
+//
+// The session is built on the same engine shape as the compaction engine
+// (DESIGN.md §5c/§5d): one FaultSimulator::BatchRunner + SimBatchState per
+// 63-fault batch, packed hardest-first (sim/fault_order.hpp) so batches
+// whose faults are all detected go cold early and are skipped without
+// simulation; the live batches of every advance() fan out across
+// ThreadPool::global(). Each batch writes only its own state and detection
+// slots and the merge runs serially in batch order, so results are
+// bit-identical at every thread count.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequential_sim.hpp"
@@ -21,8 +31,7 @@ namespace uniscan {
 
 class FaultSimSession {
  public:
-  /// The session references (not copies) `nl` and `faults`; both must
-  /// outlive it.
+  /// The session references (not copies) `nl`; it must outlive the session.
   FaultSimSession(const Netlist& nl, std::span<const Fault> faults);
 
   /// Advance all machines by the vectors of `chunk` (which must be fully
@@ -38,6 +47,9 @@ class FaultSimSession {
   const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
   std::size_t num_detected() const noexcept { return num_detected_; }
 
+  /// Gate-word evaluations performed by all advances so far.
+  std::uint64_t gate_evals() const noexcept { return gate_evals_; }
+
   /// Good-machine state entering the next frame.
   State good_state() const;
 
@@ -45,9 +57,14 @@ class FaultSimSession {
   /// frame; faulty == good wherever no effect is latched.
   void pair_state(std::size_t fault_index, State& good, State& faulty) const;
 
+  /// Resumable session state. Only batches that were live (some fault still
+  /// undetected) at capture time carry a machine state: a batch dead at
+  /// capture time was dead — and therefore skipped, untouched — ever since
+  /// it died, and a batch can only return to life through a restore that
+  /// also restores its state.
   struct Snapshot {
-    std::vector<std::vector<W3>> states;
-    std::vector<std::uint64_t> live;
+    SimBatchState good;
+    std::vector<std::pair<std::size_t, SimBatchState>> live_states;
     std::vector<DetectionRecord> detection;
     std::size_t num_detected;
     std::size_t now;
@@ -56,31 +73,25 @@ class FaultSimSession {
   void restore(const Snapshot& s);
 
  private:
-  struct Batch {
-    std::vector<Fault> faults;          // <= 63
-    std::vector<W3> state;              // per DFF
-    std::uint64_t live = 0;             // undetected slots (bit 1..63)
-    // Injection tables (fixed per batch).
-    std::vector<std::uint64_t> stem_set0, stem_set1;  // per gate
-    struct BranchForce {
-      GateId gate;
-      std::int16_t pin;
-      std::uint64_t set0, set1;
-    };
-    std::vector<BranchForce> branches;
-    std::vector<std::uint8_t> has_branch;  // per gate
-    std::size_t first_fault_index = 0;     // index of slot-1 fault in the universe
-  };
-
-  void advance_batch(Batch& b, const TestSequence& chunk);
-
   const Netlist* nl_;
-  std::vector<Fault> faults_;
-  std::vector<Batch> batches_;
-  std::vector<DetectionRecord> detection_;
+  std::vector<Fault> faults_;           // original (caller) order
+  std::vector<std::size_t> order_;      // packed position -> original index
+  std::vector<std::size_t> pos_;        // original index -> packed position
+  std::vector<Fault> packed_;           // faults_[order_[..]]; runners reference it
+  std::vector<FaultSimulator::BatchRunner> runners_;  // one per 63-fault batch
+  std::vector<SimBatchState> states_;
+  FaultSimulator::BatchRunner good_runner_;  // empty batch: the good machine
+  SimBatchState good_;
+  std::vector<DetectionRecord> detection_;  // original order
   std::size_t num_detected_ = 0;
   std::size_t now_ = 0;
-  mutable std::vector<W3> values_;  // scratch per net
+  std::uint64_t gate_evals_ = 0;
+  // Per-advance scratch, sized once: live batch list, pre-advance detected
+  // masks, per-task gate-eval counts, per-worker net values.
+  std::vector<std::size_t> live_idx_;
+  std::vector<std::uint64_t> before_;
+  std::vector<std::uint64_t> evals_;
+  std::vector<std::vector<W3>> scratch_;
 };
 
 }  // namespace uniscan

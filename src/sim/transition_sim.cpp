@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "sim/fault_order.hpp"
 #include "sim/sequential_sim.hpp"
 #include "util/thread_pool.hpp"
 
@@ -266,90 +267,106 @@ std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
 
 TransitionSimSession::TransitionSimSession(const Netlist& nl,
                                            std::span<const TransitionFault> faults)
-    : nl_(&nl), faults_(faults.begin(), faults.end()) {
+    : nl_(&nl),
+      faults_(faults.begin(), faults.end()),
+      good_runner_(nl, std::span<const TransitionFault>{}) {
   if (!nl.is_finalized())
     throw std::invalid_argument("TransitionSimSession: netlist not finalized");
-  values_.assign(nl.num_gates(), W3::all_x());
   detection_.assign(faults_.size(), DetectionRecord{});
-  for (std::size_t base = 0; base < faults_.size(); base += 63) {
-    const std::size_t count = std::min<std::size_t>(63, faults_.size() - base);
-    Batch b;
-    b.first_fault_index = base;
-    b.faults.assign(faults_.begin() + static_cast<std::ptrdiff_t>(base),
-                    faults_.begin() + static_cast<std::ptrdiff_t>(base + count));
-    b.state.assign(nl.num_dffs(), W3::all_x());
-    b.prev_driven.assign(count, V3::X);
-    for (std::size_t i = 0; i < count; ++i) b.live |= 1ULL << (i + 1);
-    batches_.push_back(std::move(b));
-  }
-  if (batches_.empty()) {
-    Batch b;
-    b.state.assign(nl.num_dffs(), W3::all_x());
-    batches_.push_back(std::move(b));
-  }
-}
+  good_ = good_runner_.initial_state();
 
-void TransitionSimSession::advance_batch(Batch& b, const TestSequence& chunk) {
-  const Netlist& nl = *nl_;
-  TransitionFaultSimulator::BatchRunner runner(nl, b.faults);
-  SimBatchState s;
-  s.live = b.live;
-  s.state = std::move(b.state);
-  s.prev_driven = std::move(b.prev_driven);
-  TransitionFaultSimulator::BatchRunner::AdvanceOptions opt;
-  opt.early_exit = false;  // the session must carry the state to the chunk end
-  runner.advance(s, SequenceView(chunk), values_, opt);
-  std::uint64_t newly = s.detected_slots;
-  while (newly) {
-    const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
-    newly &= newly - 1;
-    DetectionRecord& dr = detection_[b.first_fault_index + slot - 1];
-    dr.detected = true;
-    dr.time = static_cast<std::uint32_t>(now_ + s.detect_time[slot]);
-    ++num_detected_;
+  order_ = hardest_first_order(nl, std::span<const TransitionFault>(faults_));
+  pos_.resize(order_.size());
+  packed_.reserve(order_.size());
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    pos_[order_[p]] = p;
+    packed_.push_back(faults_[order_[p]]);
   }
-  b.live = s.live;
-  b.state = std::move(s.state);
-  b.prev_driven = std::move(s.prev_driven);
+
+  const std::size_t num_batches = (packed_.size() + 62) / 63;
+  runners_.reserve(num_batches);
+  states_.reserve(num_batches);
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t lo = b * 63;
+    const std::size_t count = std::min<std::size_t>(63, packed_.size() - lo);
+    runners_.emplace_back(nl, std::span<const TransitionFault>(packed_.data() + lo, count));
+    states_.push_back(runners_.back().initial_state());
+  }
 }
 
 std::size_t TransitionSimSession::advance(const TestSequence& chunk) {
   if (chunk.num_inputs() != nl_->num_inputs())
     throw std::invalid_argument("TransitionSimSession::advance: input width mismatch");
-  const std::size_t before = num_detected_;
-  for (auto& b : batches_) advance_batch(b, chunk);
+  const SequenceView view(chunk);
+
+  live_idx_.clear();
+  for (std::size_t b = 0; b < states_.size(); ++b)
+    if (states_[b].live != 0) live_idx_.push_back(b);
+  before_.resize(live_idx_.size());
+  evals_.assign(live_idx_.size() + 1, 0);
+
+  // Task 0 advances the good machine; tasks 1.. the live batches. No early
+  // exit: the session must carry every state to the chunk end.
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+  TransitionFaultSimulator::BatchRunner::AdvanceOptions opt;
+  opt.early_exit = false;
+  pool.parallel_for(live_idx_.size() + 1, [&](std::size_t k, std::size_t w) {
+    if (k == 0) {
+      good_.frame = 0;
+      evals_[0] = good_runner_.advance(good_, view, scratch_[w], opt);
+      return;
+    }
+    SimBatchState& s = states_[live_idx_[k - 1]];
+    before_[k - 1] = s.detected_slots;
+    s.frame = 0;
+    evals_[k] = runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
+  });
+
+  const std::size_t gained_before = num_detected_;
+  for (std::size_t k = 0; k < live_idx_.size(); ++k) {
+    const std::size_t b = live_idx_[k];
+    const SimBatchState& s = states_[b];
+    std::uint64_t newly = s.detected_slots & ~before_[k];
+    while (newly) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+      newly &= newly - 1;
+      DetectionRecord& dr = detection_[order_[b * 63 + slot - 1]];
+      dr.detected = true;
+      dr.time = static_cast<std::uint32_t>(now_ + s.detect_time[slot]);
+      ++num_detected_;
+    }
+  }
+  for (std::uint64_t e : evals_) gate_evals_ += e;
   now_ += chunk.length();
-  return num_detected_ - before;
+  return num_detected_ - gained_before;
 }
 
 State TransitionSimSession::good_state() const {
   State s(nl_->num_dffs(), V3::X);
-  const Batch& b = batches_.front();
-  for (std::size_t j = 0; j < s.size(); ++j) s[j] = b.state[j].get(0);
+  for (std::size_t j = 0; j < s.size(); ++j) s[j] = good_.state[j].get(0);
   return s;
 }
 
 void TransitionSimSession::pair_state(std::size_t i, State& good, State& faulty,
                                       V3& prev_driven) const {
-  const std::size_t batch_idx = i / 63;
-  const unsigned slot = static_cast<unsigned>(i % 63 + 1);
-  const Batch& b = batches_[batch_idx];
+  const std::size_t p = pos_[i];
+  const unsigned slot = static_cast<unsigned>(p % 63 + 1);
+  const SimBatchState& s = states_[p / 63];
   good.assign(nl_->num_dffs(), V3::X);
   faulty.assign(nl_->num_dffs(), V3::X);
   for (std::size_t j = 0; j < good.size(); ++j) {
-    good[j] = b.state[j].get(0);
-    faulty[j] = b.state[j].get(slot);
+    good[j] = s.state[j].get(0);
+    faulty[j] = s.state[j].get(slot);
   }
-  prev_driven = b.prev_driven[i % 63];
+  prev_driven = s.prev_driven[p % 63];
 }
 
 TransitionSimSession::Snapshot TransitionSimSession::snapshot() const {
   Snapshot s;
-  for (const auto& b : batches_) {
-    s.states.push_back(b.state);
-    s.prevs.push_back(b.prev_driven);
-    s.live.push_back(b.live);
-  }
+  s.good = good_;
+  for (std::size_t b = 0; b < states_.size(); ++b)
+    if (states_[b].live != 0) s.live_states.emplace_back(b, states_[b]);
   s.detection = detection_;
   s.num_detected = num_detected_;
   s.now = now_;
@@ -357,10 +374,15 @@ TransitionSimSession::Snapshot TransitionSimSession::snapshot() const {
 }
 
 void TransitionSimSession::restore(const Snapshot& s) {
-  for (std::size_t i = 0; i < batches_.size(); ++i) {
-    batches_[i].state = s.states[i];
-    batches_[i].prev_driven = s.prevs[i];
-    batches_[i].live = s.live[i];
+  good_ = s.good;
+  std::size_t k = 0;
+  for (std::size_t b = 0; b < states_.size(); ++b) {
+    if (k < s.live_states.size() && s.live_states[k].first == b) {
+      states_[b] = s.live_states[k].second;
+      ++k;
+    } else {
+      states_[b].live = 0;
+    }
   }
   detection_ = s.detection;
   num_detected_ = s.num_detected;

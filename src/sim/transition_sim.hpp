@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "fault/transition_fault.hpp"
@@ -107,7 +108,10 @@ class TransitionFaultSimulator {
   mutable std::atomic<std::uint64_t> gate_evals_{0};
 };
 
-/// Streaming session for the transition generator (mirrors FaultSimSession).
+/// Streaming session for the transition generator (mirrors FaultSimSession:
+/// one BatchRunner + SimBatchState per 63-fault batch, packed hardest-first,
+/// dead batches skipped, live batches fanned across ThreadPool::global(),
+/// bit-identical at every thread count).
 class TransitionSimSession {
  public:
   TransitionSimSession(const Netlist& nl, std::span<const TransitionFault> faults);
@@ -118,15 +122,17 @@ class TransitionSimSession {
   bool is_detected(std::size_t i) const { return detection_[i].detected; }
   const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
   std::size_t num_detected() const noexcept { return num_detected_; }
+  /// Gate-word evaluations performed by all advances so far.
+  std::uint64_t gate_evals() const noexcept { return gate_evals_; }
   State good_state() const;
   /// Machine-pair state plus the faulted line's previous driven value for
   /// fault `i` (needed to seed the ATPG window's launch history).
   void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const;
 
+  /// See FaultSimSession::Snapshot for the live-batches-only contract.
   struct Snapshot {
-    std::vector<std::vector<W3>> states;
-    std::vector<std::vector<V3>> prevs;  // per batch: previous driven value per fault
-    std::vector<std::uint64_t> live;
+    SimBatchState good;
+    std::vector<std::pair<std::size_t, SimBatchState>> live_states;
     std::vector<DetectionRecord> detection;
     std::size_t num_detected;
     std::size_t now;
@@ -135,22 +141,23 @@ class TransitionSimSession {
   void restore(const Snapshot& s);
 
  private:
-  struct Batch {
-    std::vector<TransitionFault> faults;
-    std::vector<W3> state;       // per DFF
-    std::vector<V3> prev_driven; // per fault slot (slot i-1)
-    std::uint64_t live = 0;
-    std::size_t first_fault_index = 0;
-  };
-  void advance_batch(Batch& b, const TestSequence& chunk);
-
   const Netlist* nl_;
-  std::vector<TransitionFault> faults_;
-  std::vector<Batch> batches_;
-  std::vector<DetectionRecord> detection_;
+  std::vector<TransitionFault> faults_;  // original (caller) order
+  std::vector<std::size_t> order_;       // packed position -> original index
+  std::vector<std::size_t> pos_;         // original index -> packed position
+  std::vector<TransitionFault> packed_;  // runners reference this storage
+  std::vector<TransitionFaultSimulator::BatchRunner> runners_;
+  std::vector<SimBatchState> states_;
+  TransitionFaultSimulator::BatchRunner good_runner_;  // empty batch
+  SimBatchState good_;
+  std::vector<DetectionRecord> detection_;  // original order
   std::size_t num_detected_ = 0;
   std::size_t now_ = 0;
-  mutable std::vector<W3> values_;
+  std::uint64_t gate_evals_ = 0;
+  std::vector<std::size_t> live_idx_;
+  std::vector<std::uint64_t> before_;
+  std::vector<std::uint64_t> evals_;
+  std::vector<std::vector<W3>> scratch_;
 };
 
 }  // namespace uniscan

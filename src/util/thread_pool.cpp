@@ -83,15 +83,27 @@ ThreadPool::ThreadPool(std::size_t num_workers) : num_workers_(num_workers ? num
     impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
 }
 
-ThreadPool::~ThreadPool() {
-  if (!impl_) return;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->stopping = true;
+ThreadPool::~ThreadPool() { resize(1); }
+
+void ThreadPool::resize(std::size_t num_workers) {
+  const std::size_t target = num_workers ? num_workers : 1;
+  if (target == num_workers_) return;
+  if (impl_) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      impl_->stopping = true;
+    }
+    impl_->start_cv.notify_all();
+    for (auto& t : impl_->threads) t.join();
+    delete impl_;
+    impl_ = nullptr;
   }
-  impl_->start_cv.notify_all();
-  for (auto& t : impl_->threads) t.join();
-  delete impl_;
+  num_workers_ = target;
+  if (num_workers_ <= 1) return;
+  impl_ = new Impl;
+  impl_->threads.reserve(num_workers_ - 1);
+  for (std::size_t w = 1; w < num_workers_; ++w)
+    impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -135,8 +147,6 @@ std::unique_ptr<ThreadPool>& global_pool_slot() {
 
 ThreadPool& ThreadPool::global() { return *global_pool_slot(); }
 
-void ThreadPool::set_global_threads(std::size_t n) {
-  global_pool_slot() = std::make_unique<ThreadPool>(n);
-}
+void ThreadPool::set_global_threads(std::size_t n) { global_pool_slot()->resize(n); }
 
 }  // namespace uniscan

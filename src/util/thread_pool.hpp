@@ -35,12 +35,19 @@ class ThreadPool {
   /// The first exception thrown by a task is rethrown in the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Change the worker count of THIS pool in place: joins the current
+  /// threads and spawns a new set. References to the pool stay valid, so
+  /// components that captured ThreadPool::global() before a --threads=N
+  /// flag was parsed see the new size. Not safe to call while a
+  /// parallel_for is in flight.
+  void resize(std::size_t num_workers);
+
   /// The process-wide pool used by the simulators and the compaction
   /// engine. Defaults to 1 worker (fully serial, deterministic).
   static ThreadPool& global();
 
-  /// Replace the global pool with an `n`-worker pool (the `--threads=N`
-  /// flag). Not safe to call while a parallel_for is in flight.
+  /// Resize the global pool to `n` workers (the `--threads=N` flag).
+  /// Equivalent to global().resize(n); the pool object is never replaced.
   static void set_global_threads(std::size_t n);
 
  private:

@@ -5,9 +5,23 @@
 #include <algorithm>
 
 #include "core/uniscan.hpp"
+#include "util/thread_pool.hpp"
 
 namespace uniscan {
 namespace {
+
+// The same file builds twice: the default (tier1) matrix in uniscan_tests,
+// and a wider seed matrix in uniscan_slow_tests (-DUNISCAN_SLOW_FUZZ,
+// ctest label `slow`).
+#ifdef UNISCAN_SLOW_FUZZ
+constexpr std::uint64_t kPipelineSeedEnd = 33;
+constexpr std::uint64_t kScanChainSeedEnd = 33;
+constexpr std::uint64_t kBaselineSeedEnd = 21;
+#else
+constexpr std::uint64_t kPipelineSeedEnd = 9;
+constexpr std::uint64_t kScanChainSeedEnd = 9;
+constexpr std::uint64_t kBaselineSeedEnd = 6;
+#endif
 
 SynthSpec fuzz_spec(std::uint64_t seed) {
   Rng rng(seed * 7919 + 13);
@@ -43,6 +57,19 @@ TEST_P(FuzzPipeline, EndToEndInvariants) {
   }
   ASSERT_EQ(detected, atpg.detected);
 
+#ifdef UNISCAN_SLOW_FUZZ
+  // Fuzz the determinism contract too: re-running the generator at an odd
+  // thread count must be bit-identical on every random circuit.
+  {
+    ThreadPool::set_global_threads(3);
+    const AtpgResult redo = generate_tests(sc, fl, opt);
+    ThreadPool::set_global_threads(1);
+    ASSERT_EQ(redo.sequence, atpg.sequence) << spec.name;
+    ASSERT_EQ(redo.detected, atpg.detected) << spec.name;
+    ASSERT_EQ(redo.gate_evals, atpg.gate_evals) << spec.name;
+  }
+#endif
+
   // Compaction: never longer, never loses a detection.
   const CompactionResult rest = restoration_compact(sc.netlist, atpg.sequence, fl.faults());
   ASSERT_LE(rest.sequence.length(), atpg.sequence.length());
@@ -54,7 +81,8 @@ TEST_P(FuzzPipeline, EndToEndInvariants) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<std::uint64_t>(1, kPipelineSeedEnd));
 
 class FuzzScanChain : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -95,7 +123,8 @@ TEST_P(FuzzScanChain, LoadUnloadIdentityAnyChainCount) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzScanChain, ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzScanChain,
+                         ::testing::Range<std::uint64_t>(1, kScanChainSeedEnd));
 
 class FuzzBaselineTranslate : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -121,7 +150,8 @@ TEST_P(FuzzBaselineTranslate, BaselineBookkeepingIsExactTranslation) {
   ASSERT_EQ(detected, r.detected);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBaselineTranslate, ::testing::Range<std::uint64_t>(1, 6));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBaselineTranslate,
+                         ::testing::Range<std::uint64_t>(1, kBaselineSeedEnd));
 
 }  // namespace
 }  // namespace uniscan

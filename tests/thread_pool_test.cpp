@@ -84,5 +84,53 @@ TEST(ThreadPool, GlobalPoolResizable) {
   EXPECT_EQ(ThreadPool::global().num_workers(), 1u);
 }
 
+TEST(ThreadPool, ResizeKeepsObjectIdentity) {
+  // A --threads=N flag parsed AFTER a component captured the global pool
+  // must still take effect: set_global_threads resizes the pool in place
+  // instead of replacing it.
+  ThreadPool& before = ThreadPool::global();
+  ThreadPool::set_global_threads(4);
+  EXPECT_EQ(&ThreadPool::global(), &before);
+  EXPECT_EQ(before.num_workers(), 4u);
+
+  std::atomic<int> count{0};
+  before.parallel_for(20, [&](std::size_t, std::size_t worker) {
+    EXPECT_LT(worker, 4u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 20);
+
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(&ThreadPool::global(), &before);
+  EXPECT_EQ(before.num_workers(), 1u);
+}
+
+TEST(ThreadPool, ResizeUpDownAndNoop) {
+  ThreadPool pool(1);
+  const auto run = [&](std::size_t expect_workers) {
+    std::atomic<int> count{0};
+    std::atomic<int> bad{0};
+    pool.parallel_for(50, [&](std::size_t, std::size_t worker) {
+      if (worker >= expect_workers) ++bad;
+      ++count;
+    });
+    EXPECT_EQ(count.load(), 50);
+    EXPECT_EQ(bad.load(), 0);
+  };
+  run(1);
+  pool.resize(5);
+  EXPECT_EQ(pool.num_workers(), 5u);
+  run(5);
+  pool.resize(5);  // no-op resize must not respawn or wedge the pool
+  run(5);
+  pool.resize(2);
+  EXPECT_EQ(pool.num_workers(), 2u);
+  run(2);
+  pool.resize(1);  // back to fully inline
+  run(1);
+  pool.resize(3);  // and usable again after inline mode
+  run(3);
+}
+
 }  // namespace
 }  // namespace uniscan
