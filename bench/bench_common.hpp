@@ -8,6 +8,9 @@
 //   --no-scan-knowledge  disable the Section-2 functional scan knowledge
 //   --x-fill=random|zero translation x-fill policy
 //   --threads=N          size of the global fault-simulation thread pool
+//   --engine=E           simulation engine: compiled (default) | levelized
+//                        | event (see sim/engine.hpp)
+//   --no-cone-pruning    disable per-batch observation-cone pruning
 //   --json=FILE          also write machine-readable results to FILE
 #pragma once
 
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "core/uniscan.hpp"
+#include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace uniscan::bench {
@@ -34,6 +38,8 @@ struct Args {
   std::uint64_t seed = 1;
   std::size_t threads = 1;
   XFillPolicy fill = XFillPolicy::RandomFill;
+  SimEngine engine = SimEngine::Compiled;
+  bool cone_pruning = true;
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -50,6 +56,12 @@ inline Args parse_args(int argc, char** argv) {
       a.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     else if (arg == "--x-fill=zero") a.fill = XFillPolicy::ZeroFill;
     else if (arg == "--x-fill=random") a.fill = XFillPolicy::RandomFill;
+    else if (arg.rfind("--engine=", 0) == 0) {
+      if (!parse_sim_engine(arg.substr(9), a.engine)) {
+        std::fprintf(stderr, "unknown engine: %s (compiled|levelized|event)\n", arg.c_str() + 9);
+        std::exit(2);
+      }
+    } else if (arg == "--no-cone-pruning") a.cone_pruning = false;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -57,6 +69,8 @@ inline Args parse_args(int argc, char** argv) {
   }
   if (a.threads == 0) a.threads = 1;
   ThreadPool::set_global_threads(a.threads);
+  set_global_sim_engine(a.engine);
+  set_global_cone_pruning(a.cone_pruning);
   return a;
 }
 

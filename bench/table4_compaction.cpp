@@ -2,51 +2,88 @@
 // static compaction for non-scan circuits — vector restoration [23] followed
 // by vector omission [22]. The compacted sequence rearranges complete scan
 // operations into limited ones.
+//
+// By default only s27 runs (with its full Table-4 sequence printout). With
+// --full the restoration+omission pipeline additionally covers the fast
+// suite's s2xx-s5xx circuits, producing one restoration_<name> and one
+// omission_<name> JSON entry per circuit (BENCH_compaction.json).
 #include "bench_common.hpp"
 
 #include <iostream>
 
 using namespace uniscan;
 
-int main(int argc, char** argv) {
-  const bench::Args args = bench::parse_args(argc, argv);
+namespace {
 
-  const ScanCircuit sc = insert_scan(make_s27());
+struct CircuitRows {
+  std::string name;
+  std::size_t generated, restored, omitted;
+  std::size_t detected, total_faults;
+};
+
+CircuitRows run_circuit(const SuiteEntry& entry, const bench::Args& args, bench::BenchJson& json,
+                        bool print_s27_table) {
+  const ScanCircuit sc = insert_scan(load_circuit(entry, args.bench_dir));
   const FaultList fl = FaultList::collapsed(sc.netlist);
 
   AtpgOptions opt;
   opt.seed = args.seed;
+  opt.use_scan_knowledge = args.scan_knowledge;
   const AtpgResult gen = generate_tests(sc, fl, opt);
-
-  bench::BenchJson json;
 
   bench::Stopwatch t_rest;
   const CompactionResult rest = restoration_compact(sc.netlist, gen.sequence, fl.faults());
-  json.add("restoration_s27", t_rest.ms(), rest.gate_evals, gen.sequence.length(),
+  json.add("restoration_" + entry.name, t_rest.ms(), rest.gate_evals, gen.sequence.length(),
            rest.sequence.length());
 
   bench::Stopwatch t_omit;
   const CompactionResult omit = omission_compact(sc.netlist, rest.sequence, fl.faults());
-  json.add("omission_s27", t_omit.ms(), omit.gate_evals, rest.sequence.length(),
+  json.add("omission_" + entry.name, t_omit.ms(), omit.gate_evals, rest.sequence.length(),
            omit.sequence.length());
 
-  std::cout << "=== Table 4: compacted test sequence for s27_scan ===\n\n";
-  std::cout << format_sequence_table(sc, omit.sequence) << "\n";
-
-  TextTable summary({"stage", "total", "scan_sel=1"});
-  const auto row = [&](const char* name, const TestSequence& s) {
-    const SequenceStats st = sequence_stats(sc, s);
-    summary.add_row({name, std::to_string(st.total), std::to_string(st.scan)});
-  };
-  row("generated (Table 1)", gen.sequence);
-  row("after restoration [23]", rest.sequence);
-  row("after omission [22]", omit.sequence);
-  summary.print(std::cout);
+  if (print_s27_table) {
+    std::cout << "=== Table 4: compacted test sequence for s27_scan ===\n\n";
+    std::cout << format_sequence_table(sc, omit.sequence) << "\n";
+  }
 
   FaultSimulator sim(sc.netlist);
-  std::cout << "\nfaults detected by compacted sequence: "
-            << sim.detected_indices(omit.sequence, fl.faults()).size() << "/" << fl.size()
-            << " (original: " << gen.detected << ")\n";
+  return CircuitRows{entry.name, gen.sequence.length(), rest.sequence.length(),
+                     omit.sequence.length(),
+                     sim.detected_indices(omit.sequence, fl.faults()).size(), fl.size()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  // Default: the paper's s27 row. --full: the fast-suite circuits (the
+  // larger paper circuits make compaction runs impractically long here).
+  std::vector<SuiteEntry> suite;
+  if (!args.circuit.empty()) {
+    const auto e = find_suite_entry(args.circuit);
+    if (!e) {
+      std::fprintf(stderr, "unknown circuit: %s\n", args.circuit.c_str());
+      return 2;
+    }
+    suite.push_back(*e);
+  } else if (args.full) {
+    suite = fast_suite();
+  } else {
+    suite.push_back(*find_suite_entry("s27"));
+  }
+
+  bench::BenchJson json;
+  std::vector<CircuitRows> rows;
+  for (const SuiteEntry& entry : suite)
+    rows.push_back(run_circuit(entry, args, json, entry.name == "s27"));
+
+  TextTable summary({"circuit", "generated", "restored", "omitted", "detected"});
+  for (const CircuitRows& r : rows)
+    summary.add_row({r.name, std::to_string(r.generated), std::to_string(r.restored),
+                     std::to_string(r.omitted),
+                     std::to_string(r.detected) + "/" + std::to_string(r.total_faults)});
+  summary.print(std::cout);
 
   json.write(args.json, args.threads);
   return 0;

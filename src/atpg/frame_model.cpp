@@ -1,14 +1,59 @@
 #include "atpg/frame_model.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace uniscan {
+namespace {
 
-FrameModel::FrameModel(const Netlist& nl, Fault fault, std::size_t num_frames)
-    : nl_(&nl), fault_(fault), num_frames_(num_frames), npi_(nl.num_inputs()) {
-  if (!nl.is_finalized()) throw std::invalid_argument("FrameModel: netlist not finalized");
+/// Component-wise five-valued logic for the type-run kernel: a V5 is a
+/// (good, faulty) V3 pair and gate evaluation is exact per component.
+struct V5Ops {
+  using value = V5;
+  static V5 not_(V5 a) noexcept { return {v3_not(a.good), v3_not(a.faulty)}; }
+  static V5 and_(V5 a, V5 b) noexcept {
+    return {v3_and(a.good, b.good), v3_and(a.faulty, b.faulty)};
+  }
+  static V5 or_(V5 a, V5 b) noexcept {
+    return {v3_or(a.good, b.good), v3_or(a.faulty, b.faulty)};
+  }
+  static V5 xor_(V5 a, V5 b) noexcept {
+    return {v3_xor(a.good, b.good), v3_xor(a.faulty, b.faulty)};
+  }
+  static V5 mux(V5 d0, V5 d1, V5 s) noexcept {
+    return {v3_mux(d0.good, d1.good, s.good), v3_mux(d0.faulty, d1.faulty, s.faulty)};
+  }
+  static V5 zero() noexcept { return V5::zero(); }
+  static V5 one() noexcept { return V5::one(); }
+};
+
+}  // namespace
+}  // namespace uniscan
+
+namespace uniscan {
+
+FrameModel::FrameModel(std::optional<CompiledNetlist> owned, const CompiledNetlist* shared,
+                       Fault fault, std::size_t num_frames)
+    : owned_compile_(std::move(owned)),
+      cnl_(shared ? shared : &*owned_compile_),
+      nl_(&cnl_->netlist()),
+      fault_(fault),
+      num_frames_(num_frames),
+      npi_(nl_->num_inputs()) {
   if (num_frames == 0) throw std::invalid_argument("FrameModel: zero frames");
+  const Netlist& nl = *nl_;
+  // One gate at most needs per-pin/stem fault forcing: exclude it from the
+  // clean type runs and evaluate it individually between its level's runs.
+  GateId forced[1];
+  std::size_t nf = 0;
+  const GateType ft = cnl_->type(fault_.gate);
+  if (ft != GateType::Input && ft != GateType::Dff) forced[nf++] = fault_.gate;
+  prog_ = cnl_->build_program({}, {forced, nf}, /*prune=*/false);
+  const std::uint32_t fl =
+      nf ? prog_.forced_level[0] : std::numeric_limits<std::uint32_t>::max();
+  while (fault_split_ < prog_.runs.size() && prog_.runs[fault_split_].level <= fl)
+    ++fault_split_;
   init_good_.assign(nl.num_dffs(), V3::X);
   init_faulty_.assign(nl.num_dffs(), V3::X);
   state_assign_.assign(nl.num_dffs(), V3::X);
@@ -16,8 +61,19 @@ FrameModel::FrameModel(const Netlist& nl, Fault fault, std::size_t num_frames)
   pi_assign_.assign(num_frames_ * npi_, V3::X);
   values_.assign(num_frames_ * nl.num_gates(), V5::x());
   tf_prev_by_frame_.assign(num_frames_, V3::X);
+  frame_state_.assign((num_frames_ + 1) * nl.num_dffs(), V5::x());
+  po_d_frame_.assign(num_frames_, 0);
+  any_d_frame_.assign(num_frames_, 0);
+  latch_frame_.assign(num_frames_, -1);
+  frontier_off_.assign(num_frames_ + 1, 0);
   compute_costs();
 }
+
+FrameModel::FrameModel(const Netlist& nl, Fault fault, std::size_t num_frames)
+    : FrameModel(std::optional<CompiledNetlist>(std::in_place, nl), nullptr, fault, num_frames) {}
+
+FrameModel::FrameModel(const CompiledNetlist& cnl, Fault fault, std::size_t num_frames)
+    : FrameModel(std::nullopt, &cnl, fault, num_frames) {}
 
 FrameModel::FrameModel(const Netlist& nl, TransitionFault fault, std::size_t num_frames)
     : FrameModel(nl, Fault{fault.gate, fault.pin, /*stuck_one=*/!fault.slow_to_rise},
@@ -29,16 +85,25 @@ FrameModel::FrameModel(const Netlist& nl, TransitionFault fault, std::size_t num
   slow_to_rise_ = fault.slow_to_rise;
 }
 
+FrameModel::FrameModel(const CompiledNetlist& cnl, TransitionFault fault, std::size_t num_frames)
+    : FrameModel(cnl, Fault{fault.gate, fault.pin, /*stuck_one=*/!fault.slow_to_rise},
+                 num_frames) {
+  is_transition_ = true;
+  slow_to_rise_ = fault.slow_to_rise;
+}
+
 void FrameModel::set_initial_state(const State& good, const State& faulty) {
   if (good.size() != nl_->num_dffs() || faulty.size() != nl_->num_dffs())
     throw std::invalid_argument("FrameModel: state width mismatch");
   init_good_ = good;
   init_faulty_ = faulty;
+  dirty_from_ = 0;
 }
 
 void FrameModel::pin_input(std::size_t pi, V3 v) {
   pi_pins_[pi] = v;
   for (std::size_t f = 0; f < num_frames_; ++f) pi_assign_[f * npi_ + pi] = v;
+  dirty_from_ = 0;
 }
 
 void FrameModel::clear_assignments() {
@@ -47,6 +112,7 @@ void FrameModel::clear_assignments() {
   for (std::size_t i = 0; i < npi_; ++i)
     if (pi_pins_[i] != V3::X)
       for (std::size_t f = 0; f < num_frames_; ++f) pi_assign_[f * npi_ + i] = pi_pins_[i];
+  dirty_from_ = 0;
 }
 
 V5 FrameModel::pin_value(std::size_t f, GateId g, std::size_t p) const {
@@ -63,110 +129,146 @@ V3 FrameModel::forced_faulty(std::size_t frame, V3 driven_faulty) const {
 }
 
 void FrameModel::simulate() {
+  const CompiledNetlist& cnl = *cnl_;
   const Netlist& nl = *nl_;
-  const std::size_t ng = nl.num_gates();
-  po_detect_.reset();
-  latch_.reset();
-  frontier_.clear();
-  any_effect_ = false;
+  const std::size_t ng = cnl.num_gates();
+  const auto& inputs = cnl.inputs();
+  const auto& dffs = cnl.dffs();
+  const auto& dff_d = cnl.dff_d();
+  const std::uint32_t* fanin_off = cnl.fanin_offsets();
+  const GateId* fanin_ids = cnl.fanin_id_data();
+  const std::size_t ndff = dffs.size();
 
-  std::vector<V5> state_good(nl.num_dffs());
-  for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-    state_good[j] = state_assignable_ ? V5::both(state_assign_[j])
-                                      : V5{init_good_[j], init_faulty_[j]};
+  // Only frames from the earliest dirtied one on can have changed; earlier
+  // frames keep their values_ and per-frame bookkeeping.
+  const std::size_t start = std::min(dirty_from_, num_frames_);
+  dirty_from_ = num_frames_;
+
+  if (start == 0) {
+    V5* row0 = frame_state_.data();
+    for (std::size_t j = 0; j < ndff; ++j) {
+      row0[j] = state_assignable_ ? V5::both(state_assign_[j])
+                                  : V5{init_good_[j], init_faulty_[j]};
+    }
   }
 
+  const std::span<const TypeRun> runs(prog_.runs);
+  const bool fault_on_comb = !prog_.forced_order.empty();
   V5 fanin_buf[64];
-  V3 tf_prev = tf_prev_init_;
-  for (std::size_t f = 0; f < num_frames_; ++f) {
+  V3 tf_prev =
+      start == 0 ? tf_prev_init_ : (start < num_frames_ ? tf_prev_by_frame_[start] : V3::X);
+  for (std::size_t f = start; f < num_frames_; ++f) {
     V5* vals = values_.data() + f * ng;
+    const V5* state_good = frame_state_.data() + f * ndff;
+    V5* state_next = frame_state_.data() + (f + 1) * ndff;
     tf_prev_by_frame_[f] = tf_prev;
     V3 tf_now = V3::X;  // faulted line's faulty driven value this frame
 
     // Frame boundary values, with stem-fault forcing on PIs / DFF outputs.
-    for (std::size_t i = 0; i < npi_; ++i) {
-      const GateId pi = nl.inputs()[i];
-      vals[pi] = V5::both(pi_assign_[f * npi_ + i]);
-    }
-    for (std::size_t j = 0; j < nl.num_dffs(); ++j) vals[nl.dffs()[j]] = state_good[j];
+    for (std::size_t i = 0; i < npi_; ++i) vals[inputs[i]] = V5::both(pi_assign_[f * npi_ + i]);
+    for (std::size_t j = 0; j < ndff; ++j) vals[dffs[j]] = state_good[j];
     if (fault_.pin == kStemPin) {
-      const GateType bt = nl.gate(fault_.gate).type;
+      const GateType bt = cnl.type(fault_.gate);
       if (bt == GateType::Input || bt == GateType::Dff) {
         tf_now = vals[fault_.gate].faulty;
         vals[fault_.gate].faulty = forced_faulty(f, tf_now);
       }
     }
 
-    // Combinational evaluation with fault forcing.
-    for (GateId g : nl.topo_order()) {
-      const Gate& gate = nl.gate(g);
-      const std::size_t n = gate.fanins.size();
-      for (std::size_t p = 0; p < n; ++p) {
-        fanin_buf[p] = vals[gate.fanins[p]];
-        if (fault_.pin != kStemPin && fault_.gate == g &&
-            fault_.pin == static_cast<std::int16_t>(p)) {
-          tf_now = fanin_buf[p].faulty;
-          fanin_buf[p].faulty = forced_faulty(f, tf_now);
-        }
+    // Combinational evaluation: clean type runs up to the faulted gate's
+    // level, the faulted gate individually (per-pin or stem forcing), the
+    // remaining runs. Only the faulted gate ever needs a fault check.
+    detail::eval_type_runs<V5Ops>(runs.first(fault_split_), prog_.eval.data(), fanin_off,
+                                  fanin_ids, vals);
+    if (fault_on_comb) {
+      const GateId g = fault_.gate;
+      const std::uint32_t lo = fanin_off[g];
+      const std::size_t n = fanin_off[g + 1] - lo;
+      for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = vals[fanin_ids[lo + p]];
+      if (fault_.pin != kStemPin) {
+        tf_now = fanin_buf[fault_.pin].faulty;
+        fanin_buf[fault_.pin].faulty = forced_faulty(f, tf_now);
       }
-      V5 out = eval_gate_v5(gate.type, fanin_buf, n);
-      if (fault_.pin == kStemPin && fault_.gate == g) {
+      V5 out = eval_gate_v5(cnl.type(g), fanin_buf, n);
+      if (fault_.pin == kStemPin) {
         tf_now = out.faulty;
         out.faulty = forced_faulty(f, tf_now);
       }
       vals[g] = out;
     }
+    detail::eval_type_runs<V5Ops>(runs.subspan(fault_split_), prog_.eval.data(), fanin_off,
+                                  fanin_ids, vals);
 
     // PO detection.
-    if (!po_detect_) {
-      for (GateId po : nl.outputs()) {
-        if (is_d_or_dbar(vals[po])) {
-          po_detect_ = f;
-          break;
-        }
+    po_d_frame_[f] = 0;
+    for (GateId po : cnl.outputs()) {
+      if (is_d_or_dbar(vals[po])) {
+        po_d_frame_[f] = 1;
+        break;
       }
     }
 
     // Next state (with DFF D-pin branch forcing).
-    for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-      const GateId ff = nl.dffs()[j];
-      V5 d = vals[nl.gate(ff).fanins[0]];
-      if (fault_.pin != kStemPin && fault_.gate == ff && fault_.pin == 0) {
+    for (std::size_t j = 0; j < ndff; ++j) {
+      V5 d = vals[dff_d[j]];
+      if (fault_.pin != kStemPin && fault_.gate == dffs[j] && fault_.pin == 0) {
         tf_now = d.faulty;
         d.faulty = forced_faulty(f, tf_now);
       }
-      state_good[j] = d;
+      state_next[j] = d;
     }
     tf_prev = tf_now;
 
-    // Latched-effect bookkeeping: earliest frame; among DFFs of that frame,
-    // the largest index (deepest in the scan chain).
-    if (!latch_) {
-      std::optional<std::size_t> best;
-      for (std::size_t j = 0; j < nl.num_dffs(); ++j)
-        if (is_d_or_dbar(state_good[j])) best = j;
-      if (best) latch_ = LatchedEffect{f, *best};
-    }
+    // Latched-effect bookkeeping: the largest latching DFF index of the
+    // frame (deepest in the scan chain), -1 if none.
+    std::int32_t best = -1;
+    for (std::size_t j = 0; j < ndff; ++j)
+      if (is_d_or_dbar(state_next[j])) best = static_cast<std::int32_t>(j);
+    latch_frame_[f] = best;
   }
 
-  // D-frontier and any-effect scan over the simulated window.
-  for (std::size_t f = 0; f < num_frames_; ++f) {
+  // D-frontier and any-effect scan over the re-simulated frames. Iterates in
+  // topo_order like the evaluation loop it replaced: PODEM's decision order
+  // depends on the frontier order, so it must stay put. Frames before
+  // `start` keep their cached prefix of frontier_.
+  frontier_.resize(frontier_off_[start]);
+  for (std::size_t f = start; f < num_frames_; ++f) {
     const V5* vals = values_.data() + f * ng;
+    any_d_frame_[f] = 0;
     for (GateId g : nl.topo_order()) {
-      const Gate& gate = nl.gate(g);
       if (is_d_or_dbar(vals[g])) {
-        any_effect_ = true;
+        any_d_frame_[f] = 1;
         continue;
       }
       if (is_fully_known(vals[g])) continue;
+      const std::uint32_t lo = fanin_off[g];
+      const std::size_t n = fanin_off[g + 1] - lo;
       bool has_d_input = false;
-      for (std::size_t p = 0; p < gate.fanins.size() && !has_d_input; ++p)
-        has_d_input = is_d_or_dbar(pin_value(f, g, p));
+      for (std::size_t p = 0; p < n && !has_d_input; ++p) {
+        V5 pv = vals[fanin_ids[lo + p]];
+        if (fault_.pin != kStemPin && fault_.gate == g &&
+            fault_.pin == static_cast<std::int16_t>(p))
+          pv.faulty = forced_faulty(f, pv.faulty);
+        has_d_input = is_d_or_dbar(pv);
+      }
       if (has_d_input) {
         frontier_.emplace_back(f, g);
-        any_effect_ = true;
+        any_d_frame_[f] = 1;
       }
     }
+    frontier_off_[f + 1] = static_cast<std::uint32_t>(frontier_.size());
+  }
+
+  // Combine the per-frame caches (unchanged frames contribute their cached
+  // entries) into the same results a full pass would produce.
+  po_detect_.reset();
+  latch_.reset();
+  any_effect_ = !frontier_.empty();
+  for (std::size_t f = 0; f < num_frames_; ++f) {
+    if (!po_detect_ && po_d_frame_[f]) po_detect_ = f;
+    if (!latch_ && latch_frame_[f] >= 0)
+      latch_ = LatchedEffect{f, static_cast<std::size_t>(latch_frame_[f])};
+    if (any_d_frame_[f]) any_effect_ = true;
   }
   if (latch_ || po_detect_) any_effect_ = true;
 }

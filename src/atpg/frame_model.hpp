@@ -16,6 +16,7 @@
 #include "fault/fault.hpp"
 #include "fault/transition_fault.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequential_sim.hpp"
 
@@ -23,13 +24,18 @@ namespace uniscan {
 
 class FrameModel {
  public:
+  /// Convenience form: compiles `nl` privately. Hot callers (the ATPG loops,
+  /// which build one model per fault attempt) should pass a shared
+  /// CompiledNetlist instead — e.g. their session's compiled().
   FrameModel(const Netlist& nl, Fault fault, std::size_t num_frames);
+  FrameModel(const CompiledNetlist& cnl, Fault fault, std::size_t num_frames);
 
   /// Transition-fault variant: the faulted line's faulty component follows
   /// the one-cycle gross-delay semantics (STR: and(now, prev), STF: or).
   /// The launch history entering frame 0 defaults to X; see
   /// set_initial_prev_driven().
   FrameModel(const Netlist& nl, TransitionFault fault, std::size_t num_frames);
+  FrameModel(const CompiledNetlist& cnl, TransitionFault fault, std::size_t num_frames);
 
   const Netlist& netlist() const noexcept { return *nl_; }
   std::size_t num_frames() const noexcept { return num_frames_; }
@@ -39,7 +45,10 @@ class FrameModel {
 
   /// Faulted line's driven value in the faulty machine at the cycle before
   /// frame 0 (from the streaming session when extending a sequence).
-  void set_initial_prev_driven(V3 v) noexcept { tf_prev_init_ = v; }
+  void set_initial_prev_driven(V3 v) noexcept {
+    tf_prev_init_ = v;
+    dirty_from_ = 0;
+  }
 
   /// Fix the machine-pair state entering frame 0.
   void set_initial_state(const State& good, const State& faulty);
@@ -47,13 +56,25 @@ class FrameModel {
   /// Make frame 0's present state a decision variable instead of a fixed
   /// value — the scan-in vector of the conventional (SI, T) test model used
   /// by the baseline generators. Assigned via assign_state().
-  void set_state_assignable(bool v) { state_assignable_ = v; }
+  void set_state_assignable(bool v) {
+    state_assignable_ = v;
+    dirty_from_ = 0;
+  }
   bool state_assignable() const noexcept { return state_assignable_; }
 
   // ---- decision variables ---------------------------------------------------
-  void assign(std::size_t frame, std::size_t pi, V3 v) { pi_assign_[frame * npi_ + pi] = v; }
+  // Assignments track the earliest touched frame so simulate() only
+  // re-evaluates frames that can have changed (frames before it keep their
+  // values and cached bookkeeping).
+  void assign(std::size_t frame, std::size_t pi, V3 v) {
+    pi_assign_[frame * npi_ + pi] = v;
+    if (frame < dirty_from_) dirty_from_ = frame;
+  }
   V3 assignment(std::size_t frame, std::size_t pi) const { return pi_assign_[frame * npi_ + pi]; }
-  void assign_state(std::size_t dff, V3 v) { state_assign_[dff] = v; }
+  void assign_state(std::size_t dff, V3 v) {
+    state_assign_[dff] = v;
+    dirty_from_ = 0;
+  }
   V3 state_assignment(std::size_t dff) const { return state_assign_[dff]; }
 
   /// Hold input `pi` at `v` in every frame. Pins survive clear_assignments()
@@ -110,9 +131,18 @@ class FrameModel {
   std::uint32_t cost1(GateId g) const { return cost1_[g]; }
 
  private:
+  FrameModel(std::optional<CompiledNetlist> owned, const CompiledNetlist* shared, Fault fault,
+             std::size_t num_frames);
   void compute_costs();
 
+  std::optional<CompiledNetlist> owned_compile_;  // backing store for the Netlist ctors
+  const CompiledNetlist* cnl_;
   const Netlist* nl_;
+  // Full-core evaluation plan with the faulted combinational gate (if the
+  // fault sits on one) excluded for individual forced evaluation;
+  // fault_split_ is the first run at a level above it.
+  BatchProgram prog_;
+  std::size_t fault_split_ = 0;
   Fault fault_;  // for transitions: same site, stuck value unused
   bool is_transition_ = false;
   bool slow_to_rise_ = false;
@@ -132,6 +162,15 @@ class FrameModel {
   std::vector<std::pair<std::size_t, GateId>> frontier_;
   bool any_effect_ = false;
   std::vector<V3> tf_prev_by_frame_;  // launch history entering each frame
+
+  // Incremental re-simulation state: the machine-pair state entering each
+  // frame ((num_frames+1) rows, row f+1 = next state after frame f) and
+  // per-frame bookkeeping so frames before dirty_from_ keep cached results.
+  std::size_t dirty_from_ = 0;
+  std::vector<V5> frame_state_;
+  std::vector<std::uint8_t> po_d_frame_, any_d_frame_;
+  std::vector<std::int32_t> latch_frame_;      // largest latching DFF, or -1
+  std::vector<std::uint32_t> frontier_off_;    // per-frame frontier_ offsets
 
   std::vector<std::uint32_t> cost0_, cost1_;
 };

@@ -2,6 +2,7 @@
 
 #include "atpg/frame_model.hpp"
 #include "atpg/podem.hpp"
+#include "sim/compiled_netlist.hpp"
 
 namespace uniscan {
 
@@ -10,8 +11,9 @@ RedundancyReport classify_faults(const ScanCircuit& sc, std::span<const Fault> f
   RedundancyReport report;
   report.classes.reserve(faults.size());
 
+  const CompiledNetlist compiled(sc.netlist);
   for (const Fault& f : faults) {
-    FrameModel model(sc.netlist, f, options.window);
+    FrameModel model(compiled, f, options.window);
     model.set_state_assignable(true);
     const PodemResult r = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
 

@@ -103,7 +103,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
     // (a) Plain forward search from the current machine state.
     bool done = false;
     for (std::size_t w : options.window_schedule) {
-      FrameModel model(nl, faults[fi], w);
+      FrameModel model(session.compiled(), faults[fi], w);
       model.set_initial_state(good, faulty);
       ++result.stats.podem_calls;
       PodemResult pr = run_podem(model, PodemGoal::ObservePo, {options.max_backtracks});
@@ -123,7 +123,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
     // for circuits with long chains. A latched-only observation gets the
     // flush of (c) appended.
     {
-      FrameModel model(nl, faults[fi], options.justify_window);
+      FrameModel model(session.compiled(), faults[fi], options.justify_window);
       model.set_state_assignable(true);
       ++result.stats.podem_calls;
       PodemResult pr = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
@@ -147,7 +147,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
     // (c) Section-2 fallback: latch the effect from the CURRENT state, then
     // flush it to scan_out.
     ++result.stats.fallback_attempts;
-    FrameModel model(nl, faults[fi], options.fallback_window);
+    FrameModel model(session.compiled(), faults[fi], options.fallback_window);
     model.set_initial_state(good, faulty);
     PodemResult pr = run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks});
     if (!pr.success) continue;
@@ -169,7 +169,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
       // the deep multi-frame search below is almost certainly futile — skip
       // it and report the fault as proved redundant instead.
       {
-        FrameModel proof(nl, faults[fi], 1);
+        FrameModel proof(session.compiled(), faults[fi], 1);
         proof.set_state_assignable(true);
         const PodemResult pr =
             run_podem(proof, PodemGoal::ScanObserve, {options.final_effort_backtracks});
@@ -178,7 +178,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
           continue;
         }
       }
-      FrameModel model(nl, faults[fi], options.justify_window);
+      FrameModel model(session.compiled(), faults[fi], options.justify_window);
       model.set_state_assignable(true);
       ++result.stats.podem_calls;
       PodemResult pr =

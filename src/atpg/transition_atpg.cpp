@@ -99,7 +99,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
 
     bool done = false;
     for (std::size_t w : options.window_schedule) {
-      FrameModel model(nl, faults[fi], w + 1);  // +1 frame for the launch
+      FrameModel model(session.compiled(), faults[fi], w + 1);  // +1 frame for the launch
       model.set_initial_state(good, faulty);
       model.set_initial_prev_driven(prev_driven);
       ++result.stats.podem_calls;
@@ -116,7 +116,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
 
     // Scan-load justification assist.
     {
-      FrameModel model(nl, faults[fi], options.justify_window + 1);
+      FrameModel model(session.compiled(), faults[fi], options.justify_window + 1);
       model.set_state_assignable(true);
       ++result.stats.podem_calls;
       PodemResult pr = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
@@ -139,7 +139,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
 
     // Latch-and-flush fallback from the current state.
     ++result.stats.fallback_attempts;
-    FrameModel model(nl, faults[fi], options.fallback_window + 1);
+    FrameModel model(session.compiled(), faults[fi], options.fallback_window + 1);
     model.set_initial_state(good, faulty);
     model.set_initial_prev_driven(prev_driven);
     PodemResult pr = run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks});

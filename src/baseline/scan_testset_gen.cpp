@@ -117,7 +117,7 @@ BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& f
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     if (session.is_detected(fi)) continue;
     for (std::size_t w = 1; w <= options.max_seq_len; ++w) {
-      FrameModel model(nl, faults[fi], w);
+      FrameModel model(session.compiled(), faults[fi], w);
       model.set_state_assignable(true);
       model.pin_input(sc.scan_sel_index(), V3::Zero);
       for (const ScanChain& chain : sc.nets.chains)

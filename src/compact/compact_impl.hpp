@@ -2,7 +2,9 @@
 // the fault model: any (Simulator, Fault) pair with
 //   Simulator(const Netlist&)
 //   Simulator::fault_type
-//   Simulator::BatchRunner (initial_state / advance over a SequenceView)
+//   Simulator::compiled() -> const CompiledNetlist&
+//   Simulator::BatchRunner (constructed from the CompiledNetlist;
+//     initial_state / advance over a SequenceView)
 //   run(seq_or_view, span<Fault>) -> vector<DetectionRecord>
 //   detects_all(seq_or_view, span<Fault>) -> bool
 // works — instantiated for stuck-at and transition faults.
@@ -41,6 +43,7 @@
 #include "compact/restoration.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequence_view.hpp"
 #include "util/thread_pool.hpp"
@@ -57,7 +60,7 @@ class OmissionEngine {
   using FaultT = typename Simulator::fault_type;
   using Runner = typename Simulator::BatchRunner;
 
-  OmissionEngine(const Netlist& nl, const TestSequence& base, std::vector<FaultT> must,
+  OmissionEngine(const CompiledNetlist& cnl, const TestSequence& base, std::vector<FaultT> must,
                  const std::vector<std::uint32_t>& must_time, std::size_t checkpoint_interval)
       : base_(&base),
         must_(std::move(must)),
@@ -73,7 +76,7 @@ class OmissionEngine {
     for (std::size_t b = 0; b < num_batches; ++b) {
       const std::size_t lo = b * 63;
       const std::size_t count = std::min<std::size_t>(63, must_.size() - lo);
-      runners_.emplace_back(nl, std::span<const FaultT>(must_.data() + lo, count));
+      runners_.emplace_back(cnl, std::span<const FaultT>(must_.data() + lo, count));
       times_[b].fill(0);
       for (std::size_t i = 0; i < count; ++i) {
         times_[b][i + 1] = must_time[lo + i];
@@ -183,7 +186,7 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
     must_time.push_back(base[i].time);
   }
 
-  OmissionEngine<Simulator> engine(nl, seq, std::move(must), must_time,
+  OmissionEngine<Simulator> engine(sim.compiled(), seq, std::move(must), must_time,
                                    options.checkpoint_interval);
 
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {

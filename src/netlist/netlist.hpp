@@ -77,6 +77,7 @@ class Netlist {
 
   /// Fanout list of each gate (gates that read this net).
   /// Only valid after finalize().
+  [[deprecated("use CompiledNetlist::fanouts(), the canonical CSR adjacency")]]
   const std::vector<std::vector<GateId>>& fanouts() const noexcept { return fanouts_; }
   std::size_t fanout_count(GateId g) const { return fanouts_[g].size(); }
 

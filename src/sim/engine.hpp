@@ -1,0 +1,42 @@
+// Process-wide simulation-kernel configuration.
+//
+// Every batch advance (stuck-at and transition) can run on one of three
+// engines over the same CompiledNetlist tables, all bit-identical in their
+// observable results (detections, latch records, sampled states):
+//
+//  * Compiled  — type-run kernel over the flat evaluation order, with
+//                per-batch observation-cone pruning (the default).
+//  * Levelized — per-gate dispatch over the full evaluation order, the
+//                pre-kernel algorithm kept as a bisection baseline.
+//  * Event     — selective trace: only gates whose fanin words changed
+//                since the previous frame are re-evaluated.
+//
+// The settings are process-wide (like ThreadPool::global()) so the bench
+// binaries can select an engine with --engine=NAME without threading a
+// config through every layer. They are read once at BatchRunner
+// construction; changing them does not affect already-built runners.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace uniscan {
+
+enum class SimEngine : std::uint8_t { Compiled, Levelized, Event };
+
+/// Select the advance engine used by runners built from now on.
+void set_global_sim_engine(SimEngine e) noexcept;
+SimEngine global_sim_engine() noexcept;
+
+/// Enable/disable per-batch observation-cone pruning (Compiled and Event
+/// engines only; Levelized always evaluates the full order).
+void set_global_cone_pruning(bool on) noexcept;
+bool global_cone_pruning() noexcept;
+
+/// Parse "compiled" / "levelized" / "event"; returns false on other input.
+bool parse_sim_engine(std::string_view name, SimEngine& out) noexcept;
+
+/// Printable engine name.
+std::string_view sim_engine_name(SimEngine e) noexcept;
+
+}  // namespace uniscan

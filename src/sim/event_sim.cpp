@@ -1,18 +1,14 @@
 #include "sim/event_sim.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace uniscan {
 
-EventSimulator::EventSimulator(const Netlist& nl) : nl_(&nl) {
-  if (!nl.is_finalized()) throw std::invalid_argument("EventSimulator: netlist not finalized");
+EventSimulator::EventSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {
   values_.assign(nl.num_gates(), V3::X);
   state_.assign(nl.num_dffs(), V3::X);
   prev_pi_.assign(nl.num_inputs(), V3::X);
-  std::uint32_t max_level = 0;
-  for (GateId g : nl.topo_order()) max_level = std::max(max_level, nl.levels()[g]);
-  buckets_.assign(max_level + 1, {});
+  buckets_.assign(compiled_.num_levels(), {});
   queued_.assign(nl.num_gates(), 0);
 }
 
@@ -24,11 +20,11 @@ void EventSimulator::reset(const State& initial) {
 }
 
 void EventSimulator::enqueue_fanouts(GateId g) {
-  for (GateId fo : nl_->fanouts()[g]) {
-    if (!is_combinational(nl_->gate(fo).type)) continue;  // DFFs sampled at end of frame
+  for (GateId fo : compiled_.fanouts(g)) {
+    if (!is_combinational(compiled_.type(fo))) continue;  // DFFs sampled at end of frame
     if (queued_[fo]) continue;
     queued_[fo] = 1;
-    buckets_[nl_->levels()[fo]].push_back(fo);
+    buckets_[compiled_.level(fo)].push_back(fo);
   }
 }
 
@@ -43,31 +39,24 @@ FrameValues EventSimulator::step(const std::vector<V3>& pi) {
   if (pi.size() != nl.num_inputs())
     throw std::invalid_argument("EventSimulator::step: PI width mismatch");
 
-  V3 fanin_buf[64];
-  const auto evaluate = [&](GateId g) {
-    const Gate& gate = nl.gate(g);
-    const std::size_t n = gate.fanins.size();
-    for (std::size_t p = 0; p < n; ++p) fanin_buf[p] = values_[gate.fanins[p]];
-    ++gate_evals_;
-    return eval_gate_v3(gate.type, fanin_buf, n);
-  };
-
   if (needs_full_eval_) {
     needs_full_eval_ = false;
-    for (std::size_t i = 0; i < pi.size(); ++i) values_[nl.inputs()[i]] = pi[i];
-    for (std::size_t j = 0; j < state_.size(); ++j) values_[nl.dffs()[j]] = state_[j];
-    for (GateId g : nl.topo_order()) values_[g] = evaluate(g);
+    for (std::size_t i = 0; i < pi.size(); ++i) values_[compiled_.inputs()[i]] = pi[i];
+    for (std::size_t j = 0; j < state_.size(); ++j) values_[compiled_.dffs()[j]] = state_[j];
+    compiled_.eval_full_v3(values_.data());
+    gate_evals_ += compiled_.eval_order().size();
   } else {
     // Seed events from changed boundary values, then propagate by level.
-    for (std::size_t i = 0; i < pi.size(); ++i) set_boundary(nl.inputs()[i], pi[i]);
-    for (std::size_t j = 0; j < state_.size(); ++j) set_boundary(nl.dffs()[j], state_[j]);
+    for (std::size_t i = 0; i < pi.size(); ++i) set_boundary(compiled_.inputs()[i], pi[i]);
+    for (std::size_t j = 0; j < state_.size(); ++j) set_boundary(compiled_.dffs()[j], state_[j]);
     for (auto& bucket : buckets_) {
       // enqueue_fanouts may append to HIGHER buckets while this one drains;
       // same-level appends cannot happen (fanout level > fanin level).
       for (std::size_t k = 0; k < bucket.size(); ++k) {
         const GateId g = bucket[k];
         queued_[g] = 0;
-        const V3 v = evaluate(g);
+        ++gate_evals_;
+        const V3 v = compiled_.eval_gate_v3_at(g, values_.data());
         if (v != values_[g]) {
           values_[g] = v;
           enqueue_fanouts(g);
@@ -80,9 +69,9 @@ FrameValues EventSimulator::step(const std::vector<V3>& pi) {
 
   FrameValues out;
   out.po.reserve(nl.num_outputs());
-  for (GateId po : nl.outputs()) out.po.push_back(values_[po]);
+  for (GateId po : compiled_.outputs()) out.po.push_back(values_[po]);
   out.next_state.reserve(nl.num_dffs());
-  for (GateId ff : nl.dffs()) out.next_state.push_back(values_[nl.gate(ff).fanins[0]]);
+  for (GateId d : compiled_.dff_d()) out.next_state.push_back(values_[d]);
   state_ = out.next_state;
   return out;
 }

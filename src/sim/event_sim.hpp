@@ -6,12 +6,16 @@
 // functional logic is quiet). Results are bit-identical to the levelized
 // simulator — the test suite cross-checks them — so either engine can back
 // the higher layers.
+//
+// All adjacency walks (level buckets, fanout propagation, gate evaluation)
+// run on the flat CSR tables of a CompiledNetlist.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "sim/sequential_sim.hpp"
 
 namespace uniscan {
@@ -21,6 +25,7 @@ class EventSimulator {
   explicit EventSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
+  const CompiledNetlist& compiled() const noexcept { return compiled_; }
 
   /// Establish `initial` as the current state and fully evaluate once the
   /// next step() runs. Must be called before the first step().
@@ -41,6 +46,7 @@ class EventSimulator {
   void set_boundary(GateId g, V3 v);
 
   const Netlist* nl_;
+  CompiledNetlist compiled_;
   std::vector<V3> values_;
   State state_;                 // current DFF outputs
   std::vector<V3> prev_pi_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <stdexcept>
 
 #include "sim/sequential_sim.hpp"
@@ -12,11 +13,12 @@ namespace uniscan {
 // ---------------------------------------------------------------------------
 // BatchRunner
 
-FaultSimulator::BatchRunner::BatchRunner(const Netlist& nl, std::span<const Fault> faults)
-    : nl_(&nl), faults_(faults) {
+FaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl, std::span<const Fault> faults)
+    : cnl_(&cnl), nl_(&cnl.netlist()), faults_(faults), engine_(global_sim_engine()) {
   if (faults.size() > 63) throw std::invalid_argument("BatchRunner: batch too large");
-  stem_.assign(nl.num_gates(), Forcing{});
-  branch_head_.assign(nl.num_gates(), -1);
+  const std::size_t n = cnl.num_gates();
+  stem_.assign(n, Forcing{});
+  branch_head_.assign(n, -1);
 
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const Fault& f = faults[i];
@@ -39,6 +41,56 @@ FaultSimulator::BatchRunner::BatchRunner(const Netlist& nl, std::span<const Faul
       (f.stuck_one ? force.set1 : force.set0) |= bit;
     }
   }
+
+  if (engine_ == SimEngine::Levelized) return;  // legacy path needs no program
+
+  // Combinational gates carrying an injection leave the tight type runs and
+  // are evaluated individually; boundary-gate stem forcing is applied while
+  // loading boundary values, DFF D-pin branch forcing while sampling.
+  std::vector<GateId> sites;
+  sites.reserve(faults.size());
+  std::vector<std::uint8_t> mark(n, 0);
+  for (const Fault& f : faults_) {
+    sites.push_back(f.gate);
+    if (mark[f.gate]) continue;
+    mark[f.gate] = 1;
+    if (is_combinational(cnl.type(f.gate)) &&
+        (stem_[f.gate].any() || branch_head_[f.gate] >= 0))
+      forced_.push_back(f.gate);
+  }
+
+  prog_ = cnl.build_program(sites, forced_, global_cone_pruning());
+
+  // Flat per-pin force tables: one Forcing per fanin pin of each forced
+  // gate, identity where no branch fault sits on that pin.
+  pin_off_.assign(forced_.size() + 1, 0);
+  for (std::size_t k = 0; k < forced_.size(); ++k)
+    pin_off_[k + 1] = pin_off_[k] + static_cast<std::uint32_t>(cnl.fanin_count(forced_[k]));
+  pin_force_.assign(pin_off_.back(), Forcing{});
+  for (std::size_t k = 0; k < forced_.size(); ++k) {
+    for (std::int32_t idx = branch_head_[forced_[k]]; idx >= 0;
+         idx = branches_[static_cast<std::size_t>(idx)].next) {
+      const BranchForce& b = branches_[static_cast<std::size_t>(idx)];
+      pin_force_[pin_off_[k] + static_cast<std::uint32_t>(b.pin)] = b.force;
+    }
+  }
+
+  dff_force_.assign(cnl.dffs().size(), Forcing{});
+  for (std::size_t j = 0; j < cnl.dffs().size(); ++j) {
+    for (std::int32_t idx = branch_head_[cnl.dffs()[j]]; idx >= 0;
+         idx = branches_[static_cast<std::size_t>(idx)].next) {
+      const BranchForce& b = branches_[static_cast<std::size_t>(idx)];
+      if (b.pin == 0) dff_force_[j] = b.force;
+    }
+  }
+
+  if (engine_ == SimEngine::Event) {
+    in_plan_.assign(n, 0);
+    for (const GateId g : prog_.eval) in_plan_[g] = 1;
+    for (const GateId g : forced_) in_plan_[g] = 1;
+    buckets_.assign(cnl.num_levels(), {});
+    queued_.assign(n, 0);
+  }
 }
 
 W3 FaultSimulator::BatchRunner::branch_force(GateId g, std::size_t pin, W3 w) const noexcept {
@@ -48,6 +100,24 @@ W3 FaultSimulator::BatchRunner::branch_force(GateId g, std::size_t pin, W3 w) co
     if (b.pin == static_cast<std::int16_t>(pin)) return b.force.apply(w);
   }
   return w;
+}
+
+W3 FaultSimulator::BatchRunner::eval_forced(std::size_t k, const W3* values) const noexcept {
+  const GateId g = forced_[k];
+  const auto fan = cnl_->fanins(g);
+  const Forcing* pf = pin_force_.data() + pin_off_[k];
+  W3 buf[64];
+  for (std::size_t p = 0; p < fan.size(); ++p) buf[p] = pf[p].apply(values[fan[p]]);
+  return stem_[g].apply(eval_gate_w3(cnl_->type(g), buf, fan.size()));
+}
+
+void FaultSimulator::BatchRunner::enqueue_fanouts(GateId g) const {
+  for (const GateId fo : cnl_->fanouts(g)) {
+    if (!is_combinational(cnl_->type(fo))) continue;  // DFFs sampled at frame end
+    if (!in_plan_[fo] || queued_[fo]) continue;
+    queued_[fo] = 1;
+    buckets_[cnl_->level(fo)].push_back(fo);
+  }
 }
 
 SimBatchState FaultSimulator::BatchRunner::initial_state() const {
@@ -60,6 +130,188 @@ SimBatchState FaultSimulator::BatchRunner::initial_state() const {
 std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const SequenceView& view,
                                                    std::vector<W3>& values,
                                                    const AdvanceOptions& opt) const {
+  if (engine_ == SimEngine::Levelized) return advance_levelized(s, view, values, opt);
+  return advance_kernel(s, view, values, opt);
+}
+
+std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
+                                                          const SequenceView& view,
+                                                          std::vector<W3>& values,
+                                                          const AdvanceOptions& opt) const {
+  const CompiledNetlist& cnl = *cnl_;
+  values.resize(cnl.num_gates());
+  const auto& inputs = cnl.inputs();
+  const auto& dffs = cnl.dffs();
+  const auto& dff_d = cnl.dff_d();
+  const bool event = engine_ == SimEngine::Event;
+  std::uint64_t evals = 0;
+  // The scratch is shared between runners on a worker thread, so the event
+  // engine's first frame of every advance is a full evaluation; later frames
+  // re-evaluate only the fanout cones of changed nets.
+  bool full = true;
+
+  for (std::size_t t = s.frame; t < view.length(); ++t) {
+    if (opt.checkpoints && t <= opt.capture_limit && opt.checkpoints->want(t)) {
+      s.frame = t;  // snapshot the state entering frame t
+      opt.checkpoints->save(opt.batch_index, s);
+    }
+
+    const auto& vec = view.vector_at(t);
+    if (!event || full) {
+      full = false;
+      // Boundary values (with stem forcing on PIs and sampled DFF outputs).
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const GateId pi = inputs[i];
+        values[pi] = stem_[pi].apply(W3::broadcast(vec[i]));
+      }
+      for (const std::uint32_t j : prog_.samp_dff) {
+        const GateId ff = dffs[j];
+        values[ff] = stem_[ff].apply(s.state[j]);
+      }
+
+      // Type runs and individually-forced gates, interleaved level-major:
+      // a forced gate at level L evaluates after the runs of level <= L and
+      // before any run of a higher level (no combinational edges within a
+      // level, so the relative order inside a level is free).
+      std::size_t fi = 0, ri = 0;
+      const std::size_t nf = prog_.forced_order.size();
+      const std::size_t nr = prog_.runs.size();
+      while (ri < nr || fi < nf) {
+        const std::uint32_t fl =
+            fi < nf ? prog_.forced_level[fi] : std::numeric_limits<std::uint32_t>::max();
+        std::size_t rj = ri;
+        while (rj < nr && prog_.runs[rj].level <= fl) ++rj;
+        if (rj > ri) {
+          cnl.eval_runs_w3(std::span<const TypeRun>(prog_.runs.data() + ri, rj - ri),
+                           prog_.eval.data(), values.data());
+          ri = rj;
+        }
+        const std::uint32_t rl =
+            ri < nr ? prog_.runs[ri].level : std::numeric_limits<std::uint32_t>::max();
+        while (fi < nf && prog_.forced_level[fi] < rl) {
+          const std::size_t k = prog_.forced_order[fi++];
+          values[forced_[k]] = eval_forced(k, values.data());
+        }
+      }
+      evals += prog_.evals_per_frame;
+    } else {
+      // Seed events from changed boundary values, then propagate by level.
+      // Stuck-at forcing is static, so unchanged fanins imply an unchanged
+      // (post-injection) output — forced gates need no special treatment.
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const GateId pi = inputs[i];
+        const W3 w = stem_[pi].apply(W3::broadcast(vec[i]));
+        if (!(w == values[pi])) {
+          values[pi] = w;
+          enqueue_fanouts(pi);
+        }
+      }
+      for (const std::uint32_t j : prog_.samp_dff) {
+        const GateId ff = dffs[j];
+        const W3 w = stem_[ff].apply(s.state[j]);
+        if (!(w == values[ff])) {
+          values[ff] = w;
+          enqueue_fanouts(ff);
+        }
+      }
+      for (auto& bucket : buckets_) {
+        // Draining may append to HIGHER buckets only (fanout level > level).
+        for (std::size_t k = 0; k < bucket.size(); ++k) {
+          const GateId g = bucket[k];
+          queued_[g] = 0;
+          ++evals;
+          W3 w;
+          if (branch_head_[g] >= 0 || stem_[g].any()) {
+            const auto fan = cnl.fanins(g);
+            W3 buf[64];
+            if (branch_head_[g] >= 0) {
+              for (std::size_t p = 0; p < fan.size(); ++p)
+                buf[p] = branch_force(g, p, values[fan[p]]);
+            } else {
+              for (std::size_t p = 0; p < fan.size(); ++p) buf[p] = values[fan[p]];
+            }
+            w = stem_[g].apply(eval_gate_w3(cnl.type(g), buf, fan.size()));
+          } else {
+            w = cnl.eval_gate_w3_at(g, values.data());
+          }
+          if (!(w == values[g])) {
+            values[g] = w;
+            enqueue_fanouts(g);
+          }
+        }
+        bucket.clear();
+      }
+    }
+
+    // Detection at the batch's observable primary outputs. A frame
+    // contributes at most one count per fault even if several outputs
+    // expose it.
+    std::uint64_t observed_this_frame = 0;
+    for (const GateId po : prog_.obs_po) {
+      const W3 w = values[po];
+      const bool good0 = (w.v0 & 1) != 0;
+      const bool good1 = (w.v1 & 1) != 0;
+      if (good1) observed_this_frame |= w.v0 & s.live;
+      else if (good0) observed_this_frame |= w.v1 & s.live;
+    }
+    while (observed_this_frame) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(observed_this_frame));
+      observed_this_frame &= observed_this_frame - 1;
+      if (!(s.detected_slots & (1ULL << slot))) {
+        s.detected_slots |= 1ULL << slot;
+        s.detect_time[slot] = static_cast<std::uint32_t>(t);
+      }
+      if (++s.detect_count[slot] >= opt.count_cap) s.live &= ~(1ULL << slot);
+    }
+
+    if (opt.early_exit && s.live == 0) {
+      s.frame = t + 1;  // state was not clocked into frame t+1 — see header
+      return evals;
+    }
+
+    // Next state of the sampled DFFs (with branch forcing on D pins).
+    for (const std::uint32_t j : prog_.samp_dff) {
+      W3 d = values[dff_d[j]];
+      const Forcing& f = dff_force_[j];
+      if (f.any()) d = f.apply(d);
+      s.state[j] = d;
+    }
+
+    // Latched fault effects can only sit in cone DFFs: faulty slot differs
+    // (known vs opposite known) from the good machine in the state entering
+    // frame t+1.
+    if (!opt.latched.empty()) {
+      for (const std::uint32_t j : prog_.latch_dff) {
+        const W3 w = s.state[j];
+        const bool good0 = (w.v0 & 1) != 0;
+        const bool good1 = (w.v1 & 1) != 0;
+        std::uint64_t diff = 0;
+        if (good1) diff = w.v0;
+        else if (good0) diff = w.v1;
+        diff &= ~1ULL;
+        while (diff) {
+          const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
+          diff &= diff - 1;
+          LatchRecord& lr = opt.latched[slot - 1];
+          // Keep the occurrence deepest in the chain (fewest flush shifts).
+          if (!lr.latched || j >= lr.ff_index) {
+            lr.latched = true;
+            lr.ff_index = j;
+            lr.time = static_cast<std::uint32_t>(t);
+          }
+        }
+      }
+    }
+  }
+
+  s.frame = view.length();
+  return evals;
+}
+
+std::uint64_t FaultSimulator::BatchRunner::advance_levelized(SimBatchState& s,
+                                                             const SequenceView& view,
+                                                             std::vector<W3>& values,
+                                                             const AdvanceOptions& opt) const {
   const Netlist& nl = *nl_;
   values.resize(nl.num_gates());
   std::uint64_t frames = 0;
@@ -82,7 +334,8 @@ std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const Seque
       values[ff] = stem_[ff].apply(s.state[j]);
     }
 
-    // Combinational evaluation in topological order.
+    // Combinational evaluation in topological order, one dispatch per gate
+    // (the pre-kernel algorithm, kept verbatim as a bisection baseline).
     for (GateId g : nl.topo_order()) {
       const Gate& gate = nl.gate(g);
       const std::size_t n = gate.fanins.size();
@@ -162,9 +415,7 @@ std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const Seque
 // ---------------------------------------------------------------------------
 // FaultSimulator
 
-FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
-  if (!nl.is_finalized()) throw std::invalid_argument("FaultSimulator: netlist not finalized");
-}
+FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {}
 
 std::vector<W3>& FaultSimulator::scratch_for(std::size_t worker) const {
   return scratch_[worker];
@@ -188,7 +439,7 @@ std::vector<DetectionRecord> FaultSimulator::run(const SequenceView& view,
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
     const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(*nl_, faults.subspan(base, count));
+    BatchRunner runner(compiled_, faults.subspan(base, count));
     SimBatchState s = runner.initial_state();
     BatchRunner::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
@@ -219,7 +470,7 @@ bool FaultSimulator::detects_all(const SequenceView& view, std::span<const Fault
     if (!ok.load(std::memory_order_relaxed)) return;  // cross-batch fail-fast
     const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(*nl_, faults.subspan(base, count));
+    BatchRunner runner(compiled_, faults.subspan(base, count));
     SimBatchState s = runner.initial_state();
     gate_evals_.fetch_add(runner.advance(s, view, scratch_for(w), {}),
                           std::memory_order_relaxed);
@@ -246,7 +497,7 @@ std::vector<std::uint32_t> FaultSimulator::run_counts(const SequenceView& view,
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
     const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(*nl_, faults.subspan(base, count));
+    BatchRunner runner(compiled_, faults.subspan(base, count));
     SimBatchState s = runner.initial_state();
     BatchRunner::AdvanceOptions opt;
     opt.count_cap = cap;

@@ -12,13 +12,19 @@
 // the hook used by the paper's Section-2 functional scan knowledge.
 //
 // Two layers:
-//  * BatchRunner — the incremental engine for one <=63-fault batch: the
-//    injection tables are built once, advance() resumes a SimBatchState at
-//    any frame (checkpoint restarts) over a copy-free SequenceView, and the
-//    net-value scratch is caller-provided so independent batches can run on
-//    different threads.
+//  * BatchRunner — the incremental engine for one <=63-fault batch over the
+//    CompiledNetlist kernel. The injection tables (stem forcing per gate,
+//    per-pin force tables for branch faults) and the batch's evaluation
+//    program — including the observation-cone pruning that skips gates no
+//    fault of the batch can reach — are built once; advance() resumes a
+//    SimBatchState at any frame (checkpoint restarts) over a copy-free
+//    SequenceView, and the net-value scratch is caller-provided so
+//    independent batches can run on different threads. The advance engine
+//    (compiled / levelized / event, see sim/engine.hpp) is latched from the
+//    process-wide setting at construction; all three produce bit-identical
+//    detections, latch records and sampled states.
 //  * FaultSimulator — the one-shot API (run / detects_all / run_counts),
-//    now fanning its independent batches across ThreadPool::global().
+//    fanning its independent batches across ThreadPool::global().
 //    Results are bit-identical for every thread count: each batch writes
 //    only its own output slots and batches never interact.
 #pragma once
@@ -32,6 +38,8 @@
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/compiled_netlist.hpp"
+#include "sim/engine.hpp"
 #include "sim/logic3.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequence_view.hpp"
@@ -60,6 +68,7 @@ class FaultSimulator {
   explicit FaultSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
+  const CompiledNetlist& compiled() const noexcept { return compiled_; }
 
   /// Simulate `seq` against every fault in `faults`. Returns one detection
   /// record per fault (same order). If `latched` is non-null it receives one
@@ -92,16 +101,28 @@ class FaultSimulator {
   }
 
   /// Incremental engine for one batch of up to 63 faults. The injection
-  /// tables (stem forcing per gate, branch forcing chained per gate) are
-  /// built once at construction; advance() is allocation-free. A runner may
-  /// be shared across trials but is used by one thread at a time.
+  /// tables and the batch program are built once at construction; advance()
+  /// is allocation-free. A runner may be shared across trials but is used by
+  /// one thread at a time.
   class BatchRunner {
    public:
-    BatchRunner(const Netlist& nl, std::span<const Fault> faults);
+    BatchRunner(const CompiledNetlist& cnl, std::span<const Fault> faults);
 
     std::span<const Fault> faults() const noexcept { return faults_; }
     /// Bits 1..faults().size() — the slots this batch must detect.
     std::uint64_t slot_mask() const noexcept { return slot_mask_; }
+
+    /// Engine latched at construction from the process-wide setting.
+    SimEngine engine() const noexcept { return engine_; }
+    /// True when this batch's program skips out-of-cone gates.
+    bool pruned() const noexcept { return prog_.pruned; }
+    /// True if advance() maintains DFF j's next state. Always true without
+    /// pruning; under pruning false exactly for DFFs outside the batch's
+    /// cone-plus-support, whose state equals the good machine's by
+    /// construction (no fault effect can reach them).
+    bool samples_dff(std::size_t j) const noexcept {
+      return !prog_.pruned || prog_.dff_sampled[j] != 0;
+    }
 
     /// All-X power-up state with every fault slot live.
     SimBatchState initial_state() const;
@@ -133,6 +154,7 @@ class FaultSimulator {
       std::uint64_t set0 = 0;
       std::uint64_t set1 = 0;
 
+      bool any() const noexcept { return (set0 | set1) != 0; }
       W3 apply(W3 w) const noexcept {
         const std::uint64_t touched = set0 | set1;
         return W3{(w.v0 & ~touched) | set0, (w.v1 & ~touched) | set1};
@@ -145,19 +167,41 @@ class FaultSimulator {
     };
 
     W3 branch_force(GateId g, std::size_t pin, W3 w) const noexcept;
+    W3 eval_forced(std::size_t k, const W3* values) const noexcept;
+    void enqueue_fanouts(GateId g) const;
+    std::uint64_t advance_levelized(SimBatchState& s, const SequenceView& view,
+                                    std::vector<W3>& values, const AdvanceOptions& opt) const;
+    std::uint64_t advance_kernel(SimBatchState& s, const SequenceView& view,
+                                 std::vector<W3>& values, const AdvanceOptions& opt) const;
 
+    const CompiledNetlist* cnl_;
     const Netlist* nl_;
     std::span<const Fault> faults_;
     std::uint64_t slot_mask_ = 0;
+    SimEngine engine_;
     std::vector<Forcing> stem_;             // indexed by gate
     std::vector<std::int32_t> branch_head_; // per gate: first branch entry or -1
     std::vector<BranchForce> branches_;
+
+    // Compiled/event program: cone-pruned evaluation plan, the comb gates
+    // with an injection (evaluated individually via flat per-pin force
+    // tables), and dense pin-0 forcing for DFF D inputs.
+    BatchProgram prog_;
+    std::vector<GateId> forced_;
+    std::vector<std::uint32_t> pin_off_;    // CSR offsets into pin_force_
+    std::vector<Forcing> pin_force_;
+    std::vector<Forcing> dff_force_;        // indexed by DFF index
+    // Event engine bookkeeping (a runner is used by one thread at a time).
+    std::vector<std::uint8_t> in_plan_;     // comb gate participates in plan
+    mutable std::vector<std::vector<GateId>> buckets_;  // by level
+    mutable std::vector<std::uint8_t> queued_;
   };
 
  private:
   std::vector<W3>& scratch_for(std::size_t worker) const;
 
   const Netlist* nl_;
+  CompiledNetlist compiled_;
   // Per-pool-worker net-value scratch; index = ThreadPool worker id.
   mutable std::vector<std::vector<W3>> scratch_;
   mutable std::atomic<std::uint64_t> gate_evals_{0};

@@ -11,9 +11,9 @@ namespace uniscan {
 
 FaultSimSession::FaultSimSession(const Netlist& nl, std::span<const Fault> faults)
     : nl_(&nl),
+      compiled_(nl),
       faults_(faults.begin(), faults.end()),
-      good_runner_(nl, std::span<const Fault>{}) {
-  if (!nl.is_finalized()) throw std::invalid_argument("FaultSimSession: netlist not finalized");
+      good_runner_(compiled_, std::span<const Fault>{}) {
   detection_.assign(faults_.size(), DetectionRecord{});
   good_ = good_runner_.initial_state();
 
@@ -31,7 +31,7 @@ FaultSimSession::FaultSimSession(const Netlist& nl, std::span<const Fault> fault
   for (std::size_t b = 0; b < num_batches; ++b) {
     const std::size_t lo = b * 63;
     const std::size_t count = std::min<std::size_t>(63, packed_.size() - lo);
-    runners_.emplace_back(nl, std::span<const Fault>(packed_.data() + lo, count));
+    runners_.emplace_back(compiled_, std::span<const Fault>(packed_.data() + lo, count));
     states_.push_back(runners_.back().initial_state());
   }
 }
@@ -96,12 +96,22 @@ State FaultSimSession::good_state() const {
 void FaultSimSession::pair_state(std::size_t fault_index, State& good, State& faulty) const {
   const std::size_t p = pos_[fault_index];
   const unsigned slot = static_cast<unsigned>(p % 63 + 1);
-  const SimBatchState& s = states_[p / 63];
+  const std::size_t b = p / 63;
+  const SimBatchState& s = states_[b];
+  const FaultSimulator::BatchRunner& runner = runners_[b];
   good.assign(nl_->num_dffs(), V3::X);
   faulty.assign(nl_->num_dffs(), V3::X);
   for (std::size_t j = 0; j < good.size(); ++j) {
-    good[j] = s.state[j].get(0);
-    faulty[j] = s.state[j].get(slot);
+    if (runner.samples_dff(j)) {
+      good[j] = s.state[j].get(0);
+      faulty[j] = s.state[j].get(slot);
+    } else {
+      // Outside the batch's cone-plus-support the runner does not maintain
+      // the DFF; both machines hold the (identical) good-machine value.
+      const V3 v = good_.state[j].get(0);
+      good[j] = v;
+      faulty[j] = v;
+    }
   }
 }
 

@@ -50,6 +50,10 @@ class FaultSimSession {
   /// Gate-word evaluations performed by all advances so far.
   std::uint64_t gate_evals() const noexcept { return gate_evals_; }
 
+  /// Compiled form of the netlist, shared by all of the session's runners
+  /// (and reusable by FrameModels targeting the same circuit).
+  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+
   /// Good-machine state entering the next frame.
   State good_state() const;
 
@@ -74,6 +78,7 @@ class FaultSimSession {
 
  private:
   const Netlist* nl_;
+  CompiledNetlist compiled_;            // shared by all runners (declared first)
   std::vector<Fault> faults_;           // original (caller) order
   std::vector<std::size_t> order_;      // packed position -> original index
   std::vector<std::size_t> pos_;        // original index -> packed position

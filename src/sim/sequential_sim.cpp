@@ -78,8 +78,7 @@ W3 eval_gate_w3(GateType type, const W3* in, std::size_t n) noexcept {
   return W3::all_x();
 }
 
-SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl) {
-  if (!nl.is_finalized()) throw std::invalid_argument("SequentialSimulator: netlist not finalized");
+SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {
   values_.assign(nl.num_gates(), V3::X);
 }
 
@@ -93,13 +92,7 @@ FrameValues SequentialSimulator::eval_frame(const State& state, const std::vecto
   for (std::size_t i = 0; i < pi.size(); ++i) values_[nl.inputs()[i]] = pi[i];
   for (std::size_t i = 0; i < state.size(); ++i) values_[nl.dffs()[i]] = state[i];
 
-  V3 fanin_buf[64];
-  for (GateId g : nl.topo_order()) {
-    const Gate& gate = nl.gate(g);
-    const std::size_t n = gate.fanins.size();
-    for (std::size_t i = 0; i < n; ++i) fanin_buf[i] = values_[gate.fanins[i]];
-    values_[g] = eval_gate_v3(gate.type, fanin_buf, n);
-  }
+  compiled_.eval_full_v3(values_.data());
 
   FrameValues out;
   out.po.reserve(nl.num_outputs());

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "sim/logic3.hpp"
 #include "sim/sequence.hpp"
 
@@ -34,6 +35,7 @@ class SequentialSimulator {
   explicit SequentialSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
+  const CompiledNetlist& compiled() const noexcept { return compiled_; }
 
   /// All-X power-up state.
   State initial_state() const { return State(nl_->num_dffs(), V3::X); }
@@ -56,6 +58,7 @@ class SequentialSimulator {
 
  private:
   const Netlist* nl_;
+  CompiledNetlist compiled_;
   mutable std::vector<V3> values_;  // scratch: value per net
 };
 

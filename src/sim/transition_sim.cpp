@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <stdexcept>
 
 #include "fault/fault.hpp"
@@ -18,9 +19,9 @@ inline V3 delayed_value(bool slow_to_rise, V3 driven_now, V3 driven_prev) noexce
   return slow_to_rise ? v3_and(driven_now, driven_prev) : v3_or(driven_now, driven_prev);
 }
 
-std::uint64_t observed_mask(const Netlist& nl, const std::vector<W3>& values) {
+std::uint64_t observed_mask(std::span<const GateId> pos, const std::vector<W3>& values) {
   std::uint64_t observed = 0;
-  for (GateId po : nl.outputs()) {
+  for (GateId po : pos) {
     const W3 w = values[po];
     const bool good0 = (w.v0 & 1) != 0;
     const bool good1 = (w.v1 & 1) != 0;
@@ -30,26 +31,22 @@ std::uint64_t observed_mask(const Netlist& nl, const std::vector<W3>& values) {
   return observed & ~1ULL;
 }
 
-void record_latches(const Netlist& nl, const std::vector<W3>& state,
-                    std::span<LatchRecord> latched, std::size_t t) {
-  if (latched.empty()) return;
-  for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-    const W3 w = state[j];
-    const bool good0 = (w.v0 & 1) != 0;
-    const bool good1 = (w.v1 & 1) != 0;
-    std::uint64_t diff = 0;
-    if (good1) diff = w.v0;
-    else if (good0) diff = w.v1;
-    diff &= ~1ULL;
-    while (diff) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
-      diff &= diff - 1;
-      LatchRecord& lr = latched[slot - 1];
-      if (!lr.latched || j >= lr.ff_index) {
-        lr.latched = true;
-        lr.ff_index = static_cast<std::uint32_t>(j);
-        lr.time = static_cast<std::uint32_t>(t);
-      }
+void record_latch(std::span<LatchRecord> latched, const W3 w, std::size_t j, std::size_t t) {
+  const bool good0 = (w.v0 & 1) != 0;
+  const bool good1 = (w.v1 & 1) != 0;
+  std::uint64_t diff = 0;
+  if (good1) diff = w.v0;
+  else if (good0) diff = w.v1;
+  diff &= ~1ULL;
+  while (diff) {
+    const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
+    diff &= diff - 1;
+    LatchRecord& lr = latched[slot - 1];
+    // Keep the occurrence deepest in the chain (fewest flush shifts).
+    if (!lr.latched || j >= lr.ff_index) {
+      lr.latched = true;
+      lr.ff_index = static_cast<std::uint32_t>(j);
+      lr.time = static_cast<std::uint32_t>(t);
     }
   }
 }
@@ -59,12 +56,13 @@ void record_latches(const Netlist& nl, const std::vector<W3>& state,
 // ---------------------------------------------------------------------------
 // BatchRunner
 
-TransitionFaultSimulator::BatchRunner::BatchRunner(const Netlist& nl,
+TransitionFaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl,
                                                    std::span<const TransitionFault> faults)
-    : nl_(&nl), faults_(faults) {
+    : cnl_(&cnl), nl_(&cnl.netlist()), faults_(faults), engine_(global_sim_engine()) {
   if (faults.size() > 63) throw std::invalid_argument("BatchRunner: batch too large");
-  stem_head_.assign(nl.num_gates(), kNone);
-  branch_head_.assign(nl.num_gates(), kNone);
+  const std::size_t n = cnl.num_gates();
+  stem_head_.assign(n, kNone);
+  branch_head_.assign(n, kNone);
   next_.assign(faults.size(), kNone);
   pending_.assign(faults.size(), V3::X);
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -73,6 +71,36 @@ TransitionFaultSimulator::BatchRunner::BatchRunner(const Netlist& nl,
     auto& head = (f.pin == kStemPin) ? stem_head_ : branch_head_;
     next_[i] = head[f.gate];
     head[f.gate] = static_cast<std::int32_t>(i);
+  }
+
+  if (engine_ == SimEngine::Levelized) return;  // legacy path needs no program
+
+  std::vector<GateId> sites;
+  sites.reserve(faults.size());
+  std::vector<std::uint8_t> mark(n, 0);
+  for (const TransitionFault& f : faults_) {
+    sites.push_back(f.gate);
+    if (mark[f.gate]) continue;
+    mark[f.gate] = 1;
+    if (is_combinational(cnl.type(f.gate)) &&
+        (stem_head_[f.gate] != kNone || branch_head_[f.gate] != kNone))
+      forced_.push_back(f.gate);
+  }
+  // Boundary-gate stem forcing runs from these lists each frame, in the
+  // legacy order (DFFs, then PIs).
+  for (const GateId d : cnl.dffs())
+    if (stem_head_[d] != kNone) bstem_dff_.push_back(d);
+  for (const GateId p : cnl.inputs())
+    if (stem_head_[p] != kNone) bstem_pi_.push_back(p);
+
+  prog_ = cnl.build_program(sites, forced_, global_cone_pruning());
+
+  if (engine_ == SimEngine::Event) {
+    in_plan_.assign(n, 0);
+    for (const GateId g : prog_.eval) in_plan_[g] = 1;
+    for (const GateId g : forced_) in_plan_[g] = 1;
+    buckets_.assign(cnl.num_levels(), {});
+    queued_.assign(n, 0);
   }
 }
 
@@ -84,12 +112,12 @@ SimBatchState TransitionFaultSimulator::BatchRunner::initial_state() const {
   return s;
 }
 
-void TransitionFaultSimulator::BatchRunner::apply_stems(GateId g, SimBatchState& s,
-                                                        std::vector<W3>& values) const {
+void TransitionFaultSimulator::BatchRunner::apply_stems_value(GateId g, SimBatchState& s,
+                                                              W3& w) const {
   for (std::int32_t i = stem_head_[g]; i != kNone; i = next_[i]) {
     const unsigned slot = static_cast<unsigned>(i + 1);
-    const V3 now = values[g].get(slot);
-    values[g].set(slot, delayed_value(faults_[i].slow_to_rise, now, s.prev_driven[i]));
+    const V3 now = w.get(slot);
+    w.set(slot, delayed_value(faults_[i].slow_to_rise, now, s.prev_driven[i]));
     pending_[i] = now;
   }
 }
@@ -106,6 +134,171 @@ void TransitionFaultSimulator::BatchRunner::apply_branches(GateId g, W3* fanin_b
     fanin_buf[p].set(slot, delayed_value(f.slow_to_rise, now, s.prev_driven[i]));
     pending_[i] = now;
   }
+}
+
+W3 TransitionFaultSimulator::BatchRunner::eval_forced(GateId g, SimBatchState& s,
+                                                      const std::vector<W3>& values) const {
+  const auto fan = cnl_->fanins(g);
+  W3 buf[64];
+  for (std::size_t p = 0; p < fan.size(); ++p) buf[p] = values[fan[p]];
+  if (branch_head_[g] != kNone) apply_branches(g, buf, fan.size(), s, values);
+  W3 w = eval_gate_w3(cnl_->type(g), buf, fan.size());
+  if (stem_head_[g] != kNone) apply_stems_value(g, s, w);
+  return w;
+}
+
+void TransitionFaultSimulator::BatchRunner::enqueue(GateId g) const {
+  if (queued_[g]) return;
+  queued_[g] = 1;
+  buckets_[cnl_->level(g)].push_back(g);
+}
+
+void TransitionFaultSimulator::BatchRunner::enqueue_fanouts(GateId g) const {
+  for (const GateId fo : cnl_->fanouts(g)) {
+    if (!is_combinational(cnl_->type(fo))) continue;  // DFFs sampled at frame end
+    if (in_plan_[fo]) enqueue(fo);
+  }
+}
+
+std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
+                                                             const SequenceView& view,
+                                                             std::vector<W3>& values,
+                                                             const AdvanceOptions& opt) const {
+  if (engine_ == SimEngine::Levelized) return advance_levelized(s, view, values, opt);
+  return advance_kernel(s, view, values, opt);
+}
+
+std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
+    SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+    const AdvanceOptions& opt) const {
+  const CompiledNetlist& cnl = *cnl_;
+  values.resize(cnl.num_gates());
+  const auto& inputs = cnl.inputs();
+  const auto& dffs = cnl.dffs();
+  const auto& dff_d = cnl.dff_d();
+  const bool event = engine_ == SimEngine::Event;
+  std::uint64_t evals = 0;
+  // The scratch is shared between runners on a worker thread, so the event
+  // engine's first frame of every advance is a full evaluation.
+  bool full = true;
+
+  for (std::size_t t = s.frame; t < view.length(); ++t) {
+    if (opt.checkpoints && t <= opt.capture_limit && opt.checkpoints->want(t)) {
+      s.frame = t;  // snapshot the state (and launch history) entering frame t
+      opt.checkpoints->save(opt.batch_index, s);
+    }
+
+    const auto& vec = view.vector_at(t);
+    if (!event || full) {
+      full = false;
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        values[inputs[i]] = W3::broadcast(vec[i]);
+      for (const std::uint32_t j : prog_.samp_dff) values[dffs[j]] = s.state[j];
+      // Stem faults on boundary gates force before combinational evaluation
+      // (a stem-faulted boundary is a fault site, hence always in-plan).
+      for (const GateId g : bstem_dff_) apply_stems(g, s, values);
+      for (const GateId g : bstem_pi_) apply_stems(g, s, values);
+
+      // Type runs and individually-forced gates, interleaved level-major
+      // (see FaultSimulator::BatchRunner::advance_kernel).
+      std::size_t fi = 0, ri = 0;
+      const std::size_t nf = prog_.forced_order.size();
+      const std::size_t nr = prog_.runs.size();
+      while (ri < nr || fi < nf) {
+        const std::uint32_t fl =
+            fi < nf ? prog_.forced_level[fi] : std::numeric_limits<std::uint32_t>::max();
+        std::size_t rj = ri;
+        while (rj < nr && prog_.runs[rj].level <= fl) ++rj;
+        if (rj > ri) {
+          cnl.eval_runs_w3(std::span<const TypeRun>(prog_.runs.data() + ri, rj - ri),
+                           prog_.eval.data(), values.data());
+          ri = rj;
+        }
+        const std::uint32_t rl =
+            ri < nr ? prog_.runs[ri].level : std::numeric_limits<std::uint32_t>::max();
+        while (fi < nf && prog_.forced_level[fi] < rl) {
+          const GateId g = forced_[prog_.forced_order[fi++]];
+          values[g] = eval_forced(g, s, values);
+        }
+      }
+      evals += prog_.evals_per_frame;
+    } else {
+      // The forced value at an injection site depends on prev_driven, so
+      // every site re-evaluates each frame even with quiet fanins — this
+      // also refreshes its launch history. Boundary sites refresh theirs in
+      // the (unconditional) stem application below.
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const GateId g = inputs[i];
+        W3 w = W3::broadcast(vec[i]);
+        if (stem_head_[g] != kNone) apply_stems_value(g, s, w);
+        if (!(w == values[g])) {
+          values[g] = w;
+          enqueue_fanouts(g);
+        }
+      }
+      for (const std::uint32_t j : prog_.samp_dff) {
+        const GateId g = dffs[j];
+        W3 w = s.state[j];
+        if (stem_head_[g] != kNone) apply_stems_value(g, s, w);
+        if (!(w == values[g])) {
+          values[g] = w;
+          enqueue_fanouts(g);
+        }
+      }
+      for (const GateId g : forced_) enqueue(g);
+      for (auto& bucket : buckets_) {
+        // Draining may append to HIGHER buckets only (fanout level > level).
+        for (std::size_t k = 0; k < bucket.size(); ++k) {
+          const GateId g = bucket[k];
+          queued_[g] = 0;
+          ++evals;
+          const W3 w = (branch_head_[g] != kNone || stem_head_[g] != kNone)
+                           ? eval_forced(g, s, values)
+                           : cnl.eval_gate_w3_at(g, values.data());
+          if (!(w == values[g])) {
+            values[g] = w;
+            enqueue_fanouts(g);
+          }
+        }
+        bucket.clear();
+      }
+    }
+
+    // Next state of the sampled DFFs (with branch forcing on D pins), then
+    // commit the launch histories — every injection site was refreshed above
+    // or is a DFF D pin refreshed here.
+    for (const std::uint32_t j : prog_.samp_dff) {
+      const GateId ff = dffs[j];
+      W3 d = values[dff_d[j]];
+      if (branch_head_[ff] != kNone) {
+        W3 buf[1] = {d};
+        apply_branches(ff, buf, 1, s, values);
+        d = buf[0];
+      }
+      s.state[j] = d;
+    }
+    for (std::size_t i = 0; i < faults_.size(); ++i) s.prev_driven[i] = pending_[i];
+
+    std::uint64_t newly = observed_mask(prog_.obs_po, values) & s.live;
+    while (newly) {
+      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
+      newly &= newly - 1;
+      s.detected_slots |= 1ULL << slot;
+      s.detect_time[slot] = static_cast<std::uint32_t>(t);
+      s.detect_count[slot] = 1;
+      s.live &= ~(1ULL << slot);
+    }
+    if (opt.early_exit && s.live == 0) {
+      s.frame = t + 1;
+      return evals;
+    }
+    if (!opt.latched.empty())
+      for (const std::uint32_t j : prog_.latch_dff)
+        record_latch(opt.latched, s.state[j], j, t);
+  }
+
+  s.frame = view.length();
+  return evals;
 }
 
 void TransitionFaultSimulator::BatchRunner::run_frame(SimBatchState& s,
@@ -148,10 +341,9 @@ void TransitionFaultSimulator::BatchRunner::run_frame(SimBatchState& s,
   for (std::size_t i = 0; i < faults_.size(); ++i) s.prev_driven[i] = pending_[i];
 }
 
-std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
-                                                             const SequenceView& view,
-                                                             std::vector<W3>& values,
-                                                             const AdvanceOptions& opt) const {
+std::uint64_t TransitionFaultSimulator::BatchRunner::advance_levelized(
+    SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+    const AdvanceOptions& opt) const {
   const Netlist& nl = *nl_;
   values.resize(nl.num_gates());
   std::uint64_t frames = 0;
@@ -165,7 +357,7 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
     run_frame(s, view.vector_at(t), values);
     ++frames;
 
-    std::uint64_t newly = observed_mask(nl, values) & s.live;
+    std::uint64_t newly = observed_mask(nl.outputs(), values) & s.live;
     while (newly) {
       const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
       newly &= newly - 1;
@@ -178,7 +370,9 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
       s.frame = t + 1;
       return frames * nl.topo_order().size();
     }
-    record_latches(nl, s.state, opt.latched, t);
+    if (!opt.latched.empty())
+      for (std::size_t j = 0; j < nl.num_dffs(); ++j)
+        record_latch(opt.latched, s.state[j], j, t);
   }
 
   s.frame = view.length();
@@ -188,10 +382,8 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
 // ---------------------------------------------------------------------------
 // TransitionFaultSimulator
 
-TransitionFaultSimulator::TransitionFaultSimulator(const Netlist& nl) : nl_(&nl) {
-  if (!nl.is_finalized())
-    throw std::invalid_argument("TransitionFaultSimulator: netlist not finalized");
-}
+TransitionFaultSimulator::TransitionFaultSimulator(const Netlist& nl)
+    : nl_(&nl), compiled_(nl) {}
 
 std::vector<DetectionRecord> TransitionFaultSimulator::run(
     const TestSequence& seq, std::span<const TransitionFault> faults,
@@ -210,7 +402,7 @@ std::vector<DetectionRecord> TransitionFaultSimulator::run(
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
     const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(*nl_, faults.subspan(base, count));
+    BatchRunner runner(compiled_, faults.subspan(base, count));
     SimBatchState s = runner.initial_state();
     BatchRunner::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
@@ -243,7 +435,7 @@ bool TransitionFaultSimulator::detects_all(const SequenceView& view,
     if (!ok.load(std::memory_order_relaxed)) return;  // cross-batch fail-fast
     const std::size_t base = b * 63;
     const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(*nl_, faults.subspan(base, count));
+    BatchRunner runner(compiled_, faults.subspan(base, count));
     SimBatchState s = runner.initial_state();
     gate_evals_.fetch_add(runner.advance(s, view, scratch_[w], {}),
                           std::memory_order_relaxed);
@@ -268,10 +460,9 @@ std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
 TransitionSimSession::TransitionSimSession(const Netlist& nl,
                                            std::span<const TransitionFault> faults)
     : nl_(&nl),
+      compiled_(nl),
       faults_(faults.begin(), faults.end()),
-      good_runner_(nl, std::span<const TransitionFault>{}) {
-  if (!nl.is_finalized())
-    throw std::invalid_argument("TransitionSimSession: netlist not finalized");
+      good_runner_(compiled_, std::span<const TransitionFault>{}) {
   detection_.assign(faults_.size(), DetectionRecord{});
   good_ = good_runner_.initial_state();
 
@@ -289,7 +480,8 @@ TransitionSimSession::TransitionSimSession(const Netlist& nl,
   for (std::size_t b = 0; b < num_batches; ++b) {
     const std::size_t lo = b * 63;
     const std::size_t count = std::min<std::size_t>(63, packed_.size() - lo);
-    runners_.emplace_back(nl, std::span<const TransitionFault>(packed_.data() + lo, count));
+    runners_.emplace_back(compiled_,
+                          std::span<const TransitionFault>(packed_.data() + lo, count));
     states_.push_back(runners_.back().initial_state());
   }
 }
@@ -352,12 +544,22 @@ void TransitionSimSession::pair_state(std::size_t i, State& good, State& faulty,
                                       V3& prev_driven) const {
   const std::size_t p = pos_[i];
   const unsigned slot = static_cast<unsigned>(p % 63 + 1);
-  const SimBatchState& s = states_[p / 63];
+  const std::size_t b = p / 63;
+  const SimBatchState& s = states_[b];
+  const TransitionFaultSimulator::BatchRunner& runner = runners_[b];
   good.assign(nl_->num_dffs(), V3::X);
   faulty.assign(nl_->num_dffs(), V3::X);
   for (std::size_t j = 0; j < good.size(); ++j) {
-    good[j] = s.state[j].get(0);
-    faulty[j] = s.state[j].get(slot);
+    if (runner.samples_dff(j)) {
+      good[j] = s.state[j].get(0);
+      faulty[j] = s.state[j].get(slot);
+    } else {
+      // Outside the batch's cone-plus-support the runner does not maintain
+      // the DFF; both machines hold the (identical) good-machine value.
+      const V3 v = good_.state[j].get(0);
+      good[j] = v;
+      faulty[j] = v;
+    }
   }
   prev_driven = s.prev_driven[p % 63];
 }

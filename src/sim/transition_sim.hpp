@@ -8,10 +8,16 @@
 //
 // Mirrors FaultSimulator's two-layer structure: BatchRunner is the
 // incremental per-batch engine (checkpoint-resumable over a SequenceView,
-// caller-provided scratch); the one-shot run/detects_all fan batches across
-// ThreadPool::global() with bit-identical results at any thread count. The
-// launch history (previous driven value per fault) is part of
-// SimBatchState::prev_driven so checkpoints capture it.
+// caller-provided scratch) built on the CompiledNetlist kernel with the same
+// engine selection and observation-cone pruning; the one-shot
+// run/detects_all fan batches across ThreadPool::global() with bit-identical
+// results at any thread count. The launch history (previous driven value per
+// fault) is part of SimBatchState::prev_driven so checkpoints capture it.
+//
+// Unlike the stuck-at engine's static forcing, a transition fault's forced
+// value depends on prev_driven, so the event engine re-evaluates every
+// injection site each frame even when its fanins are quiet — both to track
+// the forced value and to refresh the launch history.
 #pragma once
 
 #include <atomic>
@@ -23,6 +29,8 @@
 #include "fault/transition_fault.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/compiled_netlist.hpp"
+#include "sim/engine.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequence_view.hpp"
@@ -37,6 +45,7 @@ class TransitionFaultSimulator {
   explicit TransitionFaultSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
+  const CompiledNetlist& compiled() const noexcept { return compiled_; }
 
   /// Simulate from power-up; one detection record per fault.
   std::vector<DetectionRecord> run(const TestSequence& seq,
@@ -61,10 +70,17 @@ class TransitionFaultSimulator {
   /// FaultSimulator::BatchRunner for the contract.
   class BatchRunner {
    public:
-    BatchRunner(const Netlist& nl, std::span<const TransitionFault> faults);
+    BatchRunner(const CompiledNetlist& cnl, std::span<const TransitionFault> faults);
 
     std::span<const TransitionFault> faults() const noexcept { return faults_; }
     std::uint64_t slot_mask() const noexcept { return slot_mask_; }
+
+    SimEngine engine() const noexcept { return engine_; }
+    bool pruned() const noexcept { return prog_.pruned; }
+    /// See FaultSimulator::BatchRunner::samples_dff.
+    bool samples_dff(std::size_t j) const noexcept {
+      return !prog_.pruned || prog_.dff_sampled[j] != 0;
+    }
 
     /// All-X power-up state, X launch history, every fault slot live.
     SimBatchState initial_state() const;
@@ -84,13 +100,27 @@ class TransitionFaultSimulator {
     static constexpr std::int32_t kNone = -1;
 
     void run_frame(SimBatchState& s, const std::vector<V3>& pi, std::vector<W3>& values) const;
-    void apply_stems(GateId g, SimBatchState& s, std::vector<W3>& values) const;
+    void apply_stems_value(GateId g, SimBatchState& s, W3& w) const;
+    void apply_stems(GateId g, SimBatchState& s, std::vector<W3>& values) const {
+      apply_stems_value(g, s, values[g]);
+    }
     void apply_branches(GateId g, W3* fanin_buf, std::size_t n, SimBatchState& s,
                         const std::vector<W3>& values) const;
+    /// Evaluate one injection-carrying combinational gate (branch forcing on
+    /// its fanins, stem forcing on its output); refreshes launch histories.
+    W3 eval_forced(GateId g, SimBatchState& s, const std::vector<W3>& values) const;
+    void enqueue(GateId g) const;
+    void enqueue_fanouts(GateId g) const;
+    std::uint64_t advance_levelized(SimBatchState& s, const SequenceView& view,
+                                    std::vector<W3>& values, const AdvanceOptions& opt) const;
+    std::uint64_t advance_kernel(SimBatchState& s, const SequenceView& view,
+                                 std::vector<W3>& values, const AdvanceOptions& opt) const;
 
+    const CompiledNetlist* cnl_;
     const Netlist* nl_;
     std::span<const TransitionFault> faults_;
     std::uint64_t slot_mask_ = 0;
+    SimEngine engine_;
     // A line carries up to two faults (STR and STF) per batch; both stem and
     // branch faults are chained in per-gate intrusive lists.
     std::vector<std::int32_t> stem_head_;    // per gate -> fault index
@@ -100,10 +130,22 @@ class TransitionFaultSimulator {
     // committed into SimBatchState::prev_driven at frame end. Scratch: a
     // runner is used by one thread at a time.
     mutable std::vector<V3> pending_;
+
+    // Compiled/event program (see FaultSimulator::BatchRunner). Boundary
+    // gates carrying stem faults are listed once so the per-frame forcing
+    // pass doesn't scan all boundaries.
+    BatchProgram prog_;
+    std::vector<GateId> forced_;
+    std::vector<GateId> bstem_dff_;  // DFF gates with stem faults
+    std::vector<GateId> bstem_pi_;   // PI gates with stem faults
+    std::vector<std::uint8_t> in_plan_;
+    mutable std::vector<std::vector<GateId>> buckets_;
+    mutable std::vector<std::uint8_t> queued_;
   };
 
  private:
   const Netlist* nl_;
+  CompiledNetlist compiled_;
   mutable std::vector<std::vector<W3>> scratch_;  // per pool worker
   mutable std::atomic<std::uint64_t> gate_evals_{0};
 };
@@ -124,6 +166,9 @@ class TransitionSimSession {
   std::size_t num_detected() const noexcept { return num_detected_; }
   /// Gate-word evaluations performed by all advances so far.
   std::uint64_t gate_evals() const noexcept { return gate_evals_; }
+  /// Compiled form of the netlist, shared by all of the session's runners
+  /// (and reusable by FrameModels targeting the same circuit).
+  const CompiledNetlist& compiled() const noexcept { return compiled_; }
   State good_state() const;
   /// Machine-pair state plus the faulted line's previous driven value for
   /// fault `i` (needed to seed the ATPG window's launch history).
@@ -142,6 +187,7 @@ class TransitionSimSession {
 
  private:
   const Netlist* nl_;
+  CompiledNetlist compiled_;
   std::vector<TransitionFault> faults_;  // original (caller) order
   std::vector<std::size_t> order_;       // packed position -> original index
   std::vector<std::size_t> pos_;         // original index -> packed position

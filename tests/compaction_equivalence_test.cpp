@@ -178,7 +178,7 @@ TEST(OmissionEngine, EraseAtBoundaryFramesMatchesReference) {
   ASSERT_FALSE(must.empty());
 
   constexpr std::size_t kInterval = 4;
-  detail::OmissionEngine<FaultSimulator> engine(fx.sc.netlist, fx.atpg.sequence, must, must_time,
+  detail::OmissionEngine<FaultSimulator> engine(sim.compiled(), fx.atpg.sequence, must, must_time,
                                                 kInterval);
 
   // Reference predicate against the engine's own current selection.

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "core/uniscan.hpp"
+#include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace uniscan {
@@ -67,6 +68,19 @@ TEST_P(FuzzPipeline, EndToEndInvariants) {
     ASSERT_EQ(redo.sequence, atpg.sequence) << spec.name;
     ASSERT_EQ(redo.detected, atpg.detected) << spec.name;
     ASSERT_EQ(redo.gate_evals, atpg.gate_evals) << spec.name;
+  }
+  // Observation-cone pruning must not change a single generated vector or
+  // detection on any random circuit. (Do NOT compare gate_evals here —
+  // pruning exists to change that.)
+  {
+    set_global_cone_pruning(false);
+    const AtpgResult redo = generate_tests(sc, fl, opt);
+    set_global_cone_pruning(true);
+    ASSERT_EQ(redo.sequence, atpg.sequence) << spec.name;
+    ASSERT_EQ(redo.detected, atpg.detected) << spec.name;
+    for (std::size_t i = 0; i < fl.size(); ++i)
+      ASSERT_EQ(redo.detection[i].detected, atpg.detection[i].detected)
+          << spec.name << " fault " << i;
   }
 #endif
 
