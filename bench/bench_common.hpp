@@ -12,6 +12,11 @@
 //                        | event (see sim/engine.hpp)
 //   --no-cone-pruning    disable per-batch observation-cone pruning
 //   --json=FILE          also write machine-readable results to FILE
+//   --circuits=A,B,C     run an explicit comma-separated subset of the suite
+//   --time-budget=SECS   suite-wide wall-clock budget (graceful degradation)
+//   --per-circuit-budget=SECS  per-circuit wall-clock budget
+//   --fail-fast          abort the whole run on the first circuit failure
+//                        (default: failures are isolated into FAILED rows)
 #pragma once
 
 #include <chrono>
@@ -33,6 +38,7 @@ struct Args {
   bool full = false;
   bool scan_knowledge = true;
   std::string circuit;
+  std::vector<std::string> circuits;  // --circuits=A,B,C subset
   std::string bench_dir;
   std::string json;
   std::uint64_t seed = 1;
@@ -40,6 +46,9 @@ struct Args {
   XFillPolicy fill = XFillPolicy::RandomFill;
   SimEngine engine = SimEngine::Compiled;
   bool cone_pruning = true;
+  double time_budget_secs = 0;
+  double per_circuit_budget_secs = 0;
+  bool fail_fast = false;
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -62,6 +71,21 @@ inline Args parse_args(int argc, char** argv) {
         std::exit(2);
       }
     } else if (arg == "--no-cone-pruning") a.cone_pruning = false;
+    else if (arg.rfind("--circuits=", 0) == 0) {
+      std::string rest = arg.substr(11);
+      std::size_t start = 0;
+      while (start <= rest.size()) {
+        const std::size_t comma = rest.find(',', start);
+        const std::size_t end = comma == std::string::npos ? rest.size() : comma;
+        if (end > start) a.circuits.push_back(rest.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg.rfind("--time-budget=", 0) == 0)
+      a.time_budget_secs = std::strtod(arg.c_str() + 14, nullptr);
+    else if (arg.rfind("--per-circuit-budget=", 0) == 0)
+      a.per_circuit_budget_secs = std::strtod(arg.c_str() + 21, nullptr);
+    else if (arg == "--fail-fast") a.fail_fast = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -87,16 +111,47 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// JSON string escaping for exception texts (quotes, backslashes, control
+/// characters) — failure records embed arbitrary what() strings.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Collects per-stage results and writes them as a JSON document:
 ///   { "threads": N, "entries": [ {name, wall_ms, gate_evals, in_len,
-///     out_len}, ... ] }
-/// Intended for CI artifacts (BENCH_compaction.json).
+///     out_len, timed_out}, ... ], "failures": [ {circuit, stage, what},
+///     ... ] }
+/// The failures array is always present (empty on a healthy run) so CI can
+/// assert its shape unconditionally. Intended for CI artifacts
+/// (BENCH_compaction.json, robustness-job output).
 class BenchJson {
  public:
   void add(std::string name, double wall_ms, std::uint64_t gate_evals, std::size_t in_len,
-           std::size_t out_len) {
-    entries_.push_back({std::move(name), wall_ms, gate_evals, in_len, out_len});
+           std::size_t out_len, bool timed_out = false) {
+    entries_.push_back({std::move(name), wall_ms, gate_evals, in_len, out_len, timed_out});
   }
+
+  void add_failure(const TaskFailure& f) { failures_.push_back(f); }
+  bool has_failures() const { return !failures_.empty(); }
 
   /// No-op when `path` is empty (no --json flag given).
   void write(const std::string& path, std::size_t threads) const {
@@ -109,10 +164,18 @@ class BenchJson {
     out << "{\n  \"threads\": " << threads << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
-      out << "    {\"name\": \"" << e.name << "\", \"wall_ms\": " << e.wall_ms
+      out << "    {\"name\": \"" << json_escape(e.name) << "\", \"wall_ms\": " << e.wall_ms
           << ", \"gate_evals\": " << e.gate_evals << ", \"in_len\": " << e.in_len
-          << ", \"out_len\": " << e.out_len << "}" << (i + 1 < entries_.size() ? "," : "")
+          << ", \"out_len\": " << e.out_len << ", \"timed_out\": "
+          << (e.timed_out ? "true" : "false") << "}" << (i + 1 < entries_.size() ? "," : "")
           << "\n";
+    }
+    out << "  ],\n  \"failures\": [\n";
+    for (std::size_t i = 0; i < failures_.size(); ++i) {
+      const TaskFailure& f = failures_[i];
+      out << "    {\"circuit\": \"" << json_escape(f.circuit) << "\", \"stage\": \""
+          << json_escape(f.stage) << "\", \"what\": \"" << json_escape(f.what) << "\"}"
+          << (i + 1 < failures_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
   }
@@ -124,11 +187,25 @@ class BenchJson {
     std::uint64_t gate_evals;
     std::size_t in_len;
     std::size_t out_len;
+    bool timed_out;
   };
   std::vector<Entry> entries_;
+  std::vector<TaskFailure> failures_;
 };
 
 inline std::vector<SuiteEntry> select_suite(const Args& a) {
+  if (!a.circuits.empty()) {
+    std::vector<SuiteEntry> out;
+    for (const std::string& name : a.circuits) {
+      const auto e = find_suite_entry(name);
+      if (!e) {
+        std::fprintf(stderr, "unknown circuit: %s\n", name.c_str());
+        std::exit(2);
+      }
+      out.push_back(*e);
+    }
+    return out;
+  }
   if (!a.circuit.empty()) {
     const auto e = find_suite_entry(a.circuit);
     if (!e) {
@@ -145,7 +222,26 @@ inline PipelineConfig make_config(const Args& a) {
   cfg.atpg.seed = a.seed;
   cfg.atpg.use_scan_knowledge = a.scan_knowledge;
   cfg.baseline.seed = a.seed + 10;
+  cfg.time_budget_secs = a.time_budget_secs;
+  cfg.per_circuit_budget_secs = a.per_circuit_budget_secs;
+  cfg.fail_fast = a.fail_fast;
   return cfg;
+}
+
+/// Render one row's status cell: "" when healthy, "TIMEOUT" when the row's
+/// deadline fired, "FAILED(stage)" for an isolated failure.
+inline std::string row_status(bool timed_out) { return timed_out ? "TIMEOUT" : ""; }
+inline std::string row_status(const TaskFailure& f) { return "FAILED(" + f.stage + ")"; }
+
+/// Exit code of a table binary whose run had isolated failures (the healthy
+/// rows were still produced; CI asserts on this).
+inline constexpr int kExitHadFailures = 4;
+
+/// Print isolated failures to stderr, one structured line each.
+inline void print_failures(const std::vector<TaskFailure>& failures) {
+  for (const TaskFailure& f : failures)
+    std::fprintf(stderr, "FAILED circuit=%s stage=%s: %s\n", f.circuit.c_str(), f.stage.c_str(),
+                 f.what.c_str());
 }
 
 }  // namespace uniscan::bench

@@ -19,27 +19,44 @@ struct CircuitRows {
   std::string name;
   std::size_t generated, restored, omitted;
   std::size_t detected, total_faults;
+  bool timed_out = false;
 };
 
-CircuitRows run_circuit(const SuiteEntry& entry, const bench::Args& args, bench::BenchJson& json,
+CircuitRows run_circuit(const SuiteEntry& entry, const bench::Args& args,
+                        const PipelineConfig& cfg, bench::BenchJson& json,
                         bool print_s27_table) {
-  const ScanCircuit sc = insert_scan(load_circuit(entry, args.bench_dir));
-  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const ScanCircuit sc = run_stage(entry.name, "scan", [&] {
+    return insert_scan(run_stage(entry.name, "load",
+                                 [&] { return load_circuit(entry, args.bench_dir); }));
+  });
+  const FaultList fl =
+      run_stage(entry.name, "faults", [&] { return FaultList::collapsed(sc.netlist); });
 
-  AtpgOptions opt;
-  opt.seed = args.seed;
-  opt.use_scan_knowledge = args.scan_knowledge;
-  const AtpgResult gen = generate_tests(sc, fl, opt);
+  CancelToken cancel = cfg.cancel;
+  if (cfg.per_circuit_budget_secs > 0)
+    cancel = cancel.child(Deadline::after(cfg.per_circuit_budget_secs));
+
+  AtpgOptions opt = cfg.atpg;
+  opt.cancel = cancel;
+  const AtpgResult gen = run_stage(entry.name, "atpg", [&] { return generate_tests(sc, fl, opt); });
 
   bench::Stopwatch t_rest;
-  const CompactionResult rest = restoration_compact(sc.netlist, gen.sequence, fl.faults());
+  RestorationOptions rest_opt = cfg.restoration;
+  rest_opt.cancel = cancel;
+  const CompactionResult rest = run_stage(entry.name, "restoration", [&] {
+    return restoration_compact(sc.netlist, gen.sequence, fl.faults(), rest_opt);
+  });
   json.add("restoration_" + entry.name, t_rest.ms(), rest.gate_evals, gen.sequence.length(),
-           rest.sequence.length());
+           rest.sequence.length(), rest.timed_out);
 
   bench::Stopwatch t_omit;
-  const CompactionResult omit = omission_compact(sc.netlist, rest.sequence, fl.faults());
+  OmissionOptions om_opt = cfg.omission;
+  om_opt.cancel = cancel;
+  const CompactionResult omit = run_stage(entry.name, "omission", [&] {
+    return omission_compact(sc.netlist, rest.sequence, fl.faults(), om_opt);
+  });
   json.add("omission_" + entry.name, t_omit.ms(), omit.gate_evals, rest.sequence.length(),
-           omit.sequence.length());
+           omit.sequence.length(), omit.timed_out);
 
   if (print_s27_table) {
     std::cout << "=== Table 4: compacted test sequence for s27_scan ===\n\n";
@@ -49,7 +66,8 @@ CircuitRows run_circuit(const SuiteEntry& entry, const bench::Args& args, bench:
   FaultSimulator sim(sc.netlist);
   return CircuitRows{entry.name, gen.sequence.length(), rest.sequence.length(),
                      omit.sequence.length(),
-                     sim.detected_indices(omit.sequence, fl.faults()).size(), fl.size()};
+                     sim.detected_indices(omit.sequence, fl.faults()).size(), fl.size(),
+                     gen.timed_out || rest.timed_out || omit.timed_out};
 }
 
 }  // namespace
@@ -60,7 +78,16 @@ int main(int argc, char** argv) {
   // Default: the paper's s27 row. --full: the fast-suite circuits (the
   // larger paper circuits make compaction runs impractically long here).
   std::vector<SuiteEntry> suite;
-  if (!args.circuit.empty()) {
+  if (!args.circuits.empty()) {
+    for (const std::string& name : args.circuits) {
+      const auto e = find_suite_entry(name);
+      if (!e) {
+        std::fprintf(stderr, "unknown circuit: %s\n", name.c_str());
+        return 2;
+      }
+      suite.push_back(*e);
+    }
+  } else if (!args.circuit.empty()) {
     const auto e = find_suite_entry(args.circuit);
     if (!e) {
       std::fprintf(stderr, "unknown circuit: %s\n", args.circuit.c_str());
@@ -74,17 +101,38 @@ int main(int argc, char** argv) {
   }
 
   bench::BenchJson json;
+  const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
   std::vector<CircuitRows> rows;
-  for (const SuiteEntry& entry : suite)
-    rows.push_back(run_circuit(entry, args, json, entry.name == "s27"));
-
-  TextTable summary({"circuit", "generated", "restored", "omitted", "detected"});
-  for (const CircuitRows& r : rows)
+  std::vector<TaskFailure> failures;
+  TextTable summary({"circuit", "generated", "restored", "omitted", "detected", "status"});
+  for (const SuiteEntry& entry : suite) {
+    try {
+      rows.push_back(run_circuit(entry, args, cfg, json, entry.name == "s27"));
+    } catch (const StageError& e) {
+      if (cfg.fail_fast) throw;
+      failures.push_back(TaskFailure{entry.name, e.stage(), e.what()});
+      summary.add_row({entry.name, "-", "-", "-", "-", bench::row_status(failures.back())});
+      json.add_failure(failures.back());
+      continue;
+    } catch (const std::exception& e) {
+      if (cfg.fail_fast) throw;
+      failures.push_back(TaskFailure{entry.name, "unknown", e.what()});
+      summary.add_row({entry.name, "-", "-", "-", "-", bench::row_status(failures.back())});
+      json.add_failure(failures.back());
+      continue;
+    }
+    const CircuitRows& r = rows.back();
     summary.add_row({r.name, std::to_string(r.generated), std::to_string(r.restored),
                      std::to_string(r.omitted),
-                     std::to_string(r.detected) + "/" + std::to_string(r.total_faults)});
+                     std::to_string(r.detected) + "/" + std::to_string(r.total_faults),
+                     bench::row_status(r.timed_out)});
+  }
   summary.print(std::cout);
 
   json.write(args.json, args.threads);
+  if (!failures.empty()) {
+    bench::print_failures(failures);
+    return bench::kExitHadFailures;
+  }
   return 0;
 }

@@ -29,31 +29,46 @@ int main(int argc, char** argv) {
     AtpgResult r;
     double wall_ms = 0.0;
   };
-  const auto rows = run_suite_tasks(suite.size(), [&](std::size_t i) {
-    const bench::Stopwatch sw;
-    Row row;
-    const Netlist c = load_circuit(suite[i], args.bench_dir);
-    const ScanCircuit sc = insert_scan(c);
-    const FaultList fl = FaultList::collapsed(sc.netlist);
+  const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
+  const auto rows = run_suite_tasks_isolated(
+      suite,
+      [&](std::size_t i) {
+        const bench::Stopwatch sw;
+        Row row;
+        const Netlist c = run_stage(suite[i].name, "load",
+                                    [&] { return load_circuit(suite[i], args.bench_dir); });
+        const ScanCircuit sc =
+            run_stage(suite[i].name, "scan", [&] { return insert_scan(c); });
+        const FaultList fl = run_stage(suite[i].name, "faults",
+                                       [&] { return FaultList::collapsed(sc.netlist); });
 
-    AtpgOptions opt;
-    opt.seed = args.seed;
-    opt.use_scan_knowledge = args.scan_knowledge;
-    row.r = generate_tests(sc, fl, opt);
-    row.inputs = sc.netlist.num_inputs();
-    row.dffs = sc.netlist.num_dffs();
-    row.wall_ms = sw.ms();
-    return row;
-  });
+        AtpgOptions opt = cfg.atpg;
+        opt.cancel = cfg.cancel;
+        if (cfg.per_circuit_budget_secs > 0)
+          opt.cancel = opt.cancel.child(Deadline::after(cfg.per_circuit_budget_secs));
+        row.r = run_stage(suite[i].name, "atpg", [&] { return generate_tests(sc, fl, opt); });
+        row.inputs = sc.netlist.num_inputs();
+        row.dffs = sc.netlist.num_dffs();
+        row.wall_ms = sw.ms();
+        return row;
+      },
+      cfg.fail_fast);
 
   // `redund` and `eff` extend the paper's columns: faults PROVED untestable
   // by any single-vector scan test, and coverage relative to the remaining
   // (possibly testable) universe.
-  TextTable table({"circ", "inp", "stvr", "faults", "total", "fcov", "funct", "redund", "eff"});
+  TextTable table({"circ", "inp", "stvr", "faults", "total", "fcov", "funct", "redund", "eff",
+                   "status"});
   bench::BenchJson json;
   std::size_t total_faults = 0, total_detected = 0;
   for (std::size_t i = 0; i < suite.size(); ++i) {
-    const Row& row = rows[i];
+    if (rows[i].failed()) {
+      table.add_row({suite[i].name, "-", "-", "-", "-", "-", "-", "-", "-",
+                     bench::row_status(*rows[i].failure)});
+      json.add_failure(*rows[i].failure);
+      continue;
+    }
+    const Row& row = rows[i].value;
     const AtpgResult& r = row.r;
     const std::size_t testable_universe = r.num_faults - r.proved_redundant;
     const double efficiency =
@@ -63,18 +78,27 @@ int main(int argc, char** argv) {
     table.add_row({suite[i].name, std::to_string(row.inputs), std::to_string(row.dffs),
                    std::to_string(r.num_faults), std::to_string(r.detected),
                    format_pct(r.fault_coverage()), std::to_string(r.detected_by_scan_knowledge),
-                   std::to_string(r.proved_redundant), format_pct(efficiency)});
+                   std::to_string(r.proved_redundant), format_pct(efficiency),
+                   bench::row_status(r.timed_out)});
     // Generation builds the sequence from scratch: in_len 0, out_len the
     // generated vector count.
-    json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length());
+    json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length(), r.timed_out);
     total_faults += r.num_faults;
     total_detected += r.detected;
   }
   table.print(std::cout);
-  std::cout << "\nsuite total: " << total_detected << "/" << total_faults << " ("
-            << format_pct(100.0 * static_cast<double>(total_detected) /
-                          static_cast<double>(total_faults))
-            << "%)\n";
+  if (total_faults > 0)
+    std::cout << "\nsuite total: " << total_detected << "/" << total_faults << " ("
+              << format_pct(100.0 * static_cast<double>(total_detected) /
+                            static_cast<double>(total_faults))
+              << "%)\n";
   json.write(args.json, args.threads);
+  if (json.has_failures()) {
+    std::vector<TaskFailure> failures;
+    for (const auto& row : rows)
+      if (row.failed()) failures.push_back(*row.failure);
+    bench::print_failures(failures);
+    return bench::kExitHadFailures;
+  }
   return 0;
 }

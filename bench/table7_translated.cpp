@@ -20,38 +20,58 @@ int main(int argc, char** argv) {
     TranslateCompactReport r;
     double wall_ms = 0.0;
   };
-  const PipelineConfig cfg = bench::make_config(args);
-  const auto rows = run_suite_tasks(suite.size(), [&](std::size_t i) {
-    const bench::Stopwatch sw;
-    Row row;
-    row.r = run_translate_and_compact(load_circuit(suite[i], args.bench_dir), cfg);
-    row.wall_ms = sw.ms();
-    return row;
-  });
+  const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
+  const auto rows = run_suite_tasks_isolated(
+      suite,
+      [&](std::size_t i) {
+        const bench::Stopwatch sw;
+        Row row;
+        const Netlist c = run_stage(suite[i].name, "load",
+                                    [&] { return load_circuit(suite[i], args.bench_dir); });
+        row.r = run_translate_and_compact(c, cfg);
+        row.wall_ms = sw.ms();
+        return row;
+      },
+      cfg.fail_fast);
 
   TextTable table({"circ", "test.total", "test.scan", "restor.total", "restor.scan",
-                   "omit.total", "omit.scan", "base.cyc"});
+                   "omit.total", "omit.scan", "base.cyc", "status"});
   bench::BenchJson json;
   std::size_t total_omit = 0, total_base = 0;
   for (std::size_t i = 0; i < suite.size(); ++i) {
-    const TranslateCompactReport& r = rows[i].r;
+    if (rows[i].failed()) {
+      table.add_row({suite[i].name, "-", "-", "-", "-", "-", "-", "-",
+                     bench::row_status(*rows[i].failure)});
+      json.add_failure(*rows[i].failure);
+      continue;
+    }
+    const TranslateCompactReport& r = rows[i].value.r;
     table.add_row({suite[i].name, std::to_string(r.translated.total),
                    std::to_string(r.translated.scan), std::to_string(r.restored.total),
                    std::to_string(r.restored.scan), std::to_string(r.omitted.total),
                    std::to_string(r.omitted.scan),
-                   std::to_string(r.baseline.application_cycles())});
-    json.add(suite[i].name, rows[i].wall_ms,
+                   std::to_string(r.baseline.application_cycles()),
+                   bench::row_status(r.timed_out())});
+    json.add(suite[i].name, rows[i].value.wall_ms,
              r.restoration.gate_evals + r.omission.gate_evals, r.translated.total,
-             r.omitted.total);
+             r.omitted.total, r.timed_out());
     total_omit += r.omitted.total;
     total_base += r.baseline.application_cycles();
   }
   table.print(std::cout);
-  std::cout << "\nsuite totals: translated+compacted = " << total_omit
-            << " cycles, complete-scan baseline = " << total_base << " cycles ("
-            << format_pct(100.0 * static_cast<double>(total_omit) /
-                          static_cast<double>(total_base))
-            << "% of baseline)\n";
+  if (total_base > 0)
+    std::cout << "\nsuite totals: translated+compacted = " << total_omit
+              << " cycles, complete-scan baseline = " << total_base << " cycles ("
+              << format_pct(100.0 * static_cast<double>(total_omit) /
+                            static_cast<double>(total_base))
+              << "% of baseline)\n";
   json.write(args.json, args.threads);
+  if (json.has_failures()) {
+    std::vector<TaskFailure> failures;
+    for (const auto& row : rows)
+      if (row.failed()) failures.push_back(*row.failure);
+    bench::print_failures(failures);
+    return bench::kExitHadFailures;
+  }
   return 0;
 }

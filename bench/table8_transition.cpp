@@ -20,51 +20,87 @@ int main(int argc, char** argv) {
   struct Row {
     TransitionAtpgResult r;
     SequenceStats omitted;
+    bool compaction_timed_out = false;
     std::uint64_t gate_evals = 0;
     double wall_ms = 0.0;
   };
-  const auto rows = run_suite_tasks(suite.size(), [&](std::size_t i) {
-    const bench::Stopwatch sw;
-    Row row;
-    const Netlist c = load_circuit(suite[i], args.bench_dir);
-    const ScanCircuit sc = insert_scan(c);
-    const auto faults = enumerate_transition_faults(sc.netlist);
+  const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
+  const auto rows = run_suite_tasks_isolated(
+      suite,
+      [&](std::size_t i) {
+        const bench::Stopwatch sw;
+        Row row;
+        const Netlist c = run_stage(suite[i].name, "load",
+                                    [&] { return load_circuit(suite[i], args.bench_dir); });
+        const ScanCircuit sc =
+            run_stage(suite[i].name, "scan", [&] { return insert_scan(c); });
+        const auto faults = run_stage(suite[i].name, "faults",
+                                      [&] { return enumerate_transition_faults(sc.netlist); });
 
-    AtpgOptions opt;
-    opt.seed = args.seed;
-    opt.use_scan_knowledge = args.scan_knowledge;
-    row.r = generate_transition_tests(sc, faults, opt);
+        CancelToken cancel = cfg.cancel;
+        if (cfg.per_circuit_budget_secs > 0)
+          cancel = cancel.child(Deadline::after(cfg.per_circuit_budget_secs));
 
-    const CompactionResult rest = restoration_compact(sc.netlist, row.r.sequence, faults);
-    const CompactionResult omit = omission_compact(sc.netlist, rest.sequence, faults);
-    row.omitted = sequence_stats(sc, omit.sequence);
-    row.gate_evals = row.r.gate_evals + rest.gate_evals + omit.gate_evals;
-    row.wall_ms = sw.ms();
-    return row;
-  });
+        AtpgOptions opt = cfg.atpg;
+        opt.cancel = cancel;
+        row.r = run_stage(suite[i].name, "atpg",
+                          [&] { return generate_transition_tests(sc, faults, opt); });
+
+        RestorationOptions rest_opt;
+        rest_opt.cancel = cancel;
+        const CompactionResult rest = run_stage(suite[i].name, "restoration", [&] {
+          return restoration_compact(sc.netlist, row.r.sequence, faults, rest_opt);
+        });
+        OmissionOptions om_opt;
+        om_opt.cancel = cancel;
+        const CompactionResult omit = run_stage(suite[i].name, "omission", [&] {
+          return omission_compact(sc.netlist, rest.sequence, faults, om_opt);
+        });
+        row.omitted = sequence_stats(sc, omit.sequence);
+        row.compaction_timed_out = rest.timed_out || omit.timed_out;
+        row.gate_evals = row.r.gate_evals + rest.gate_evals + omit.gate_evals;
+        row.wall_ms = sw.ms();
+        return row;
+      },
+      cfg.fail_fast);
 
   TextTable table({"circ", "tfaults", "det", "tcov", "funct", "test.total", "omit.total",
-                   "omit.scan"});
+                   "omit.scan", "status"});
   bench::BenchJson json;
   std::size_t total_faults = 0, total_detected = 0;
   for (std::size_t i = 0; i < suite.size(); ++i) {
-    const Row& row = rows[i];
+    if (rows[i].failed()) {
+      table.add_row({suite[i].name, "-", "-", "-", "-", "-", "-", "-",
+                     bench::row_status(*rows[i].failure)});
+      json.add_failure(*rows[i].failure);
+      continue;
+    }
+    const Row& row = rows[i].value;
     const TransitionAtpgResult& r = row.r;
+    const bool timed_out = r.timed_out || row.compaction_timed_out;
     table.add_row({suite[i].name, std::to_string(r.num_faults), std::to_string(r.detected),
                    format_pct(r.fault_coverage()),
                    std::to_string(r.detected_by_scan_knowledge),
                    std::to_string(r.sequence.length()), std::to_string(row.omitted.total),
-                   std::to_string(row.omitted.scan)});
+                   std::to_string(row.omitted.scan), bench::row_status(timed_out)});
     json.add(suite[i].name, row.wall_ms, row.gate_evals, r.sequence.length(),
-             row.omitted.total);
+             row.omitted.total, timed_out);
     total_faults += r.num_faults;
     total_detected += r.detected;
   }
   table.print(std::cout);
-  std::cout << "\nsuite transition coverage: "
-            << format_pct(100.0 * static_cast<double>(total_detected) /
-                          static_cast<double>(total_faults))
-            << "% (" << total_detected << "/" << total_faults << ")\n";
+  if (total_faults > 0)
+    std::cout << "\nsuite transition coverage: "
+              << format_pct(100.0 * static_cast<double>(total_detected) /
+                            static_cast<double>(total_faults))
+              << "% (" << total_detected << "/" << total_faults << ")\n";
   json.write(args.json, args.threads);
+  if (json.has_failures()) {
+    std::vector<TaskFailure> failures;
+    for (const auto& row : rows)
+      if (row.failed()) failures.push_back(*row.failure);
+    bench::print_failures(failures);
+    return bench::kExitHadFailures;
+  }
   return 0;
 }

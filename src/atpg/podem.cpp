@@ -289,6 +289,16 @@ PodemResult PodemSearch::run() {
   };
 
   for (;;) {
+    // Cooperative cancellation: checked once per iteration (each iteration
+    // either decides, backtracks, or finishes, and each involves a full
+    // window simulation — the poll is noise next to that). An aborted search
+    // is a plain failure, but flagged so it is never read as exhaustion.
+    if (opt_.cancel.poll()) {
+      result.aborted = true;
+      result.backtracks = backtracks;
+      return result;
+    }
+
     // Success checks.
     const auto po = model_.po_detection_frame();
     const auto latch = model_.first_latched_effect();

@@ -18,6 +18,7 @@
 
 #include "atpg/frame_model.hpp"
 #include "sim/sequence.hpp"
+#include "util/cancel.hpp"
 
 namespace uniscan {
 
@@ -29,10 +30,16 @@ enum class PodemGoal { ObservePo, LatchIntoFf, ScanObserve };
 
 struct PodemOptions {
   int max_backtracks = 300;
+  /// Cooperative deadline/cancellation, polled once per search iteration
+  /// (every decision and every backtrack). Inert by default.
+  CancelToken cancel;
 };
 
 struct PodemResult {
   bool success = false;
+  /// True when the search stopped because `cancel` fired — the space was NOT
+  /// exhausted, so callers must not conclude redundancy from this failure.
+  bool aborted = false;
   TestSequence subsequence;    // frames 0..frames_used-1; unassigned inputs are X
   std::size_t frames_used = 0;
   // Valid when success && goal != ObservePo and the success came from a

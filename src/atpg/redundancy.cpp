@@ -13,17 +13,26 @@ RedundancyReport classify_faults(const ScanCircuit& sc, std::span<const Fault> f
 
   const CompiledNetlist compiled(sc.netlist);
   for (const Fault& f : faults) {
+    if (options.cancel.poll()) {
+      // Deadline fired: everything not yet proved stays unproved.
+      while (report.classes.size() < faults.size()) {
+        report.classes.push_back(FaultClass::Aborted);
+        ++report.aborted;
+      }
+      break;
+    }
     FrameModel model(compiled, f, options.window);
     model.set_state_assignable(true);
-    const PodemResult r = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
+    const PodemResult r =
+        run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks, options.cancel});
 
     FaultClass cls;
     if (r.success) {
       cls = FaultClass::Testable;
       ++report.testable;
-    } else if (r.backtracks <= options.max_backtracks) {
+    } else if (!r.aborted && r.backtracks <= options.max_backtracks) {
       // The search ran out of alternatives (stack emptied), not out of
-      // budget: the space was exhausted.
+      // budget or wall clock: the space was exhausted.
       cls = FaultClass::Redundant;
       ++report.redundant;
     } else {

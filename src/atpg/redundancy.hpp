@@ -24,6 +24,7 @@
 
 #include "fault/fault_list.hpp"
 #include "scan/scan_insertion.hpp"
+#include "util/cancel.hpp"
 
 namespace uniscan {
 
@@ -36,6 +37,10 @@ enum class FaultClass : std::uint8_t {
 struct RedundancyOptions {
   std::size_t window = 1;       // |T| bound of the proof
   int max_backtracks = 200000;  // proof budget per fault
+  /// Cooperative deadline (DESIGN.md §5f). When it fires, the fault whose
+  /// search was interrupted and every fault not yet examined are classified
+  /// Aborted — never Redundant, since their spaces were not exhausted.
+  CancelToken cancel;
 };
 
 struct RedundancyReport {

@@ -66,6 +66,10 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
        chunk_no < options.max_random_chunks && useless < options.random_give_up_after &&
        session.num_detected() < faults.size();
        ++chunk_no) {
+    if (options.cancel.poll()) {
+      result.timed_out = true;
+      break;
+    }
     TestSequence chunk =
         random_chunk(sc, options.random_chunk_len, options.random_scan_sel_prob, rng);
     const auto snap = session.snapshot();
@@ -97,6 +101,10 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
 
   State good, faulty;
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (options.cancel.poll()) {
+      result.timed_out = true;
+      break;
+    }
     if (session.is_detected(fi)) continue;
     session.pair_state(fi, good, faulty);
 
@@ -106,7 +114,8 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
       FrameModel model(session.compiled(), faults[fi], w);
       model.set_initial_state(good, faulty);
       ++result.stats.podem_calls;
-      PodemResult pr = run_podem(model, PodemGoal::ObservePo, {options.max_backtracks});
+      PodemResult pr =
+          run_podem(model, PodemGoal::ObservePo, {options.max_backtracks, options.cancel});
       if (!pr.success) continue;
       if (try_commit(fi, pr.subsequence)) {
         ++result.stats.podem_successes;
@@ -126,7 +135,8 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
       FrameModel model(session.compiled(), faults[fi], options.justify_window);
       model.set_state_assignable(true);
       ++result.stats.podem_calls;
-      PodemResult pr = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
+      PodemResult pr =
+          run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks, options.cancel});
       if (pr.success) {
         State target(pr.scan_in.begin(), pr.scan_in.end());
         TestSequence sub = make_scan_load_all(sc, target, rng);
@@ -149,7 +159,8 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
     ++result.stats.fallback_attempts;
     FrameModel model(session.compiled(), faults[fi], options.fallback_window);
     model.set_initial_state(good, faulty);
-    PodemResult pr = run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks});
+    PodemResult pr =
+        run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks, options.cancel});
     if (!pr.success) continue;
 
     const ChainPos pos = chain_position(sc, pr.latched_dff);
@@ -164,16 +175,21 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
   // deep scan-load-assisted search each.
   if (options.use_scan_knowledge && options.final_effort_backtracks > 0) {
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (options.cancel.poll()) {
+        result.timed_out = true;
+        break;
+      }
       if (session.is_detected(fi)) continue;
       // Cheap exhaustive proof first: if no single-vector scan test exists,
       // the deep multi-frame search below is almost certainly futile — skip
-      // it and report the fault as proved redundant instead.
+      // it and report the fault as proved redundant instead. A search cut
+      // short by the deadline proves nothing — `aborted` guards the count.
       {
         FrameModel proof(session.compiled(), faults[fi], 1);
         proof.set_state_assignable(true);
-        const PodemResult pr =
-            run_podem(proof, PodemGoal::ScanObserve, {options.final_effort_backtracks});
-        if (!pr.success && pr.backtracks <= options.final_effort_backtracks) {
+        const PodemResult pr = run_podem(proof, PodemGoal::ScanObserve,
+                                         {options.final_effort_backtracks, options.cancel});
+        if (!pr.success && !pr.aborted && pr.backtracks <= options.final_effort_backtracks) {
           ++result.proved_redundant;
           continue;
         }
@@ -181,8 +197,8 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
       FrameModel model(session.compiled(), faults[fi], options.justify_window);
       model.set_state_assignable(true);
       ++result.stats.podem_calls;
-      PodemResult pr =
-          run_podem(model, PodemGoal::ScanObserve, {options.final_effort_backtracks});
+      PodemResult pr = run_podem(model, PodemGoal::ScanObserve,
+                                 {options.final_effort_backtracks, options.cancel});
       if (!pr.success) continue;
       State target(pr.scan_in.begin(), pr.scan_in.end());
       TestSequence sub = make_scan_load_all(sc, target, rng);

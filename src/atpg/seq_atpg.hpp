@@ -24,11 +24,20 @@
 #include "scan/scan_insertion.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/sequence.hpp"
+#include "util/cancel.hpp"
 
 namespace uniscan {
 
 struct AtpgOptions {
   std::uint64_t seed = 1;
+
+  /// Cooperative wall-clock budget (DESIGN.md §5f). Polled at the top of
+  /// every per-fault iteration and inside PODEM's search loop. When it
+  /// fires, generation stops cleanly: the best-so-far sequence is verified
+  /// and returned with `timed_out` set and the remaining faults untested.
+  /// Inert by default — results are bit-identical to an unbudgeted run
+  /// whenever the token never fires.
+  CancelToken cancel;
 
   // Random bootstrap phase.
   std::size_t random_chunk_len = 24;
@@ -70,6 +79,9 @@ struct AtpgResult {
   /// (window-1 exhaustive search) during the last-chance pass — the
   /// completeness extension the paper notes its procedure lacks.
   std::size_t proved_redundant = 0;
+  /// True when AtpgOptions::cancel fired: the sequence is the verified
+  /// best-so-far prefix and the faults not reached remain undetected.
+  bool timed_out = false;
   std::vector<DetectionRecord> detection;      // per collapsed fault, final sequence
   AtpgStats stats;
   /// Gate-word evaluations spent on fault simulation (session + final

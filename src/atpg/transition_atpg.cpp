@@ -65,6 +65,10 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
        chunk_no < options.max_random_chunks && useless < options.random_give_up_after &&
        session.num_detected() < faults.size();
        ++chunk_no) {
+    if (options.cancel.poll()) {
+      result.timed_out = true;
+      break;
+    }
     TestSequence chunk =
         random_chunk(sc, options.random_chunk_len, options.random_scan_sel_prob, rng);
     const auto snap = session.snapshot();
@@ -94,6 +98,10 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
   State good, faulty;
   V3 prev_driven = V3::X;
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (options.cancel.poll()) {
+      result.timed_out = true;
+      break;
+    }
     if (session.is_detected(fi)) continue;
     session.pair_state(fi, good, faulty, prev_driven);
 
@@ -103,7 +111,8 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
       model.set_initial_state(good, faulty);
       model.set_initial_prev_driven(prev_driven);
       ++result.stats.podem_calls;
-      PodemResult pr = run_podem(model, PodemGoal::ObservePo, {options.max_backtracks});
+      PodemResult pr =
+          run_podem(model, PodemGoal::ObservePo, {options.max_backtracks, options.cancel});
       if (!pr.success) continue;
       if (try_commit(fi, pr.subsequence)) {
         ++result.stats.podem_successes;
@@ -119,7 +128,8 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
       FrameModel model(session.compiled(), faults[fi], options.justify_window + 1);
       model.set_state_assignable(true);
       ++result.stats.podem_calls;
-      PodemResult pr = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
+      PodemResult pr =
+          run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks, options.cancel});
       if (pr.success) {
         State target(pr.scan_in.begin(), pr.scan_in.end());
         TestSequence sub = make_scan_load_all(sc, target, rng);
@@ -142,7 +152,8 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
     FrameModel model(session.compiled(), faults[fi], options.fallback_window + 1);
     model.set_initial_state(good, faulty);
     model.set_initial_prev_driven(prev_driven);
-    PodemResult pr = run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks});
+    PodemResult pr =
+        run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks, options.cancel});
     if (!pr.success) continue;
     const ChainPos pos = chain_position(sc, pr.latched_dff);
     TestSequence sub = pr.subsequence;

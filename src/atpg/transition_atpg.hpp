@@ -26,6 +26,9 @@ struct TransitionAtpgResult {
   std::size_t num_faults = 0;
   std::size_t detected = 0;
   std::size_t detected_by_scan_knowledge = 0;
+  /// True when AtpgOptions::cancel fired: the sequence is the verified
+  /// best-so-far prefix and the faults not reached remain undetected.
+  bool timed_out = false;
   std::vector<DetectionRecord> detection;
   AtpgStats stats;
   /// Gate-word evaluations spent on fault simulation (session + final

@@ -115,6 +115,10 @@ BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& f
 
   // Deterministic per-fault generation.
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (options.cancel.poll()) {
+      result.timed_out = true;
+      break;
+    }
     if (session.is_detected(fi)) continue;
     for (std::size_t w = 1; w <= options.max_seq_len; ++w) {
       FrameModel model(session.compiled(), faults[fi], w);
@@ -122,7 +126,8 @@ BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& f
       model.pin_input(sc.scan_sel_index(), V3::Zero);
       for (const ScanChain& chain : sc.nets.chains)
         model.pin_input(chain.scan_inp_index, V3::Zero);
-      PodemResult pr = run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks});
+      PodemResult pr =
+          run_podem(model, PodemGoal::ScanObserve, {options.max_backtracks, options.cancel});
       if (!pr.success) continue;
 
       ScanTest test;
@@ -153,6 +158,12 @@ BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& f
       if (det[i].detected) must.push_back(faults[i]);
     if (options.compact_test_set) {
       for (std::size_t i = tests.size(); i-- > 0;) {
+        // Every committed drop already passed detects_all, so stopping
+        // mid-pass leaves a consistent (just less compacted) test set.
+        if (options.cancel.poll()) {
+          result.timed_out = true;
+          break;
+        }
         keep[i] = 0;
         if (!sim.detects_all(concat_fragments(fragments, keep, unload, nl.num_inputs()), must))
           keep[i] = 1;

@@ -21,6 +21,7 @@
 #include "fault/fault_list.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/sequence.hpp"
+#include "util/cancel.hpp"
 
 namespace uniscan {
 
@@ -29,6 +30,10 @@ struct BaselineOptions {
   std::size_t max_seq_len = 4;   // max |T_i| (1 = first approach)
   int max_backtracks = 120;
   bool compact_test_set = true;  // greedy test-omission pass (the [26] flavour)
+  /// Cooperative deadline (DESIGN.md §5f): polled per fault and inside the
+  /// PODEM searches. On expiry the tests committed so far form the result
+  /// and `timed_out` is set; each one is already verified by the session.
+  CancelToken cancel;
 };
 
 struct BaselineResult {
@@ -36,6 +41,8 @@ struct BaselineResult {
   TestSequence translated;  // exact unified sequence the bookkeeping simulated
   std::size_t num_faults = 0;
   std::size_t detected = 0;
+  /// True when BaselineOptions::cancel fired before all faults were tried.
+  bool timed_out = false;
   std::vector<DetectionRecord> detection;  // on the translated sequence
 
   /// Clock cycles with complete scan operations == translated.length().

@@ -189,16 +189,27 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
   OmissionEngine<Simulator> engine(sim.compiled(), seq, std::move(must), must_time,
                                    options.checkpoint_interval);
 
-  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+  // Every committed erasure has already passed full resimulation of the
+  // must-detect faults, so the selection is consistent after ANY trial —
+  // deadline expiry simply stops trying further omissions.
+  for (std::size_t pass = 0; pass < options.max_passes && !result.timed_out; ++pass) {
     ++result.rounds;
     std::size_t removed_this_pass = 0;
 
     if (options.back_to_front) {
       for (std::size_t t = engine.length(); t-- > 0;) {
+        if (options.cancel.poll()) {
+          result.timed_out = true;
+          break;
+        }
         if (engine.try_erase(t)) ++removed_this_pass;
       }
     } else {
       for (std::size_t t = 0; t < engine.length();) {
+        if (options.cancel.poll()) {
+          result.timed_out = true;
+          break;
+        }
         if (engine.try_erase(t)) ++removed_this_pass;
         else ++t;
       }
@@ -243,7 +254,8 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
     return base[a].time > base[b].time;
   });
 
-  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+  bool converged = false;
+  for (std::size_t round = 0; round < options.max_rounds && !result.timed_out; ++round) {
     ++result.rounds;
     bool all_ok = true;
 
@@ -253,6 +265,10 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
     const auto cur_det = sim.run(selection(), target_faults);
 
     for (std::size_t k = 0; k < targets.size(); ++k) {
+      if (options.cancel.poll()) {
+        result.timed_out = true;
+        break;
+      }
       if (cur_det[k].detected) continue;
       const std::size_t fi = targets[k];
       const FaultT f = faults[fi];
@@ -264,6 +280,10 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
 
       std::size_t lo = t_f;
       for (;;) {
+        if (options.cancel.poll()) {
+          result.timed_out = true;
+          break;
+        }
         for (std::size_t t = lo; t <= t_f; ++t) keep[t] = 1;
         if (sim.detects_all(selection(), one)) break;
         if (lo == 0) break;
@@ -271,10 +291,19 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
         lo = width * 2 >= lo ? 0 : lo - width * 2;
       }
     }
-    if (all_ok) break;
+    if (result.timed_out) break;
+    if (all_ok) {
+      converged = true;
+      break;
+    }
   }
 
-  if (options.prune_segments) {
+  // Restoration's invariant only holds at convergence: a partial selection
+  // may miss faults the original sequence detected. Rather than trade away
+  // coverage, a pre-convergence timeout degrades to the identity compaction.
+  if (result.timed_out && !converged) std::fill(keep.begin(), keep.end(), 1);
+
+  if (options.prune_segments && !result.timed_out) {
     std::vector<FaultT> target_faults;
     for (std::size_t i : targets) target_faults.push_back(faults[i]);
     std::vector<std::pair<std::size_t, std::size_t>> segments;
@@ -292,6 +321,12 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
       return (a.second - a.first) > (b.second - b.first);
     });
     for (const auto& [begin, end] : segments) {
+      // Committed drops are individually verified, so stopping between
+      // segments keeps the converged (coverage-complete) selection.
+      if (options.cancel.poll()) {
+        result.timed_out = true;
+        break;
+      }
       for (std::size_t t = begin; t < end; ++t) keep[t] = 0;
       if (!sim.detects_all(selection(), target_faults))
         for (std::size_t t = begin; t < end; ++t) keep[t] = 1;

@@ -17,6 +17,10 @@ struct CompactionResult {
   std::size_t extra_detected = 0;
   std::size_t rounds = 0;           // passes/rounds the procedure ran
   std::uint64_t gate_evals = 0;     // total gate-word evaluations spent
+  /// True when the procedure's cancel token fired. The sequence is still a
+  /// consistent result — the last state every committed step verified —
+  /// just less compacted than an unbudgeted run would produce.
+  bool timed_out = false;
 };
 
 }  // namespace uniscan

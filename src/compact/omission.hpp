@@ -19,6 +19,7 @@
 #include "fault/transition_fault.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/sequence.hpp"
+#include "util/cancel.hpp"
 
 namespace uniscan {
 
@@ -33,6 +34,10 @@ struct OmissionOptions {
   /// 0 disables checkpointing (every trial simulates from power-up). Purely
   /// a performance knob — the result is bit-identical for every value.
   std::size_t checkpoint_interval = 4;
+  /// Cooperative deadline (DESIGN.md §5f), polled between trial omissions.
+  /// Every committed omission has already passed full resimulation, so on
+  /// expiry the current sequence is returned as-is with `timed_out` set.
+  CancelToken cancel;
 };
 
 CompactionResult omission_compact(const Netlist& nl, const TestSequence& seq,

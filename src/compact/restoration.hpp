@@ -21,6 +21,7 @@
 #include "fault/transition_fault.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/sequence.hpp"
+#include "util/cancel.hpp"
 
 namespace uniscan {
 
@@ -31,6 +32,11 @@ struct RestorationOptions {
   /// al., ICCAD-98 [24]); a drop is kept when every target fault stays
   /// detected. Cheap relative to vector omission because segments are few.
   bool prune_segments = false;
+  /// Cooperative deadline (DESIGN.md §5f). Restoration is only coverage-safe
+  /// once it has CONVERGED, so a timeout before convergence returns the
+  /// ORIGINAL sequence unchanged (identity compaction) with `timed_out` set;
+  /// a timeout during segment pruning keeps the converged selection.
+  CancelToken cancel;
 };
 
 CompactionResult restoration_compact(const Netlist& nl, const TestSequence& seq,

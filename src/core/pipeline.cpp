@@ -12,34 +12,76 @@ SequenceStats sequence_stats(const ScanCircuit& sc, const TestSequence& seq) {
   return s;
 }
 
+namespace {
+
+/// Derive the effective cancel token of one circuit's flow: the config's
+/// parent token, narrowed by the whole-run budget (when not already anchored
+/// by a suite runner) and the per-circuit budget. Inert when neither budget
+/// is set and no parent was supplied — zero-cost in the common case.
+CancelToken derive_circuit_token(const PipelineConfig& config) {
+  CancelToken tok = config.cancel;
+  if (config.time_budget_secs > 0) tok = tok.child(Deadline::after(config.time_budget_secs));
+  if (config.per_circuit_budget_secs > 0)
+    tok = tok.child(Deadline::after(config.per_circuit_budget_secs));
+  return tok;
+}
+
+}  // namespace
+
+PipelineConfig anchor_suite_budget(const PipelineConfig& config) {
+  PipelineConfig cfg = config;
+  if (cfg.time_budget_secs > 0) {
+    cfg.cancel = cfg.cancel.child(Deadline::after(cfg.time_budget_secs));
+    cfg.time_budget_secs = 0;
+  }
+  return cfg;
+}
+
 GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineConfig& config) {
   GenerateCompactReport report;
   report.circuit = c.name();
+  const CancelToken cancel = derive_circuit_token(config);
 
-  const ScanCircuit sc = insert_scan(c);
+  const ScanCircuit sc = run_stage(report.circuit, "scan", [&] { return insert_scan(c); });
   report.num_inputs = sc.netlist.num_inputs();
   report.num_dffs = sc.netlist.num_dffs();
 
-  const FaultList faults = FaultList::collapsed(sc.netlist);
-  report.atpg = generate_tests(sc, faults, config.atpg);
+  const FaultList faults =
+      run_stage(report.circuit, "faults", [&] { return FaultList::collapsed(sc.netlist); });
+
+  AtpgOptions atpg_opt = config.atpg;
+  atpg_opt.cancel = cancel;
+  report.atpg =
+      run_stage(report.circuit, "atpg", [&] { return generate_tests(sc, faults, atpg_opt); });
   report.raw = sequence_stats(sc, report.atpg.sequence);
 
-  report.restoration =
-      restoration_compact(sc.netlist, report.atpg.sequence, faults.faults(), config.restoration);
+  RestorationOptions rest_opt = config.restoration;
+  rest_opt.cancel = cancel;
+  report.restoration = run_stage(report.circuit, "restoration", [&] {
+    return restoration_compact(sc.netlist, report.atpg.sequence, faults.faults(), rest_opt);
+  });
   report.restored = sequence_stats(sc, report.restoration.sequence);
 
-  report.omission =
-      omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), config.omission);
+  OmissionOptions om_opt = config.omission;
+  om_opt.cancel = cancel;
+  report.omission = run_stage(report.circuit, "omission", [&] {
+    return omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), om_opt);
+  });
   report.omitted = sequence_stats(sc, report.omission.sequence);
 
   // ext det: final compacted sequence vs. the generated sequence.
-  FaultSimulator sim(sc.netlist);
-  const auto final_det = sim.run(report.omission.sequence, faults.faults());
-  for (std::size_t i = 0; i < faults.size(); ++i)
-    if (final_det[i].detected && !report.atpg.detection[i].detected) ++report.extra_detected;
+  run_stage(report.circuit, "verify", [&] {
+    FaultSimulator sim(sc.netlist);
+    const auto final_det = sim.run(report.omission.sequence, faults.faults());
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (final_det[i].detected && !report.atpg.detection[i].detected) ++report.extra_detected;
+  });
 
   if (config.run_baseline) {
-    report.baseline = generate_baseline_tests(sc, faults, config.baseline);
+    BaselineOptions base_opt = config.baseline;
+    base_opt.cancel = cancel;
+    report.baseline = run_stage(report.circuit, "baseline",
+                                [&] { return generate_baseline_tests(sc, faults, base_opt); });
     report.baseline_run = true;
   }
   return report;
@@ -48,22 +90,34 @@ GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineC
 TranslateCompactReport run_translate_and_compact(const Netlist& c, const PipelineConfig& config) {
   TranslateCompactReport report;
   report.circuit = c.name();
+  const CancelToken cancel = derive_circuit_token(config);
 
-  const ScanCircuit sc = insert_scan(c);
-  const FaultList faults = FaultList::collapsed(sc.netlist);
+  const ScanCircuit sc = run_stage(report.circuit, "scan", [&] { return insert_scan(c); });
+  const FaultList faults =
+      run_stage(report.circuit, "faults", [&] { return FaultList::collapsed(sc.netlist); });
 
-  report.baseline = generate_baseline_tests(sc, faults, config.baseline);
+  BaselineOptions base_opt = config.baseline;
+  base_opt.cancel = cancel;
+  report.baseline = run_stage(report.circuit, "baseline",
+                              [&] { return generate_baseline_tests(sc, faults, base_opt); });
   // The baseline's bookkeeping sequence IS the Section-3 translation of its
   // test set (fully specified), so it is the compaction input.
   const TestSequence& translated = report.baseline.translated;
-  report.translated = sequence_stats(sc, translated);
+  run_stage(report.circuit, "translate",
+            [&] { report.translated = sequence_stats(sc, translated); });
 
-  report.restoration =
-      restoration_compact(sc.netlist, translated, faults.faults(), config.restoration);
+  RestorationOptions rest_opt = config.restoration;
+  rest_opt.cancel = cancel;
+  report.restoration = run_stage(report.circuit, "restoration", [&] {
+    return restoration_compact(sc.netlist, translated, faults.faults(), rest_opt);
+  });
   report.restored = sequence_stats(sc, report.restoration.sequence);
 
-  report.omission =
-      omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), config.omission);
+  OmissionOptions om_opt = config.omission;
+  om_opt.cancel = cancel;
+  report.omission = run_stage(report.circuit, "omission", [&] {
+    return omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), om_opt);
+  });
   report.omitted = sequence_stats(sc, report.omission.sequence);
   return report;
 }
@@ -71,17 +125,47 @@ TranslateCompactReport run_translate_and_compact(const Netlist& c, const Pipelin
 std::vector<GenerateCompactReport> run_suite_generate_and_compact(
     const std::vector<SuiteEntry>& suite, const PipelineConfig& config,
     const std::string& bench_dir) {
+  const PipelineConfig cfg = anchor_suite_budget(config);
   return run_suite_tasks(suite.size(), [&](std::size_t i) {
-    return run_generate_and_compact(load_circuit(suite[i], bench_dir), config);
+    return run_generate_and_compact(load_circuit(suite[i], bench_dir), cfg);
   });
 }
 
 std::vector<TranslateCompactReport> run_suite_translate_and_compact(
     const std::vector<SuiteEntry>& suite, const PipelineConfig& config,
     const std::string& bench_dir) {
+  const PipelineConfig cfg = anchor_suite_budget(config);
   return run_suite_tasks(suite.size(), [&](std::size_t i) {
-    return run_translate_and_compact(load_circuit(suite[i], bench_dir), config);
+    return run_translate_and_compact(load_circuit(suite[i], bench_dir), cfg);
   });
+}
+
+std::vector<TaskOutcome<GenerateCompactReport>> run_suite_generate_and_compact_isolated(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config,
+    const std::string& bench_dir) {
+  const PipelineConfig cfg = anchor_suite_budget(config);
+  return run_suite_tasks_isolated(
+      suite,
+      [&](std::size_t i) {
+        const Netlist c = run_stage(suite[i].name, "load",
+                                    [&] { return load_circuit(suite[i], bench_dir); });
+        return run_generate_and_compact(c, cfg);
+      },
+      cfg.fail_fast);
+}
+
+std::vector<TaskOutcome<TranslateCompactReport>> run_suite_translate_and_compact_isolated(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config,
+    const std::string& bench_dir) {
+  const PipelineConfig cfg = anchor_suite_budget(config);
+  return run_suite_tasks_isolated(
+      suite,
+      [&](std::size_t i) {
+        const Netlist c = run_stage(suite[i].name, "load",
+                                    [&] { return load_circuit(suite[i], bench_dir); });
+        return run_translate_and_compact(c, cfg);
+      },
+      cfg.fail_fast);
 }
 
 }  // namespace uniscan

@@ -6,8 +6,11 @@
 //    translation, then the same two compactions (Table 7).
 #pragma once
 
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "atpg/seq_atpg.hpp"
@@ -17,6 +20,8 @@
 #include "netlist/netlist.hpp"
 #include "scan/scan_insertion.hpp"
 #include "translate/translation.hpp"
+#include "util/cancel.hpp"
+#include "util/fault_inject.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/suite.hpp"
 
@@ -37,7 +42,61 @@ struct PipelineConfig {
   OmissionOptions omission;
   BaselineOptions baseline;
   bool run_baseline = true;  // generate the "[26]"-style comparison column
+
+  // ---- deadline / failure policy (DESIGN.md §5f) ---------------------------
+  /// Whole-run wall-clock budget in seconds (0 = unlimited). In a suite run
+  /// the deadline is anchored ONCE at suite start and shared by every
+  /// circuit; in a single-circuit run it covers that circuit's flow.
+  double time_budget_secs = 0;
+  /// Per-circuit budget in seconds (0 = unlimited), anchored when the
+  /// circuit's flow starts. Combines with `time_budget_secs`: whichever
+  /// deadline fires first cancels the work.
+  double per_circuit_budget_secs = 0;
+  /// Externally supplied parent token (e.g. a Ctrl-C handler). Budgets
+  /// derive children from it, so it cancels everything regardless of them.
+  CancelToken cancel;
+  /// When true, a circuit failure aborts the whole suite run (the failing
+  /// task's exception propagates). Default: failures are isolated into
+  /// per-task TaskFailure records and the other circuits finish normally.
+  bool fail_fast = false;
 };
+
+/// Structured record of one circuit task that failed: which circuit, which
+/// pipeline stage raised, and the exception text. Rendered as a FAILED row
+/// by the table binaries and as a `failures[]` entry in bench JSON.
+struct TaskFailure {
+  std::string circuit;
+  std::string stage;  // "unknown" when the exception carried no stage tag
+  std::string what;
+};
+
+/// Exception wrapper that tags an escaping error with the pipeline stage it
+/// came from, so suite isolation can report WHERE a circuit failed.
+class StageError : public std::runtime_error {
+ public:
+  StageError(std::string stage, const std::string& what)
+      : std::runtime_error(what), stage_(std::move(stage)) {}
+  const std::string& stage() const noexcept { return stage_; }
+
+ private:
+  std::string stage_;
+};
+
+/// Run one pipeline stage: fire the deterministic fault-injection hook
+/// (UNISCAN_FAULT_INJECT=<circuit>:<stage>), then the stage body; any
+/// escaping std::exception is rethrown as StageError tagged with `stage`.
+/// Already-tagged errors from nested stages pass through unchanged.
+template <typename Fn>
+auto run_stage(const std::string& circuit, const char* stage, Fn&& fn) {
+  try {
+    maybe_inject_fault(circuit, stage);
+    return fn();
+  } catch (const StageError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw StageError(stage, e.what());
+  }
+}
 
 /// One row of Tables 5+6.
 struct GenerateCompactReport {
@@ -55,6 +114,13 @@ struct GenerateCompactReport {
 
   bool baseline_run = false;
   BaselineResult baseline;  // valid when baseline_run
+
+  /// True when any stage's deadline fired: the report holds valid, verified
+  /// partial results (best-so-far sequence, less-compacted selection).
+  bool timed_out() const {
+    return atpg.timed_out || restoration.timed_out || omission.timed_out ||
+           (baseline_run && baseline.timed_out);
+  }
 };
 
 GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineConfig& config = {});
@@ -66,6 +132,11 @@ struct TranslateCompactReport {
   SequenceStats translated, restored, omitted;
   CompactionResult restoration;
   CompactionResult omission;
+
+  /// True when any stage's deadline fired (partial but consistent results).
+  bool timed_out() const {
+    return baseline.timed_out || restoration.timed_out || omission.timed_out;
+  }
 };
 
 TranslateCompactReport run_translate_and_compact(const Netlist& c, const PipelineConfig& config = {});
@@ -91,6 +162,66 @@ std::vector<GenerateCompactReport> run_suite_generate_and_compact(
     const std::vector<SuiteEntry>& suite, const PipelineConfig& config = {},
     const std::string& bench_dir = {});
 std::vector<TranslateCompactReport> run_suite_translate_and_compact(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config = {},
+    const std::string& bench_dir = {});
+
+/// Result slot of one isolated suite task: the value when the task finished,
+/// or the failure record when it threw. Exactly one of the two is
+/// meaningful; `value` is default-constructed on failure.
+template <typename R>
+struct TaskOutcome {
+  R value{};
+  std::optional<TaskFailure> failure;
+
+  bool failed() const noexcept { return failure.has_value(); }
+};
+
+/// Anchor a suite-wide `time_budget_secs` ONCE: the returned config carries
+/// the started deadline as its parent token (and a zeroed budget), so every
+/// circuit task shares a single clock instead of each re-starting it. The
+/// suite runners below call this themselves; table binaries that fan out
+/// with their own lambdas must call it before the fan-out.
+PipelineConfig anchor_suite_budget(const PipelineConfig& config);
+
+/// Failure-isolated fan-out over a suite: like run_suite_tasks, but a task
+/// that throws is captured into its own slot's TaskFailure instead of
+/// aborting the run — the other circuits complete normally and their slots
+/// are bit-identical to a run without the failure (pool determinism
+/// contract, DESIGN.md §5d/§5f). With `fail_fast` the exception escapes
+/// instead (the pool rethrows the LOWEST-index failing task's exception
+/// after draining, deterministically).
+template <typename Fn>
+auto run_suite_tasks_isolated(const std::vector<SuiteEntry>& suite, Fn&& fn,
+                              bool fail_fast = false) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<TaskOutcome<R>> out(suite.size());
+  ThreadPool::global().parallel_for(suite.size(), [&](std::size_t task, std::size_t) {
+    try {
+      out[task].value = fn(task);
+    } catch (...) {
+      if (fail_fast) throw;
+      try {
+        throw;
+      } catch (const StageError& e) {
+        out[task].failure = TaskFailure{suite[task].name, e.stage(), e.what()};
+      } catch (const std::exception& e) {
+        out[task].failure = TaskFailure{suite[task].name, "unknown", e.what()};
+      } catch (...) {
+        out[task].failure = TaskFailure{suite[task].name, "unknown", "non-standard exception"};
+      }
+    }
+  });
+  return out;
+}
+
+/// Isolated + deadline-aware versions of the suite flows. A suite-wide
+/// `time_budget_secs` is anchored ONCE here (not per circuit);
+/// `per_circuit_budget_secs` is anchored inside each circuit's flow. Each
+/// failing circuit becomes a TaskFailure slot; the rest finish normally.
+std::vector<TaskOutcome<GenerateCompactReport>> run_suite_generate_and_compact_isolated(
+    const std::vector<SuiteEntry>& suite, const PipelineConfig& config = {},
+    const std::string& bench_dir = {});
+std::vector<TaskOutcome<TranslateCompactReport>> run_suite_translate_and_compact_isolated(
     const std::vector<SuiteEntry>& suite, const PipelineConfig& config = {},
     const std::string& bench_dir = {});
 

@@ -12,8 +12,11 @@ namespace uniscan {
 
 namespace {
 
-[[noreturn]] void fail_at(std::size_t line_no, const std::string& msg) {
-  throw std::runtime_error("bench parse error at line " + std::to_string(line_no) + ": " + msg);
+[[noreturn]] void fail_in(const std::string& source, std::size_t line_no, const std::string& msg) {
+  std::string text = "bench parse error";
+  if (!source.empty()) text += " in " + source;
+  text += " at line " + std::to_string(line_no) + ": " + msg;
+  throw std::runtime_error(text);
 }
 
 struct PendingGate {
@@ -25,8 +28,11 @@ struct PendingGate {
 
 }  // namespace
 
-Netlist read_bench(std::istream& in, std::string circuit_name) {
+Netlist read_bench(std::istream& in, std::string circuit_name, const std::string& source) {
   Netlist nl(std::move(circuit_name));
+  const auto fail_at = [&source](std::size_t line_no, const std::string& msg) {
+    fail_in(source, line_no, msg);
+  };
 
   std::vector<std::string> output_names;
   std::vector<std::size_t> output_lines;
@@ -75,7 +81,7 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
     GateType type;
     const auto keyword = trim(rhs.substr(0, open));
     if (!parse_gate_type(keyword, type))
-      fail_at(line_no, "unknown gate type '" + std::string(keyword) + "'");
+      fail_at(line_no, "unknown gate type '" + excerpt(keyword) + "'");
 
     std::vector<std::string> operands;
     const std::string_view arg_list = trim(rhs.substr(open + 1, close - open - 1));
@@ -100,7 +106,8 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
       std::vector<GateId> placeholder(pg.operand_names.size(), kNoGate);
       id = nl.add_gate(pg.type, pg.name, std::move(placeholder));
     }
-    if (!ids.emplace(pg.name, id).second) fail_at(pg.line_no, "duplicate definition of '" + pg.name + "'");
+    if (!ids.emplace(pg.name, id).second)
+      fail_at(pg.line_no, "duplicate definition of '" + excerpt(pg.name) + "'");
   }
 
   // Second pass: resolve fanins.
@@ -109,12 +116,13 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
     if (pg.type == GateType::Dff) {
       if (pg.operand_names.size() != 1) fail_at(pg.line_no, "DFF takes exactly one operand");
       const auto it = ids.find(pg.operand_names[0]);
-      if (it == ids.end()) fail_at(pg.line_no, "undefined net '" + pg.operand_names[0] + "'");
+      if (it == ids.end()) fail_at(pg.line_no, "undefined net '" + excerpt(pg.operand_names[0]) + "'");
       nl.set_dff_input(id, it->second);
     } else {
       for (std::size_t pin = 0; pin < pg.operand_names.size(); ++pin) {
         const auto it = ids.find(pg.operand_names[pin]);
-        if (it == ids.end()) fail_at(pg.line_no, "undefined net '" + pg.operand_names[pin] + "'");
+        if (it == ids.end())
+          fail_at(pg.line_no, "undefined net '" + excerpt(pg.operand_names[pin]) + "'");
         nl.replace_fanin(id, pin, it->second);
       }
     }
@@ -122,7 +130,9 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
 
   for (std::size_t i = 0; i < output_names.size(); ++i) {
     const auto it = ids.find(output_names[i]);
-    if (it == ids.end()) fail_at(output_lines[i], "OUTPUT references undefined net '" + output_names[i] + "'");
+    if (it == ids.end())
+      fail_at(output_lines[i],
+              "OUTPUT references undefined net '" + excerpt(output_names[i]) + "'");
     nl.add_output(it->second);
   }
 
@@ -130,15 +140,16 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
   return nl;
 }
 
-Netlist read_bench_string(std::string_view text, std::string circuit_name) {
+Netlist read_bench_string(std::string_view text, std::string circuit_name,
+                          const std::string& source) {
   std::istringstream is{std::string(text)};
-  return read_bench(is, std::move(circuit_name));
+  return read_bench(is, std::move(circuit_name), source);
 }
 
 Netlist read_bench_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open bench file: " + path);
-  return read_bench(f, std::filesystem::path(path).stem().string());
+  return read_bench(f, std::filesystem::path(path).stem().string(), path);
 }
 
 void write_bench(std::ostream& out, const Netlist& nl) {

@@ -18,10 +18,14 @@
 
 namespace uniscan {
 
-/// Parse .bench text. Throws std::runtime_error with a line number on
-/// malformed input. The returned netlist is finalized.
-Netlist read_bench(std::istream& in, std::string circuit_name);
-Netlist read_bench_string(std::string_view text, std::string circuit_name);
+/// Parse .bench text. Throws std::runtime_error with a line number (and the
+/// originating `source` — typically a file path — when one is given) on
+/// malformed input. Lines may end in CRLF or trailing whitespace; echoed
+/// fragments of bad lines are capped so a corrupt file cannot explode the
+/// diagnostic. The returned netlist is finalized.
+Netlist read_bench(std::istream& in, std::string circuit_name, const std::string& source = {});
+Netlist read_bench_string(std::string_view text, std::string circuit_name,
+                          const std::string& source = {});
 Netlist read_bench_file(const std::string& path);
 
 /// Serialize a netlist into .bench text (round-trips through read_bench).

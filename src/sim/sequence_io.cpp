@@ -10,8 +10,11 @@ namespace uniscan {
 
 namespace {
 
-[[noreturn]] void fail_at(std::size_t line_no, const std::string& msg) {
-  throw std::runtime_error("sequence parse error at line " + std::to_string(line_no) + ": " + msg);
+[[noreturn]] void fail_in(const std::string& source, std::size_t line_no, const std::string& msg) {
+  std::string text = "sequence parse error";
+  if (!source.empty()) text += " in " + source;
+  text += " at line " + std::to_string(line_no) + ": " + msg;
+  throw std::runtime_error(text);
 }
 
 /// Read the next non-empty, non-comment line; returns false on EOF.
@@ -25,17 +28,19 @@ bool next_line(std::istream& in, std::string& line, std::size_t& line_no) {
   return false;
 }
 
-std::vector<V3> parse_row(const std::string& line, std::size_t width, std::size_t line_no) {
+std::vector<V3> parse_row(const std::string& line, std::size_t width, std::size_t line_no,
+                          const std::string& source) {
   std::vector<V3> row;
   row.reserve(width);
   for (char c : line) {
     if (c == ' ' || c == '\t') continue;
-    if (c != '0' && c != '1' && c != 'x' && c != 'X') fail_at(line_no, "bad value character");
+    if (c != '0' && c != '1' && c != 'x' && c != 'X')
+      fail_in(source, line_no, "bad value character in '" + excerpt(line) + "'");
     row.push_back(v3_from_char(c));
   }
   if (row.size() != width)
-    fail_at(line_no, "expected " + std::to_string(width) + " values, got " +
-                         std::to_string(row.size()));
+    fail_in(source, line_no, "expected " + std::to_string(width) + " values, got " +
+                                 std::to_string(row.size()));
   return row;
 }
 
@@ -72,19 +77,19 @@ void write_sequence_file(const std::string& path, const TestSequence& seq) {
   write_sequence(f, seq);
 }
 
-TestSequence read_sequence(std::istream& in) {
+TestSequence read_sequence(std::istream& in, const std::string& source) {
   std::string line;
   std::size_t line_no = 0;
-  if (!next_line(in, line, line_no)) fail_at(line_no, "empty input");
+  if (!next_line(in, line, line_no)) fail_in(source, line_no, "empty input");
   std::istringstream header(line);
   std::string magic, version;
   std::size_t width = 0;
   header >> magic >> version >> width;
   if (magic != "useq" || version != "v1" || header.fail())
-    fail_at(line_no, "expected header 'useq v1 <num_inputs>'");
+    fail_in(source, line_no, "expected header 'useq v1 <num_inputs>'");
 
   TestSequence seq(width);
-  while (next_line(in, line, line_no)) seq.append(parse_row(line, width, line_no));
+  while (next_line(in, line, line_no)) seq.append(parse_row(line, width, line_no, source));
   return seq;
 }
 
@@ -95,7 +100,7 @@ TestSequence read_sequence_string(const std::string& text) {
 
 TestSequence read_sequence_file(const std::string& path) {
   auto f = open_in(path);
-  return read_sequence(f);
+  return read_sequence(f, path);
 }
 
 void write_test_set(std::ostream& out, const ScanTestSet& set) {
@@ -122,16 +127,16 @@ void write_test_set_file(const std::string& path, const ScanTestSet& set) {
   write_test_set(f, set);
 }
 
-ScanTestSet read_test_set(std::istream& in) {
+ScanTestSet read_test_set(std::istream& in, const std::string& source) {
   std::string line;
   std::size_t line_no = 0;
-  if (!next_line(in, line, line_no)) fail_at(line_no, "empty input");
+  if (!next_line(in, line, line_no)) fail_in(source, line_no, "empty input");
   std::istringstream header(line);
   std::string magic, version;
   std::size_t width = 0, chain = 0;
   header >> magic >> version >> width >> chain;
   if (magic != "utst" || version != "v1" || header.fail())
-    fail_at(line_no, "expected header 'utst v1 <num_inputs> <chain_length>'");
+    fail_in(source, line_no, "expected header 'utst v1 <num_inputs> <chain_length>'");
 
   ScanTestSet set;
   set.num_original_inputs = width;
@@ -141,19 +146,21 @@ ScanTestSet read_test_set(std::istream& in) {
       ScanTest t;
       const std::string si(trim(line.substr(5)));
       for (char c : si) {
-        if (c != '0' && c != '1' && c != 'x' && c != 'X') fail_at(line_no, "bad scan-in character");
+        if (c != '0' && c != '1' && c != 'x' && c != 'X')
+          fail_in(source, line_no, "bad scan-in character in '" + excerpt(si) + "'");
         t.scan_in.push_back(v3_from_char(c));
       }
       // scan_in covers every flip-flop; with multiple chains this exceeds
       // chain_length (the shift count), so only cross-test consistency is
       // checked here.
-      if (t.scan_in.size() < chain) fail_at(line_no, "scan-in narrower than the chain length");
+      if (t.scan_in.size() < chain)
+        fail_in(source, line_no, "scan-in narrower than the chain length");
       if (!set.tests.empty() && t.scan_in.size() != set.tests.front().scan_in.size())
-        fail_at(line_no, "inconsistent scan-in width");
+        fail_in(source, line_no, "inconsistent scan-in width");
       set.tests.push_back(std::move(t));
     } else {
-      if (set.tests.empty()) fail_at(line_no, "vector before first 'test' line");
-      set.tests.back().vectors.push_back(parse_row(line, width, line_no));
+      if (set.tests.empty()) fail_in(source, line_no, "vector before first 'test' line");
+      set.tests.back().vectors.push_back(parse_row(line, width, line_no, source));
     }
   }
   for (std::size_t i = 0; i < set.tests.size(); ++i)
@@ -169,7 +176,7 @@ ScanTestSet read_test_set_string(const std::string& text) {
 
 ScanTestSet read_test_set_file(const std::string& path) {
   auto f = open_in(path);
-  return read_test_set(f);
+  return read_test_set(f, path);
 }
 
 }  // namespace uniscan

@@ -25,8 +25,11 @@ void write_sequence(std::ostream& out, const TestSequence& seq);
 std::string write_sequence_string(const TestSequence& seq);
 void write_sequence_file(const std::string& path, const TestSequence& seq);
 
-/// Throws std::runtime_error with a line number on malformed input.
-TestSequence read_sequence(std::istream& in);
+/// Throws std::runtime_error with a line number (and the originating
+/// `source` — typically a file path — when one is given) on malformed
+/// input. CRLF line endings and trailing whitespace are tolerated; echoed
+/// fragments of bad lines are capped.
+TestSequence read_sequence(std::istream& in, const std::string& source = {});
 TestSequence read_sequence_string(const std::string& text);
 TestSequence read_sequence_file(const std::string& path);
 
@@ -34,7 +37,7 @@ void write_test_set(std::ostream& out, const ScanTestSet& set);
 std::string write_test_set_string(const ScanTestSet& set);
 void write_test_set_file(const std::string& path, const ScanTestSet& set);
 
-ScanTestSet read_test_set(std::istream& in);
+ScanTestSet read_test_set(std::istream& in, const std::string& source = {});
 ScanTestSet read_test_set_string(const std::string& text);
 ScanTestSet read_test_set_file(const std::string& path);
 

@@ -1,0 +1,67 @@
+#include "util/cancel.hpp"
+
+#include <atomic>
+#include <limits>
+
+namespace uniscan {
+
+Deadline Deadline::after(double seconds) noexcept {
+  if (seconds <= 0) return at(Clock::now());
+  // Saturate instead of overflowing for absurdly large budgets.
+  const double max_secs =
+      std::chrono::duration<double>(Clock::duration::max()).count() / 4;
+  if (seconds >= max_secs) return never();
+  return at(Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::at(Clock::time_point when) noexcept {
+  Deadline d;
+  d.when_ = when;
+  return d;
+}
+
+double Deadline::remaining_seconds() const noexcept {
+  if (is_never()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+struct CancelToken::State {
+  std::atomic<bool> fired{false};
+  Deadline deadline;
+  std::shared_ptr<const State> parent;
+
+  bool poll() const noexcept {
+    for (const State* s = this; s; s = s->parent.get()) {
+      if (s->fired.load(std::memory_order_relaxed)) return true;
+      if (s->deadline.expired()) {
+        // Latch so later polls (and polls of descendants) skip the clock.
+        const_cast<State*>(s)->fired.store(true, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+CancelToken::CancelToken(Deadline deadline) : state_(std::make_shared<State>()) {
+  state_->deadline = deadline;
+}
+
+CancelToken CancelToken::child(Deadline deadline) const {
+  CancelToken c(deadline);
+  c.state_->parent = state_;
+  return c;
+}
+
+void CancelToken::request_cancel() const noexcept {
+  if (state_) state_->fired.store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::poll() const noexcept { return state_ && state_->poll(); }
+
+Deadline CancelToken::deadline() const noexcept {
+  return state_ ? state_->deadline : Deadline::never();
+}
+
+}  // namespace uniscan

@@ -1,0 +1,80 @@
+// Cooperative cancellation and wall-clock deadlines (DESIGN.md §5f).
+//
+// A Deadline is a point on the monotonic clock (never(), by default). A
+// CancelToken is a copyable handle on shared cancellation state: it fires
+// when its own deadline expires, when request_cancel() is called on any
+// copy, or when any ancestor token fires (child() links tokens, so a
+// per-circuit budget nests under a suite-wide one).
+//
+// poll() is the cooperative check the long-running loops call — the PODEM
+// backtrack loop, the ATPG per-fault loops, restoration's restore loop and
+// omission's trial loop. It is cheap: a default-constructed (inert) token
+// polls false with a single branch, and an armed token reads one relaxed
+// atomic plus, until it latches, the monotonic clock. Once a token fires it
+// stays fired (the result is latched), so every subsequent poll agrees.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+namespace uniscan {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default: never expires (no clock reads on the poll path).
+  Deadline() = default;
+
+  static Deadline never() noexcept { return {}; }
+  static Deadline after(double seconds) noexcept;
+  static Deadline at(Clock::time_point when) noexcept;
+
+  bool is_never() const noexcept { return when_ == Clock::time_point::max(); }
+  bool expired() const noexcept {
+    return !is_never() && Clock::now() >= when_;
+  }
+  /// Seconds until expiry: +inf when never, <= 0 when already expired.
+  double remaining_seconds() const noexcept;
+
+  /// The earlier of the two (never() is later than everything).
+  static Deadline earlier(const Deadline& a, const Deadline& b) noexcept {
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+  Clock::time_point when() const noexcept { return when_; }
+
+ private:
+  Clock::time_point when_ = Clock::time_point::max();
+};
+
+class CancelToken {
+ public:
+  /// Inert token: poll() is always false, copies are free.
+  CancelToken() = default;
+
+  /// A root token that fires when `deadline` expires.
+  explicit CancelToken(Deadline deadline);
+
+  /// A token that fires when THIS token fires or when `deadline` expires.
+  /// Calling child() on an inert token creates a root token.
+  CancelToken child(Deadline deadline) const;
+
+  /// True when the token carries cancellation state (non-default).
+  bool armed() const noexcept { return state_ != nullptr; }
+
+  /// Fire the token manually; every copy and descendant observes it.
+  void request_cancel() const noexcept;
+
+  /// Cooperative check: true once the token (or an ancestor) has fired.
+  bool poll() const noexcept;
+
+  /// This token's own deadline (never() for inert tokens).
+  Deadline deadline() const noexcept;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace uniscan

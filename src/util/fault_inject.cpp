@@ -1,0 +1,27 @@
+#include "util/fault_inject.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace uniscan {
+
+void maybe_inject_fault(const std::string& circuit, const std::string& stage) {
+  // Read the environment on every call: the tests flip the variable between
+  // suite runs inside one process, so a cached value would go stale.
+  const char* env = std::getenv("UNISCAN_FAULT_INJECT");
+  if (!env || !*env) return;
+
+  const std::string_view spec(env);
+  const auto colon = spec.rfind(':');
+  if (colon == std::string_view::npos) return;  // malformed spec: inert
+  const std::string_view want_circuit = spec.substr(0, colon);
+  const std::string_view want_stage = spec.substr(colon + 1);
+
+  if (want_circuit != circuit) return;
+  if (want_stage != "*" && want_stage != stage) return;
+  throw std::runtime_error("injected fault (UNISCAN_FAULT_INJECT=" + std::string(spec) +
+                           ") in stage '" + stage + "' of circuit '" + circuit + "'");
+}
+
+}  // namespace uniscan

@@ -1,0 +1,21 @@
+// Deterministic failure injection for robustness tests and CI.
+//
+// UNISCAN_FAULT_INJECT=<circuit>:<stage> makes the matching pipeline stage
+// throw a std::runtime_error the moment it starts; every other circuit and
+// stage runs untouched. <stage> may be "*" to kill whichever stage of the
+// circuit runs first. Unset (the normal case), the hook is a single getenv.
+//
+// This exists so the suite-isolation tests and the CI robustness job can
+// prove that one poisoned circuit never takes down a suite run — the
+// exception travels the exact path a real parse error or ATPG blowup would.
+#pragma once
+
+#include <string>
+
+namespace uniscan {
+
+/// Throws std::runtime_error when UNISCAN_FAULT_INJECT matches
+/// `<circuit>:<stage>`; returns quietly otherwise.
+void maybe_inject_fault(const std::string& circuit, const std::string& stage);
+
+}  // namespace uniscan

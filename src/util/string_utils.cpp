@@ -34,4 +34,9 @@ std::string to_upper(std::string_view s) {
   return out;
 }
 
+std::string excerpt(std::string_view s, std::size_t max_len) {
+  if (s.size() <= max_len) return std::string(s);
+  return std::string(s.substr(0, max_len)) + "...";
+}
+
 }  // namespace uniscan

@@ -21,4 +21,9 @@ bool starts_with(std::string_view s, std::string_view prefix) noexcept;
 /// Uppercase ASCII copy.
 std::string to_upper(std::string_view s);
 
+/// Copy of `s` capped at `max_len` characters for error messages: longer
+/// input is cut and suffixed with "..." so a corrupt multi-megabyte line
+/// cannot explode a diagnostic.
+std::string excerpt(std::string_view s, std::size_t max_len = 48);
+
 }  // namespace uniscan

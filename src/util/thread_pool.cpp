@@ -26,6 +26,10 @@ struct ThreadPool::Impl {
     std::atomic<std::size_t> done{0};
     std::mutex err_mutex;
     std::exception_ptr error;
+    // Task index of the captured exception: the LOWEST-index failing task
+    // wins regardless of completion order, so the rethrown exception is the
+    // same at every thread count (the pool's determinism contract).
+    std::size_t error_task = static_cast<std::size_t>(-1);
   };
 
   std::mutex mutex;
@@ -63,7 +67,10 @@ struct ThreadPool::Impl {
         (*j.fn)(t, worker_id);
       } catch (...) {
         std::lock_guard<std::mutex> lock(j.err_mutex);
-        if (!j.error) j.error = std::current_exception();
+        if (t < j.error_task) {
+          j.error_task = t;
+          j.error = std::current_exception();
+        }
       }
       if (j.done.fetch_add(1, std::memory_order_acq_rel) + 1 == j.n) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -112,8 +119,19 @@ void ThreadPool::parallel_for(std::size_t n,
   if (!impl_ || n == 1 || tls_in_pool_task) {
     // Serial pool, a single task, or a nested call from inside a pool task:
     // run inline on this thread, keeping its worker index for scratch reuse.
+    // Mirrors the threaded path's exception contract: every task still runs
+    // (callers rely on all result slots being written), and the exception of
+    // the lowest-index failing task is rethrown afterwards.
     const std::size_t w = tls_in_pool_task ? tls_worker_id : 0;
-    for (std::size_t t = 0; t < n; ++t) fn(t, w);
+    std::exception_ptr error;
+    for (std::size_t t = 0; t < n; ++t) {
+      try {
+        fn(t, w);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
     return;
   }
 

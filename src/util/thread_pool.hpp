@@ -32,7 +32,10 @@ class ThreadPool {
 
   /// Run fn(task_index, worker_index) for all task_index in [0, n);
   /// blocks until every task completed. worker_index < num_workers().
-  /// The first exception thrown by a task is rethrown in the caller.
+  /// When tasks throw, every remaining task still runs (result slots are
+  /// always all written and the pool stays usable), and the exception of the
+  /// LOWEST-index failing task is rethrown in the caller — deterministic at
+  /// any thread count, not a completion-order race.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Change the worker count of THIS pool in place: joins the current

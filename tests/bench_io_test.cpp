@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "workloads/circuits.hpp"
 
@@ -110,6 +113,44 @@ o = MUX(a, c1, s)
 
 TEST(BenchIo, MissingFileThrows) {
   EXPECT_THROW(read_bench_file("/nonexistent/foo.bench"), std::runtime_error);
+}
+
+TEST(BenchIo, FileParseErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "broken.bench";
+  {
+    std::ofstream f(path);
+    f << "INPUT(a)\nOUTPUT(o)\no = FOO(a)\n";
+  }
+  try {
+    read_bench_file(path);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BenchIo, CrlfLineEndingsTolerated) {
+  const auto text = "INPUT(a)\r\nOUTPUT(o)\r\no = NOT(a)\r\n";
+  const Netlist nl = read_bench_string(text, "crlf");
+  EXPECT_EQ(nl.num_inputs(), 1u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+}
+
+TEST(BenchIo, ErrorExcerptsAreCapped) {
+  // A pathologically long identifier must not be echoed wholesale into the
+  // error message — it is cut to a short excerpt with a "..." marker.
+  const std::string huge(500, 'Z');
+  try {
+    read_bench_string("INPUT(a)\no = " + huge + "(a)\n", "bad");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_LT(what.size(), 200u) << what;
+    EXPECT_NE(what.find("..."), std::string::npos) << what;
+  }
 }
 
 }  // namespace

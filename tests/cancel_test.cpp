@@ -1,0 +1,182 @@
+// Unit tests for the cooperative cancellation layer (DESIGN.md §5f):
+// Deadline arithmetic, CancelToken latching and parent/child propagation,
+// and the soundness contract that an aborted search is never reported as a
+// completed (redundancy-proving) one.
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+
+#include "atpg/podem.hpp"
+#include "atpg/redundancy.hpp"
+#include "atpg/seq_atpg.hpp"
+#include "fault/fault_list.hpp"
+#include "scan/scan_insertion.hpp"
+#include "workloads/circuits.hpp"
+
+namespace uniscan {
+namespace {
+
+TEST(Deadline, DefaultNeverExpires) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(Deadline::never().is_never());
+}
+
+TEST(Deadline, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after(0).expired());
+  EXPECT_TRUE(Deadline::after(-3.5).expired());
+  EXPECT_LE(Deadline::after(0).remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, FutureBudgetNotYetExpired) {
+  const Deadline d = Deadline::after(3600);
+  EXPECT_FALSE(d.is_never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 0.0);
+  EXPECT_LE(d.remaining_seconds(), 3600.0);
+}
+
+TEST(Deadline, AbsurdBudgetSaturatesToNever) {
+  EXPECT_TRUE(Deadline::after(1e300).is_never());
+}
+
+TEST(Deadline, EarlierPicksTheEarlierPoint) {
+  const auto now = Deadline::Clock::now();
+  const Deadline a = Deadline::at(now + std::chrono::seconds(1));
+  const Deadline b = Deadline::at(now + std::chrono::seconds(2));
+  EXPECT_EQ(Deadline::earlier(a, b).when(), a.when());
+  EXPECT_EQ(Deadline::earlier(b, a).when(), a.when());
+  EXPECT_EQ(Deadline::earlier(a, Deadline::never()).when(), a.when());
+  EXPECT_TRUE(Deadline::earlier(Deadline::never(), Deadline::never()).is_never());
+}
+
+TEST(CancelToken, InertTokenPollsFalse) {
+  const CancelToken t;
+  EXPECT_FALSE(t.armed());
+  EXPECT_FALSE(t.poll());
+  EXPECT_TRUE(t.deadline().is_never());
+  t.request_cancel();  // must be a safe no-op on an inert token
+  EXPECT_FALSE(t.poll());
+}
+
+TEST(CancelToken, ExpiredDeadlineFiresAndLatches) {
+  const CancelToken t{Deadline::after(0)};
+  EXPECT_TRUE(t.armed());
+  EXPECT_TRUE(t.poll());
+  EXPECT_TRUE(t.poll());  // latched: every subsequent poll agrees
+}
+
+TEST(CancelToken, FarDeadlineDoesNotFire) {
+  const CancelToken t{Deadline::after(3600)};
+  EXPECT_TRUE(t.armed());
+  EXPECT_FALSE(t.poll());
+}
+
+TEST(CancelToken, RequestCancelObservedByEveryCopy) {
+  const CancelToken t{Deadline::never()};
+  const CancelToken copy = t;  // taken BEFORE the cancel
+  EXPECT_FALSE(t.poll());
+  t.request_cancel();
+  EXPECT_TRUE(t.poll());
+  EXPECT_TRUE(copy.poll());
+}
+
+TEST(CancelToken, ChildObservesParentButNotViceVersa) {
+  const CancelToken parent{Deadline::never()};
+  const CancelToken child = parent.child(Deadline::after(3600));
+  EXPECT_FALSE(child.poll());
+
+  // Parent fires -> child observes it.
+  parent.request_cancel();
+  EXPECT_TRUE(child.poll());
+
+  // A child firing must NOT cancel its parent (per-circuit budget must not
+  // kill the rest of the suite).
+  const CancelToken parent2{Deadline::after(3600)};
+  const CancelToken child2 = parent2.child(Deadline::after(0));
+  EXPECT_TRUE(child2.poll());
+  EXPECT_FALSE(parent2.poll());
+}
+
+TEST(CancelToken, ChildOfInertTokenIsARoot) {
+  EXPECT_TRUE(CancelToken().child(Deadline::after(0)).poll());
+  EXPECT_FALSE(CancelToken().child(Deadline::after(3600)).poll());
+}
+
+TEST(CancelToken, GrandchildObservesGrandparent) {
+  const CancelToken root{Deadline::never()};
+  const CancelToken mid = root.child(Deadline::never());
+  const CancelToken leaf = mid.child(Deadline::after(3600));
+  EXPECT_FALSE(leaf.poll());
+  root.request_cancel();
+  EXPECT_TRUE(leaf.poll());
+}
+
+// ---- soundness: aborted searches are never "proofs" -------------------------
+
+TEST(CancelSoundness, FiredTokenAbortsPodemWithoutClaimingExhaustion) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  ASSERT_GT(fl.size(), 0u);
+
+  PodemOptions opt;
+  opt.cancel = CancelToken{Deadline::after(0)};
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    FrameModel model(sc.netlist, fl[i], 6);
+    const PodemResult r = run_podem(model, PodemGoal::ObservePo, opt);
+    EXPECT_FALSE(r.success) << "fault " << i;
+    EXPECT_TRUE(r.aborted) << "fault " << i;
+  }
+}
+
+TEST(CancelSoundness, ClassifierNeverReportsRedundantUnderFiredDeadline) {
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+
+  RedundancyOptions opt;
+  opt.cancel = CancelToken{Deadline::after(0)};
+  const RedundancyReport rep = classify_faults(sc, fl.faults(), opt);
+  ASSERT_EQ(rep.classes.size(), fl.size());
+  EXPECT_EQ(rep.redundant, 0u);
+  EXPECT_EQ(rep.aborted, fl.size());
+  for (const FaultClass c : rep.classes) EXPECT_EQ(c, FaultClass::Aborted);
+}
+
+TEST(CancelSoundness, AtpgTimesOutGracefullyWithVerifiedResult) {
+  // A pre-fired deadline: generation must come back immediately with
+  // timed_out set, claim no redundancy proofs, and report a coverage that an
+  // independent check of the (possibly empty) sequence would confirm.
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+
+  AtpgOptions opt;
+  opt.cancel = CancelToken{Deadline::after(0)};
+  const AtpgResult r = generate_tests(sc, fl, opt);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.proved_redundant, 0u);
+  EXPECT_LE(r.detected, fl.size());
+}
+
+TEST(CancelSoundness, InertTokenLeavesAtpgUntouched) {
+  // Baseline determinism guard: the default (inert) token must not change
+  // results — the same circuit generated twice gives identical sequences.
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+
+  const AtpgResult a = generate_tests(sc, fl, {});
+  AtpgOptions opt;
+  opt.cancel = CancelToken{Deadline::after(1e9)};  // armed but never fires
+  const AtpgResult b = generate_tests(sc, fl, opt);
+  EXPECT_FALSE(a.timed_out);
+  EXPECT_FALSE(b.timed_out);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.sequence.length(), b.sequence.length());
+}
+
+}  // namespace
+}  // namespace uniscan

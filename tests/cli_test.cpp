@@ -145,4 +145,21 @@ TEST_F(CliFlow, UnknownFlagRejected) {
   EXPECT_EQ(r.exit_code, 2);
 }
 
+TEST_F(CliFlow, JsonFlagEmitsStructuredError) {
+  const RunResult r = run_cli("stats /nonexistent/file.bench --json");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("{\"error\":"), std::string::npos) << r.output;
+  // The plain-text channel still carries the message for humans/logs.
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliFlow, GenerateUnderExpiredBudgetDegradesGracefully) {
+  // A zero time budget must not crash or hang: the CLI reports the verified
+  // best-so-far result, flags the timeout, and still exits 0 (a timeout is a
+  // degraded success, not an error).
+  const RunResult r = run_cli("generate " + bench_ + " --time-budget=0.000001");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("TIMED OUT"), std::string::npos) << r.output;
+}
+
 }  // namespace

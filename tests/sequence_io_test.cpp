@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -50,6 +53,41 @@ TEST(SequenceIo, FileRoundTrip) {
 
 TEST(SequenceIo, MissingFileThrows) {
   EXPECT_THROW(read_sequence_file("/nonexistent/x.useq"), std::runtime_error);
+}
+
+TEST(SequenceIo, FileParseErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "broken.useq";
+  {
+    std::ofstream f(path);
+    f << "useq v1 3\n01q\n";
+  }
+  try {
+    read_sequence_file(path);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SequenceIo, CrlfLineEndingsTolerated) {
+  const TestSequence seq = read_sequence_string("useq v1 2\r\n01\r\n1x\r\n");
+  ASSERT_EQ(seq.length(), 2u);
+  EXPECT_EQ(seq.at(1, 1), V3::X);
+}
+
+TEST(SequenceIo, BadRowErrorEchoesACappedExcerpt) {
+  const std::string junk(300, 'q');
+  try {
+    read_sequence_string("useq v1 300\n" + junk + "\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_LT(what.size(), 200u) << what;
+    EXPECT_NE(what.find("..."), std::string::npos) << what;
+  }
 }
 
 ScanTestSet demo_set() {

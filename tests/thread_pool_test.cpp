@@ -60,6 +60,37 @@ TEST(ThreadPool, PropagatesFirstException) {
   EXPECT_EQ(count.load(), 8);
 }
 
+TEST(ThreadPool, LowestIndexExceptionWinsDeterministically) {
+  // Several tasks throw; the pool must (a) keep running the remaining tasks
+  // (drain, no abandonment) and (b) rethrow the LOWEST-index task's
+  // exception — at every pool size, so failure reports are reproducible
+  // regardless of --threads.
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> ran(10);
+    std::string message;
+    try {
+      pool.parallel_for(10, [&](std::size_t task, std::size_t) {
+        ran[task].fetch_add(1);
+        if (task == 2) throw std::runtime_error("boom-2");
+        if (task == 5) throw std::runtime_error("boom-5");
+        if (task == 7) throw std::runtime_error("boom-7");
+      });
+      FAIL() << "expected an exception at " << workers << " workers";
+    } catch (const std::runtime_error& e) {
+      message = e.what();
+    }
+    EXPECT_EQ(message, "boom-2") << workers << " workers";
+    for (std::size_t i = 0; i < ran.size(); ++i)
+      EXPECT_EQ(ran[i].load(), 1) << "task " << i << " at " << workers << " workers";
+
+    // The pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    pool.parallel_for(6, [&](std::size_t, std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 6);
+  }
+}
+
 TEST(ThreadPool, NestedParallelForRunsInline) {
   ThreadPool pool(2);
   std::atomic<int> inner_total{0};

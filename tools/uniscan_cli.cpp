@@ -17,6 +17,12 @@
 // The circuit argument is always the NON-scan netlist; scan insertion
 // happens internally (--chains, default 1). Sequences are over the scan
 // circuit's inputs (original PIs, then scan_sel, then scan_inp per chain).
+//
+// Global flags: --time-budget=SECS caps the wall clock of the long-running
+// commands (generate/compact/baseline/classify) with graceful degradation;
+// --json reports errors as a one-line {"error": ...} object on stdout.
+// Exit codes: 0 success, 1 error (std::exception), 2 usage, 3 unexpected
+// non-standard exception.
 #include <cstdio>
 #include <fstream>
 #include <cstring>
@@ -43,6 +49,8 @@ struct CliArgs {
   bool scan_knowledge = true;
   bool skip_restoration = false;
   bool skip_omission = false;
+  bool json = false;
+  double time_budget_secs = 0;
   XFillPolicy fill = XFillPolicy::RandomFill;
 };
 
@@ -71,6 +79,10 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       a.window = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg == "--no-scan-knowledge") {
       a.scan_knowledge = false;
+    } else if (arg == "--json") {
+      a.json = true;
+    } else if (arg.rfind("--time-budget=", 0) == 0) {
+      a.time_budget_secs = std::strtod(arg.c_str() + 14, nullptr);
     } else if (arg == "--skip-restoration") {
       a.skip_restoration = true;
     } else if (arg == "--skip-omission") {
@@ -94,6 +106,12 @@ std::optional<CliArgs> parse(int argc, char** argv) {
 void emit_sequence(const CliArgs& a, const TestSequence& seq) {
   if (a.output.empty()) write_sequence(std::cout, seq);
   else write_sequence_file(a.output, seq);
+}
+
+/// The command's deadline token: inert unless --time-budget was given.
+CancelToken cli_token(const CliArgs& a) {
+  if (a.time_budget_secs > 0) return CancelToken(Deadline::after(a.time_budget_secs));
+  return {};
 }
 
 int cmd_stats(const CliArgs& a) {
@@ -126,10 +144,11 @@ int cmd_generate(const CliArgs& a) {
   AtpgOptions opt;
   opt.seed = a.seed;
   opt.use_scan_knowledge = a.scan_knowledge;
+  opt.cancel = cli_token(a);
   const AtpgResult r = generate_tests(sc, opt);
-  std::fprintf(stderr, "coverage %.2f%% (%zu/%zu), %zu via scan knowledge, %zu vectors\n",
+  std::fprintf(stderr, "coverage %.2f%% (%zu/%zu), %zu via scan knowledge, %zu vectors%s\n",
                r.fault_coverage(), r.detected, r.num_faults, r.detected_by_scan_knowledge,
-               r.sequence.length());
+               r.sequence.length(), r.timed_out ? " [TIMED OUT: best-so-far]" : "");
   emit_sequence(a, r.sequence);
   return 0;
 }
@@ -142,16 +161,21 @@ int cmd_compact(const CliArgs& a) {
   if (seq.num_inputs() != sc.netlist.num_inputs())
     throw std::runtime_error("sequence width does not match the scan circuit");
 
+  const CancelToken cancel = cli_token(a);
   if (!a.skip_restoration) {
-    const CompactionResult r = restoration_compact(sc.netlist, seq, fl.faults());
-    std::fprintf(stderr, "restoration: %zu -> %zu vectors\n", r.original_length,
-                 r.sequence.length());
+    RestorationOptions opt;
+    opt.cancel = cancel;
+    const CompactionResult r = restoration_compact(sc.netlist, seq, fl.faults(), opt);
+    std::fprintf(stderr, "restoration: %zu -> %zu vectors%s\n", r.original_length,
+                 r.sequence.length(), r.timed_out ? " [TIMED OUT]" : "");
     seq = r.sequence;
   }
   if (!a.skip_omission) {
-    const CompactionResult r = omission_compact(sc.netlist, seq, fl.faults());
-    std::fprintf(stderr, "omission: %zu -> %zu vectors (+%zu faults)\n", r.original_length,
-                 r.sequence.length(), r.extra_detected);
+    OmissionOptions opt;
+    opt.cancel = cancel;
+    const CompactionResult r = omission_compact(sc.netlist, seq, fl.faults(), opt);
+    std::fprintf(stderr, "omission: %zu -> %zu vectors (+%zu faults)%s\n", r.original_length,
+                 r.sequence.length(), r.extra_detected, r.timed_out ? " [TIMED OUT]" : "");
     seq = r.sequence;
   }
   emit_sequence(a, seq);
@@ -179,10 +203,11 @@ int cmd_baseline(const CliArgs& a) {
   const ScanCircuit sc = insert_scan(c, a.chains);
   BaselineOptions opt;
   opt.seed = a.seed;
+  opt.cancel = cli_token(a);
   const BaselineResult r = generate_baseline_tests(sc, opt);
-  std::fprintf(stderr, "coverage %.2f%% (%zu/%zu), %zu tests, %zu cycles\n",
+  std::fprintf(stderr, "coverage %.2f%% (%zu/%zu), %zu tests, %zu cycles%s\n",
                r.fault_coverage(), r.detected, r.num_faults, r.test_set.tests.size(),
-               r.application_cycles());
+               r.application_cycles(), r.timed_out ? " [TIMED OUT: best-so-far]" : "");
   if (a.output.empty()) write_test_set(std::cout, r.test_set);
   else write_test_set_file(a.output, r.test_set);
   return 0;
@@ -234,6 +259,7 @@ int cmd_classify(const CliArgs& a) {
   const FaultList fl = FaultList::collapsed(sc.netlist);
   RedundancyOptions opt;
   opt.window = a.window;
+  opt.cancel = cli_token(a);
   const RedundancyReport r = classify_faults(sc, fl.faults(), opt);
   std::cout << "faults: " << fl.size() << "\n"
             << "  testable : " << r.testable << "\n"
@@ -244,6 +270,36 @@ int cmd_classify(const CliArgs& a) {
     if (r.classes[i] == FaultClass::Redundant)
       std::cout << "  redundant fault: " << fault_to_string(sc.netlist, fl[i]) << "\n";
   return 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Report one error as a single structured line: a JSON object on stdout
+/// with --json (for machine consumers), plain text on stderr otherwise.
+void report_error(bool as_json, const char* what) {
+  if (as_json) std::printf("{\"error\": \"%s\"}\n", json_escape(what).c_str());
+  std::fprintf(stderr, "error: %s\n", what);
 }
 
 }  // namespace
@@ -268,7 +324,12 @@ int main(int argc, char** argv) {
     if (args->command == "metrics") return need(2), cmd_metrics(*args);
     return usage();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    report_error(args->json, e.what());
     return 1;
+  } catch (...) {
+    // Previously this escaped main and std::terminate'd; keep the exit
+    // orderly and distinguishable from ordinary errors.
+    report_error(args->json, "unexpected non-standard exception");
+    return 3;
   }
 }
