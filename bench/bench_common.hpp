@@ -17,6 +17,7 @@
 //   --per-circuit-budget=SECS  per-circuit wall-clock budget
 //   --fail-fast          abort the whole run on the first circuit failure
 //                        (default: failures are isolated into FAILED rows)
+//   --trace=FILE         emit a Chrome trace_event JSON of the run to FILE
 #pragma once
 
 #include <chrono>
@@ -29,6 +30,8 @@
 #include <vector>
 
 #include "core/uniscan.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
 
@@ -49,6 +52,7 @@ struct Args {
   double time_budget_secs = 0;
   double per_circuit_budget_secs = 0;
   bool fail_fast = false;
+  std::string trace;  // --trace=FILE: Chrome trace_event output
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -86,6 +90,7 @@ inline Args parse_args(int argc, char** argv) {
     else if (arg.rfind("--per-circuit-budget=", 0) == 0)
       a.per_circuit_budget_secs = std::strtod(arg.c_str() + 21, nullptr);
     else if (arg == "--fail-fast") a.fail_fast = true;
+    else if (arg.rfind("--trace=", 0) == 0) a.trace = arg.substr(8);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -95,6 +100,7 @@ inline Args parse_args(int argc, char** argv) {
   ThreadPool::set_global_threads(a.threads);
   set_global_sim_engine(a.engine);
   set_global_cone_pruning(a.cone_pruning);
+  if (!a.trace.empty()) obs::Tracer::start(a.trace);
   return a;
 }
 
@@ -110,6 +116,25 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// run_stage wrapped with a Stopwatch + CounterScope: appends a StageStat
+/// row (wall time, counter deltas) to `stages` on success and returns the
+/// stage's value. Bench-side mirror of the pipeline's internal per-stage
+/// recording, for table binaries that drive stages by hand.
+template <typename Fn>
+auto timed_stage(std::vector<obs::StageStat>& stages, const std::string& circuit,
+                 const char* stage, Fn&& fn) {
+  const Stopwatch sw;
+  const obs::CounterScope scope;
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    run_stage(circuit, stage, std::forward<Fn>(fn));
+    stages.push_back(obs::StageStat{stage, sw.ms(), scope.deltas()});
+  } else {
+    auto result = run_stage(circuit, stage, std::forward<Fn>(fn));
+    stages.push_back(obs::StageStat{stage, sw.ms(), scope.deltas()});
+    return result;
+  }
+}
 
 /// JSON string escaping for exception texts (quotes, backslashes, control
 /// characters) — failure records embed arbitrary what() strings.
@@ -136,24 +161,46 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Collects per-stage results and writes them as a JSON document:
-///   { "threads": N, "entries": [ {name, wall_ms, gate_evals, in_len,
-///     out_len, timed_out}, ... ], "failures": [ {circuit, stage, what},
-///     ... ] }
-/// The failures array is always present (empty on a healthy run) so CI can
-/// assert its shape unconditionally. Intended for CI artifacts
-/// (BENCH_compaction.json, robustness-job output).
+/// Render a CounterArray as a JSON object keyed by counter_name.
+inline std::string counters_json(const obs::CounterArray& c) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    out += obs::counter_name(static_cast<obs::Counter>(i));
+    out += "\": ";
+    out += std::to_string(c[i]);
+  }
+  out += "}";
+  return out;
+}
+
+/// Collects per-row results and writes them as a JSON document (schema v2):
+///   { "schema_version": 2, "threads": N,
+///     "counters": {gate_evals, batch_skips, ...},       // process totals
+///     "entries": [ {name, wall_ms, gate_evals, in_len, out_len, timed_out,
+///                   "stages": [{name, wall_ms, counters: {...}}, ...]},
+///                  ... ],
+///     "failures": [ {circuit, stage, what}, ... ] }
+/// The `stages` array appears on entries constructed with a per-stage
+/// breakdown (v1 consumers that only read the flat fields keep working: no
+/// v1 key was renamed or removed). The failures array is always present
+/// (empty on a healthy run) so CI can assert its shape unconditionally.
+/// Intended for CI artifacts (BENCH_compaction.json, robustness output).
 class BenchJson {
  public:
   void add(std::string name, double wall_ms, std::uint64_t gate_evals, std::size_t in_len,
-           std::size_t out_len, bool timed_out = false) {
-    entries_.push_back({std::move(name), wall_ms, gate_evals, in_len, out_len, timed_out});
+           std::size_t out_len, bool timed_out = false,
+           const std::vector<obs::StageStat>* stages = nullptr) {
+    entries_.push_back({std::move(name), wall_ms, gate_evals, in_len, out_len, timed_out,
+                        stages ? *stages : std::vector<obs::StageStat>{}});
   }
 
   void add_failure(const TaskFailure& f) { failures_.push_back(f); }
   bool has_failures() const { return !failures_.empty(); }
 
-  /// No-op when `path` is empty (no --json flag given).
+  /// No-op when `path` is empty (no --json flag given). The `counters`
+  /// object snapshots the process-wide registry totals at write time.
   void write(const std::string& path, std::size_t threads) const {
     if (path.empty()) return;
     std::ofstream out(path);
@@ -161,14 +208,25 @@ class BenchJson {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       std::exit(1);
     }
-    out << "{\n  \"threads\": " << threads << ",\n  \"entries\": [\n";
+    out << "{\n  \"schema_version\": 2,\n  \"threads\": " << threads
+        << ",\n  \"counters\": " << counters_json(obs::totals()) << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       out << "    {\"name\": \"" << json_escape(e.name) << "\", \"wall_ms\": " << e.wall_ms
           << ", \"gate_evals\": " << e.gate_evals << ", \"in_len\": " << e.in_len
           << ", \"out_len\": " << e.out_len << ", \"timed_out\": "
-          << (e.timed_out ? "true" : "false") << "}" << (i + 1 < entries_.size() ? "," : "")
-          << "\n";
+          << (e.timed_out ? "true" : "false");
+      if (!e.stages.empty()) {
+        out << ", \"stages\": [";
+        for (std::size_t s = 0; s < e.stages.size(); ++s) {
+          const obs::StageStat& st = e.stages[s];
+          out << (s ? ", " : "") << "{\"name\": \"" << json_escape(st.name)
+              << "\", \"wall_ms\": " << st.wall_ms
+              << ", \"counters\": " << counters_json(st.counters) << "}";
+        }
+        out << "]";
+      }
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }
     out << "  ],\n  \"failures\": [\n";
     for (std::size_t i = 0; i < failures_.size(); ++i) {
@@ -188,6 +246,7 @@ class BenchJson {
     std::size_t in_len;
     std::size_t out_len;
     bool timed_out;
+    std::vector<obs::StageStat> stages;
   };
   std::vector<Entry> entries_;
   std::vector<TaskFailure> failures_;

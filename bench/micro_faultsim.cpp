@@ -1,9 +1,13 @@
 // Microbenchmarks + ablation: parallel-fault (63 machines/word) versus
 // serial (one machine/word) sequential fault simulation — DESIGN.md §5
-// ablation 1.
+// ablation 1. BM_CounterDisabled/BM_CounterEnabled pin down the telemetry
+// registry's per-count cost (DESIGN.md §5g: disabled must be one predictable
+// branch); BM_ParallelFaultSimNoObs is the whole-simulation overhead check
+// the EXPERIMENTS.md 2%-budget row uses.
 #include <benchmark/benchmark.h>
 
 #include "core/uniscan.hpp"
+#include "obs/counters.hpp"
 
 using namespace uniscan;
 
@@ -98,6 +102,37 @@ void BM_LevelizedQuietSim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LevelizedQuietSim)->Unit(benchmark::kMicrosecond);
+
+void BM_CounterDisabled(benchmark::State& state) {
+  // The disabled hot path of obs::count: one relaxed atomic bool load and a
+  // branch, independent of the counter or increment.
+  obs::set_enabled(false);
+  for (auto _ : state) obs::count(obs::Counter::GateEvals, 63);
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_CounterDisabled)->Unit(benchmark::kNanosecond);
+
+void BM_CounterEnabled(benchmark::State& state) {
+  // Enabled path: the load + branch plus one relaxed fetch_add on this
+  // worker's cache-line-aligned shard (uncontended here).
+  obs::set_enabled(true);
+  for (auto _ : state) obs::count(obs::Counter::GateEvals, 63);
+}
+BENCHMARK(BM_CounterEnabled)->Unit(benchmark::kNanosecond);
+
+void BM_ParallelFaultSimNoObs(benchmark::State& state) {
+  // BM_ParallelFaultSim with telemetry disabled: the pair bounds the
+  // whole-simulation counter overhead (EXPERIMENTS.md keeps it under 2%).
+  Setup& s = s298();
+  FaultSimulator sim(s.nl);
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    auto records = sim.run(s.seq, s.fl.faults());
+    benchmark::DoNotOptimize(records);
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_ParallelFaultSimNoObs)->Unit(benchmark::kMillisecond);
 
 void BM_SessionAdvance(benchmark::State& state) {
   // Streaming session: cost of advancing the whole fault universe one chunk.

@@ -40,23 +40,23 @@ CircuitRows run_circuit(const SuiteEntry& entry, const bench::Args& args,
   opt.cancel = cancel;
   const AtpgResult gen = run_stage(entry.name, "atpg", [&] { return generate_tests(sc, fl, opt); });
 
-  bench::Stopwatch t_rest;
   RestorationOptions rest_opt = cfg.restoration;
   rest_opt.cancel = cancel;
-  const CompactionResult rest = run_stage(entry.name, "restoration", [&] {
+  std::vector<obs::StageStat> rest_stages;
+  const CompactionResult rest = bench::timed_stage(rest_stages, entry.name, "restoration", [&] {
     return restoration_compact(sc.netlist, gen.sequence, fl.faults(), rest_opt);
   });
-  json.add("restoration_" + entry.name, t_rest.ms(), rest.gate_evals, gen.sequence.length(),
-           rest.sequence.length(), rest.timed_out);
+  json.add("restoration_" + entry.name, rest_stages.back().wall_ms, rest.gate_evals,
+           gen.sequence.length(), rest.sequence.length(), rest.timed_out, &rest_stages);
 
-  bench::Stopwatch t_omit;
   OmissionOptions om_opt = cfg.omission;
   om_opt.cancel = cancel;
-  const CompactionResult omit = run_stage(entry.name, "omission", [&] {
+  std::vector<obs::StageStat> omit_stages;
+  const CompactionResult omit = bench::timed_stage(omit_stages, entry.name, "omission", [&] {
     return omission_compact(sc.netlist, rest.sequence, fl.faults(), om_opt);
   });
-  json.add("omission_" + entry.name, t_omit.ms(), omit.gate_evals, rest.sequence.length(),
-           omit.sequence.length(), omit.timed_out);
+  json.add("omission_" + entry.name, omit_stages.back().wall_ms, omit.gate_evals,
+           rest.sequence.length(), omit.sequence.length(), omit.timed_out, &omit_stages);
 
   if (print_s27_table) {
     std::cout << "=== Table 4: compacted test sequence for s27_scan ===\n\n";

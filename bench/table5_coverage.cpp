@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     std::size_t dffs = 0;
     AtpgResult r;
     double wall_ms = 0.0;
+    std::vector<obs::StageStat> stages;
   };
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
   const auto rows = run_suite_tasks_isolated(
@@ -37,16 +38,17 @@ int main(int argc, char** argv) {
         Row row;
         const Netlist c = run_stage(suite[i].name, "load",
                                     [&] { return load_circuit(suite[i], args.bench_dir); });
-        const ScanCircuit sc =
-            run_stage(suite[i].name, "scan", [&] { return insert_scan(c); });
-        const FaultList fl = run_stage(suite[i].name, "faults",
-                                       [&] { return FaultList::collapsed(sc.netlist); });
+        const ScanCircuit sc = bench::timed_stage(row.stages, suite[i].name, "scan",
+                                                  [&] { return insert_scan(c); });
+        const FaultList fl = bench::timed_stage(row.stages, suite[i].name, "faults",
+                                                [&] { return FaultList::collapsed(sc.netlist); });
 
         AtpgOptions opt = cfg.atpg;
         opt.cancel = cfg.cancel;
         if (cfg.per_circuit_budget_secs > 0)
           opt.cancel = opt.cancel.child(Deadline::after(cfg.per_circuit_budget_secs));
-        row.r = run_stage(suite[i].name, "atpg", [&] { return generate_tests(sc, fl, opt); });
+        row.r = bench::timed_stage(row.stages, suite[i].name, "atpg",
+                                   [&] { return generate_tests(sc, fl, opt); });
         row.inputs = sc.netlist.num_inputs();
         row.dffs = sc.netlist.num_dffs();
         row.wall_ms = sw.ms();
@@ -82,7 +84,8 @@ int main(int argc, char** argv) {
                    bench::row_status(r.timed_out)});
     // Generation builds the sequence from scratch: in_len 0, out_len the
     // generated vector count.
-    json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length(), r.timed_out);
+    json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length(), r.timed_out,
+             &row.stages);
     total_faults += r.num_faults;
     total_detected += r.detected;
   }

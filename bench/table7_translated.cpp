@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
                    bench::row_status(r.timed_out())});
     json.add(suite[i].name, rows[i].value.wall_ms,
              r.restoration.gate_evals + r.omission.gate_evals, r.translated.total,
-             r.omitted.total, r.timed_out());
+             r.omitted.total, r.timed_out(), &r.stages);
     total_omit += r.omitted.total;
     total_base += r.baseline.application_cycles();
   }

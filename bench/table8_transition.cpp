@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     bool compaction_timed_out = false;
     std::uint64_t gate_evals = 0;
     double wall_ms = 0.0;
+    std::vector<obs::StageStat> stages;
   };
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
   const auto rows = run_suite_tasks_isolated(
@@ -32,10 +33,11 @@ int main(int argc, char** argv) {
         Row row;
         const Netlist c = run_stage(suite[i].name, "load",
                                     [&] { return load_circuit(suite[i], args.bench_dir); });
-        const ScanCircuit sc =
-            run_stage(suite[i].name, "scan", [&] { return insert_scan(c); });
-        const auto faults = run_stage(suite[i].name, "faults",
-                                      [&] { return enumerate_transition_faults(sc.netlist); });
+        const ScanCircuit sc = bench::timed_stage(row.stages, suite[i].name, "scan",
+                                                  [&] { return insert_scan(c); });
+        const auto faults =
+            bench::timed_stage(row.stages, suite[i].name, "faults",
+                               [&] { return enumerate_transition_faults(sc.netlist); });
 
         CancelToken cancel = cfg.cancel;
         if (cfg.per_circuit_budget_secs > 0)
@@ -43,17 +45,18 @@ int main(int argc, char** argv) {
 
         AtpgOptions opt = cfg.atpg;
         opt.cancel = cancel;
-        row.r = run_stage(suite[i].name, "atpg",
-                          [&] { return generate_transition_tests(sc, faults, opt); });
+        row.r = bench::timed_stage(row.stages, suite[i].name, "atpg",
+                                   [&] { return generate_transition_tests(sc, faults, opt); });
 
         RestorationOptions rest_opt;
         rest_opt.cancel = cancel;
-        const CompactionResult rest = run_stage(suite[i].name, "restoration", [&] {
-          return restoration_compact(sc.netlist, row.r.sequence, faults, rest_opt);
-        });
+        const CompactionResult rest =
+            bench::timed_stage(row.stages, suite[i].name, "restoration", [&] {
+              return restoration_compact(sc.netlist, row.r.sequence, faults, rest_opt);
+            });
         OmissionOptions om_opt;
         om_opt.cancel = cancel;
-        const CompactionResult omit = run_stage(suite[i].name, "omission", [&] {
+        const CompactionResult omit = bench::timed_stage(row.stages, suite[i].name, "omission", [&] {
           return omission_compact(sc.netlist, rest.sequence, faults, om_opt);
         });
         row.omitted = sequence_stats(sc, omit.sequence);
@@ -84,7 +87,7 @@ int main(int argc, char** argv) {
                    std::to_string(r.sequence.length()), std::to_string(row.omitted.total),
                    std::to_string(row.omitted.scan), bench::row_status(timed_out)});
     json.add(suite[i].name, row.wall_ms, row.gate_evals, r.sequence.length(),
-             row.omitted.total, timed_out);
+             row.omitted.total, timed_out, &row.stages);
     total_faults += r.num_faults;
     total_detected += r.detected;
   }

@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace uniscan {
 
 namespace {
@@ -355,6 +357,7 @@ PodemResult PodemSearch::run() {
 }  // namespace
 
 PodemResult run_podem(FrameModel& model, PodemGoal goal, const PodemOptions& options) {
+  const obs::TraceSpan span("podem");
   return PodemSearch(model, goal, options).run();
 }
 

@@ -5,6 +5,8 @@
 #include "atpg/frame_model.hpp"
 #include "atpg/podem.hpp"
 #include "atpg/scan_knowledge.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_sim_session.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -52,6 +54,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
                           const AtpgOptions& options) {
   const Netlist& nl = sc.netlist;
   Rng rng(options.seed);
+  const obs::CounterScope evals_scope;
 
   AtpgResult result;
   result.num_faults = faults.size();
@@ -218,7 +221,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
   // ---- final verification ----------------------------------------------------
   FaultSimulator verifier(nl);
   result.detection = verifier.run(result.sequence, faults.faults());
-  result.gate_evals = session.gate_evals() + verifier.gate_evals();
+  result.gate_evals = evals_scope.delta(obs::Counter::GateEvals);
   result.detected = 0;
   for (std::size_t i = 0; i < result.detection.size(); ++i) {
     if (result.detection[i].detected) {

@@ -5,6 +5,7 @@
 #include "atpg/frame_model.hpp"
 #include "atpg/podem.hpp"
 #include "atpg/scan_knowledge.hpp"
+#include "obs/counters.hpp"
 #include "sim/transition_sim.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
                                                const AtpgOptions& options) {
   const Netlist& nl = sc.netlist;
   Rng rng(options.seed ^ 0x7261746eULL);
+  const obs::CounterScope evals_scope;
 
   TransitionAtpgResult result;
   result.num_faults = faults.size();
@@ -165,7 +167,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
   // ---- final verification ------------------------------------------------------
   TransitionFaultSimulator verifier(nl);
   result.detection = verifier.run(result.sequence, faults);
-  result.gate_evals = session.gate_evals() + verifier.gate_evals();
+  result.gate_evals = evals_scope.delta(obs::Counter::GateEvals);
   for (std::size_t i = 0; i < result.detection.size(); ++i) {
     if (result.detection[i].detected) {
       ++result.detected;

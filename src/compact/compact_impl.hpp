@@ -42,8 +42,11 @@
 #include "compact/omission.hpp"
 #include "compact/restoration.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/compiled_netlist.hpp"
+#include "sim/fault_sim.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequence_view.hpp"
 #include "util/thread_pool.hpp"
@@ -94,31 +97,42 @@ class OmissionEngine {
     const SequenceView cur(*base_, kept_);
     const SequenceView trial = cur.without(t);
 
+    obs::count(obs::Counter::OmissionTrials);
+
     active_.clear();
     for (std::size_t b = 0; b < runners_.size(); ++b)
       if (max_time_[b] >= t) active_.push_back(b);
+    obs::count(obs::Counter::BatchSkips, runners_.size() - active_.size());
 
     if (!active_.empty()) {
       ThreadPool& pool = ThreadPool::global();
       if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
-      std::atomic<bool> pass{true};
-      pool.parallel_for(active_.size(), [&](std::size_t k, std::size_t w) {
-        if (!pass.load(std::memory_order_relaxed)) return;  // fail-fast
-        const std::size_t b = active_[k];
-        const SimBatchState* cp = store_.best_at_or_before(b, t);
-        SimBatchState& s = trial_states_[b];
-        s = cp ? *cp : runners_[b].initial_state();
-        typename Runner::AdvanceOptions opt;
-        opt.early_exit = true;
-        opt.checkpoints = &store_;
-        opt.batch_index = b;
-        opt.capture_limit = t;  // frames <= t equal the accepted sequence
-        gate_evals_.fetch_add(runners_[b].advance(s, trial, scratch_[w], opt),
-                              std::memory_order_relaxed);
-        if ((s.detected_slots & runners_[b].slot_mask()) != runners_[b].slot_mask())
-          pass.store(false, std::memory_order_relaxed);
-      });
-      if (!pass.load(std::memory_order_relaxed)) return false;
+      // Wave-scheduled deterministic fail-fast (see FaultSimulator::
+      // detects_all). Determinism matters doubly here: the set of executed
+      // batch advances decides not just the counters but which checkpoints
+      // get captured, and those feed every LATER trial's resume points.
+      bool pass = true;
+      for (std::size_t wave = 0; wave < active_.size() && pass; wave += kFailFastWave) {
+        const std::size_t n = std::min(kFailFastWave, active_.size() - wave);
+        std::atomic<bool> wave_pass{true};
+        pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
+          const std::size_t b = active_[wave + k];
+          const SimBatchState* cp = store_.best_at_or_before(b, t);
+          if (cp) obs::count(obs::Counter::ResimRestarts);
+          SimBatchState& s = trial_states_[b];
+          s = cp ? *cp : runners_[b].initial_state();
+          typename Runner::AdvanceOptions opt;
+          opt.early_exit = true;
+          opt.checkpoints = &store_;
+          opt.batch_index = b;
+          opt.capture_limit = t;  // frames <= t equal the accepted sequence
+          runners_[b].advance(s, trial, scratch_[w], opt);
+          if ((s.detected_slots & runners_[b].slot_mask()) != runners_[b].slot_mask())
+            wave_pass.store(false, std::memory_order_relaxed);
+        });
+        pass = wave_pass.load(std::memory_order_relaxed);
+      }
+      if (!pass) return false;
     }
 
     // Commit. The trial sequence becomes the accepted sequence: snapshots
@@ -140,10 +154,6 @@ class OmissionEngine {
 
   TestSequence materialize() const { return SequenceView(*base_, kept_).materialize(); }
 
-  std::uint64_t gate_evals() const noexcept {
-    return gate_evals_.load(std::memory_order_relaxed);
-  }
-
  private:
   const TestSequence* base_;
   std::vector<FaultT> must_;
@@ -157,7 +167,6 @@ class OmissionEngine {
   std::vector<SimBatchState> trial_states_;  // written by at most one task each
   std::vector<std::size_t> active_;
   std::vector<std::vector<W3>> scratch_;  // per pool worker
-  std::atomic<std::uint64_t> gate_evals_{0};
 };
 
 template <typename Simulator, typename FaultT>
@@ -166,6 +175,7 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
   Simulator sim(nl);
   CompactionResult result;
   result.original_length = seq.length();
+  const obs::CounterScope evals_scope;
 
   const auto base = sim.run(seq, faults);
 
@@ -193,6 +203,7 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
   // must-detect faults, so the selection is consistent after ANY trial —
   // deadline expiry simply stops trying further omissions.
   for (std::size_t pass = 0; pass < options.max_passes && !result.timed_out; ++pass) {
+    const obs::TraceSpan pass_span("omission_pass");
     ++result.rounds;
     std::size_t removed_this_pass = 0;
 
@@ -223,7 +234,7 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
   const auto final_det = sim.run(result.sequence, faults);
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
-  result.gate_evals = sim.gate_evals() + engine.gate_evals();
+  result.gate_evals = evals_scope.delta(obs::Counter::GateEvals);
   return result;
 }
 
@@ -234,6 +245,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
   Simulator sim(nl);
   CompactionResult result;
   result.original_length = seq.length();
+  const obs::CounterScope evals_scope;
 
   // The selection lives as a keep-mask; trials read it through a copy-free
   // SequenceView over `seq` instead of materializing a subsequence.
@@ -256,6 +268,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
 
   bool converged = false;
   for (std::size_t round = 0; round < options.max_rounds && !result.timed_out; ++round) {
+    const obs::TraceSpan round_span("restoration_round");
     ++result.rounds;
     bool all_ok = true;
 
@@ -280,6 +293,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
 
       std::size_t lo = t_f;
       for (;;) {
+        obs::count(obs::Counter::RestorationRestores);
         if (options.cancel.poll()) {
           result.timed_out = true;
           break;
@@ -339,7 +353,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
   const auto final_det = sim.run(result.sequence, faults);
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
-  result.gate_evals = sim.gate_evals();
+  result.gate_evals = evals_scope.delta(obs::Counter::GateEvals);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
+
 #include "fault/fault_list.hpp"
 #include "sim/fault_sim.hpp"
 
@@ -26,6 +28,35 @@ CancelToken derive_circuit_token(const PipelineConfig& config) {
   return tok;
 }
 
+/// run_stage plus a StageStat row: wall time and the counter deltas the
+/// stage contributed, appended to `stages` on success. A throwing stage
+/// records nothing — its circuit's report is discarded anyway (suite
+/// isolation) and the per-stage counter test relies on failed stages
+/// contributing no rows.
+template <typename Fn>
+auto timed_stage(std::vector<obs::StageStat>& stages, const std::string& circuit,
+                 const char* stage, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  using R = decltype(fn());
+  const Clock::time_point t0 = Clock::now();
+  const obs::CounterScope scope;
+  const auto record = [&] {
+    obs::StageStat st;
+    st.name = stage;
+    st.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    st.counters = scope.deltas();
+    stages.push_back(std::move(st));
+  };
+  if constexpr (std::is_void_v<R>) {
+    run_stage(circuit, stage, std::forward<Fn>(fn));
+    record();
+  } else {
+    auto result = run_stage(circuit, stage, std::forward<Fn>(fn));
+    record();
+    return result;
+  }
+}
+
 }  // namespace
 
 PipelineConfig anchor_suite_budget(const PipelineConfig& config) {
@@ -40,37 +71,39 @@ PipelineConfig anchor_suite_budget(const PipelineConfig& config) {
 GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineConfig& config) {
   GenerateCompactReport report;
   report.circuit = c.name();
+  const obs::TraceSpan span("circuit", report.circuit);
   const CancelToken cancel = derive_circuit_token(config);
 
-  const ScanCircuit sc = run_stage(report.circuit, "scan", [&] { return insert_scan(c); });
+  const ScanCircuit sc =
+      timed_stage(report.stages, report.circuit, "scan", [&] { return insert_scan(c); });
   report.num_inputs = sc.netlist.num_inputs();
   report.num_dffs = sc.netlist.num_dffs();
 
-  const FaultList faults =
-      run_stage(report.circuit, "faults", [&] { return FaultList::collapsed(sc.netlist); });
+  const FaultList faults = timed_stage(report.stages, report.circuit, "faults",
+                                       [&] { return FaultList::collapsed(sc.netlist); });
 
   AtpgOptions atpg_opt = config.atpg;
   atpg_opt.cancel = cancel;
-  report.atpg =
-      run_stage(report.circuit, "atpg", [&] { return generate_tests(sc, faults, atpg_opt); });
+  report.atpg = timed_stage(report.stages, report.circuit, "atpg",
+                            [&] { return generate_tests(sc, faults, atpg_opt); });
   report.raw = sequence_stats(sc, report.atpg.sequence);
 
   RestorationOptions rest_opt = config.restoration;
   rest_opt.cancel = cancel;
-  report.restoration = run_stage(report.circuit, "restoration", [&] {
+  report.restoration = timed_stage(report.stages, report.circuit, "restoration", [&] {
     return restoration_compact(sc.netlist, report.atpg.sequence, faults.faults(), rest_opt);
   });
   report.restored = sequence_stats(sc, report.restoration.sequence);
 
   OmissionOptions om_opt = config.omission;
   om_opt.cancel = cancel;
-  report.omission = run_stage(report.circuit, "omission", [&] {
+  report.omission = timed_stage(report.stages, report.circuit, "omission", [&] {
     return omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), om_opt);
   });
   report.omitted = sequence_stats(sc, report.omission.sequence);
 
   // ext det: final compacted sequence vs. the generated sequence.
-  run_stage(report.circuit, "verify", [&] {
+  timed_stage(report.stages, report.circuit, "verify", [&] {
     FaultSimulator sim(sc.netlist);
     const auto final_det = sim.run(report.omission.sequence, faults.faults());
     for (std::size_t i = 0; i < faults.size(); ++i)
@@ -80,8 +113,8 @@ GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineC
   if (config.run_baseline) {
     BaselineOptions base_opt = config.baseline;
     base_opt.cancel = cancel;
-    report.baseline = run_stage(report.circuit, "baseline",
-                                [&] { return generate_baseline_tests(sc, faults, base_opt); });
+    report.baseline = timed_stage(report.stages, report.circuit, "baseline",
+                                  [&] { return generate_baseline_tests(sc, faults, base_opt); });
     report.baseline_run = true;
   }
   return report;
@@ -90,32 +123,34 @@ GenerateCompactReport run_generate_and_compact(const Netlist& c, const PipelineC
 TranslateCompactReport run_translate_and_compact(const Netlist& c, const PipelineConfig& config) {
   TranslateCompactReport report;
   report.circuit = c.name();
+  const obs::TraceSpan span("circuit", report.circuit);
   const CancelToken cancel = derive_circuit_token(config);
 
-  const ScanCircuit sc = run_stage(report.circuit, "scan", [&] { return insert_scan(c); });
-  const FaultList faults =
-      run_stage(report.circuit, "faults", [&] { return FaultList::collapsed(sc.netlist); });
+  const ScanCircuit sc =
+      timed_stage(report.stages, report.circuit, "scan", [&] { return insert_scan(c); });
+  const FaultList faults = timed_stage(report.stages, report.circuit, "faults",
+                                       [&] { return FaultList::collapsed(sc.netlist); });
 
   BaselineOptions base_opt = config.baseline;
   base_opt.cancel = cancel;
-  report.baseline = run_stage(report.circuit, "baseline",
-                              [&] { return generate_baseline_tests(sc, faults, base_opt); });
+  report.baseline = timed_stage(report.stages, report.circuit, "baseline",
+                                [&] { return generate_baseline_tests(sc, faults, base_opt); });
   // The baseline's bookkeeping sequence IS the Section-3 translation of its
   // test set (fully specified), so it is the compaction input.
   const TestSequence& translated = report.baseline.translated;
-  run_stage(report.circuit, "translate",
-            [&] { report.translated = sequence_stats(sc, translated); });
+  timed_stage(report.stages, report.circuit, "translate",
+              [&] { report.translated = sequence_stats(sc, translated); });
 
   RestorationOptions rest_opt = config.restoration;
   rest_opt.cancel = cancel;
-  report.restoration = run_stage(report.circuit, "restoration", [&] {
+  report.restoration = timed_stage(report.stages, report.circuit, "restoration", [&] {
     return restoration_compact(sc.netlist, translated, faults.faults(), rest_opt);
   });
   report.restored = sequence_stats(sc, report.restoration.sequence);
 
   OmissionOptions om_opt = config.omission;
   om_opt.cancel = cancel;
-  report.omission = run_stage(report.circuit, "omission", [&] {
+  report.omission = timed_stage(report.stages, report.circuit, "omission", [&] {
     return omission_compact(sc.netlist, report.restoration.sequence, faults.faults(), om_opt);
   });
   report.omitted = sequence_stats(sc, report.omission.sequence);

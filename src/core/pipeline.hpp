@@ -18,6 +18,8 @@
 #include "compact/omission.hpp"
 #include "compact/restoration.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "scan/scan_insertion.hpp"
 #include "translate/translation.hpp"
 #include "util/cancel.hpp"
@@ -88,6 +90,7 @@ class StageError : public std::runtime_error {
 /// Already-tagged errors from nested stages pass through unchanged.
 template <typename Fn>
 auto run_stage(const std::string& circuit, const char* stage, Fn&& fn) {
+  const obs::TraceSpan span(stage, circuit);
   try {
     maybe_inject_fault(circuit, stage);
     return fn();
@@ -115,6 +118,12 @@ struct GenerateCompactReport {
   bool baseline_run = false;
   BaselineResult baseline;  // valid when baseline_run
 
+  /// Per-stage wall time and counter deltas, in execution order (the bench
+  /// JSON's `stages` rows). Deltas are exact: a circuit's whole flow runs on
+  /// one pool worker (nested fan-out is inline), so the worker-shard scope
+  /// sees exactly this circuit's work.
+  std::vector<obs::StageStat> stages;
+
   /// True when any stage's deadline fired: the report holds valid, verified
   /// partial results (best-so-far sequence, less-compacted selection).
   bool timed_out() const {
@@ -133,6 +142,9 @@ struct TranslateCompactReport {
   CompactionResult restoration;
   CompactionResult omission;
 
+  /// Per-stage wall time and counter deltas (see GenerateCompactReport).
+  std::vector<obs::StageStat> stages;
+
   /// True when any stage's deadline fired (partial but consistent results).
   bool timed_out() const {
     return baseline.timed_out || restoration.timed_out || omission.timed_out;
@@ -149,6 +161,7 @@ TranslateCompactReport run_translate_and_compact(const Netlist& c, const Pipelin
 template <typename Fn>
 auto run_suite_tasks(std::size_t n, Fn&& fn) {
   using R = std::invoke_result_t<Fn&, std::size_t>;
+  const obs::TraceSpan span("suite");
   std::vector<R> out(n);
   ThreadPool::global().parallel_for(n,
                                     [&](std::size_t task, std::size_t) { out[task] = fn(task); });
@@ -194,6 +207,7 @@ template <typename Fn>
 auto run_suite_tasks_isolated(const std::vector<SuiteEntry>& suite, Fn&& fn,
                               bool fail_fast = false) {
   using R = std::invoke_result_t<Fn&, std::size_t>;
+  const obs::TraceSpan span("suite");
   std::vector<TaskOutcome<R>> out(suite.size());
   ThreadPool::global().parallel_for(suite.size(), [&](std::size_t task, std::size_t) {
     try {

@@ -1,0 +1,58 @@
+#include "obs/counters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace uniscan::obs {
+
+namespace detail {
+
+Shard g_shards[kMaxShards];
+
+namespace {
+bool enabled_from_env() {
+  const char* v = std::getenv("UNISCAN_OBS");
+  return v == nullptr || std::strcmp(v, "0") != 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{enabled_from_env()};
+
+}  // namespace detail
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::GateEvals: return "gate_evals";
+    case Counter::BatchSkips: return "batch_skips";
+    case Counter::ConePruneHits: return "cone_prune_hits";
+    case Counter::ResimRestarts: return "resim_restarts";
+    case Counter::CancelPolls: return "cancel_polls";
+    case Counter::OmissionTrials: return "omission_trials";
+    case Counter::RestorationRestores: return "restoration_restores";
+  }
+  return "unknown";
+}
+
+void set_enabled(bool on) noexcept { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+CounterArray totals() noexcept {
+  CounterArray out{};
+  for (const detail::Shard& s : detail::g_shards)
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      out[i] += s.v[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t total(Counter c) noexcept {
+  const std::size_t i = static_cast<std::size_t>(c);
+  std::uint64_t sum = 0;
+  for (const detail::Shard& s : detail::g_shards) sum += s.v[i].load(std::memory_order_relaxed);
+  return sum;
+}
+
+void reset() noexcept {
+  for (detail::Shard& s : detail::g_shards)
+    for (std::size_t i = 0; i < kNumCounters; ++i) s.v[i].store(0, std::memory_order_relaxed);
+}
+
+}  // namespace uniscan::obs

@@ -1,0 +1,130 @@
+// Process-wide observability counters (DESIGN.md §5g).
+//
+// A fixed registry of named monotonic counters measures the *work done* by
+// the pipeline — gate-word evaluations, batches skipped, pruning savings,
+// resimulation restarts — the quantities the paper's tables are claims
+// about. Two properties drive the design:
+//
+//  * Determinism. Counts are sharded per ThreadPool worker and summed
+//    serially, and every counting site sits inside work whose SET of
+//    executions is thread-count independent (the pool's determinism
+//    contract plus the wave-scheduled fail-fast of DESIGN.md §5g). Totals
+//    are therefore bit-identical across --threads 1/2/4/8.
+//  * Cost. count() on the hot paths is one predictable branch when the
+//    layer is disabled (UNISCAN_OBS=0), and one relaxed fetch_add on a
+//    worker-private cache line when enabled.
+//
+// CounterScope measures the delta a region of code contributed: inside a
+// pool task it reads only the calling worker's shard (nested parallel_for
+// runs inline, so a suite task's entire flow stays on one worker); at top
+// level it sums all shards (the parallel_for join orders every worker's
+// relaxed adds before the caller's reads).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace uniscan::obs {
+
+enum class Counter : std::uint8_t {
+  GateEvals = 0,        // gate-word evaluations in the fault-sim kernels
+  BatchSkips,           // dead/inactive 63-fault batches skipped unsimulated
+  ConePruneHits,        // gate-word evaluations avoided by cone pruning
+  ResimRestarts,        // omission trials resumed from a checkpoint
+  CancelPolls,          // cooperative cancellation polls
+  OmissionTrials,       // trial erasures attempted by omission
+  RestorationRestores,  // widening restore attempts in restoration
+};
+inline constexpr std::size_t kNumCounters = 7;
+
+/// Stable snake_case name (the bench-JSON / --metrics key).
+const char* counter_name(Counter c) noexcept;
+
+using CounterArray = std::array<std::uint64_t, kNumCounters>;
+
+namespace detail {
+
+inline constexpr std::size_t kMaxShards = 256;  // >= any realistic pool size
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> v[kNumCounters] = {};
+};
+
+extern Shard g_shards[kMaxShards];
+extern std::atomic<bool> g_enabled;
+
+inline Shard& shard_here() noexcept {
+  return g_shards[ThreadPool::worker_id() & (kMaxShards - 1)];
+}
+
+}  // namespace detail
+
+/// True unless counting was turned off (UNISCAN_OBS=0 or set_enabled).
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// Add `n` to counter `c` on the calling worker's shard. Disabled cost: one
+/// predictable branch.
+inline void count(Counter c, std::uint64_t n = 1) noexcept {
+  if (!enabled()) return;
+  detail::shard_here().v[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Serial sum over all shards. Call only while no counted work is in
+/// flight (between parallel_for joins); the join's synchronisation makes
+/// every worker's relaxed adds visible.
+CounterArray totals() noexcept;
+std::uint64_t total(Counter c) noexcept;
+
+/// Zero every shard (test isolation; not meant for the hot path).
+void reset() noexcept;
+
+/// Wall-clock + counter-delta record of one pipeline stage, carried on the
+/// pipeline reports and emitted as the bench-JSON per-stage rows.
+struct StageStat {
+  std::string name;
+  double wall_ms = 0;
+  CounterArray counters{};  // deltas contributed by the stage
+};
+
+/// Captures the counter state at construction and reports per-counter
+/// deltas. See the header comment for the shard-local vs global rule.
+class CounterScope {
+ public:
+  CounterScope() noexcept : local_(ThreadPool::in_pool_task()) {
+    if (local_) {
+      const detail::Shard& s = detail::shard_here();
+      for (std::size_t i = 0; i < kNumCounters; ++i)
+        start_[i] = s.v[i].load(std::memory_order_relaxed);
+    } else {
+      start_ = totals();
+    }
+  }
+
+  std::uint64_t delta(Counter c) const noexcept {
+    const std::size_t i = static_cast<std::size_t>(c);
+    const std::uint64_t now =
+        local_ ? detail::shard_here().v[i].load(std::memory_order_relaxed) : total(c);
+    return now - start_[i];
+  }
+
+  CounterArray deltas() const noexcept {
+    CounterArray out;
+    for (std::size_t i = 0; i < kNumCounters; ++i) out[i] = delta(static_cast<Counter>(i));
+    return out;
+  }
+
+ private:
+  bool local_;
+  CounterArray start_{};
+};
+
+}  // namespace uniscan::obs

@@ -1,0 +1,58 @@
+// Hierarchical trace spans emitted as Chrome trace_event JSON (--trace).
+//
+// A TraceSpan is an RAII duration event: construction records a "B" (begin)
+// event, destruction the matching "E" (end). Events carry the pool worker
+// index as their tid, so chrome://tracing (or Perfetto) shows one lane per
+// worker with properly nested spans — spans never migrate threads because a
+// nested parallel_for runs inline on the issuing worker.
+//
+// Events are appended to per-worker buffers (no locks on the record path)
+// and merged when the trace is written. Each buffer is capped; overflow
+// increments a drop counter that is reported in the output's metadata
+// rather than silently truncating. When tracing is off — the default —
+// constructing a span costs one predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace uniscan::obs {
+
+class Tracer {
+ public:
+  /// True while a trace is being collected.
+  static bool enabled() noexcept;
+
+  /// Start collecting into `path` (written on stop_and_write / exit).
+  /// Clears previously buffered events; registers an atexit flush once so
+  /// binaries that std::exit mid-run still produce a valid file.
+  static void start(const std::string& path);
+
+  /// Merge the per-worker buffers, write the Chrome trace JSON, disable
+  /// collection. No-op when no trace was started (safe to call always).
+  static void stop_and_write();
+};
+
+class TraceSpan {
+ public:
+  /// Begin a span named `name` (a static string); `arg` is an optional
+  /// free-form argument rendered into the event's args (e.g. the circuit).
+  explicit TraceSpan(const char* name, std::string_view arg = {}) noexcept {
+    if (Tracer::enabled()) begin(name, arg);
+  }
+  ~TraceSpan() {
+    if (active_) end();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* name, std::string_view arg) noexcept;
+  void end() noexcept;
+
+  bool active_ = false;
+};
+
+}  // namespace uniscan::obs

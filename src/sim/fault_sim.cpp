@@ -1,10 +1,12 @@
 #include "sim/fault_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <limits>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
 #include "sim/sequential_sim.hpp"
 #include "util/thread_pool.hpp"
 
@@ -130,8 +132,24 @@ SimBatchState FaultSimulator::BatchRunner::initial_state() const {
 std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const SequenceView& view,
                                                    std::vector<W3>& values,
                                                    const AdvanceOptions& opt) const {
-  if (engine_ == SimEngine::Levelized) return advance_levelized(s, view, values, opt);
-  return advance_kernel(s, view, values, opt);
+  const std::size_t start_frame = s.frame;
+  const std::uint64_t evals = engine_ == SimEngine::Levelized
+                                  ? advance_levelized(s, view, values, opt)
+                                  : advance_kernel(s, view, values, opt);
+  // Single telemetry choke point: every fault-simulation consumer (one-shot
+  // runs, sessions, compaction trials) advances through here, so GateEvals
+  // needs no per-object plumbing. ConePruneHits counts the gate-word
+  // evaluations the pruned program avoided versus the full evaluation order
+  // over the frames actually entered (s.frame advanced past them both on
+  // completion and on early exit).
+  obs::count(obs::Counter::GateEvals, evals);
+  if (prog_.pruned) {
+    const std::uint64_t frames = s.frame - start_frame;
+    const std::uint64_t full = cnl_->eval_order().size();
+    if (full > prog_.evals_per_frame)
+      obs::count(obs::Counter::ConePruneHits, frames * (full - prog_.evals_per_frame));
+  }
+  return evals;
 }
 
 std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
@@ -444,8 +462,7 @@ std::vector<DetectionRecord> FaultSimulator::run(const SequenceView& view,
     BatchRunner::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
     if (latched) opt.latched = std::span<LatchRecord>(latched->data() + base, count);
-    gate_evals_.fetch_add(runner.advance(s, view, scratch_for(w), opt),
-                          std::memory_order_relaxed);
+    runner.advance(s, view, scratch_for(w), opt);
     for (std::size_t i = 0; i < count; ++i) {
       const unsigned slot = static_cast<unsigned>(i + 1);
       if (s.detected_slots & (1ULL << slot)) {
@@ -465,19 +482,28 @@ bool FaultSimulator::detects_all(const SequenceView& view, std::span<const Fault
   const std::size_t num_batches = (faults.size() + 62) / 63;
   ThreadPool& pool = ThreadPool::global();
   if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
-  std::atomic<bool> ok{true};
-  pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
-    if (!ok.load(std::memory_order_relaxed)) return;  // cross-batch fail-fast
-    const std::size_t base = b * 63;
-    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(compiled_, faults.subspan(base, count));
-    SimBatchState s = runner.initial_state();
-    gate_evals_.fetch_add(runner.advance(s, view, scratch_for(w), {}),
-                          std::memory_order_relaxed);
-    if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
-      ok.store(false, std::memory_order_relaxed);
-  });
-  return ok.load(std::memory_order_relaxed);
+  // Deterministic wave-scheduled fail-fast (DESIGN.md §5g): batches run in
+  // fixed-size waves with the fail flag checked serially BETWEEN waves only.
+  // Every batch of a scheduled wave always runs to completion, so the set of
+  // executed batch advances — and with it every work counter — depends only
+  // on the input, never on thread timing. The returned verdict is identical
+  // to a run without fail-fast.
+  bool ok = true;
+  for (std::size_t wave = 0; wave < num_batches && ok; wave += kFailFastWave) {
+    const std::size_t n = std::min(kFailFastWave, num_batches - wave);
+    std::atomic<bool> wave_ok{true};
+    pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
+      const std::size_t base = (wave + k) * 63;
+      const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+      BatchRunner runner(compiled_, faults.subspan(base, count));
+      SimBatchState s = runner.initial_state();
+      runner.advance(s, view, scratch_for(w), {});
+      if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
+        wave_ok.store(false, std::memory_order_relaxed);
+    });
+    ok = wave_ok.load(std::memory_order_relaxed);
+  }
+  return ok;
 }
 
 std::vector<std::uint32_t> FaultSimulator::run_counts(const TestSequence& seq,
@@ -501,8 +527,7 @@ std::vector<std::uint32_t> FaultSimulator::run_counts(const SequenceView& view,
     SimBatchState s = runner.initial_state();
     BatchRunner::AdvanceOptions opt;
     opt.count_cap = cap;
-    gate_evals_.fetch_add(runner.advance(s, view, scratch_for(w), opt),
-                          std::memory_order_relaxed);
+    runner.advance(s, view, scratch_for(w), opt);
     for (std::size_t i = 0; i < count; ++i) counts[base + i] = s.detect_count[i + 1];
   });
   return counts;

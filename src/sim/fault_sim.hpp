@@ -29,7 +29,6 @@
 //    only its own output slots and batches never interact.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -45,6 +44,13 @@
 #include "sim/sequence_view.hpp"
 
 namespace uniscan {
+
+/// Batches per wave of the deterministic fail-fast used by detects_all (and
+/// mirrored in the transition simulator and the omission engine): cross-batch
+/// fail flags are only consulted serially BETWEEN waves, so the set of batch
+/// advances that execute — and every obs:: work counter — is a pure function
+/// of the input, independent of thread count and timing.
+inline constexpr std::size_t kFailFastWave = 8;
 
 struct DetectionRecord {
   bool detected = false;
@@ -79,7 +85,8 @@ class FaultSimulator {
                                    std::vector<LatchRecord>* latched = nullptr) const;
 
   /// True iff `seq` detects every fault in `faults`. Early-exits both within
-  /// a batch (all 63 detected) and across batches (first miss fails fast).
+  /// a batch (all 63 detected) and across batches (a miss stops scheduling
+  /// further kFailFastWave-sized waves — deterministic at any thread count).
   bool detects_all(const TestSequence& seq, std::span<const Fault> faults) const;
   bool detects_all(const SequenceView& view, std::span<const Fault> faults) const;
 
@@ -94,11 +101,6 @@ class FaultSimulator {
                                         std::uint32_t cap) const;
   std::vector<std::uint32_t> run_counts(const SequenceView& view, std::span<const Fault> faults,
                                         std::uint32_t cap) const;
-
-  /// Total gate-word evaluations performed since construction (for benches).
-  std::uint64_t gate_evals() const noexcept {
-    return gate_evals_.load(std::memory_order_relaxed);
-  }
 
   /// Incremental engine for one batch of up to 63 faults. The injection
   /// tables and the batch program are built once at construction; advance()
@@ -204,7 +206,6 @@ class FaultSimulator {
   CompiledNetlist compiled_;
   // Per-pool-worker net-value scratch; index = ThreadPool worker id.
   mutable std::vector<std::vector<W3>> scratch_;
-  mutable std::atomic<std::uint64_t> gate_evals_{0};
 };
 
 }  // namespace uniscan

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_order.hpp"
 #include "sim/sequence_view.hpp"
 #include "util/thread_pool.hpp"
@@ -40,12 +42,13 @@ std::size_t FaultSimSession::advance(const TestSequence& chunk) {
   if (chunk.num_inputs() != nl_->num_inputs())
     throw std::invalid_argument("FaultSimSession::advance: input width mismatch");
   const SequenceView view(chunk);
+  const obs::TraceSpan span("session_advance");
 
   live_idx_.clear();
   for (std::size_t b = 0; b < states_.size(); ++b)
     if (states_[b].live != 0) live_idx_.push_back(b);
   before_.resize(live_idx_.size());
-  evals_.assign(live_idx_.size() + 1, 0);
+  obs::count(obs::Counter::BatchSkips, states_.size() - live_idx_.size());
 
   // Task 0 advances the good machine; tasks 1.. advance the live batches.
   // Sessions carry their state across chunks, so every advance restarts the
@@ -58,13 +61,13 @@ std::size_t FaultSimSession::advance(const TestSequence& chunk) {
   pool.parallel_for(live_idx_.size() + 1, [&](std::size_t k, std::size_t w) {
     if (k == 0) {
       good_.frame = 0;
-      evals_[0] = good_runner_.advance(good_, view, scratch_[w], opt);
+      good_runner_.advance(good_, view, scratch_[w], opt);
       return;
     }
     SimBatchState& s = states_[live_idx_[k - 1]];
     before_[k - 1] = s.detected_slots;
     s.frame = 0;
-    evals_[k] = runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
+    runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
   });
 
   // Deterministic merge, in batch order.
@@ -82,7 +85,6 @@ std::size_t FaultSimSession::advance(const TestSequence& chunk) {
       ++num_detected_;
     }
   }
-  for (std::uint64_t e : evals_) gate_evals_ += e;
   now_ += chunk.length();
   return num_detected_ - gained_before;
 }

@@ -47,9 +47,6 @@ class FaultSimSession {
   const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
   std::size_t num_detected() const noexcept { return num_detected_; }
 
-  /// Gate-word evaluations performed by all advances so far.
-  std::uint64_t gate_evals() const noexcept { return gate_evals_; }
-
   /// Compiled form of the netlist, shared by all of the session's runners
   /// (and reusable by FrameModels targeting the same circuit).
   const CompiledNetlist& compiled() const noexcept { return compiled_; }
@@ -90,12 +87,10 @@ class FaultSimSession {
   std::vector<DetectionRecord> detection_;  // original order
   std::size_t num_detected_ = 0;
   std::size_t now_ = 0;
-  std::uint64_t gate_evals_ = 0;
   // Per-advance scratch, sized once: live batch list, pre-advance detected
-  // masks, per-task gate-eval counts, per-worker net values.
+  // masks, per-worker net values.
   std::vector<std::size_t> live_idx_;
   std::vector<std::uint64_t> before_;
-  std::vector<std::uint64_t> evals_;
   std::vector<std::vector<W3>> scratch_;
 };
 

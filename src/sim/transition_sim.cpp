@@ -1,11 +1,14 @@
 #include "sim/transition_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <limits>
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_order.hpp"
 #include "sim/sequential_sim.hpp"
 #include "util/thread_pool.hpp"
@@ -164,8 +167,22 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
                                                              const SequenceView& view,
                                                              std::vector<W3>& values,
                                                              const AdvanceOptions& opt) const {
-  if (engine_ == SimEngine::Levelized) return advance_levelized(s, view, values, opt);
-  return advance_kernel(s, view, values, opt);
+  // Single telemetry choke point (same contract as FaultSimulator's runner):
+  // every simulated gate-word evaluation in the transition model flows
+  // through here, so the registry's gate_evals total matches the sum the old
+  // per-object counters reported.
+  const std::size_t start_frame = s.frame;
+  const std::uint64_t evals = engine_ == SimEngine::Levelized
+                                  ? advance_levelized(s, view, values, opt)
+                                  : advance_kernel(s, view, values, opt);
+  obs::count(obs::Counter::GateEvals, evals);
+  if (prog_.pruned) {
+    const std::uint64_t frames = s.frame - start_frame;
+    const std::uint64_t full = cnl_->eval_order().size();
+    if (full > prog_.evals_per_frame)
+      obs::count(obs::Counter::ConePruneHits, frames * (full - prog_.evals_per_frame));
+  }
+  return evals;
 }
 
 std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
@@ -407,8 +424,7 @@ std::vector<DetectionRecord> TransitionFaultSimulator::run(
     BatchRunner::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
     if (latched) opt.latched = std::span<LatchRecord>(latched->data() + base, count);
-    gate_evals_.fetch_add(runner.advance(s, view, scratch_[w], opt),
-                          std::memory_order_relaxed);
+    runner.advance(s, view, scratch_[w], opt);
     for (std::size_t i = 0; i < count; ++i) {
       const unsigned slot = static_cast<unsigned>(i + 1);
       if (s.detected_slots & (1ULL << slot)) {
@@ -430,19 +446,23 @@ bool TransitionFaultSimulator::detects_all(const SequenceView& view,
   const std::size_t num_batches = (faults.size() + 62) / 63;
   ThreadPool& pool = ThreadPool::global();
   if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
-  std::atomic<bool> ok{true};
-  pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
-    if (!ok.load(std::memory_order_relaxed)) return;  // cross-batch fail-fast
-    const std::size_t base = b * 63;
-    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(compiled_, faults.subspan(base, count));
-    SimBatchState s = runner.initial_state();
-    gate_evals_.fetch_add(runner.advance(s, view, scratch_[w], {}),
-                          std::memory_order_relaxed);
-    if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
-      ok.store(false, std::memory_order_relaxed);
-  });
-  return ok.load(std::memory_order_relaxed);
+  // Wave-scheduled deterministic fail-fast; see FaultSimulator::detects_all.
+  bool ok = true;
+  for (std::size_t wave = 0; wave < num_batches && ok; wave += kFailFastWave) {
+    const std::size_t n = std::min(kFailFastWave, num_batches - wave);
+    std::atomic<bool> wave_ok{true};
+    pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
+      const std::size_t base = (wave + k) * 63;
+      const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
+      BatchRunner runner(compiled_, faults.subspan(base, count));
+      SimBatchState s = runner.initial_state();
+      runner.advance(s, view, scratch_[w], {});
+      if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
+        wave_ok.store(false, std::memory_order_relaxed);
+    });
+    ok = wave_ok.load(std::memory_order_relaxed);
+  }
+  return ok;
 }
 
 std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
@@ -490,12 +510,13 @@ std::size_t TransitionSimSession::advance(const TestSequence& chunk) {
   if (chunk.num_inputs() != nl_->num_inputs())
     throw std::invalid_argument("TransitionSimSession::advance: input width mismatch");
   const SequenceView view(chunk);
+  const obs::TraceSpan span("session_advance");
 
   live_idx_.clear();
   for (std::size_t b = 0; b < states_.size(); ++b)
     if (states_[b].live != 0) live_idx_.push_back(b);
   before_.resize(live_idx_.size());
-  evals_.assign(live_idx_.size() + 1, 0);
+  obs::count(obs::Counter::BatchSkips, states_.size() - live_idx_.size());
 
   // Task 0 advances the good machine; tasks 1.. the live batches. No early
   // exit: the session must carry every state to the chunk end.
@@ -506,13 +527,13 @@ std::size_t TransitionSimSession::advance(const TestSequence& chunk) {
   pool.parallel_for(live_idx_.size() + 1, [&](std::size_t k, std::size_t w) {
     if (k == 0) {
       good_.frame = 0;
-      evals_[0] = good_runner_.advance(good_, view, scratch_[w], opt);
+      good_runner_.advance(good_, view, scratch_[w], opt);
       return;
     }
     SimBatchState& s = states_[live_idx_[k - 1]];
     before_[k - 1] = s.detected_slots;
     s.frame = 0;
-    evals_[k] = runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
+    runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
   });
 
   const std::size_t gained_before = num_detected_;
@@ -529,7 +550,6 @@ std::size_t TransitionSimSession::advance(const TestSequence& chunk) {
       ++num_detected_;
     }
   }
-  for (std::uint64_t e : evals_) gate_evals_ += e;
   now_ += chunk.length();
   return num_detected_ - gained_before;
 }

@@ -20,7 +20,6 @@
 // the forced value and to refresh the launch history.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -60,11 +59,6 @@ class TransitionFaultSimulator {
 
   std::vector<std::size_t> detected_indices(const TestSequence& seq,
                                             std::span<const TransitionFault> faults) const;
-
-  /// Total gate-word evaluations performed since construction (for benches).
-  std::uint64_t gate_evals() const noexcept {
-    return gate_evals_.load(std::memory_order_relaxed);
-  }
 
   /// Incremental engine for one batch of up to 63 transition faults; see
   /// FaultSimulator::BatchRunner for the contract.
@@ -147,7 +141,6 @@ class TransitionFaultSimulator {
   const Netlist* nl_;
   CompiledNetlist compiled_;
   mutable std::vector<std::vector<W3>> scratch_;  // per pool worker
-  mutable std::atomic<std::uint64_t> gate_evals_{0};
 };
 
 /// Streaming session for the transition generator (mirrors FaultSimSession:
@@ -164,8 +157,6 @@ class TransitionSimSession {
   bool is_detected(std::size_t i) const { return detection_[i].detected; }
   const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
   std::size_t num_detected() const noexcept { return num_detected_; }
-  /// Gate-word evaluations performed by all advances so far.
-  std::uint64_t gate_evals() const noexcept { return gate_evals_; }
   /// Compiled form of the netlist, shared by all of the session's runners
   /// (and reusable by FrameModels targeting the same circuit).
   const CompiledNetlist& compiled() const noexcept { return compiled_; }
@@ -199,10 +190,8 @@ class TransitionSimSession {
   std::vector<DetectionRecord> detection_;  // original order
   std::size_t num_detected_ = 0;
   std::size_t now_ = 0;
-  std::uint64_t gate_evals_ = 0;
   std::vector<std::size_t> live_idx_;
   std::vector<std::uint64_t> before_;
-  std::vector<std::uint64_t> evals_;
   std::vector<std::vector<W3>> scratch_;
 };
 

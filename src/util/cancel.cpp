@@ -3,6 +3,8 @@
 #include <atomic>
 #include <limits>
 
+#include "obs/counters.hpp"
+
 namespace uniscan {
 
 Deadline Deadline::after(double seconds) noexcept {
@@ -58,7 +60,10 @@ void CancelToken::request_cancel() const noexcept {
   if (state_) state_->fired.store(true, std::memory_order_relaxed);
 }
 
-bool CancelToken::poll() const noexcept { return state_ && state_->poll(); }
+bool CancelToken::poll() const noexcept {
+  obs::count(obs::Counter::CancelPolls);
+  return state_ && state_->poll();
+}
 
 Deadline CancelToken::deadline() const noexcept {
   return state_ ? state_->deadline : Deadline::never();

@@ -116,13 +116,13 @@ void ThreadPool::resize(std::size_t num_workers) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  if (!impl_ || n == 1 || tls_in_pool_task) {
+  if (!impl_ || n == 1 || in_pool_task()) {
     // Serial pool, a single task, or a nested call from inside a pool task:
     // run inline on this thread, keeping its worker index for scratch reuse.
     // Mirrors the threaded path's exception contract: every task still runs
     // (callers rely on all result slots being written), and the exception of
     // the lowest-index failing task is rethrown afterwards.
-    const std::size_t w = tls_in_pool_task ? tls_worker_id : 0;
+    const std::size_t w = worker_id();
     std::exception_ptr error;
     for (std::size_t t = 0; t < n; ++t) {
       try {
@@ -166,5 +166,9 @@ std::unique_ptr<ThreadPool>& global_pool_slot() {
 ThreadPool& ThreadPool::global() { return *global_pool_slot(); }
 
 void ThreadPool::set_global_threads(std::size_t n) { global_pool_slot()->resize(n); }
+
+std::size_t ThreadPool::worker_id() noexcept { return tls_worker_id; }
+
+bool ThreadPool::in_pool_task() noexcept { return tls_in_pool_task; }
 
 }  // namespace uniscan

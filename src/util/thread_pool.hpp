@@ -53,6 +53,17 @@ class ThreadPool {
   /// Equivalent to global().resize(n); the pool object is never replaced.
   static void set_global_threads(std::size_t n);
 
+  /// Worker index of the calling thread while it executes a pool task (the
+  /// same value parallel_for passes as fn's second argument); 0 on any
+  /// thread outside a task. Lets per-worker state (scratch arrays, counter
+  /// shards, trace buffers) be indexed without threading the index through
+  /// every call signature.
+  static std::size_t worker_id() noexcept;
+
+  /// True while the calling thread is inside a pool task — the condition
+  /// under which a nested parallel_for runs inline on this worker.
+  static bool in_pool_task() noexcept;
+
  private:
   struct Impl;
   Impl* impl_ = nullptr;  // null for the inline (<=1 worker) pool

@@ -1,6 +1,8 @@
 // End-to-end tests of the uniscan_cli binary (path injected by CMake).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,8 +20,14 @@ struct RunResult {
   std::string output;  // stdout + stderr
 };
 
+// Scratch paths carry the pid: ctest -j runs each CliFlow test in its own
+// process against the shared TempDir, so fixed names race across tests.
+std::string scratch_path(const std::string& name) {
+  return ::testing::TempDir() + "cli_" + std::to_string(::getpid()) + "_" + name;
+}
+
 RunResult run_cli(const std::string& args) {
-  const std::string out_path = ::testing::TempDir() + "cli_out.txt";
+  const std::string out_path = scratch_path("out.txt");
   const std::string cmd = std::string(UNISCAN_CLI_PATH) + " " + args + " > " + out_path + " 2>&1";
   const int status = std::system(cmd.c_str());
   std::ifstream f(out_path);
@@ -30,7 +38,7 @@ RunResult run_cli(const std::string& args) {
 }
 
 std::string write_demo_bench() {
-  const std::string path = ::testing::TempDir() + "cli_demo.bench";
+  const std::string path = scratch_path("demo.bench");
   std::ofstream f(path);
   f << "INPUT(a)\nINPUT(b)\nOUTPUT(o)\n"
     << "f0 = DFF(n0)\nf1 = DFF(f0)\n"
@@ -151,6 +159,45 @@ TEST_F(CliFlow, JsonFlagEmitsStructuredError) {
   EXPECT_NE(r.output.find("{\"error\":"), std::string::npos) << r.output;
   // The plain-text channel still carries the message for humans/logs.
   EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliFlow, MetricsFlagEmitsSchemaAndCounterTotals) {
+  const std::string seq = ::testing::TempDir() + "cli_obs.useq";
+  const RunResult r = run_cli("generate " + bench_ + " --metrics -o " + seq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("{\"schema_version\": 2, \"counters\": {"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"gate_evals\": "), std::string::npos) << r.output;
+  // Generation simulates: its run must have counted SOME gate evaluations.
+  EXPECT_EQ(r.output.find("\"gate_evals\": 0,"), std::string::npos) << r.output;
+  std::remove(seq.c_str());
+}
+
+TEST_F(CliFlow, MetricsFlagStaysStructuredOnError) {
+  const RunResult r = run_cli("stats /nonexistent/file.bench --json --metrics");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("{\"error\":"), std::string::npos) << r.output;
+  // The totals line is still emitted (all-zero: nothing ran), so machine
+  // consumers can parse the same shape on both paths.
+  EXPECT_NE(r.output.find("{\"schema_version\": 2, \"counters\": {"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliFlow, TraceFlagWritesChromeTraceJson) {
+  const std::string seq = ::testing::TempDir() + "cli_tr.useq";
+  const std::string trace = ::testing::TempDir() + "cli_tr.json";
+  const RunResult r =
+      run_cli("generate " + bench_ + " --trace=" + trace + " -o " + seq);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream f(trace);
+  ASSERT_TRUE(f.is_open()) << trace;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(ss.str().find("\"name\": \"podem\""), std::string::npos)
+      << "generation should have recorded PODEM spans";
+  std::remove(seq.c_str());
+  std::remove(trace.c_str());
 }
 
 TEST_F(CliFlow, GenerateUnderExpiredBudgetDegradesGracefully) {

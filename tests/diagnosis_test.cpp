@@ -1,0 +1,135 @@
+// Direct unit tests for src/diag/diagnosis.cpp on hand-built circuits with
+// manually derived fail logs (the metrics_diag_test file covers the
+// statistical end-to-end behaviour on s27; this one pins the exact
+// per-entry semantics: times, output indices, observed values, X handling,
+// stem vs branch forcing, and exact-match candidate selection).
+#include "diag/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/fault_list.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/sequence.hpp"
+
+namespace uniscan {
+namespace {
+
+// o = AND(a, b): combinational, single output, no state.
+Netlist make_and2() {
+  return read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\n", "and2");
+}
+
+TEST(Diagnosis, StemFaultFailLogHasManuallyDerivedEntries) {
+  const Netlist nl = make_and2();
+  const TestSequence seq = TestSequence::from_rows(2, {"11", "01", "10"});
+  // a stuck-at-0: o becomes 0 everywhere; only t=0 (good o = 1) mismatches,
+  // and the tester sees the faulty value 0.
+  const Fault a_s0{nl.inputs()[0], kStemPin, false};
+  const FailLog log = simulate_fail_log(nl, seq, a_s0);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].time, 0u);
+  EXPECT_EQ(log[0].po, 0u);
+  EXPECT_EQ(log[0].value, V3::Zero);
+}
+
+TEST(Diagnosis, StuckOneFaultReportsObservedOne) {
+  const Netlist nl = make_and2();
+  const TestSequence seq = TestSequence::from_rows(2, {"01", "00"});
+  // a stuck-at-1 turns o = AND(1, b) = b: mismatch only at t=0 (good 0,
+  // seen 1).
+  const Fault a_s1{nl.inputs()[0], kStemPin, true};
+  const FailLog log = simulate_fail_log(nl, seq, a_s1);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], (FailEntry{0, 0, V3::One}));
+}
+
+TEST(Diagnosis, UnknownGoodValuePositionsAreNotRecorded) {
+  const Netlist nl = make_and2();
+  // Good machine: AND(x, 1) = x at t=0 — no verdict there, even though the
+  // faulty machine has a definite 0.
+  const TestSequence seq = TestSequence::from_rows(2, {"x1", "11"});
+  const Fault a_s0{nl.inputs()[0], kStemPin, false};
+  const FailLog log = simulate_fail_log(nl, seq, a_s0);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].time, 1u);
+}
+
+TEST(Diagnosis, BranchFaultDiffersFromStemFault) {
+  // b fans out to both gates: the branch fault b->o1 stuck-at-0 only kills
+  // o1, the stem fault kills both. The two faults must produce different
+  // logs (this is WHY the model carries branch faults).
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(o1)\nOUTPUT(o2)\n"
+      "o1 = AND(a, b)\no2 = AND(b, b)\n",
+      "branchy");
+  const TestSequence seq = TestSequence::from_rows(2, {"11"});
+  const GateId o1 = nl.outputs()[0];
+  // o1's fanins are (a, b): pin 1 is the b branch.
+  const FailLog branch_log = simulate_fail_log(nl, seq, Fault{o1, 1, false});
+  const FailLog stem_log = simulate_fail_log(nl, seq, Fault{nl.inputs()[1], kStemPin, false});
+  ASSERT_EQ(branch_log.size(), 1u);
+  EXPECT_EQ(branch_log[0].po, 0u);
+  ASSERT_EQ(stem_log.size(), 2u);
+  EXPECT_NE(branch_log, stem_log);
+}
+
+TEST(Diagnosis, EntriesSortedByTimeThenOutput) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(o1)\nOUTPUT(o2)\n"
+      "o1 = BUF(a)\no2 = BUF(a)\n",
+      "fanout2");
+  const TestSequence seq = TestSequence::from_rows(1, {"1", "1"});
+  const FailLog log = simulate_fail_log(nl, seq, Fault{nl.inputs()[0], kStemPin, false});
+  ASSERT_EQ(log.size(), 4u);
+  FailLog sorted = log;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(log, sorted);
+  EXPECT_EQ(log[0], (FailEntry{0, 0, V3::Zero}));
+  EXPECT_EQ(log[1], (FailEntry{0, 1, V3::Zero}));
+  EXPECT_EQ(log[2], (FailEntry{1, 0, V3::Zero}));
+  EXPECT_EQ(log[3], (FailEntry{1, 1, V3::Zero}));
+}
+
+TEST(Diagnosis, SequentialFaultEffectSurfacesAfterClockDelay) {
+  // f = DFF(a), o = BUF(f): a's value reaches o one cycle later, so a
+  // stuck-at-0 on `a` first mismatches at t=1 (the capture of t=0's 1).
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(o)\nf = DFF(a)\no = BUF(f)\n", "delay1");
+  const TestSequence seq = TestSequence::from_rows(1, {"1", "1", "0"});
+  const FailLog log = simulate_fail_log(nl, seq, Fault{nl.inputs()[0], kStemPin, false});
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (FailEntry{1, 0, V3::Zero}));
+  EXPECT_EQ(log[1], (FailEntry{2, 0, V3::Zero}));
+}
+
+TEST(Diagnosis, DiagnoseSelectsExactLogMatchesOnly) {
+  const Netlist nl = make_and2();
+  const TestSequence seq = TestSequence::from_rows(2, {"11", "01", "10"});
+  const FaultList fl = FaultList::collapsed(nl);
+  const Fault a_s0{nl.inputs()[0], kStemPin, false};
+  const FailLog observed = simulate_fail_log(nl, seq, a_s0);
+  ASSERT_FALSE(observed.empty());
+  const auto candidates = diagnose(nl, seq, fl.faults(), observed);
+  ASSERT_FALSE(candidates.empty());
+  // Every candidate's own log must reproduce the observation exactly, and
+  // every non-candidate's must differ (the definition of diagnose()).
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    const bool is_candidate =
+        std::find(candidates.begin(), candidates.end(), i) != candidates.end();
+    EXPECT_EQ(simulate_fail_log(nl, seq, fl[i]) == observed, is_candidate) << i;
+  }
+}
+
+TEST(Diagnosis, UndetectedFaultHasEmptyLog) {
+  const Netlist nl = make_and2();
+  // b is 0 throughout: a stuck-at-0 never propagates through the AND.
+  const TestSequence seq = TestSequence::from_rows(2, {"10", "00"});
+  const FailLog log =
+      simulate_fail_log(nl, seq, Fault{nl.inputs()[0], kStemPin, false});
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace uniscan

@@ -5,6 +5,7 @@
 
 #include "atpg/seq_atpg.hpp"
 #include "fault/fault_list.hpp"
+#include "obs/counters.hpp"
 #include "workloads/circuits.hpp"
 
 namespace uniscan {
@@ -125,6 +126,51 @@ TEST(Diagnosis, PassingDeviceMatchesNoDetectedFault) {
   FaultSimulator sim(fx.sc.netlist);
   const auto det = sim.run(fx.atpg.sequence, fx.fl.faults());
   for (std::size_t c : candidates) EXPECT_FALSE(det[c].detected) << c;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry counter registry unit behaviour (the cross-thread equivalence
+// tier lives in obs_counter_test.cpp; these pin the single-thread API).
+
+TEST(ObsRegistry, CountAccumulatesAndResetClears) {
+  obs::reset();
+  obs::count(obs::Counter::OmissionTrials);
+  obs::count(obs::Counter::OmissionTrials, 4);
+  EXPECT_EQ(obs::total(obs::Counter::OmissionTrials), 5u);
+  obs::reset();
+  EXPECT_EQ(obs::total(obs::Counter::OmissionTrials), 0u);
+}
+
+TEST(ObsRegistry, DisabledCountIsDropped) {
+  obs::reset();
+  obs::set_enabled(false);
+  obs::count(obs::Counter::GateEvals, 1000);
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::total(obs::Counter::GateEvals), 0u);
+}
+
+TEST(ObsRegistry, CounterScopeDeltaIsolatesARegion) {
+  obs::reset();
+  obs::count(obs::Counter::GateEvals, 7);  // before the scope: not its delta
+  const obs::CounterScope scope;
+  obs::count(obs::Counter::GateEvals, 3);
+  EXPECT_EQ(scope.delta(obs::Counter::GateEvals), 3u);
+  const obs::CounterArray d = scope.deltas();
+  EXPECT_EQ(d[std::size_t(obs::Counter::GateEvals)], 3u);
+  EXPECT_EQ(d[std::size_t(obs::Counter::BatchSkips)], 0u);
+  EXPECT_EQ(obs::total(obs::Counter::GateEvals), 10u);
+}
+
+TEST(ObsRegistry, GenerationCountsGateEvalsAndPolls) {
+  // End-to-end sanity that the registry is actually wired into the ATPG
+  // flow: generating tests must evaluate gates and poll its cancel token.
+  obs::reset();
+  DiagFixture fx;
+  EXPECT_GT(obs::total(obs::Counter::GateEvals), 0u);
+  EXPECT_GT(obs::total(obs::Counter::CancelPolls), 0u);
+  // gate_evals on the result equals the scoped registry delta of the run.
+  EXPECT_GT(fx.atpg.gate_evals, 0u);
+  obs::reset();
 }
 
 }  // namespace

@@ -105,6 +105,40 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   EXPECT_EQ(inner_total.load(), 12);
 }
 
+TEST(ThreadPool, WorkerIdMatchesCallbackArgument) {
+  // worker_id()/in_pool_task() are the TLS accessors per-worker state
+  // (counter shards, trace buffers) index by; they must agree with the
+  // worker index parallel_for hands the task.
+  EXPECT_EQ(ThreadPool::worker_id(), 0u);
+  EXPECT_FALSE(ThreadPool::in_pool_task());
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(64, [&](std::size_t, std::size_t worker) {
+    if (ThreadPool::worker_id() != worker) ++mismatches;
+    if (!ThreadPool::in_pool_task()) ++mismatches;
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  // Cleared again once the fan-out returns.
+  EXPECT_EQ(ThreadPool::worker_id(), 0u);
+  EXPECT_FALSE(ThreadPool::in_pool_task());
+}
+
+TEST(ThreadPool, WorkerIdStableAcrossNestedFanOut) {
+  // A nested parallel_for runs inline on the issuing worker, so worker_id()
+  // must not change inside it — the property that makes a CounterScope's
+  // single-shard read exact for one circuit's whole flow.
+  ThreadPool pool(3);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(9, [&](std::size_t, std::size_t outer_worker) {
+    pool.parallel_for(4, [&](std::size_t, std::size_t) {
+      if (ThreadPool::worker_id() != outer_worker) ++mismatches;
+      if (!ThreadPool::in_pool_task()) ++mismatches;
+    });
+    if (ThreadPool::worker_id() != outer_worker) ++mismatches;
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(ThreadPool, GlobalPoolResizable) {
   ThreadPool::set_global_threads(3);
   EXPECT_EQ(ThreadPool::global().num_workers(), 3u);

@@ -20,7 +20,11 @@
 //
 // Global flags: --time-budget=SECS caps the wall clock of the long-running
 // commands (generate/compact/baseline/classify) with graceful degradation;
-// --json reports errors as a one-line {"error": ...} object on stdout.
+// --json reports errors as a one-line {"error": ...} object on stdout;
+// --metrics appends one {"schema_version": 2, "counters": {...}} line on
+// stdout with the run's telemetry counter totals (same keys as the bench
+// JSON's `counters` object); --trace=FILE writes a Chrome trace_event JSON
+// of the run (load in chrome://tracing or Perfetto).
 // Exit codes: 0 success, 1 error (std::exception), 2 usage, 3 unexpected
 // non-standard exception.
 #include <cstdio>
@@ -33,6 +37,8 @@
 
 #include "atpg/redundancy.hpp"
 #include "core/uniscan.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/sequence_io.hpp"
 
 namespace {
@@ -50,6 +56,8 @@ struct CliArgs {
   bool skip_restoration = false;
   bool skip_omission = false;
   bool json = false;
+  bool metrics = false;   // --metrics: counter-totals JSON line on stdout
+  std::string trace;      // --trace=FILE: Chrome trace_event output
   double time_budget_secs = 0;
   XFillPolicy fill = XFillPolicy::RandomFill;
 };
@@ -81,6 +89,10 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       a.scan_knowledge = false;
     } else if (arg == "--json") {
       a.json = true;
+    } else if (arg == "--metrics") {
+      a.metrics = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      a.trace = arg.substr(8);
     } else if (arg.rfind("--time-budget=", 0) == 0) {
       a.time_budget_secs = std::strtod(arg.c_str() + 14, nullptr);
     } else if (arg == "--skip-restoration") {
@@ -302,34 +314,60 @@ void report_error(bool as_json, const char* what) {
   std::fprintf(stderr, "error: %s\n", what);
 }
 
+/// One {"schema_version": 2, "counters": {...}} line: the process-wide
+/// telemetry totals, keyed like the bench JSON's `counters` object.
+void print_metrics_line() {
+  std::string out = "{\"schema_version\": 2, \"counters\": {";
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    out += obs::counter_name(static_cast<obs::Counter>(i));
+    out += "\": ";
+    out += std::to_string(obs::total(static_cast<obs::Counter>(i)));
+  }
+  out += "}}";
+  std::printf("%s\n", out.c_str());
+}
+
+int run_command(const CliArgs& args) {
+  const auto need = [&](std::size_t n) {
+    if (args.positional.size() < n)
+      throw std::runtime_error("missing arguments; see header comment for usage");
+  };
+  if (args.command == "stats") return need(1), cmd_stats(args);
+  if (args.command == "insert-scan") return need(1), cmd_insert_scan(args);
+  if (args.command == "generate") return need(1), cmd_generate(args);
+  if (args.command == "compact") return need(2), cmd_compact(args);
+  if (args.command == "faultsim") return need(2), cmd_faultsim(args);
+  if (args.command == "baseline") return need(1), cmd_baseline(args);
+  if (args.command == "translate") return need(2), cmd_translate(args);
+  if (args.command == "classify") return need(1), cmd_classify(args);
+  if (args.command == "export") return need(2), cmd_export(args);
+  if (args.command == "metrics") return need(2), cmd_metrics(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = parse(argc, argv);
   if (!args) return usage();
+  if (!args->trace.empty()) obs::Tracer::start(args->trace);
+  int rc;
   try {
-    const auto need = [&](std::size_t n) {
-      if (args->positional.size() < n)
-        throw std::runtime_error("missing arguments; see header comment for usage");
-    };
-    if (args->command == "stats") return need(1), cmd_stats(*args);
-    if (args->command == "insert-scan") return need(1), cmd_insert_scan(*args);
-    if (args->command == "generate") return need(1), cmd_generate(*args);
-    if (args->command == "compact") return need(2), cmd_compact(*args);
-    if (args->command == "faultsim") return need(2), cmd_faultsim(*args);
-    if (args->command == "baseline") return need(1), cmd_baseline(*args);
-    if (args->command == "translate") return need(2), cmd_translate(*args);
-    if (args->command == "classify") return need(1), cmd_classify(*args);
-    if (args->command == "export") return need(2), cmd_export(*args);
-    if (args->command == "metrics") return need(2), cmd_metrics(*args);
-    return usage();
+    rc = run_command(*args);
   } catch (const std::exception& e) {
     report_error(args->json, e.what());
-    return 1;
+    rc = 1;
   } catch (...) {
     // Previously this escaped main and std::terminate'd; keep the exit
     // orderly and distinguishable from ordinary errors.
     report_error(args->json, "unexpected non-standard exception");
-    return 3;
+    rc = 3;
   }
+  // Emitted even after an error: partial counter totals are still useful
+  // and the line's shape stays machine-parseable either way.
+  if (args->metrics) print_metrics_line();
+  if (!args->trace.empty()) obs::Tracer::stop_and_write();
+  return rc;
 }
