@@ -11,6 +11,9 @@
 //   --engine=E           simulation engine: compiled (default) | levelized
 //                        | event (see sim/engine.hpp)
 //   --no-cone-pruning    disable per-batch observation-cone pruning
+//   --slot-width=W       simulation slot width: 64 | 256 | 512 | auto
+//                        (default auto: widest SIMD the build and CPU
+//                        support; see sim/slot_word.hpp)
 //   --json=FILE          also write machine-readable results to FILE
 //   --circuits=A,B,C     run an explicit comma-separated subset of the suite
 //   --time-budget=SECS   suite-wide wall-clock budget (graceful degradation)
@@ -49,6 +52,7 @@ struct Args {
   XFillPolicy fill = XFillPolicy::RandomFill;
   SimEngine engine = SimEngine::Compiled;
   bool cone_pruning = true;
+  SlotWidth slot_width = SlotWidth::Auto;
   double time_budget_secs = 0;
   double per_circuit_budget_secs = 0;
   bool fail_fast = false;
@@ -75,7 +79,12 @@ inline Args parse_args(int argc, char** argv) {
         std::exit(2);
       }
     } else if (arg == "--no-cone-pruning") a.cone_pruning = false;
-    else if (arg.rfind("--circuits=", 0) == 0) {
+    else if (arg.rfind("--slot-width=", 0) == 0) {
+      if (!parse_slot_width(arg.substr(13), a.slot_width)) {
+        std::fprintf(stderr, "unknown slot width: %s (64|256|512|auto)\n", arg.c_str() + 13);
+        std::exit(2);
+      }
+    } else if (arg.rfind("--circuits=", 0) == 0) {
       std::string rest = arg.substr(11);
       std::size_t start = 0;
       while (start <= rest.size()) {
@@ -100,6 +109,7 @@ inline Args parse_args(int argc, char** argv) {
   ThreadPool::set_global_threads(a.threads);
   set_global_sim_engine(a.engine);
   set_global_cone_pruning(a.cone_pruning);
+  set_global_slot_width(a.slot_width);
   if (!a.trace.empty()) obs::Tracer::start(a.trace);
   return a;
 }
@@ -176,7 +186,7 @@ inline std::string counters_json(const obs::CounterArray& c) {
 }
 
 /// Collects per-row results and writes them as a JSON document (schema v2):
-///   { "schema_version": 2, "threads": N,
+///   { "schema_version": 2, "threads": N, "slot_width": 64|256|512,
 ///     "counters": {gate_evals, batch_skips, ...},       // process totals
 ///     "entries": [ {name, wall_ms, gate_evals, in_len, out_len, timed_out,
 ///                   "stages": [{name, wall_ms, counters: {...}}, ...]},
@@ -209,6 +219,7 @@ class BenchJson {
       std::exit(1);
     }
     out << "{\n  \"schema_version\": 2,\n  \"threads\": " << threads
+        << ",\n  \"slot_width\": " << slot_width_bits(resolved_slot_width())
         << ",\n  \"counters\": " << counters_json(obs::totals()) << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "core/uniscan.hpp"
+#include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace uniscan;
@@ -97,6 +98,24 @@ void BM_OmissionOrder(benchmark::State& state) {
   state.counters["back_to_front"] = static_cast<double>(opt.back_to_front);
 }
 BENCHMARK(BM_OmissionOrder)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/// Ablation: simulation slot width. The omission engine's batch count,
+/// checkpoint stores and fail-fast waves all shrink with wider words; the
+/// compacted sequence is bit-identical at every width.
+void BM_OmissionWidth(benchmark::State& state) {
+  Setup& s = s27();
+  set_global_slot_width(static_cast<SlotWidth>(state.range(0)));
+  std::size_t len = 0;
+  for (auto _ : state) {
+    CompactionResult r = omission_compact(s.sc.netlist, s.atpg.sequence, s.fl.faults());
+    len = r.sequence.length();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["final_len"] = static_cast<double>(len);
+  state.counters["slot_width"] = static_cast<double>(slot_width_bits(resolved_slot_width()));
+  set_global_slot_width(SlotWidth::Auto);
+}
+BENCHMARK(BM_OmissionWidth)->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 /// Ablation: omission checkpoint interval (0 = resimulate every trial from
 /// power-up). The result is bit-identical across intervals; only the work

@@ -8,6 +8,7 @@
 
 #include "core/uniscan.hpp"
 #include "obs/counters.hpp"
+#include "sim/engine.hpp"
 
 using namespace uniscan;
 
@@ -133,6 +134,64 @@ void BM_ParallelFaultSimNoObs(benchmark::State& state) {
   obs::set_enabled(true);
 }
 BENCHMARK(BM_ParallelFaultSimNoObs)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelFaultSimWidth(benchmark::State& state) {
+  // Slot-width ablation: the same run at 63, 255 and 511 faults per batch.
+  // On a plain build the wider words run portable lane loops; configure
+  // with -DUNISCAN_AVX2=ON / -DUNISCAN_AVX512=ON for the intrinsic paths
+  // (EXPERIMENTS.md records both). Arg(0) = auto (build/CPU default).
+  Setup& s = s298();
+  FaultSimulator sim(s.nl);
+  set_global_slot_width(static_cast<SlotWidth>(state.range(0)));
+  for (auto _ : state) {
+    auto records = sim.run(s.seq, s.fl.faults());
+    benchmark::DoNotOptimize(records);
+  }
+  state.counters["slot_width"] = static_cast<double>(slot_width_bits(resolved_slot_width()));
+  state.counters["fault_frames/s"] = benchmark::Counter(
+      static_cast<double>(s.fl.size() * s.seq.length()), benchmark::Counter::kIsRate);
+  set_global_slot_width(SlotWidth::Auto);
+}
+BENCHMARK(BM_ParallelFaultSimWidth)->Arg(64)->Arg(256)->Arg(512)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelFaultSimWidthLarge(benchmark::State& state) {
+  // The width ablation on a fault list an order of magnitude larger
+  // (s1423: ~3.2k collapsed faults, 50 batches at width 64 vs 13 at 256).
+  // Small circuits are fixup-bound (see EXPERIMENTS.md); this is the
+  // regime the wide words are for.
+  static Setup s("s1423", 256);
+  FaultSimulator sim(s.nl);
+  set_global_slot_width(static_cast<SlotWidth>(state.range(0)));
+  for (auto _ : state) {
+    auto records = sim.run(s.seq, s.fl.faults());
+    benchmark::DoNotOptimize(records);
+  }
+  state.counters["slot_width"] = static_cast<double>(slot_width_bits(resolved_slot_width()));
+  state.counters["fault_frames/s"] = benchmark::Counter(
+      static_cast<double>(s.fl.size() * s.seq.length()), benchmark::Counter::kIsRate);
+  set_global_slot_width(SlotWidth::Auto);
+}
+BENCHMARK(BM_ParallelFaultSimWidthLarge)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SessionAdvanceWidth(benchmark::State& state) {
+  // Session construction is untimed; the advance packs the whole fault
+  // universe into kBits-1-slot batches at the forced width.
+  Setup& s = s298();
+  set_global_slot_width(static_cast<SlotWidth>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultSimSession session(s.nl, s.fl.faults());
+    state.ResumeTiming();
+    session.advance(s.seq);
+    benchmark::DoNotOptimize(session.num_detected());
+  }
+  state.counters["slot_width"] = static_cast<double>(slot_width_bits(resolved_slot_width()));
+  set_global_slot_width(SlotWidth::Auto);
+}
+BENCHMARK(BM_SessionAdvanceWidth)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SessionAdvance(benchmark::State& state) {
   // Streaming session: cost of advancing the whole fault universe one chunk.

@@ -54,31 +54,32 @@
 namespace uniscan::detail {
 
 /// Incremental trial-erasure engine for vector omission. Holds the current
-/// selection as a keep-list, one BatchRunner per 63 must-detect faults, the
-/// per-batch detection times under the current selection, and the
-/// checkpoint store.
-template <typename Simulator>
+/// selection as a keep-list, one BatchRunnerT<Word> per kBits-1 must-detect
+/// faults, the per-batch detection times under the current selection, and
+/// the checkpoint store.
+template <typename Simulator, typename Word>
 class OmissionEngine {
  public:
   using FaultT = typename Simulator::fault_type;
-  using Runner = typename Simulator::BatchRunner;
+  using Runner = typename Simulator::template BatchRunnerT<Word>;
+  static constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
 
   OmissionEngine(const CompiledNetlist& cnl, const TestSequence& base, std::vector<FaultT> must,
                  const std::vector<std::uint32_t>& must_time, std::size_t checkpoint_interval)
       : base_(&base),
         must_(std::move(must)),
-        store_((must_.size() + 62) / 63, checkpoint_interval) {
+        store_((must_.size() + kPer - 1) / kPer, checkpoint_interval) {
     kept_.resize(base.length());
     std::iota(kept_.begin(), kept_.end(), 0);
 
-    const std::size_t num_batches = (must_.size() + 62) / 63;
+    const std::size_t num_batches = (must_.size() + kPer - 1) / kPer;
     runners_.reserve(num_batches);
     times_.resize(num_batches);
     max_time_.assign(num_batches, 0);
     trial_states_.resize(num_batches);
     for (std::size_t b = 0; b < num_batches; ++b) {
-      const std::size_t lo = b * 63;
-      const std::size_t count = std::min<std::size_t>(63, must_.size() - lo);
+      const std::size_t lo = b * kPer;
+      const std::size_t count = std::min<std::size_t>(kPer, must_.size() - lo);
       runners_.emplace_back(cnl, std::span<const FaultT>(must_.data() + lo, count));
       times_[b].fill(0);
       for (std::size_t i = 0; i < count; ++i) {
@@ -117,9 +118,9 @@ class OmissionEngine {
         std::atomic<bool> wave_pass{true};
         pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
           const std::size_t b = active_[wave + k];
-          const SimBatchState* cp = store_.best_at_or_before(b, t);
+          const SimBatchStateT<Word>* cp = store_.best_at_or_before(b, t);
           if (cp) obs::count(obs::Counter::ResimRestarts);
-          SimBatchState& s = trial_states_[b];
+          SimBatchStateT<Word>& s = trial_states_[b];
           s = cp ? *cp : runners_[b].initial_state();
           typename Runner::AdvanceOptions opt;
           opt.early_exit = true;
@@ -127,7 +128,7 @@ class OmissionEngine {
           opt.batch_index = b;
           opt.capture_limit = t;  // frames <= t equal the accepted sequence
           runners_[b].advance(s, trial, scratch_[w], opt);
-          if ((s.detected_slots & runners_[b].slot_mask()) != runners_[b].slot_mask())
+          if (!((s.detected_slots & runners_[b].slot_mask()) == runners_[b].slot_mask()))
             wave_pass.store(false, std::memory_order_relaxed);
         });
         pass = wave_pass.load(std::memory_order_relaxed);
@@ -158,20 +159,20 @@ class OmissionEngine {
   const TestSequence* base_;
   std::vector<FaultT> must_;
   std::vector<std::size_t> kept_;  // base indices of the current selection
-  CheckpointStore store_;
+  CheckpointStoreT<Word> store_;
   std::vector<Runner> runners_;
   // Per batch: first-detection frame per slot and their maximum, in current
   // selection coordinates.
-  std::vector<std::array<std::uint32_t, 64>> times_;
+  std::vector<std::array<std::uint32_t, WordTraits<Word>::kBits>> times_;
   std::vector<std::size_t> max_time_;
-  std::vector<SimBatchState> trial_states_;  // written by at most one task each
+  std::vector<SimBatchStateT<Word>> trial_states_;  // written by at most one task each
   std::vector<std::size_t> active_;
-  std::vector<std::vector<W3>> scratch_;  // per pool worker
+  std::vector<std::vector<W3T<Word>>> scratch_;  // per pool worker
 };
 
-template <typename Simulator, typename FaultT>
-CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
-                               std::span<const FaultT> faults, const OmissionOptions& options) {
+template <typename Simulator, typename FaultT, typename Word>
+CompactionResult omission_run(const Netlist& nl, const TestSequence& seq,
+                              std::span<const FaultT> faults, const OmissionOptions& options) {
   Simulator sim(nl);
   CompactionResult result;
   result.original_length = seq.length();
@@ -196,8 +197,8 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
     must_time.push_back(base[i].time);
   }
 
-  OmissionEngine<Simulator> engine(sim.compiled(), seq, std::move(must), must_time,
-                                   options.checkpoint_interval);
+  OmissionEngine<Simulator, Word> engine(sim.compiled(), seq, std::move(must), must_time,
+                                         options.checkpoint_interval);
 
   // Every committed erasure has already passed full resimulation of the
   // must-detect faults, so the selection is consistent after ANY trial —
@@ -236,6 +237,21 @@ CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
     if (final_det[i].detected && !base[i].detected) ++result.extra_detected;
   result.gate_evals = evals_scope.delta(obs::Counter::GateEvals);
   return result;
+}
+
+/// Width dispatch: the omission engine's batch granularity follows the
+/// process-wide slot width, like the simulators' one-shot entry points.
+template <typename Simulator, typename FaultT>
+CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
+                               std::span<const FaultT> faults, const OmissionOptions& options) {
+  switch (resolved_slot_width()) {
+    case SlotWidth::W256:
+      return omission_run<Simulator, FaultT, Simd256>(nl, seq, faults, options);
+    case SlotWidth::W512:
+      return omission_run<Simulator, FaultT, Simd512>(nl, seq, faults, options);
+    default:
+      return omission_run<Simulator, FaultT, std::uint64_t>(nl, seq, faults, options);
+  }
 }
 
 template <typename Simulator, typename FaultT>

@@ -75,10 +75,8 @@ class Netlist {
   /// combinational gate is 1 + max(fanin levels). Only valid after finalize().
   const std::vector<std::uint32_t>& levels() const noexcept { return levels_; }
 
-  /// Fanout list of each gate (gates that read this net).
-  /// Only valid after finalize().
-  [[deprecated("use CompiledNetlist::fanouts(), the canonical CSR adjacency")]]
-  const std::vector<std::vector<GateId>>& fanouts() const noexcept { return fanouts_; }
+  /// Fanout degree of a gate (CompiledNetlist::fanouts() is the canonical
+  /// CSR adjacency for traversal). Only valid after finalize().
   std::size_t fanout_count(GateId g) const { return fanouts_[g].size(); }
 
   /// Lookup a gate id by net name.

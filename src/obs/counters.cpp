@@ -29,6 +29,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::CancelPolls: return "cancel_polls";
     case Counter::OmissionTrials: return "omission_trials";
     case Counter::RestorationRestores: return "restoration_restores";
+    case Counter::BatchesRun: return "batches_run";
   }
   return "unknown";
 }

@@ -34,14 +34,16 @@ namespace uniscan::obs {
 
 enum class Counter : std::uint8_t {
   GateEvals = 0,        // gate-word evaluations in the fault-sim kernels
-  BatchSkips,           // dead/inactive 63-fault batches skipped unsimulated
+  BatchSkips,           // dead/inactive fault batches skipped unsimulated
   ConePruneHits,        // gate-word evaluations avoided by cone pruning
   ResimRestarts,        // omission trials resumed from a checkpoint
   CancelPolls,          // cooperative cancellation polls
   OmissionTrials,       // trial erasures attempted by omission
   RestorationRestores,  // widening restore attempts in restoration
+  BatchesRun,           // batch advances executed (a width-dependent count:
+                        // wider slot words pack more faults per batch)
 };
-inline constexpr std::size_t kNumCounters = 7;
+inline constexpr std::size_t kNumCounters = 8;
 
 /// Stable snake_case name (the bench-JSON / --metrics key).
 const char* counter_name(Counter c) noexcept;

@@ -1,17 +1,19 @@
 // Checkpointed incremental resimulation support.
 //
-// A SimBatchState is the complete resumable state of one 63-fault batch of
-// a parallel-fault simulation: the machine-pair state of every DFF, the
-// live/detected bookkeeping, and (for the transition model) the per-fault
-// launch history. Simulating frames [0, f) of a sequence and saving the
-// state, then later resuming at f, is bit-identical to simulating from
-// frame 0 — the invariant the compaction engine relies on.
+// A SimBatchStateT<Word> is the complete resumable state of one fault batch
+// (up to kBits-1 faults, one per slot of the Word) of a parallel-fault
+// simulation: the machine-pair state of every DFF, the live/detected
+// bookkeeping, and (for the transition model) the per-fault launch history.
+// Simulating frames [0, f) of a sequence and saving the state, then later
+// resuming at f, is bit-identical to simulating from frame 0 — the
+// invariant the compaction engine relies on. SimBatchState is the 64-slot
+// instantiation the good-machine paths use.
 //
-// A CheckpointStore keeps per-batch snapshots taken every `interval` frames
-// while simulating the currently accepted sequence. Erasing vector t leaves
-// frames [0, t) unchanged, so a trial restarts from the nearest snapshot at
-// frame <= t instead of frame 0; on an accepted erasure every snapshot past
-// t is dropped (the suffix shifted) and the rest stay valid.
+// A CheckpointStoreT keeps per-batch snapshots taken every `interval`
+// frames while simulating the currently accepted sequence. Erasing vector t
+// leaves frames [0, t) unchanged, so a trial restarts from the nearest
+// snapshot at frame <= t instead of frame 0; on an accepted erasure every
+// snapshot past t is dropped (the suffix shifted) and the rest stay valid.
 #pragma once
 
 #include <array>
@@ -20,26 +22,33 @@
 #include <vector>
 
 #include "sim/logic3.hpp"
+#include "sim/slot_word.hpp"
 
 namespace uniscan {
 
 /// Resumable per-batch simulation state. `frame` is the number of frames
 /// already consumed, i.e. `state` is the DFF state *entering* frame `frame`.
-struct SimBatchState {
+template <class Word>
+struct SimBatchStateT {
+  static constexpr unsigned kSlots = WordTraits<Word>::kBits;
+
   std::size_t frame = 0;
-  std::uint64_t live = 0;            // slots (bits 1..63) still being watched
-  std::uint64_t detected_slots = 0;  // slots observed at a PO at least once
-  std::vector<W3> state;             // one machine-pair word per DFF
-  std::array<std::uint32_t, 64> detect_time{};   // first observation frame
-  std::array<std::uint32_t, 64> detect_count{};  // observations (n-detect cap)
-  std::vector<V3> prev_driven;       // transition model: per-slot launch history
+  Word live{};            // slots (bits 1..kSlots-1) still being watched
+  Word detected_slots{};  // slots observed at a PO at least once
+  std::vector<W3T<Word>> state;  // one machine-pair word per DFF
+  std::array<std::uint32_t, kSlots> detect_time{};   // first observation frame
+  std::array<std::uint32_t, kSlots> detect_count{};  // observations (n-detect cap)
+  std::vector<V3> prev_driven;  // transition model: per-slot launch history
 };
 
-class CheckpointStore {
+using SimBatchState = SimBatchStateT<std::uint64_t>;
+
+template <class Word>
+class CheckpointStoreT {
  public:
   /// `num_batches` fault batches, snapshots every `interval` frames.
   /// interval == 0 disables capture (lookups always miss).
-  CheckpointStore(std::size_t num_batches, std::size_t interval)
+  CheckpointStoreT(std::size_t num_batches, std::size_t interval)
       : interval_(interval), snaps_(num_batches) {}
 
   std::size_t interval() const noexcept { return interval_; }
@@ -52,9 +61,9 @@ class CheckpointStore {
   }
 
   /// Latest snapshot of `batch` with frame <= `frame`, or nullptr.
-  const SimBatchState* best_at_or_before(std::size_t batch, std::size_t frame) const {
+  const SimBatchStateT<Word>* best_at_or_before(std::size_t batch, std::size_t frame) const {
     const auto& v = snaps_[batch];
-    const SimBatchState* best = nullptr;
+    const SimBatchStateT<Word>* best = nullptr;
     for (const auto& s : v) {
       if (s.frame > frame) break;  // ascending order
       best = &s;
@@ -65,7 +74,7 @@ class CheckpointStore {
   /// Store a snapshot (no-op if one for s.frame already exists). Snapshots
   /// for distinct batches may be saved concurrently; a single batch is only
   /// ever written by one thread at a time.
-  void save(std::size_t batch, const SimBatchState& s) {
+  void save(std::size_t batch, const SimBatchStateT<Word>& s) {
     auto& v = snaps_[batch];
     std::size_t pos = v.size();
     while (pos > 0 && v[pos - 1].frame >= s.frame) {
@@ -92,7 +101,9 @@ class CheckpointStore {
 
  private:
   std::size_t interval_;
-  std::vector<std::vector<SimBatchState>> snaps_;
+  std::vector<std::vector<SimBatchStateT<Word>>> snaps_;
 };
+
+using CheckpointStore = CheckpointStoreT<std::uint64_t>;
 
 }  // namespace uniscan

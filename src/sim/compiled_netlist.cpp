@@ -100,53 +100,13 @@ void CompiledNetlist::eval_runs_w3(std::span<const TypeRun> runs, const GateId* 
   detail::eval_type_runs<detail::W3Ops>(runs, order, fanin_off_.data(), fanin_ids_.data(), values);
 }
 
-namespace {
-
-template <typename Ops>
-typename Ops::value eval_gate_generic(GateType t, const GateId* ids, std::uint32_t lo,
-                                      std::uint32_t hi, const typename Ops::value* v) noexcept {
-  using T = typename Ops::value;
-  switch (t) {
-    case GateType::Buf: return v[ids[lo]];
-    case GateType::Not: return Ops::not_(v[ids[lo]]);
-    case GateType::And:
-    case GateType::Nand: {
-      T acc = v[ids[lo]];
-      for (std::uint32_t k = lo + 1; k < hi; ++k) acc = Ops::and_(acc, v[ids[k]]);
-      return t == GateType::Nand ? Ops::not_(acc) : acc;
-    }
-    case GateType::Or:
-    case GateType::Nor: {
-      T acc = v[ids[lo]];
-      for (std::uint32_t k = lo + 1; k < hi; ++k) acc = Ops::or_(acc, v[ids[k]]);
-      return t == GateType::Nor ? Ops::not_(acc) : acc;
-    }
-    case GateType::Xor:
-    case GateType::Xnor: {
-      T acc = v[ids[lo]];
-      for (std::uint32_t k = lo + 1; k < hi; ++k) acc = Ops::xor_(acc, v[ids[k]]);
-      return t == GateType::Xnor ? Ops::not_(acc) : acc;
-    }
-    case GateType::Mux2: return Ops::mux(v[ids[lo]], v[ids[lo + 1]], v[ids[lo + 2]]);
-    case GateType::Const0: return Ops::zero();
-    case GateType::Const1: return Ops::one();
-    case GateType::Input:
-    case GateType::Dff: break;
-  }
-  assert(false && "eval of boundary gate");
-  return Ops::zero();
-}
-
-}  // namespace
-
 V3 CompiledNetlist::eval_gate_v3_at(GateId g, const V3* values) const noexcept {
-  return eval_gate_generic<detail::V3Ops>(type_[g], fanin_ids_.data(), fanin_off_[g],
-                                          fanin_off_[g + 1], values);
+  return detail::eval_gate_generic<detail::V3Ops>(type_[g], fanin_ids_.data(), fanin_off_[g],
+                                                  fanin_off_[g + 1], values);
 }
 
 W3 CompiledNetlist::eval_gate_w3_at(GateId g, const W3* values) const noexcept {
-  return eval_gate_generic<detail::W3Ops>(type_[g], fanin_ids_.data(), fanin_off_[g],
-                                          fanin_off_[g + 1], values);
+  return eval_gate_w3t_at<std::uint64_t>(g, values);
 }
 
 BatchProgram CompiledNetlist::build_program(std::span<const GateId> sites,

@@ -12,7 +12,7 @@
 //    a whole run is evaluated by one tight loop with the gate function
 //    hoisted out of it (no per-gate switch),
 //  * a CSR fanout table (the canonical adjacency form; the nested-vector
-//    Netlist::fanouts() accessor is deprecated in its favour).
+//    per-gate vector-of-vectors Netlist accessor was removed in its favour).
 //
 // Any topological order yields the same per-net values, so re-sorting
 // within a level by type cannot change results: every engine built on the
@@ -27,12 +27,14 @@
 // observable result.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "sim/logic3.hpp"
+#include "sim/slot_word.hpp"
 
 namespace uniscan {
 
@@ -121,10 +123,18 @@ class CompiledNetlist {
   void eval_runs_v3(std::span<const TypeRun> runs, const GateId* order, V3* values) const noexcept;
   void eval_runs_w3(std::span<const TypeRun> runs, const GateId* order, W3* values) const noexcept;
 
+  /// Width-generic form of eval_runs_w3: the same type-run kernel over any
+  /// slot word (see sim/slot_word.hpp). Defined after detail::eval_type_runs.
+  template <class Word>
+  void eval_runs_w3t(std::span<const TypeRun> runs, const GateId* order,
+                     W3T<Word>* values) const noexcept;
+
   /// Generic single-gate evaluation via the CSR tables (event engine and
   /// forced-gate paths).
   V3 eval_gate_v3_at(GateId g, const V3* values) const noexcept;
   W3 eval_gate_w3_at(GateId g, const W3* values) const noexcept;
+  template <class Word>
+  W3T<Word> eval_gate_w3t_at(GateId g, const W3T<Word>* values) const noexcept;
 
   /// Compile a batch plan. `sites` are the gates where fault effects enter
   /// the circuit (the faulted gate itself, for stems and branches alike);
@@ -233,6 +243,44 @@ inline void eval_type_runs(std::span<const TypeRun> runs, const GateId* order,
   }
 }
 
+/// Single-gate evaluation over the CSR fanin arrays; the per-gate mirror of
+/// eval_type_runs, shared by the event engine and the forced-gate paths.
+template <typename Ops>
+inline typename Ops::value eval_gate_generic(GateType t, const GateId* ids, std::uint32_t lo,
+                                             std::uint32_t hi,
+                                             const typename Ops::value* v) noexcept {
+  using T = typename Ops::value;
+  switch (t) {
+    case GateType::Buf: return v[ids[lo]];
+    case GateType::Not: return Ops::not_(v[ids[lo]]);
+    case GateType::And:
+    case GateType::Nand: {
+      T acc = v[ids[lo]];
+      for (std::uint32_t k = lo + 1; k < hi; ++k) acc = Ops::and_(acc, v[ids[k]]);
+      return t == GateType::Nand ? Ops::not_(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      T acc = v[ids[lo]];
+      for (std::uint32_t k = lo + 1; k < hi; ++k) acc = Ops::or_(acc, v[ids[k]]);
+      return t == GateType::Nor ? Ops::not_(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      T acc = v[ids[lo]];
+      for (std::uint32_t k = lo + 1; k < hi; ++k) acc = Ops::xor_(acc, v[ids[k]]);
+      return t == GateType::Xnor ? Ops::not_(acc) : acc;
+    }
+    case GateType::Mux2: return Ops::mux(v[ids[lo]], v[ids[lo + 1]], v[ids[lo + 2]]);
+    case GateType::Const0: return Ops::zero();
+    case GateType::Const1: return Ops::one();
+    case GateType::Input:
+    case GateType::Dff: break;
+  }
+  assert(false && "eval of boundary gate");
+  return Ops::zero();
+}
+
 struct V3Ops {
   using value = V3;
   static V3 not_(V3 a) noexcept { return v3_not(a); }
@@ -244,17 +292,36 @@ struct V3Ops {
   static V3 one() noexcept { return V3::One; }
 };
 
-struct W3Ops {
-  using value = W3;
-  static W3 not_(W3 a) noexcept { return w3_not(a); }
-  static W3 and_(W3 a, W3 b) noexcept { return w3_and(a, b); }
-  static W3 or_(W3 a, W3 b) noexcept { return w3_or(a, b); }
-  static W3 xor_(W3 a, W3 b) noexcept { return w3_xor(a, b); }
-  static W3 mux(W3 d0, W3 d1, W3 s) noexcept { return w3_mux(d0, d1, s); }
-  static W3 zero() noexcept { return W3::all_zero(); }
-  static W3 one() noexcept { return W3::all_one(); }
+/// Logic primitives over any slot width; the uint64_t instantiation is the
+/// historical W3Ops.
+template <class Word>
+struct W3OpsT {
+  using value = W3T<Word>;
+  static value not_(value a) noexcept { return w3_not(a); }
+  static value and_(value a, value b) noexcept { return w3_and(a, b); }
+  static value or_(value a, value b) noexcept { return w3_or(a, b); }
+  static value xor_(value a, value b) noexcept { return w3_xor(a, b); }
+  static value mux(value d0, value d1, value s) noexcept { return w3_mux(d0, d1, s); }
+  static value zero() noexcept { return value::all_zero(); }
+  static value one() noexcept { return value::all_one(); }
 };
 
+using W3Ops = W3OpsT<std::uint64_t>;
+
 }  // namespace detail
+
+template <class Word>
+inline void CompiledNetlist::eval_runs_w3t(std::span<const TypeRun> runs, const GateId* order,
+                                           W3T<Word>* values) const noexcept {
+  detail::eval_type_runs<detail::W3OpsT<Word>>(runs, order, fanin_off_.data(), fanin_ids_.data(),
+                                               values);
+}
+
+template <class Word>
+inline W3T<Word> CompiledNetlist::eval_gate_w3t_at(GateId g,
+                                                   const W3T<Word>* values) const noexcept {
+  return detail::eval_gate_generic<detail::W3OpsT<Word>>(type_[g], fanin_ids_.data(),
+                                                         fanin_off_[g], fanin_off_[g + 1], values);
+}
 
 }  // namespace uniscan

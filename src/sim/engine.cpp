@@ -1,12 +1,38 @@
 #include "sim/engine.hpp"
 
 #include <atomic>
+#include <cstdlib>
 
 namespace uniscan {
 
 namespace {
 std::atomic<SimEngine> g_engine{SimEngine::Compiled};
 std::atomic<bool> g_prune{true};
+std::atomic<SlotWidth> g_width{SlotWidth::Auto};
+
+/// UNISCAN_SLOT_WIDTH override, parsed once. Auto means "no override" (both
+/// when the variable is unset and when it holds "auto" or garbage).
+SlotWidth env_slot_width() noexcept {
+  static const SlotWidth w = [] {
+    SlotWidth out = SlotWidth::Auto;
+    if (const char* e = std::getenv("UNISCAN_SLOT_WIDTH"); e && *e) parse_slot_width(e, out);
+    return out;
+  }();
+  return w;
+}
+
+/// Widest width whose SIMD path is compiled in AND supported by this CPU.
+/// Plain builds (no -mavx2/-mavx512f) resolve to 64 so default-configured
+/// runs behave exactly like the pre-width engine.
+SlotWidth auto_slot_width() noexcept {
+#if defined(__AVX512F__)
+  if (__builtin_cpu_supports("avx512f")) return SlotWidth::W512;
+#endif
+#if defined(__AVX2__)
+  if (__builtin_cpu_supports("avx2")) return SlotWidth::W256;
+#endif
+  return SlotWidth::W64;
+}
 }  // namespace
 
 void set_global_sim_engine(SimEngine e) noexcept {
@@ -37,5 +63,29 @@ std::string_view sim_engine_name(SimEngine e) noexcept {
   }
   return "?";
 }
+
+void set_global_slot_width(SlotWidth w) noexcept {
+  g_width.store(w, std::memory_order_relaxed);
+}
+
+SlotWidth global_slot_width() noexcept { return g_width.load(std::memory_order_relaxed); }
+
+SlotWidth resolved_slot_width() noexcept {
+  SlotWidth w = env_slot_width();
+  if (w == SlotWidth::Auto) w = g_width.load(std::memory_order_relaxed);
+  if (w == SlotWidth::Auto) w = auto_slot_width();
+  return w;
+}
+
+bool parse_slot_width(std::string_view name, SlotWidth& out) noexcept {
+  if (name == "64") out = SlotWidth::W64;
+  else if (name == "256") out = SlotWidth::W256;
+  else if (name == "512") out = SlotWidth::W512;
+  else if (name == "auto") out = SlotWidth::Auto;
+  else return false;
+  return true;
+}
+
+unsigned slot_width_bits(SlotWidth w) noexcept { return static_cast<unsigned>(w); }
 
 }  // namespace uniscan

@@ -39,4 +39,29 @@ bool parse_sim_engine(std::string_view name, SimEngine& out) noexcept;
 /// Printable engine name.
 std::string_view sim_engine_name(SimEngine e) noexcept;
 
+/// Slot-word width of the parallel-fault simulators: how many machines one
+/// W3T word carries (64/256/512, i.e. 63/255/511 faults per batch). Auto
+/// resolves to the widest SIMD level both compiled into this binary
+/// (-mavx2 / -mavx512f) and reported by the CPU, else 64. Like the engine
+/// selection, the width is read once at runner/session construction.
+enum class SlotWidth : std::uint16_t { Auto = 0, W64 = 64, W256 = 256, W512 = 512 };
+
+/// Select the slot width used by runners and sessions built from now on.
+/// The UNISCAN_SLOT_WIDTH environment variable (read once, at first use)
+/// overrides this setting — it exists so CI can force a width across a
+/// whole test binary without threading a flag through every harness.
+void set_global_slot_width(SlotWidth w) noexcept;
+SlotWidth global_slot_width() noexcept;
+
+/// The width runners built now would use: env override, else the configured
+/// width, with Auto resolved against the compiled-in ISA and the CPU.
+/// Never returns Auto.
+SlotWidth resolved_slot_width() noexcept;
+
+/// Parse "64" / "256" / "512" / "auto"; returns false on other input.
+bool parse_slot_width(std::string_view name, SlotWidth& out) noexcept;
+
+/// Bit width of a resolved SlotWidth (64/256/512).
+unsigned slot_width_bits(SlotWidth w) noexcept;
+
 }  // namespace uniscan

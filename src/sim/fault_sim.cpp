@@ -13,21 +13,23 @@
 namespace uniscan {
 
 // ---------------------------------------------------------------------------
-// BatchRunner
+// BatchRunnerT
 
-FaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl, std::span<const Fault> faults)
+template <class Word>
+FaultSimulator::BatchRunnerT<Word>::BatchRunnerT(const CompiledNetlist& cnl,
+                                                 std::span<const Fault> faults)
     : cnl_(&cnl), nl_(&cnl.netlist()), faults_(faults), engine_(global_sim_engine()) {
-  if (faults.size() > 63) throw std::invalid_argument("BatchRunner: batch too large");
+  if (faults.size() > kSlots - 1) throw std::invalid_argument("BatchRunner: batch too large");
   const std::size_t n = cnl.num_gates();
   stem_.assign(n, Forcing{});
   branch_head_.assign(n, -1);
 
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const Fault& f = faults[i];
-    const std::uint64_t bit = 1ULL << (i + 1);  // slot 0 is the good machine
-    slot_mask_ |= bit;
+    const unsigned slot = static_cast<unsigned>(i + 1);  // slot 0 is the good machine
+    w_set(slot_mask_, slot);
     if (f.pin == kStemPin) {
-      (f.stuck_one ? stem_[f.gate].set1 : stem_[f.gate].set0) |= bit;
+      w_set(f.stuck_one ? stem_[f.gate].set1 : stem_[f.gate].set0, slot);
     } else {
       // Per-gate intrusive chain instead of one flat list: lookup during
       // simulation is O(branches on this gate), not O(branches in batch).
@@ -40,28 +42,57 @@ FaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl, std::span<c
         idx = branch_head_[f.gate];
       }
       Forcing& force = branches_[static_cast<std::size_t>(idx)].force;
-      (f.stuck_one ? force.set1 : force.set0) |= bit;
+      w_set(f.stuck_one ? force.set1 : force.set0, slot);
     }
   }
 
   if (engine_ == SimEngine::Levelized) return;  // legacy path needs no program
 
-  // Combinational gates carrying an injection leave the tight type runs and
-  // are evaluated individually; boundary-gate stem forcing is applied while
-  // loading boundary values, DFF D-pin branch forcing while sampling.
+  // Combinational gates carrying a branch (pin) injection leave the tight
+  // type runs and are evaluated individually; a stem-only site keeps its
+  // type-run evaluation and just has the output forcing patched on
+  // afterwards (the fast path — a patch is two mask ops instead of a full
+  // per-gate re-evaluation every frame). Boundary-gate stem forcing is
+  // applied while loading boundary values, DFF D-pin branch forcing while
+  // sampling.
   std::vector<GateId> sites;
   sites.reserve(faults.size());
+  std::vector<GateId> patched;
   std::vector<std::uint8_t> mark(n, 0);
   for (const Fault& f : faults_) {
     sites.push_back(f.gate);
     if (mark[f.gate]) continue;
     mark[f.gate] = 1;
-    if (is_combinational(cnl.type(f.gate)) &&
-        (stem_[f.gate].any() || branch_head_[f.gate] >= 0))
-      forced_.push_back(f.gate);
+    if (!is_combinational(cnl.type(f.gate))) continue;
+    if (branch_head_[f.gate] >= 0) forced_.push_back(f.gate);
+    else if (stem_[f.gate].any()) patched.push_back(f.gate);
   }
 
   prog_ = cnl.build_program(sites, forced_, global_cone_pruning());
+
+  // Level-ascending merge of the two fixup streams. A fixup at level L runs
+  // after the type runs of level <= L (so a patch sees its own run-computed
+  // value, and a forced gate sees all its fanins), before any higher run.
+  std::stable_sort(patched.begin(), patched.end(),
+                   [&](GateId a, GateId b) { return cnl.level(a) < cnl.level(b); });
+  {
+    const std::size_t nf = prog_.forced_order.size();
+    std::size_t fi = 0, pi = 0;
+    constexpr auto kMax = std::numeric_limits<std::uint32_t>::max();
+    while (fi < nf || pi < patched.size()) {
+      const std::uint32_t flv = fi < nf ? prog_.forced_level[fi] : kMax;
+      const std::uint32_t plv = pi < patched.size() ? cnl.level(patched[pi]) : kMax;
+      if (plv < flv) {
+        fix_idx_.push_back(patched[pi++]);
+        fix_level_.push_back(plv);
+        fix_patch_.push_back(1);
+      } else {
+        fix_idx_.push_back(prog_.forced_order[fi++]);
+        fix_level_.push_back(flv);
+        fix_patch_.push_back(0);
+      }
+    }
+  }
 
   // Flat per-pin force tables: one Forcing per fanin pin of each forced
   // gate, identity where no branch fault sits on that pin.
@@ -76,6 +107,12 @@ FaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl, std::span<c
       pin_force_[pin_off_[k] + static_cast<std::uint32_t>(b.pin)] = b.force;
     }
   }
+  // Identity flags hoisted out of the per-frame loop: eval_forced branches
+  // on a byte instead of reducing the force masks every call.
+  pin_any_.assign(pin_force_.size(), 0);
+  for (std::size_t i = 0; i < pin_force_.size(); ++i) pin_any_[i] = pin_force_[i].any();
+  forced_stem_.assign(forced_.size(), 0);
+  for (std::size_t k = 0; k < forced_.size(); ++k) forced_stem_[k] = stem_[forced_[k]].any();
 
   dff_force_.assign(cnl.dffs().size(), Forcing{});
   for (std::size_t j = 0; j < cnl.dffs().size(); ++j) {
@@ -95,7 +132,9 @@ FaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl, std::span<c
   }
 }
 
-W3 FaultSimulator::BatchRunner::branch_force(GateId g, std::size_t pin, W3 w) const noexcept {
+template <class Word>
+W3T<Word> FaultSimulator::BatchRunnerT<Word>::branch_force(GateId g, std::size_t pin,
+                                                           W3T<Word> w) const noexcept {
   for (std::int32_t idx = branch_head_[g]; idx >= 0;
        idx = branches_[static_cast<std::size_t>(idx)].next) {
     const BranchForce& b = branches_[static_cast<std::size_t>(idx)];
@@ -104,16 +143,60 @@ W3 FaultSimulator::BatchRunner::branch_force(GateId g, std::size_t pin, W3 w) co
   return w;
 }
 
-W3 FaultSimulator::BatchRunner::eval_forced(std::size_t k, const W3* values) const noexcept {
+template <class Word>
+W3T<Word> FaultSimulator::BatchRunnerT<Word>::eval_forced(std::size_t k,
+                                                          const W3T<Word>* values) const noexcept {
+  // The hottest per-frame path after the type runs: one call per forced
+  // gate per frame, and the number of forced gates per batch grows with the
+  // slot width. Fanins stream straight into the accumulator — no staging
+  // buffer — and only pins that actually carry a branch injection pay the
+  // forcing masks (most are identity).
+  using W = W3T<Word>;
   const GateId g = forced_[k];
   const auto fan = cnl_->fanins(g);
   const Forcing* pf = pin_force_.data() + pin_off_[k];
-  W3 buf[64];
-  for (std::size_t p = 0; p < fan.size(); ++p) buf[p] = pf[p].apply(values[fan[p]]);
-  return stem_[g].apply(eval_gate_w3(cnl_->type(g), buf, fan.size()));
+  const std::uint8_t* pa = pin_any_.data() + pin_off_[k];
+  const auto in = [&](std::size_t p) noexcept {
+    const W w = values[fan[p]];
+    return pa[p] ? pf[p].apply(w) : w;
+  };
+  const GateType t = cnl_->type(g);
+  W out;
+  switch (t) {
+    case GateType::Buf: out = in(0); break;
+    case GateType::Not: out = w3_not(in(0)); break;
+    case GateType::And:
+    case GateType::Nand: {
+      W acc = in(0);
+      for (std::size_t p = 1; p < fan.size(); ++p) acc = w3_and(acc, in(p));
+      out = t == GateType::Nand ? w3_not(acc) : acc;
+      break;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      W acc = in(0);
+      for (std::size_t p = 1; p < fan.size(); ++p) acc = w3_or(acc, in(p));
+      out = t == GateType::Nor ? w3_not(acc) : acc;
+      break;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      W acc = in(0);
+      for (std::size_t p = 1; p < fan.size(); ++p) acc = w3_xor(acc, in(p));
+      out = t == GateType::Xnor ? w3_not(acc) : acc;
+      break;
+    }
+    case GateType::Mux2: out = w3_mux(in(0), in(1), in(2)); break;
+    case GateType::Const0: out = W::all_zero(); break;
+    case GateType::Const1: out = W::all_one(); break;
+    case GateType::Input:
+    case GateType::Dff: out = W::all_x(); break;  // forced gates are combinational
+  }
+  return forced_stem_[k] ? stem_[g].apply(out) : out;
 }
 
-void FaultSimulator::BatchRunner::enqueue_fanouts(GateId g) const {
+template <class Word>
+void FaultSimulator::BatchRunnerT<Word>::enqueue_fanouts(GateId g) const {
   for (const GateId fo : cnl_->fanouts(g)) {
     if (!is_combinational(cnl_->type(fo))) continue;  // DFFs sampled at frame end
     if (!in_plan_[fo] || queued_[fo]) continue;
@@ -122,16 +205,18 @@ void FaultSimulator::BatchRunner::enqueue_fanouts(GateId g) const {
   }
 }
 
-SimBatchState FaultSimulator::BatchRunner::initial_state() const {
-  SimBatchState s;
+template <class Word>
+SimBatchStateT<Word> FaultSimulator::BatchRunnerT<Word>::initial_state() const {
+  State s;
   s.live = slot_mask_;
-  s.state.assign(nl_->num_dffs(), W3::all_x());
+  s.state.assign(nl_->num_dffs(), W3T<Word>::all_x());
   return s;
 }
 
-std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const SequenceView& view,
-                                                   std::vector<W3>& values,
-                                                   const AdvanceOptions& opt) const {
+template <class Word>
+std::uint64_t FaultSimulator::BatchRunnerT<Word>::advance(State& s, const SequenceView& view,
+                                                          std::vector<W3T<Word>>& values,
+                                                          const AdvanceOptions& opt) const {
   const std::size_t start_frame = s.frame;
   const std::uint64_t evals = engine_ == SimEngine::Levelized
                                   ? advance_levelized(s, view, values, opt)
@@ -142,6 +227,7 @@ std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const Seque
   // evaluations the pruned program avoided versus the full evaluation order
   // over the frames actually entered (s.frame advanced past them both on
   // completion and on early exit).
+  obs::count(obs::Counter::BatchesRun, 1);
   obs::count(obs::Counter::GateEvals, evals);
   if (prog_.pruned) {
     const std::uint64_t frames = s.frame - start_frame;
@@ -152,10 +238,52 @@ std::uint64_t FaultSimulator::BatchRunner::advance(SimBatchState& s, const Seque
   return evals;
 }
 
-std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
-                                                          const SequenceView& view,
-                                                          std::vector<W3>& values,
-                                                          const AdvanceOptions& opt) const {
+namespace {
+
+/// Shared detection bookkeeping: fold the slots of `observed` (already
+/// masked to live slots) into the batch state at frame `t`, dropping each
+/// slot from `live` once it reaches `count_cap` observations.
+template <class Word, class StateT>
+inline void record_detections(StateT& s, const Word& observed, std::size_t t,
+                              std::uint32_t count_cap) noexcept {
+  w_for_each_set(observed, [&](unsigned slot) {
+    if (!w_test(s.detected_slots, slot)) {
+      w_set(s.detected_slots, slot);
+      s.detect_time[slot] = static_cast<std::uint32_t>(t);
+    }
+    if (++s.detect_count[slot] >= count_cap) w_clear(s.live, slot);
+  });
+}
+
+/// Shared latch bookkeeping: slots of `w` (a DFF machine-pair entering frame
+/// t+1) whose known value opposes the known good value get recorded, keeping
+/// the occurrence deepest in the chain (fewest flush shifts).
+template <class Word>
+inline void record_latches(const W3T<Word>& w, std::size_t j, std::size_t t,
+                           std::span<LatchRecord> latched) noexcept {
+  const bool good0 = w_bit0(w.v0);
+  const bool good1 = w_bit0(w.v1);
+  Word diff{};
+  if (good1) diff = w.v0;
+  else if (good0) diff = w.v1;
+  w_clear(diff, 0);
+  w_for_each_set(diff, [&](unsigned slot) {
+    LatchRecord& lr = latched[slot - 1];
+    if (!lr.latched || j >= lr.ff_index) {
+      lr.latched = true;
+      lr.ff_index = static_cast<std::uint32_t>(j);
+      lr.time = static_cast<std::uint32_t>(t);
+    }
+  });
+}
+
+}  // namespace
+
+template <class Word>
+std::uint64_t FaultSimulator::BatchRunnerT<Word>::advance_kernel(
+    State& s, const SequenceView& view, std::vector<W3T<Word>>& values,
+    const AdvanceOptions& opt) const {
+  using W = W3T<Word>;
   const CompiledNetlist& cnl = *cnl_;
   values.resize(cnl.num_gates());
   const auto& inputs = cnl.inputs();
@@ -180,35 +308,41 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
       // Boundary values (with stem forcing on PIs and sampled DFF outputs).
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         const GateId pi = inputs[i];
-        values[pi] = stem_[pi].apply(W3::broadcast(vec[i]));
+        values[pi] = stem_[pi].apply(W::broadcast(vec[i]));
       }
       for (const std::uint32_t j : prog_.samp_dff) {
         const GateId ff = dffs[j];
         values[ff] = stem_[ff].apply(s.state[j]);
       }
 
-      // Type runs and individually-forced gates, interleaved level-major:
-      // a forced gate at level L evaluates after the runs of level <= L and
-      // before any run of a higher level (no combinational edges within a
-      // level, so the relative order inside a level is free).
+      // Type runs and fixups (individually-forced gates + stem patches),
+      // interleaved level-major: a fixup at level L runs after the runs of
+      // level <= L and before any run of a higher level (no combinational
+      // edges within a level, so the relative order inside a level is free).
       std::size_t fi = 0, ri = 0;
-      const std::size_t nf = prog_.forced_order.size();
+      const std::size_t nf = fix_idx_.size();
       const std::size_t nr = prog_.runs.size();
       while (ri < nr || fi < nf) {
         const std::uint32_t fl =
-            fi < nf ? prog_.forced_level[fi] : std::numeric_limits<std::uint32_t>::max();
+            fi < nf ? fix_level_[fi] : std::numeric_limits<std::uint32_t>::max();
         std::size_t rj = ri;
         while (rj < nr && prog_.runs[rj].level <= fl) ++rj;
         if (rj > ri) {
-          cnl.eval_runs_w3(std::span<const TypeRun>(prog_.runs.data() + ri, rj - ri),
-                           prog_.eval.data(), values.data());
+          cnl.eval_runs_w3t<Word>(std::span<const TypeRun>(prog_.runs.data() + ri, rj - ri),
+                                  prog_.eval.data(), values.data());
           ri = rj;
         }
         const std::uint32_t rl =
             ri < nr ? prog_.runs[ri].level : std::numeric_limits<std::uint32_t>::max();
-        while (fi < nf && prog_.forced_level[fi] < rl) {
-          const std::size_t k = prog_.forced_order[fi++];
-          values[forced_[k]] = eval_forced(k, values.data());
+        while (fi < nf && fix_level_[fi] < rl) {
+          if (fix_patch_[fi]) {
+            const GateId g = fix_idx_[fi];
+            values[g] = stem_[g].apply(values[g]);
+          } else {
+            const std::size_t k = fix_idx_[fi];
+            values[forced_[k]] = eval_forced(k, values.data());
+          }
+          ++fi;
         }
       }
       evals += prog_.evals_per_frame;
@@ -218,7 +352,7 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
       // (post-injection) output — forced gates need no special treatment.
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         const GateId pi = inputs[i];
-        const W3 w = stem_[pi].apply(W3::broadcast(vec[i]));
+        const W w = stem_[pi].apply(W::broadcast(vec[i]));
         if (!(w == values[pi])) {
           values[pi] = w;
           enqueue_fanouts(pi);
@@ -226,7 +360,7 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
       }
       for (const std::uint32_t j : prog_.samp_dff) {
         const GateId ff = dffs[j];
-        const W3 w = stem_[ff].apply(s.state[j]);
+        const W w = stem_[ff].apply(s.state[j]);
         if (!(w == values[ff])) {
           values[ff] = w;
           enqueue_fanouts(ff);
@@ -238,10 +372,10 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
           const GateId g = bucket[k];
           queued_[g] = 0;
           ++evals;
-          W3 w;
+          W w;
           if (branch_head_[g] >= 0 || stem_[g].any()) {
             const auto fan = cnl.fanins(g);
-            W3 buf[64];
+            W buf[64];
             if (branch_head_[g] >= 0) {
               for (std::size_t p = 0; p < fan.size(); ++p)
                 buf[p] = branch_force(g, p, values[fan[p]]);
@@ -250,7 +384,7 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
             }
             w = stem_[g].apply(eval_gate_w3(cnl.type(g), buf, fan.size()));
           } else {
-            w = cnl.eval_gate_w3_at(g, values.data());
+            w = cnl.eval_gate_w3t_at<Word>(g, values.data());
           }
           if (!(w == values[g])) {
             values[g] = w;
@@ -264,32 +398,24 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
     // Detection at the batch's observable primary outputs. A frame
     // contributes at most one count per fault even if several outputs
     // expose it.
-    std::uint64_t observed_this_frame = 0;
+    Word observed_this_frame{};
     for (const GateId po : prog_.obs_po) {
-      const W3 w = values[po];
-      const bool good0 = (w.v0 & 1) != 0;
-      const bool good1 = (w.v1 & 1) != 0;
-      if (good1) observed_this_frame |= w.v0 & s.live;
-      else if (good0) observed_this_frame |= w.v1 & s.live;
+      const W w = values[po];
+      const bool good0 = w_bit0(w.v0);
+      const bool good1 = w_bit0(w.v1);
+      if (good1) observed_this_frame = observed_this_frame | (w.v0 & s.live);
+      else if (good0) observed_this_frame = observed_this_frame | (w.v1 & s.live);
     }
-    while (observed_this_frame) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(observed_this_frame));
-      observed_this_frame &= observed_this_frame - 1;
-      if (!(s.detected_slots & (1ULL << slot))) {
-        s.detected_slots |= 1ULL << slot;
-        s.detect_time[slot] = static_cast<std::uint32_t>(t);
-      }
-      if (++s.detect_count[slot] >= opt.count_cap) s.live &= ~(1ULL << slot);
-    }
+    record_detections(s, observed_this_frame, t, opt.count_cap);
 
-    if (opt.early_exit && s.live == 0) {
+    if (opt.early_exit && !w_any(s.live)) {
       s.frame = t + 1;  // state was not clocked into frame t+1 — see header
       return evals;
     }
 
     // Next state of the sampled DFFs (with branch forcing on D pins).
     for (const std::uint32_t j : prog_.samp_dff) {
-      W3 d = values[dff_d[j]];
+      W d = values[dff_d[j]];
       const Forcing& f = dff_force_[j];
       if (f.any()) d = f.apply(d);
       s.state[j] = d;
@@ -299,26 +425,8 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
     // (known vs opposite known) from the good machine in the state entering
     // frame t+1.
     if (!opt.latched.empty()) {
-      for (const std::uint32_t j : prog_.latch_dff) {
-        const W3 w = s.state[j];
-        const bool good0 = (w.v0 & 1) != 0;
-        const bool good1 = (w.v1 & 1) != 0;
-        std::uint64_t diff = 0;
-        if (good1) diff = w.v0;
-        else if (good0) diff = w.v1;
-        diff &= ~1ULL;
-        while (diff) {
-          const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
-          diff &= diff - 1;
-          LatchRecord& lr = opt.latched[slot - 1];
-          // Keep the occurrence deepest in the chain (fewest flush shifts).
-          if (!lr.latched || j >= lr.ff_index) {
-            lr.latched = true;
-            lr.ff_index = j;
-            lr.time = static_cast<std::uint32_t>(t);
-          }
-        }
-      }
+      for (const std::uint32_t j : prog_.latch_dff)
+        record_latches(s.state[j], j, t, opt.latched);
     }
   }
 
@@ -326,14 +434,15 @@ std::uint64_t FaultSimulator::BatchRunner::advance_kernel(SimBatchState& s,
   return evals;
 }
 
-std::uint64_t FaultSimulator::BatchRunner::advance_levelized(SimBatchState& s,
-                                                             const SequenceView& view,
-                                                             std::vector<W3>& values,
-                                                             const AdvanceOptions& opt) const {
+template <class Word>
+std::uint64_t FaultSimulator::BatchRunnerT<Word>::advance_levelized(
+    State& s, const SequenceView& view, std::vector<W3T<Word>>& values,
+    const AdvanceOptions& opt) const {
+  using W = W3T<Word>;
   const Netlist& nl = *nl_;
   values.resize(nl.num_gates());
   std::uint64_t frames = 0;
-  W3 fanin_buf[64];
+  W fanin_buf[64];
 
   for (std::size_t t = s.frame; t < view.length(); ++t) {
     if (opt.checkpoints && t <= opt.capture_limit && opt.checkpoints->want(t)) {
@@ -345,7 +454,7 @@ std::uint64_t FaultSimulator::BatchRunner::advance_levelized(SimBatchState& s,
     const auto& vec = view.vector_at(t);
     for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
       const GateId pi = nl.inputs()[i];
-      values[pi] = stem_[pi].apply(W3::broadcast(vec[i]));
+      values[pi] = stem_[pi].apply(W::broadcast(vec[i]));
     }
     for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
       const GateId ff = nl.dffs()[j];
@@ -369,25 +478,17 @@ std::uint64_t FaultSimulator::BatchRunner::advance_levelized(SimBatchState& s,
 
     // Detection at primary outputs. A frame contributes at most one count
     // per fault even if several outputs expose it.
-    std::uint64_t observed_this_frame = 0;
+    Word observed_this_frame{};
     for (GateId po : nl.outputs()) {
-      const W3 w = values[po];
-      const bool good0 = (w.v0 & 1) != 0;
-      const bool good1 = (w.v1 & 1) != 0;
-      if (good1) observed_this_frame |= w.v0 & s.live;
-      else if (good0) observed_this_frame |= w.v1 & s.live;
+      const W w = values[po];
+      const bool good0 = w_bit0(w.v0);
+      const bool good1 = w_bit0(w.v1);
+      if (good1) observed_this_frame = observed_this_frame | (w.v0 & s.live);
+      else if (good0) observed_this_frame = observed_this_frame | (w.v1 & s.live);
     }
-    while (observed_this_frame) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(observed_this_frame));
-      observed_this_frame &= observed_this_frame - 1;
-      if (!(s.detected_slots & (1ULL << slot))) {
-        s.detected_slots |= 1ULL << slot;
-        s.detect_time[slot] = static_cast<std::uint32_t>(t);
-      }
-      if (++s.detect_count[slot] >= opt.count_cap) s.live &= ~(1ULL << slot);
-    }
+    record_detections(s, observed_this_frame, t, opt.count_cap);
 
-    if (opt.early_exit && s.live == 0) {
+    if (opt.early_exit && !w_any(s.live)) {
       s.frame = t + 1;  // state was not clocked into frame t+1 — see header
       return frames * nl.topo_order().size();
     }
@@ -395,7 +496,7 @@ std::uint64_t FaultSimulator::BatchRunner::advance_levelized(SimBatchState& s,
     // Next state (with branch forcing on DFF D pins).
     for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
       const GateId ff = nl.dffs()[j];
-      W3 d = values[nl.gate(ff).fanins[0]];
+      W d = values[nl.gate(ff).fanins[0]];
       if (branch_head_[ff] >= 0) d = branch_force(ff, 0, d);
       s.state[j] = d;
     }
@@ -403,26 +504,8 @@ std::uint64_t FaultSimulator::BatchRunner::advance_levelized(SimBatchState& s,
     // Latched fault effects: faulty slot differs (known vs opposite known)
     // from the good machine in the state entering frame t+1.
     if (!opt.latched.empty()) {
-      for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
-        const W3 w = s.state[j];
-        const bool good0 = (w.v0 & 1) != 0;
-        const bool good1 = (w.v1 & 1) != 0;
-        std::uint64_t diff = 0;
-        if (good1) diff = w.v0;
-        else if (good0) diff = w.v1;
-        diff &= ~1ULL;
-        while (diff) {
-          const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
-          diff &= diff - 1;
-          LatchRecord& lr = opt.latched[slot - 1];
-          // Keep the occurrence deepest in the chain (fewest flush shifts).
-          if (!lr.latched || j >= lr.ff_index) {
-            lr.latched = true;
-            lr.ff_index = static_cast<std::uint32_t>(j);
-            lr.time = static_cast<std::uint32_t>(t);
-          }
-        }
-      }
+      for (std::size_t j = 0; j < nl.num_dffs(); ++j)
+        record_latches(s.state[j], j, t, opt.latched);
     }
   }
 
@@ -430,13 +513,18 @@ std::uint64_t FaultSimulator::BatchRunner::advance_levelized(SimBatchState& s,
   return frames * nl.topo_order().size();
 }
 
+template class FaultSimulator::BatchRunnerT<std::uint64_t>;
+template class FaultSimulator::BatchRunnerT<Simd256>;
+template class FaultSimulator::BatchRunnerT<Simd512>;
+
 // ---------------------------------------------------------------------------
 // FaultSimulator
 
 FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {}
 
-std::vector<W3>& FaultSimulator::scratch_for(std::size_t worker) const {
-  return scratch_[worker];
+template <class Word>
+std::vector<W3T<Word>>& FaultSimulator::scratch_for(std::size_t worker) const {
+  return scratch_[worker].get<Word>();
 }
 
 std::vector<DetectionRecord> FaultSimulator::run(const TestSequence& seq,
@@ -448,24 +536,36 @@ std::vector<DetectionRecord> FaultSimulator::run(const TestSequence& seq,
 std::vector<DetectionRecord> FaultSimulator::run(const SequenceView& view,
                                                  std::span<const Fault> faults,
                                                  std::vector<LatchRecord>* latched) const {
+  switch (resolved_slot_width()) {
+    case SlotWidth::W256: return run_impl<Simd256>(view, faults, latched);
+    case SlotWidth::W512: return run_impl<Simd512>(view, faults, latched);
+    default: return run_impl<std::uint64_t>(view, faults, latched);
+  }
+}
+
+template <class Word>
+std::vector<DetectionRecord> FaultSimulator::run_impl(const SequenceView& view,
+                                                      std::span<const Fault> faults,
+                                                      std::vector<LatchRecord>* latched) const {
+  constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
   std::vector<DetectionRecord> out(faults.size());
   if (latched) latched->assign(faults.size(), LatchRecord{});
 
-  const std::size_t num_batches = (faults.size() + 62) / 63;
+  const std::size_t num_batches = (faults.size() + kPer - 1) / kPer;
   ThreadPool& pool = ThreadPool::global();
   if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
-    const std::size_t base = b * 63;
-    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(compiled_, faults.subspan(base, count));
-    SimBatchState s = runner.initial_state();
-    BatchRunner::AdvanceOptions opt;
+    const std::size_t base = b * kPer;
+    const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
+    BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+    SimBatchStateT<Word> s = runner.initial_state();
+    typename BatchRunnerT<Word>::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
     if (latched) opt.latched = std::span<LatchRecord>(latched->data() + base, count);
-    runner.advance(s, view, scratch_for(w), opt);
+    runner.advance(s, view, scratch_for<Word>(w), opt);
     for (std::size_t i = 0; i < count; ++i) {
       const unsigned slot = static_cast<unsigned>(i + 1);
-      if (s.detected_slots & (1ULL << slot)) {
+      if (w_test(s.detected_slots, slot)) {
         out[base + i].detected = true;
         out[base + i].time = s.detect_time[slot];
       }
@@ -479,7 +579,18 @@ bool FaultSimulator::detects_all(const TestSequence& seq, std::span<const Fault>
 }
 
 bool FaultSimulator::detects_all(const SequenceView& view, std::span<const Fault> faults) const {
-  const std::size_t num_batches = (faults.size() + 62) / 63;
+  switch (resolved_slot_width()) {
+    case SlotWidth::W256: return detects_all_impl<Simd256>(view, faults);
+    case SlotWidth::W512: return detects_all_impl<Simd512>(view, faults);
+    default: return detects_all_impl<std::uint64_t>(view, faults);
+  }
+}
+
+template <class Word>
+bool FaultSimulator::detects_all_impl(const SequenceView& view,
+                                      std::span<const Fault> faults) const {
+  constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
+  const std::size_t num_batches = (faults.size() + kPer - 1) / kPer;
   ThreadPool& pool = ThreadPool::global();
   if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
   // Deterministic wave-scheduled fail-fast (DESIGN.md §5g): batches run in
@@ -493,12 +604,12 @@ bool FaultSimulator::detects_all(const SequenceView& view, std::span<const Fault
     const std::size_t n = std::min(kFailFastWave, num_batches - wave);
     std::atomic<bool> wave_ok{true};
     pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
-      const std::size_t base = (wave + k) * 63;
-      const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-      BatchRunner runner(compiled_, faults.subspan(base, count));
-      SimBatchState s = runner.initial_state();
-      runner.advance(s, view, scratch_for(w), {});
-      if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
+      const std::size_t base = (wave + k) * kPer;
+      const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
+      BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+      SimBatchStateT<Word> s = runner.initial_state();
+      runner.advance(s, view, scratch_for<Word>(w), {});
+      if (!((s.detected_slots & runner.slot_mask()) == runner.slot_mask()))
         wave_ok.store(false, std::memory_order_relaxed);
     });
     ok = wave_ok.load(std::memory_order_relaxed);
@@ -515,19 +626,31 @@ std::vector<std::uint32_t> FaultSimulator::run_counts(const TestSequence& seq,
 std::vector<std::uint32_t> FaultSimulator::run_counts(const SequenceView& view,
                                                       std::span<const Fault> faults,
                                                       std::uint32_t cap) const {
+  switch (resolved_slot_width()) {
+    case SlotWidth::W256: return run_counts_impl<Simd256>(view, faults, cap);
+    case SlotWidth::W512: return run_counts_impl<Simd512>(view, faults, cap);
+    default: return run_counts_impl<std::uint64_t>(view, faults, cap);
+  }
+}
+
+template <class Word>
+std::vector<std::uint32_t> FaultSimulator::run_counts_impl(const SequenceView& view,
+                                                           std::span<const Fault> faults,
+                                                           std::uint32_t cap) const {
+  constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
   std::vector<std::uint32_t> counts(faults.size(), 0);
   if (cap == 0) return counts;
-  const std::size_t num_batches = (faults.size() + 62) / 63;
+  const std::size_t num_batches = (faults.size() + kPer - 1) / kPer;
   ThreadPool& pool = ThreadPool::global();
   if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
-    const std::size_t base = b * 63;
-    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(compiled_, faults.subspan(base, count));
-    SimBatchState s = runner.initial_state();
-    BatchRunner::AdvanceOptions opt;
+    const std::size_t base = b * kPer;
+    const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
+    BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+    SimBatchStateT<Word> s = runner.initial_state();
+    typename BatchRunnerT<Word>::AdvanceOptions opt;
     opt.count_cap = cap;
-    runner.advance(s, view, scratch_for(w), opt);
+    runner.advance(s, view, scratch_for<Word>(w), opt);
     for (std::size_t i = 0; i < count; ++i) counts[base + i] = s.detect_count[i + 1];
   });
   return counts;

@@ -1,10 +1,12 @@
 // Parallel-fault sequential fault simulation (PROOFS-style).
 //
-// Faults are processed in batches of 63: bit slot 0 of every W3 word carries
-// the good machine, slots 1..63 carry one faulty machine each. All machines
-// see the same primary-input vectors; fault effects are injected by forcing
-// the faulted line's value in the corresponding slot. Simulation starts from
-// the all-X power-up state and runs the full sequence.
+// Faults are processed in batches of kBits-1 machines, where kBits is the
+// slot-word width (64, 256 or 512 — see sim/slot_word.hpp): bit slot 0 of
+// every W3T word carries the good machine, slots 1..kBits-1 carry one faulty
+// machine each. All machines see the same primary-input vectors; fault
+// effects are injected by forcing the faulted line's value in the
+// corresponding slot. Simulation starts from the all-X power-up state and
+// runs the full sequence.
 //
 // A fault is *detected* at frame t if some primary output has a known good
 // value and the opposite known value in the fault's slot. The simulator can
@@ -12,19 +14,22 @@
 // the hook used by the paper's Section-2 functional scan knowledge.
 //
 // Two layers:
-//  * BatchRunner — the incremental engine for one <=63-fault batch over the
-//    CompiledNetlist kernel. The injection tables (stem forcing per gate,
-//    per-pin force tables for branch faults) and the batch's evaluation
-//    program — including the observation-cone pruning that skips gates no
-//    fault of the batch can reach — are built once; advance() resumes a
-//    SimBatchState at any frame (checkpoint restarts) over a copy-free
-//    SequenceView, and the net-value scratch is caller-provided so
-//    independent batches can run on different threads. The advance engine
-//    (compiled / levelized / event, see sim/engine.hpp) is latched from the
-//    process-wide setting at construction; all three produce bit-identical
-//    detections, latch records and sampled states.
+//  * BatchRunnerT<Word> — the incremental engine for one batch of up to
+//    kBits-1 faults over the CompiledNetlist kernel. The injection tables
+//    (stem forcing per gate, per-pin force tables for branch faults) and the
+//    batch's evaluation program — including the observation-cone pruning
+//    that skips gates no fault of the batch can reach — are built once;
+//    advance() resumes a SimBatchStateT at any frame (checkpoint restarts)
+//    over a copy-free SequenceView, and the net-value scratch is
+//    caller-provided so independent batches can run on different threads.
+//    The advance engine (compiled / levelized / event, see sim/engine.hpp)
+//    is latched from the process-wide setting at construction; all three
+//    produce bit-identical detections, latch records and sampled states —
+//    and so do all three widths, because batches never interact and every
+//    per-fault result is a pure function of that fault's slot.
 //  * FaultSimulator — the one-shot API (run / detects_all / run_counts),
-//    fanning its independent batches across ThreadPool::global().
+//    fanning its independent batches across ThreadPool::global() at the
+//    process-wide slot width (resolved_slot_width(), read per call).
 //    Results are bit-identical for every thread count: each batch writes
 //    only its own output slots and batches never interact.
 #pragma once
@@ -32,6 +37,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -42,6 +48,7 @@
 #include "sim/logic3.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequence_view.hpp"
+#include "sim/slot_word.hpp"
 
 namespace uniscan {
 
@@ -85,7 +92,7 @@ class FaultSimulator {
                                    std::vector<LatchRecord>* latched = nullptr) const;
 
   /// True iff `seq` detects every fault in `faults`. Early-exits both within
-  /// a batch (all 63 detected) and across batches (a miss stops scheduling
+  /// a batch (all slots detected) and across batches (a miss stops scheduling
   /// further kFailFastWave-sized waves — deterministic at any thread count).
   bool detects_all(const TestSequence& seq, std::span<const Fault> faults) const;
   bool detects_all(const SequenceView& view, std::span<const Fault> faults) const;
@@ -102,17 +109,22 @@ class FaultSimulator {
   std::vector<std::uint32_t> run_counts(const SequenceView& view, std::span<const Fault> faults,
                                         std::uint32_t cap) const;
 
-  /// Incremental engine for one batch of up to 63 faults. The injection
-  /// tables and the batch program are built once at construction; advance()
-  /// is allocation-free. A runner may be shared across trials but is used by
-  /// one thread at a time.
-  class BatchRunner {
+  /// Incremental engine for one batch of up to kSlots-1 faults. The
+  /// injection tables and the batch program are built once at construction;
+  /// advance() is allocation-free. A runner may be shared across trials but
+  /// is used by one thread at a time. Instantiated for std::uint64_t,
+  /// Simd256 and Simd512 (explicit instantiations in fault_sim.cpp).
+  template <class Word>
+  class BatchRunnerT {
    public:
-    BatchRunner(const CompiledNetlist& cnl, std::span<const Fault> faults);
+    static constexpr unsigned kSlots = WordTraits<Word>::kBits;
+    using State = SimBatchStateT<Word>;
+
+    BatchRunnerT(const CompiledNetlist& cnl, std::span<const Fault> faults);
 
     std::span<const Fault> faults() const noexcept { return faults_; }
     /// Bits 1..faults().size() — the slots this batch must detect.
-    std::uint64_t slot_mask() const noexcept { return slot_mask_; }
+    Word slot_mask() const noexcept { return slot_mask_; }
 
     /// Engine latched at construction from the process-wide setting.
     SimEngine engine() const noexcept { return engine_; }
@@ -127,7 +139,7 @@ class FaultSimulator {
     }
 
     /// All-X power-up state with every fault slot live.
-    SimBatchState initial_state() const;
+    State initial_state() const;
 
     struct AdvanceOptions {
       bool early_exit = true;      // stop once no slot is live
@@ -135,7 +147,7 @@ class FaultSimulator {
       std::span<LatchRecord> latched = {};  // one record per batch fault
       // Checkpoint capture: while simulating frames f <= capture_limit,
       // snapshot the state entering f whenever checkpoints->want(f).
-      CheckpointStore* checkpoints = nullptr;
+      CheckpointStoreT<Word>* checkpoints = nullptr;
       std::size_t batch_index = 0;
       std::size_t capture_limit = 0;
     };
@@ -146,20 +158,20 @@ class FaultSimulator {
     /// After an early exit, only the detection fields of `s` are
     /// meaningful; a state intended for later resumption must come from a
     /// checkpoint or a non-early-exit run.
-    std::uint64_t advance(SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+    std::uint64_t advance(State& s, const SequenceView& view, std::vector<W3T<Word>>& values,
                           const AdvanceOptions& opt) const;
 
    private:
     /// Slot-forcing masks for fault injection. Slots listed in set0 are
     /// forced to 0, slots in set1 to 1; set0 & set1 == 0.
     struct Forcing {
-      std::uint64_t set0 = 0;
-      std::uint64_t set1 = 0;
+      Word set0{};
+      Word set1{};
 
-      bool any() const noexcept { return (set0 | set1) != 0; }
-      W3 apply(W3 w) const noexcept {
-        const std::uint64_t touched = set0 | set1;
-        return W3{(w.v0 & ~touched) | set0, (w.v1 & ~touched) | set1};
+      bool any() const noexcept { return w_any(set0 | set1); }
+      W3T<Word> apply(W3T<Word> w) const noexcept {
+        const Word touched = set0 | set1;
+        return W3T<Word>{(w.v0 & ~touched) | set0, (w.v1 & ~touched) | set1};
       }
     };
     struct BranchForce {
@@ -168,30 +180,45 @@ class FaultSimulator {
       Forcing force;
     };
 
-    W3 branch_force(GateId g, std::size_t pin, W3 w) const noexcept;
-    W3 eval_forced(std::size_t k, const W3* values) const noexcept;
+    W3T<Word> branch_force(GateId g, std::size_t pin, W3T<Word> w) const noexcept;
+    // Hot: one call per forced gate per frame from advance_kernel's fixup
+    // loop; inlined there so the wide words never bounce through a
+    // by-hidden-pointer return.
+    [[gnu::always_inline]]
+    W3T<Word> eval_forced(std::size_t k, const W3T<Word>* values) const noexcept;
     void enqueue_fanouts(GateId g) const;
-    std::uint64_t advance_levelized(SimBatchState& s, const SequenceView& view,
-                                    std::vector<W3>& values, const AdvanceOptions& opt) const;
-    std::uint64_t advance_kernel(SimBatchState& s, const SequenceView& view,
-                                 std::vector<W3>& values, const AdvanceOptions& opt) const;
+    std::uint64_t advance_levelized(State& s, const SequenceView& view,
+                                    std::vector<W3T<Word>>& values,
+                                    const AdvanceOptions& opt) const;
+    std::uint64_t advance_kernel(State& s, const SequenceView& view,
+                                 std::vector<W3T<Word>>& values,
+                                 const AdvanceOptions& opt) const;
 
     const CompiledNetlist* cnl_;
     const Netlist* nl_;
     std::span<const Fault> faults_;
-    std::uint64_t slot_mask_ = 0;
+    Word slot_mask_{};
     SimEngine engine_;
     std::vector<Forcing> stem_;             // indexed by gate
     std::vector<std::int32_t> branch_head_; // per gate: first branch entry or -1
     std::vector<BranchForce> branches_;
 
     // Compiled/event program: cone-pruned evaluation plan, the comb gates
-    // with an injection (evaluated individually via flat per-pin force
-    // tables), and dense pin-0 forcing for DFF D inputs.
+    // with a branch (pin) injection (evaluated individually via flat
+    // per-pin force tables), and dense pin-0 forcing for DFF D inputs.
+    // Stem-only sites stay inside the type runs; their output forcing is a
+    // post-run patch. fix_* is the level-ascending merge of both fixup
+    // streams the kernel walks between type runs: fix_idx_[i] is a patch
+    // gate id when fix_patch_[i], else an index into forced_.
     BatchProgram prog_;
     std::vector<GateId> forced_;
+    std::vector<std::uint32_t> fix_idx_;
+    std::vector<std::uint32_t> fix_level_;
+    std::vector<std::uint8_t> fix_patch_;
     std::vector<std::uint32_t> pin_off_;    // CSR offsets into pin_force_
     std::vector<Forcing> pin_force_;
+    std::vector<std::uint8_t> pin_any_;     // parallel to pin_force_: force.any()
+    std::vector<std::uint8_t> forced_stem_; // parallel to forced_: stem_[g].any()
     std::vector<Forcing> dff_force_;        // indexed by DFF index
     // Event engine bookkeeping (a runner is used by one thread at a time).
     std::vector<std::uint8_t> in_plan_;     // comb gate participates in plan
@@ -199,13 +226,40 @@ class FaultSimulator {
     mutable std::vector<std::uint8_t> queued_;
   };
 
+  /// The historical 63-fault runner — the uint64_t instantiation.
+  using BatchRunner = BatchRunnerT<std::uint64_t>;
+
  private:
-  std::vector<W3>& scratch_for(std::size_t worker) const;
+  template <class Word>
+  std::vector<DetectionRecord> run_impl(const SequenceView& view, std::span<const Fault> faults,
+                                        std::vector<LatchRecord>* latched) const;
+  template <class Word>
+  bool detects_all_impl(const SequenceView& view, std::span<const Fault> faults) const;
+  template <class Word>
+  std::vector<std::uint32_t> run_counts_impl(const SequenceView& view,
+                                             std::span<const Fault> faults,
+                                             std::uint32_t cap) const;
+
+  // Per-pool-worker net-value scratch, one buffer per slot width so a width
+  // switch between calls never reinterprets stale bytes.
+  struct Scratch {
+    std::vector<W3T<std::uint64_t>> w64;
+    std::vector<W3T<Simd256>> w256;
+    std::vector<W3T<Simd512>> w512;
+    template <class Word>
+    std::vector<W3T<Word>>& get() noexcept {
+      if constexpr (std::is_same_v<Word, Simd256>) return w256;
+      else if constexpr (std::is_same_v<Word, Simd512>) return w512;
+      else return w64;
+    }
+  };
+  template <class Word>
+  std::vector<W3T<Word>>& scratch_for(std::size_t worker) const;
 
   const Netlist* nl_;
   CompiledNetlist compiled_;
-  // Per-pool-worker net-value scratch; index = ThreadPool worker id.
-  mutable std::vector<std::vector<W3>> scratch_;
+  // Index = ThreadPool worker id.
+  mutable std::vector<Scratch> scratch_;
 };
 
 }  // namespace uniscan

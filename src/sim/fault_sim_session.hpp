@@ -7,16 +7,19 @@
 // subsequences can be evaluated tentatively via snapshot/restore.
 //
 // The session is built on the same engine shape as the compaction engine
-// (DESIGN.md §5c/§5d): one FaultSimulator::BatchRunner + SimBatchState per
-// 63-fault batch, packed hardest-first (sim/fault_order.hpp) so batches
-// whose faults are all detected go cold early and are skipped without
-// simulation; the live batches of every advance() fan out across
-// ThreadPool::global(). Each batch writes only its own state and detection
-// slots and the merge runs serially in batch order, so results are
-// bit-identical at every thread count.
+// (DESIGN.md §5c/§5d): one FaultSimulator::BatchRunnerT + SimBatchStateT per
+// fault batch at the slot width resolved at construction (63/255/511 faults
+// per batch — see sim/slot_word.hpp), packed hardest-first
+// (sim/fault_order.hpp) so batches whose faults are all detected go cold
+// early and are skipped without simulation; the live batches of every
+// advance() fan out across ThreadPool::global(). Each batch writes only its
+// own state and detection slots and the merge runs serially in batch order,
+// so results are bit-identical at every thread count — and at every width,
+// because per-fault detection is a pure function of that fault's slot.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -33,6 +36,9 @@ class FaultSimSession {
  public:
   /// The session references (not copies) `nl`; it must outlive the session.
   FaultSimSession(const Netlist& nl, std::span<const Fault> faults);
+  ~FaultSimSession();
+  FaultSimSession(FaultSimSession&&) noexcept;
+  FaultSimSession& operator=(FaultSimSession&&) noexcept;
 
   /// Advance all machines by the vectors of `chunk` (which must be fully
   /// specified — no X primary inputs — so that detections are real).
@@ -40,16 +46,16 @@ class FaultSimSession {
   std::size_t advance(const TestSequence& chunk);
 
   /// Current clock cycle (total vectors advanced so far).
-  std::size_t now() const noexcept { return now_; }
+  std::size_t now() const noexcept;
 
-  std::size_t num_faults() const noexcept { return faults_.size(); }
-  bool is_detected(std::size_t fault_index) const { return detection_[fault_index].detected; }
-  const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
-  std::size_t num_detected() const noexcept { return num_detected_; }
+  std::size_t num_faults() const noexcept;
+  bool is_detected(std::size_t fault_index) const;
+  const std::vector<DetectionRecord>& detections() const noexcept;
+  std::size_t num_detected() const noexcept;
 
   /// Compiled form of the netlist, shared by all of the session's runners
   /// (and reusable by FrameModels targeting the same circuit).
-  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+  const CompiledNetlist& compiled() const noexcept;
 
   /// Good-machine state entering the next frame.
   State good_state() const;
@@ -58,40 +64,31 @@ class FaultSimSession {
   /// frame; faulty == good wherever no effect is latched.
   void pair_state(std::size_t fault_index, State& good, State& faulty) const;
 
-  /// Resumable session state. Only batches that were live (some fault still
-  /// undetected) at capture time carry a machine state: a batch dead at
-  /// capture time was dead — and therefore skipped, untouched — ever since
-  /// it died, and a batch can only return to life through a restore that
-  /// also restores its state.
-  struct Snapshot {
-    SimBatchState good;
-    std::vector<std::pair<std::size_t, SimBatchState>> live_states;
-    std::vector<DetectionRecord> detection;
-    std::size_t num_detected;
-    std::size_t now;
+  /// Opaque resumable session state. Only batches that were live (some fault
+  /// still undetected) at capture time carry a machine state: a batch dead
+  /// at capture time was dead — and therefore skipped, untouched — ever
+  /// since it died, and a batch can only return to life through a restore
+  /// that also restores its state. Copyable; only valid for sessions of the
+  /// slot width it was captured at.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class FaultSimSession;
+    std::shared_ptr<const void> state_;
+    SlotWidth width_ = SlotWidth::W64;
   };
   Snapshot snapshot() const;
   void restore(const Snapshot& s);
 
+  /// Width-erased implementation interface (public so the width-templated
+  /// implementations in fault_sim_session.cpp can derive from it; not part
+  /// of the session's API).
+  struct Impl;
+
  private:
-  const Netlist* nl_;
-  CompiledNetlist compiled_;            // shared by all runners (declared first)
-  std::vector<Fault> faults_;           // original (caller) order
-  std::vector<std::size_t> order_;      // packed position -> original index
-  std::vector<std::size_t> pos_;        // original index -> packed position
-  std::vector<Fault> packed_;           // faults_[order_[..]]; runners reference it
-  std::vector<FaultSimulator::BatchRunner> runners_;  // one per 63-fault batch
-  std::vector<SimBatchState> states_;
-  FaultSimulator::BatchRunner good_runner_;  // empty batch: the good machine
-  SimBatchState good_;
-  std::vector<DetectionRecord> detection_;  // original order
-  std::size_t num_detected_ = 0;
-  std::size_t now_ = 0;
-  // Per-advance scratch, sized once: live batch list, pre-advance detected
-  // masks, per-worker net values.
-  std::vector<std::size_t> live_idx_;
-  std::vector<std::uint64_t> before_;
-  std::vector<std::vector<W3>> scratch_;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace uniscan

@@ -2,13 +2,6 @@
 
 namespace uniscan {
 
-std::string to_string(W3 w, unsigned slots) {
-  std::string s;
-  s.reserve(slots);
-  for (unsigned i = 0; i < slots && i < 64; ++i) s.push_back(to_char(w.get(i)));
-  return s;
-}
-
 // Truth-table sanity checks, evaluated at compile time.
 static_assert(w3_and(W3::all_one(), W3::all_zero()) == W3::all_zero());
 static_assert(w3_and(W3::all_x(), W3::all_zero()) == W3::all_zero());
@@ -16,5 +9,9 @@ static_assert(w3_or(W3::all_x(), W3::all_one()) == W3::all_one());
 static_assert(w3_not(W3::all_zero()) == W3::all_one());
 static_assert(w3_xor(W3::all_one(), W3::all_one()) == W3::all_zero());
 static_assert(w3_mux(W3::all_zero(), W3::all_zero(), W3::all_x()) == W3::all_zero());
+
+// The wide words route through the same templates; pin their shape here.
+static_assert(W3T<Simd256>::kSlots == 256);
+static_assert(W3T<Simd512>::kSlots == 512);
 
 }  // namespace uniscan

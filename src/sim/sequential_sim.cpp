@@ -41,43 +41,6 @@ V3 eval_gate_v3(GateType type, const V3* in, std::size_t n) noexcept {
   return V3::X;
 }
 
-W3 eval_gate_w3(GateType type, const W3* in, std::size_t n) noexcept {
-  switch (type) {
-    case GateType::Buf:
-      return in[0];
-    case GateType::Not:
-      return w3_not(in[0]);
-    case GateType::And:
-    case GateType::Nand: {
-      W3 acc = in[0];
-      for (std::size_t i = 1; i < n; ++i) acc = w3_and(acc, in[i]);
-      return type == GateType::Nand ? w3_not(acc) : acc;
-    }
-    case GateType::Or:
-    case GateType::Nor: {
-      W3 acc = in[0];
-      for (std::size_t i = 1; i < n; ++i) acc = w3_or(acc, in[i]);
-      return type == GateType::Nor ? w3_not(acc) : acc;
-    }
-    case GateType::Xor:
-    case GateType::Xnor: {
-      W3 acc = in[0];
-      for (std::size_t i = 1; i < n; ++i) acc = w3_xor(acc, in[i]);
-      return type == GateType::Xnor ? w3_not(acc) : acc;
-    }
-    case GateType::Mux2:
-      return w3_mux(in[0], in[1], in[2]);
-    case GateType::Const0:
-      return W3::all_zero();
-    case GateType::Const1:
-      return W3::all_one();
-    case GateType::Input:
-    case GateType::Dff:
-      break;
-  }
-  return W3::all_x();
-}
-
 SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {
   values_.assign(nl.num_gates(), V3::X);
 }

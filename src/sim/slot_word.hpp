@@ -1,0 +1,236 @@
+// Slot words: the bit-parallel machine containers behind W3T<Word>.
+//
+// A parallel-fault batch packs one machine per bit of a slot word — slot 0
+// is the good machine, slots 1..kBits-1 carry faulty machines. The original
+// engine fixed the word to std::uint64_t (63 faults per batch); this header
+// supplies the two wider words, Simd256 and Simd512 (255/511 faults per
+// batch), plus the WordTraits glue the templated simulators use to stay
+// generic over all three.
+//
+// The wide types are plain arrays of std::uint64_t lanes. Their bitwise
+// operators use AVX2 / AVX-512 intrinsics when the translation unit is
+// compiled with -mavx2 / -mavx512f and fall back to portable per-lane loops
+// otherwise (which still auto-vectorize under the baseline ISA), so non-x86
+// and plain builds stay green and bit-identical: every path computes the
+// same bits, only the instruction selection differs. Runtime selection
+// between the widths lives in sim/engine.hpp (SlotWidth / CPUID dispatch).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace uniscan {
+
+/// 256-bit slot word: 4 x 64 lanes, one machine per bit.
+struct alignas(32) Simd256 {
+  std::uint64_t lane[4] = {0, 0, 0, 0};
+
+  friend Simd256 operator&(const Simd256& a, const Simd256& b) noexcept {
+#if defined(__AVX2__)
+    Simd256 r;
+    _mm256_store_si256(reinterpret_cast<__m256i*>(r.lane),
+                       _mm256_and_si256(_mm256_load_si256(reinterpret_cast<const __m256i*>(a.lane)),
+                                        _mm256_load_si256(reinterpret_cast<const __m256i*>(b.lane))));
+    return r;
+#else
+    return {{a.lane[0] & b.lane[0], a.lane[1] & b.lane[1], a.lane[2] & b.lane[2],
+             a.lane[3] & b.lane[3]}};
+#endif
+  }
+  friend Simd256 operator|(const Simd256& a, const Simd256& b) noexcept {
+#if defined(__AVX2__)
+    Simd256 r;
+    _mm256_store_si256(reinterpret_cast<__m256i*>(r.lane),
+                       _mm256_or_si256(_mm256_load_si256(reinterpret_cast<const __m256i*>(a.lane)),
+                                       _mm256_load_si256(reinterpret_cast<const __m256i*>(b.lane))));
+    return r;
+#else
+    return {{a.lane[0] | b.lane[0], a.lane[1] | b.lane[1], a.lane[2] | b.lane[2],
+             a.lane[3] | b.lane[3]}};
+#endif
+  }
+  friend Simd256 operator^(const Simd256& a, const Simd256& b) noexcept {
+#if defined(__AVX2__)
+    Simd256 r;
+    _mm256_store_si256(reinterpret_cast<__m256i*>(r.lane),
+                       _mm256_xor_si256(_mm256_load_si256(reinterpret_cast<const __m256i*>(a.lane)),
+                                        _mm256_load_si256(reinterpret_cast<const __m256i*>(b.lane))));
+    return r;
+#else
+    return {{a.lane[0] ^ b.lane[0], a.lane[1] ^ b.lane[1], a.lane[2] ^ b.lane[2],
+             a.lane[3] ^ b.lane[3]}};
+#endif
+  }
+  friend Simd256 operator~(const Simd256& a) noexcept {
+#if defined(__AVX2__)
+    Simd256 r;
+    _mm256_store_si256(
+        reinterpret_cast<__m256i*>(r.lane),
+        _mm256_xor_si256(_mm256_load_si256(reinterpret_cast<const __m256i*>(a.lane)),
+                         _mm256_set1_epi64x(-1)));
+    return r;
+#else
+    return {{~a.lane[0], ~a.lane[1], ~a.lane[2], ~a.lane[3]}};
+#endif
+  }
+  friend bool operator==(const Simd256& a, const Simd256& b) noexcept {
+#if defined(__AVX2__)
+    const __m256i eq =
+        _mm256_cmpeq_epi64(_mm256_load_si256(reinterpret_cast<const __m256i*>(a.lane)),
+                           _mm256_load_si256(reinterpret_cast<const __m256i*>(b.lane)));
+    return _mm256_movemask_epi8(eq) == -1;
+#else
+    return a.lane[0] == b.lane[0] && a.lane[1] == b.lane[1] && a.lane[2] == b.lane[2] &&
+           a.lane[3] == b.lane[3];
+#endif
+  }
+};
+
+/// 512-bit slot word: 8 x 64 lanes, one machine per bit.
+struct alignas(64) Simd512 {
+  std::uint64_t lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  friend Simd512 operator&(const Simd512& a, const Simd512& b) noexcept {
+#if defined(__AVX512F__)
+    Simd512 r;
+    _mm512_store_si512(r.lane, _mm512_and_si512(_mm512_load_si512(a.lane),
+                                                _mm512_load_si512(b.lane)));
+    return r;
+#else
+    Simd512 r;
+    for (int j = 0; j < 8; ++j) r.lane[j] = a.lane[j] & b.lane[j];
+    return r;
+#endif
+  }
+  friend Simd512 operator|(const Simd512& a, const Simd512& b) noexcept {
+#if defined(__AVX512F__)
+    Simd512 r;
+    _mm512_store_si512(r.lane, _mm512_or_si512(_mm512_load_si512(a.lane),
+                                               _mm512_load_si512(b.lane)));
+    return r;
+#else
+    Simd512 r;
+    for (int j = 0; j < 8; ++j) r.lane[j] = a.lane[j] | b.lane[j];
+    return r;
+#endif
+  }
+  friend Simd512 operator^(const Simd512& a, const Simd512& b) noexcept {
+#if defined(__AVX512F__)
+    Simd512 r;
+    _mm512_store_si512(r.lane, _mm512_xor_si512(_mm512_load_si512(a.lane),
+                                                _mm512_load_si512(b.lane)));
+    return r;
+#else
+    Simd512 r;
+    for (int j = 0; j < 8; ++j) r.lane[j] = a.lane[j] ^ b.lane[j];
+    return r;
+#endif
+  }
+  friend Simd512 operator~(const Simd512& a) noexcept {
+#if defined(__AVX512F__)
+    Simd512 r;
+    _mm512_store_si512(r.lane,
+                       _mm512_xor_si512(_mm512_load_si512(a.lane), _mm512_set1_epi64(-1)));
+    return r;
+#else
+    Simd512 r;
+    for (int j = 0; j < 8; ++j) r.lane[j] = ~a.lane[j];
+    return r;
+#endif
+  }
+  friend bool operator==(const Simd512& a, const Simd512& b) noexcept {
+#if defined(__AVX512F__)
+    return _mm512_cmpneq_epi64_mask(_mm512_load_si512(a.lane), _mm512_load_si512(b.lane)) == 0;
+#else
+    for (int j = 0; j < 8; ++j)
+      if (a.lane[j] != b.lane[j]) return false;
+    return true;
+#endif
+  }
+};
+
+/// Compile-time shape of a slot word plus uniform lane access, so generic
+/// simulator code can treat std::uint64_t and the SIMD words identically.
+template <class Word>
+struct WordTraits;
+
+template <>
+struct WordTraits<std::uint64_t> {
+  static constexpr unsigned kBits = 64;
+  static constexpr unsigned kLanes = 1;
+  static constexpr std::uint64_t zero() noexcept { return 0; }
+  static constexpr std::uint64_t ones() noexcept { return ~0ULL; }
+  static constexpr std::uint64_t lane(std::uint64_t w, unsigned) noexcept { return w; }
+  static constexpr std::uint64_t& lane_ref(std::uint64_t& w, unsigned) noexcept { return w; }
+};
+
+template <>
+struct WordTraits<Simd256> {
+  static constexpr unsigned kBits = 256;
+  static constexpr unsigned kLanes = 4;
+  static constexpr Simd256 zero() noexcept { return {}; }
+  static constexpr Simd256 ones() noexcept { return {{~0ULL, ~0ULL, ~0ULL, ~0ULL}}; }
+  static constexpr std::uint64_t lane(const Simd256& w, unsigned j) noexcept { return w.lane[j]; }
+  static constexpr std::uint64_t& lane_ref(Simd256& w, unsigned j) noexcept { return w.lane[j]; }
+};
+
+template <>
+struct WordTraits<Simd512> {
+  static constexpr unsigned kBits = 512;
+  static constexpr unsigned kLanes = 8;
+  static constexpr Simd512 zero() noexcept { return {}; }
+  static constexpr Simd512 ones() noexcept {
+    return {{~0ULL, ~0ULL, ~0ULL, ~0ULL, ~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  }
+  static constexpr std::uint64_t lane(const Simd512& w, unsigned j) noexcept { return w.lane[j]; }
+  static constexpr std::uint64_t& lane_ref(Simd512& w, unsigned j) noexcept { return w.lane[j]; }
+};
+
+/// True iff any bit of `w` is set. The lane loop unrolls (kLanes is a
+/// constant) and collapses to `w != 0` for std::uint64_t.
+template <class Word>
+constexpr bool w_any(const Word& w) noexcept {
+  std::uint64_t acc = 0;
+  for (unsigned j = 0; j < WordTraits<Word>::kLanes; ++j) acc |= WordTraits<Word>::lane(w, j);
+  return acc != 0;
+}
+
+template <class Word>
+constexpr bool w_test(const Word& w, unsigned slot) noexcept {
+  return (WordTraits<Word>::lane(w, slot >> 6) >> (slot & 63)) & 1;
+}
+
+template <class Word>
+constexpr void w_set(Word& w, unsigned slot) noexcept {
+  WordTraits<Word>::lane_ref(w, slot >> 6) |= 1ULL << (slot & 63);
+}
+
+template <class Word>
+constexpr void w_clear(Word& w, unsigned slot) noexcept {
+  WordTraits<Word>::lane_ref(w, slot >> 6) &= ~(1ULL << (slot & 63));
+}
+
+/// Slot-0 (good machine) bit of a plane word.
+template <class Word>
+constexpr bool w_bit0(const Word& w) noexcept {
+  return (WordTraits<Word>::lane(w, 0) & 1) != 0;
+}
+
+/// Visit every set slot of `w` in ascending order. `fn(unsigned slot)`.
+template <class Word, class Fn>
+constexpr void w_for_each_set(const Word& w, Fn&& fn) {
+  for (unsigned j = 0; j < WordTraits<Word>::kLanes; ++j) {
+    std::uint64_t m = WordTraits<Word>::lane(w, j);
+    while (m) {
+      fn(j * 64 + static_cast<unsigned>(std::countr_zero(m)));
+      m &= m - 1;
+    }
+  }
+}
+
+}  // namespace uniscan

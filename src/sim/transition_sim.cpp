@@ -22,28 +22,30 @@ inline V3 delayed_value(bool slow_to_rise, V3 driven_now, V3 driven_prev) noexce
   return slow_to_rise ? v3_and(driven_now, driven_prev) : v3_or(driven_now, driven_prev);
 }
 
-std::uint64_t observed_mask(std::span<const GateId> pos, const std::vector<W3>& values) {
-  std::uint64_t observed = 0;
+template <class Word>
+Word observed_mask(std::span<const GateId> pos, const std::vector<W3T<Word>>& values) {
+  Word observed{};
   for (GateId po : pos) {
-    const W3 w = values[po];
-    const bool good0 = (w.v0 & 1) != 0;
-    const bool good1 = (w.v1 & 1) != 0;
-    if (good1) observed |= w.v0;
-    else if (good0) observed |= w.v1;
+    const W3T<Word> w = values[po];
+    const bool good0 = w_bit0(w.v0);
+    const bool good1 = w_bit0(w.v1);
+    if (good1) observed = observed | w.v0;
+    else if (good0) observed = observed | w.v1;
   }
-  return observed & ~1ULL;
+  w_clear(observed, 0);
+  return observed;
 }
 
-void record_latch(std::span<LatchRecord> latched, const W3 w, std::size_t j, std::size_t t) {
-  const bool good0 = (w.v0 & 1) != 0;
-  const bool good1 = (w.v1 & 1) != 0;
-  std::uint64_t diff = 0;
+template <class Word>
+void record_latch(std::span<LatchRecord> latched, const W3T<Word> w, std::size_t j,
+                  std::size_t t) {
+  const bool good0 = w_bit0(w.v0);
+  const bool good1 = w_bit0(w.v1);
+  Word diff{};
   if (good1) diff = w.v0;
   else if (good0) diff = w.v1;
-  diff &= ~1ULL;
-  while (diff) {
-    const unsigned slot = static_cast<unsigned>(std::countr_zero(diff));
-    diff &= diff - 1;
+  w_clear(diff, 0);
+  w_for_each_set(diff, [&](unsigned slot) {
     LatchRecord& lr = latched[slot - 1];
     // Keep the occurrence deepest in the chain (fewest flush shifts).
     if (!lr.latched || j >= lr.ff_index) {
@@ -51,18 +53,19 @@ void record_latch(std::span<LatchRecord> latched, const W3 w, std::size_t j, std
       lr.ff_index = static_cast<std::uint32_t>(j);
       lr.time = static_cast<std::uint32_t>(t);
     }
-  }
+  });
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// BatchRunner
+// BatchRunnerT
 
-TransitionFaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl,
-                                                   std::span<const TransitionFault> faults)
+template <class Word>
+TransitionFaultSimulator::BatchRunnerT<Word>::BatchRunnerT(
+    const CompiledNetlist& cnl, std::span<const TransitionFault> faults)
     : cnl_(&cnl), nl_(&cnl.netlist()), faults_(faults), engine_(global_sim_engine()) {
-  if (faults.size() > 63) throw std::invalid_argument("BatchRunner: batch too large");
+  if (faults.size() > kSlots - 1) throw std::invalid_argument("BatchRunner: batch too large");
   const std::size_t n = cnl.num_gates();
   stem_head_.assign(n, kNone);
   branch_head_.assign(n, kNone);
@@ -70,7 +73,7 @@ TransitionFaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl,
   pending_.assign(faults.size(), V3::X);
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const TransitionFault& f = faults[i];
-    slot_mask_ |= 1ULL << (i + 1);
+    w_set(slot_mask_, static_cast<unsigned>(i + 1));
     auto& head = (f.pin == kStemPin) ? stem_head_ : branch_head_;
     next_[i] = head[f.gate];
     head[f.gate] = static_cast<std::int32_t>(i);
@@ -78,6 +81,9 @@ TransitionFaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl,
 
   if (engine_ == SimEngine::Levelized) return;  // legacy path needs no program
 
+  // Branch (pin) injections need an individual evaluation; a stem-only
+  // site keeps its type-run evaluation and has its slot rewrites (plus the
+  // launch-history refresh) patched on afterwards.
   std::vector<GateId> sites;
   sites.reserve(faults.size());
   std::vector<std::uint8_t> mark(n, 0);
@@ -85,9 +91,9 @@ TransitionFaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl,
     sites.push_back(f.gate);
     if (mark[f.gate]) continue;
     mark[f.gate] = 1;
-    if (is_combinational(cnl.type(f.gate)) &&
-        (stem_head_[f.gate] != kNone || branch_head_[f.gate] != kNone))
-      forced_.push_back(f.gate);
+    if (!is_combinational(cnl.type(f.gate))) continue;
+    if (branch_head_[f.gate] != kNone) forced_.push_back(f.gate);
+    else if (stem_head_[f.gate] != kNone) patched_.push_back(f.gate);
   }
   // Boundary-gate stem forcing runs from these lists each frame, in the
   // legacy order (DFFs, then PIs).
@@ -98,6 +104,29 @@ TransitionFaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl,
 
   prog_ = cnl.build_program(sites, forced_, global_cone_pruning());
 
+  // Level-ascending merge of the two fixup streams (see the stuck-at
+  // runner's constructor for the ordering argument).
+  std::stable_sort(patched_.begin(), patched_.end(),
+                   [&](GateId a, GateId b) { return cnl.level(a) < cnl.level(b); });
+  {
+    const std::size_t nf = prog_.forced_order.size();
+    std::size_t fi = 0, pi = 0;
+    constexpr auto kMax = std::numeric_limits<std::uint32_t>::max();
+    while (fi < nf || pi < patched_.size()) {
+      const std::uint32_t flv = fi < nf ? prog_.forced_level[fi] : kMax;
+      const std::uint32_t plv = pi < patched_.size() ? cnl.level(patched_[pi]) : kMax;
+      if (plv < flv) {
+        fix_idx_.push_back(patched_[pi++]);
+        fix_level_.push_back(plv);
+        fix_patch_.push_back(1);
+      } else {
+        fix_idx_.push_back(prog_.forced_order[fi++]);
+        fix_level_.push_back(flv);
+        fix_patch_.push_back(0);
+      }
+    }
+  }
+
   if (engine_ == SimEngine::Event) {
     in_plan_.assign(n, 0);
     for (const GateId g : prog_.eval) in_plan_[g] = 1;
@@ -107,16 +136,18 @@ TransitionFaultSimulator::BatchRunner::BatchRunner(const CompiledNetlist& cnl,
   }
 }
 
-SimBatchState TransitionFaultSimulator::BatchRunner::initial_state() const {
-  SimBatchState s;
+template <class Word>
+SimBatchStateT<Word> TransitionFaultSimulator::BatchRunnerT<Word>::initial_state() const {
+  State s;
   s.live = slot_mask_;
-  s.state.assign(nl_->num_dffs(), W3::all_x());
+  s.state.assign(nl_->num_dffs(), W3T<Word>::all_x());
   s.prev_driven.assign(faults_.size(), V3::X);
   return s;
 }
 
-void TransitionFaultSimulator::BatchRunner::apply_stems_value(GateId g, SimBatchState& s,
-                                                              W3& w) const {
+template <class Word>
+void TransitionFaultSimulator::BatchRunnerT<Word>::apply_stems_value(GateId g, State& s,
+                                                                     W3T<Word>& w) const {
   for (std::int32_t i = stem_head_[g]; i != kNone; i = next_[i]) {
     const unsigned slot = static_cast<unsigned>(i + 1);
     const V3 now = w.get(slot);
@@ -125,9 +156,10 @@ void TransitionFaultSimulator::BatchRunner::apply_stems_value(GateId g, SimBatch
   }
 }
 
-void TransitionFaultSimulator::BatchRunner::apply_branches(GateId g, W3* fanin_buf,
-                                                           std::size_t n, SimBatchState& s,
-                                                           const std::vector<W3>& values) const {
+template <class Word>
+void TransitionFaultSimulator::BatchRunnerT<Word>::apply_branches(
+    GateId g, W3T<Word>* fanin_buf, std::size_t n, State& s,
+    const std::vector<W3T<Word>>& values) const {
   for (std::int32_t i = branch_head_[g]; i != kNone; i = next_[i]) {
     const TransitionFault& f = faults_[i];
     const std::size_t p = static_cast<std::size_t>(f.pin);
@@ -139,34 +171,37 @@ void TransitionFaultSimulator::BatchRunner::apply_branches(GateId g, W3* fanin_b
   }
 }
 
-W3 TransitionFaultSimulator::BatchRunner::eval_forced(GateId g, SimBatchState& s,
-                                                      const std::vector<W3>& values) const {
+template <class Word>
+W3T<Word> TransitionFaultSimulator::BatchRunnerT<Word>::eval_forced(
+    GateId g, State& s, const std::vector<W3T<Word>>& values) const {
   const auto fan = cnl_->fanins(g);
-  W3 buf[64];
+  W3T<Word> buf[64];
   for (std::size_t p = 0; p < fan.size(); ++p) buf[p] = values[fan[p]];
   if (branch_head_[g] != kNone) apply_branches(g, buf, fan.size(), s, values);
-  W3 w = eval_gate_w3(cnl_->type(g), buf, fan.size());
+  W3T<Word> w = eval_gate_w3(cnl_->type(g), buf, fan.size());
   if (stem_head_[g] != kNone) apply_stems_value(g, s, w);
   return w;
 }
 
-void TransitionFaultSimulator::BatchRunner::enqueue(GateId g) const {
+template <class Word>
+void TransitionFaultSimulator::BatchRunnerT<Word>::enqueue(GateId g) const {
   if (queued_[g]) return;
   queued_[g] = 1;
   buckets_[cnl_->level(g)].push_back(g);
 }
 
-void TransitionFaultSimulator::BatchRunner::enqueue_fanouts(GateId g) const {
+template <class Word>
+void TransitionFaultSimulator::BatchRunnerT<Word>::enqueue_fanouts(GateId g) const {
   for (const GateId fo : cnl_->fanouts(g)) {
     if (!is_combinational(cnl_->type(fo))) continue;  // DFFs sampled at frame end
     if (in_plan_[fo]) enqueue(fo);
   }
 }
 
-std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
-                                                             const SequenceView& view,
-                                                             std::vector<W3>& values,
-                                                             const AdvanceOptions& opt) const {
+template <class Word>
+std::uint64_t TransitionFaultSimulator::BatchRunnerT<Word>::advance(
+    State& s, const SequenceView& view, std::vector<W3T<Word>>& values,
+    const AdvanceOptions& opt) const {
   // Single telemetry choke point (same contract as FaultSimulator's runner):
   // every simulated gate-word evaluation in the transition model flows
   // through here, so the registry's gate_evals total matches the sum the old
@@ -175,6 +210,7 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
   const std::uint64_t evals = engine_ == SimEngine::Levelized
                                   ? advance_levelized(s, view, values, opt)
                                   : advance_kernel(s, view, values, opt);
+  obs::count(obs::Counter::BatchesRun, 1);
   obs::count(obs::Counter::GateEvals, evals);
   if (prog_.pruned) {
     const std::uint64_t frames = s.frame - start_frame;
@@ -185,9 +221,11 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance(SimBatchState& s,
   return evals;
 }
 
-std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
-    SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+template <class Word>
+std::uint64_t TransitionFaultSimulator::BatchRunnerT<Word>::advance_kernel(
+    State& s, const SequenceView& view, std::vector<W3T<Word>>& values,
     const AdvanceOptions& opt) const {
+  using W = W3T<Word>;
   const CompiledNetlist& cnl = *cnl_;
   values.resize(cnl.num_gates());
   const auto& inputs = cnl.inputs();
@@ -209,33 +247,40 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
     if (!event || full) {
       full = false;
       for (std::size_t i = 0; i < inputs.size(); ++i)
-        values[inputs[i]] = W3::broadcast(vec[i]);
+        values[inputs[i]] = W::broadcast(vec[i]);
       for (const std::uint32_t j : prog_.samp_dff) values[dffs[j]] = s.state[j];
       // Stem faults on boundary gates force before combinational evaluation
       // (a stem-faulted boundary is a fault site, hence always in-plan).
       for (const GateId g : bstem_dff_) apply_stems(g, s, values);
       for (const GateId g : bstem_pi_) apply_stems(g, s, values);
 
-      // Type runs and individually-forced gates, interleaved level-major
-      // (see FaultSimulator::BatchRunner::advance_kernel).
+      // Type runs and fixups (individually-forced gates + stem patches),
+      // interleaved level-major (see FaultSimulator::BatchRunnerT's
+      // advance_kernel). A stem patch rewrites the faulted slots of the
+      // run-computed value in place and refreshes the launch history.
       std::size_t fi = 0, ri = 0;
-      const std::size_t nf = prog_.forced_order.size();
+      const std::size_t nf = fix_idx_.size();
       const std::size_t nr = prog_.runs.size();
       while (ri < nr || fi < nf) {
         const std::uint32_t fl =
-            fi < nf ? prog_.forced_level[fi] : std::numeric_limits<std::uint32_t>::max();
+            fi < nf ? fix_level_[fi] : std::numeric_limits<std::uint32_t>::max();
         std::size_t rj = ri;
         while (rj < nr && prog_.runs[rj].level <= fl) ++rj;
         if (rj > ri) {
-          cnl.eval_runs_w3(std::span<const TypeRun>(prog_.runs.data() + ri, rj - ri),
-                           prog_.eval.data(), values.data());
+          cnl.eval_runs_w3t<Word>(std::span<const TypeRun>(prog_.runs.data() + ri, rj - ri),
+                                  prog_.eval.data(), values.data());
           ri = rj;
         }
         const std::uint32_t rl =
             ri < nr ? prog_.runs[ri].level : std::numeric_limits<std::uint32_t>::max();
-        while (fi < nf && prog_.forced_level[fi] < rl) {
-          const GateId g = forced_[prog_.forced_order[fi++]];
-          values[g] = eval_forced(g, s, values);
+        while (fi < nf && fix_level_[fi] < rl) {
+          if (fix_patch_[fi]) {
+            apply_stems(fix_idx_[fi], s, values);
+          } else {
+            const GateId g = forced_[fix_idx_[fi]];
+            values[g] = eval_forced(g, s, values);
+          }
+          ++fi;
         }
       }
       evals += prog_.evals_per_frame;
@@ -246,7 +291,7 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
       // the (unconditional) stem application below.
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         const GateId g = inputs[i];
-        W3 w = W3::broadcast(vec[i]);
+        W w = W::broadcast(vec[i]);
         if (stem_head_[g] != kNone) apply_stems_value(g, s, w);
         if (!(w == values[g])) {
           values[g] = w;
@@ -255,7 +300,7 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
       }
       for (const std::uint32_t j : prog_.samp_dff) {
         const GateId g = dffs[j];
-        W3 w = s.state[j];
+        W w = s.state[j];
         if (stem_head_[g] != kNone) apply_stems_value(g, s, w);
         if (!(w == values[g])) {
           values[g] = w;
@@ -263,15 +308,16 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
         }
       }
       for (const GateId g : forced_) enqueue(g);
+      for (const GateId g : patched_) enqueue(g);  // stem history refresh
       for (auto& bucket : buckets_) {
         // Draining may append to HIGHER buckets only (fanout level > level).
         for (std::size_t k = 0; k < bucket.size(); ++k) {
           const GateId g = bucket[k];
           queued_[g] = 0;
           ++evals;
-          const W3 w = (branch_head_[g] != kNone || stem_head_[g] != kNone)
-                           ? eval_forced(g, s, values)
-                           : cnl.eval_gate_w3_at(g, values.data());
+          const W w = (branch_head_[g] != kNone || stem_head_[g] != kNone)
+                          ? eval_forced(g, s, values)
+                          : cnl.eval_gate_w3t_at<Word>(g, values.data());
           if (!(w == values[g])) {
             values[g] = w;
             enqueue_fanouts(g);
@@ -286,9 +332,9 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
     // or is a DFF D pin refreshed here.
     for (const std::uint32_t j : prog_.samp_dff) {
       const GateId ff = dffs[j];
-      W3 d = values[dff_d[j]];
+      W d = values[dff_d[j]];
       if (branch_head_[ff] != kNone) {
-        W3 buf[1] = {d};
+        W buf[1] = {d};
         apply_branches(ff, buf, 1, s, values);
         d = buf[0];
       }
@@ -296,16 +342,14 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
     }
     for (std::size_t i = 0; i < faults_.size(); ++i) s.prev_driven[i] = pending_[i];
 
-    std::uint64_t newly = observed_mask(prog_.obs_po, values) & s.live;
-    while (newly) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
-      newly &= newly - 1;
-      s.detected_slots |= 1ULL << slot;
+    const Word newly = observed_mask(prog_.obs_po, values) & s.live;
+    w_for_each_set(newly, [&](unsigned slot) {
+      w_set(s.detected_slots, slot);
       s.detect_time[slot] = static_cast<std::uint32_t>(t);
       s.detect_count[slot] = 1;
-      s.live &= ~(1ULL << slot);
-    }
-    if (opt.early_exit && s.live == 0) {
+      w_clear(s.live, slot);
+    });
+    if (opt.early_exit && !w_any(s.live)) {
       s.frame = t + 1;
       return evals;
     }
@@ -318,12 +362,13 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_kernel(
   return evals;
 }
 
-void TransitionFaultSimulator::BatchRunner::run_frame(SimBatchState& s,
-                                                      const std::vector<V3>& pi,
-                                                      std::vector<W3>& values) const {
+template <class Word>
+void TransitionFaultSimulator::BatchRunnerT<Word>::run_frame(
+    State& s, const std::vector<V3>& pi, std::vector<W3T<Word>>& values) const {
+  using W = W3T<Word>;
   const Netlist& nl = *nl_;
   for (std::size_t i = 0; i < nl.num_inputs(); ++i)
-    values[nl.inputs()[i]] = W3::broadcast(pi[i]);
+    values[nl.inputs()[i]] = W::broadcast(pi[i]);
   for (std::size_t j = 0; j < nl.num_dffs(); ++j) values[nl.dffs()[j]] = s.state[j];
 
   // Stem faults on boundary gates force before combinational evaluation.
@@ -332,7 +377,7 @@ void TransitionFaultSimulator::BatchRunner::run_frame(SimBatchState& s,
   for (GateId pi_gate : nl.inputs())
     if (stem_head_[pi_gate] != kNone) apply_stems(pi_gate, s, values);
 
-  W3 fanin_buf[64];
+  W fanin_buf[64];
   for (GateId g : nl.topo_order()) {
     const Gate& gate = nl.gate(g);
     const std::size_t n = gate.fanins.size();
@@ -344,9 +389,9 @@ void TransitionFaultSimulator::BatchRunner::run_frame(SimBatchState& s,
 
   for (std::size_t j = 0; j < nl.num_dffs(); ++j) {
     const GateId ff = nl.dffs()[j];
-    W3 d = values[nl.gate(ff).fanins[0]];
+    W d = values[nl.gate(ff).fanins[0]];
     if (branch_head_[ff] != kNone) {
-      W3 buf[1] = {d};
+      W buf[1] = {d};
       apply_branches(ff, buf, 1, s, values);
       d = buf[0];
     }
@@ -358,8 +403,9 @@ void TransitionFaultSimulator::BatchRunner::run_frame(SimBatchState& s,
   for (std::size_t i = 0; i < faults_.size(); ++i) s.prev_driven[i] = pending_[i];
 }
 
-std::uint64_t TransitionFaultSimulator::BatchRunner::advance_levelized(
-    SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+template <class Word>
+std::uint64_t TransitionFaultSimulator::BatchRunnerT<Word>::advance_levelized(
+    State& s, const SequenceView& view, std::vector<W3T<Word>>& values,
     const AdvanceOptions& opt) const {
   const Netlist& nl = *nl_;
   values.resize(nl.num_gates());
@@ -374,16 +420,14 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_levelized(
     run_frame(s, view.vector_at(t), values);
     ++frames;
 
-    std::uint64_t newly = observed_mask(nl.outputs(), values) & s.live;
-    while (newly) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
-      newly &= newly - 1;
-      s.detected_slots |= 1ULL << slot;
+    const Word newly = observed_mask(nl.outputs(), values) & s.live;
+    w_for_each_set(newly, [&](unsigned slot) {
+      w_set(s.detected_slots, slot);
       s.detect_time[slot] = static_cast<std::uint32_t>(t);
       s.detect_count[slot] = 1;
-      s.live &= ~(1ULL << slot);
-    }
-    if (opt.early_exit && s.live == 0) {
+      w_clear(s.live, slot);
+    });
+    if (opt.early_exit && !w_any(s.live)) {
       s.frame = t + 1;
       return frames * nl.topo_order().size();
     }
@@ -395,6 +439,10 @@ std::uint64_t TransitionFaultSimulator::BatchRunner::advance_levelized(
   s.frame = view.length();
   return frames * nl.topo_order().size();
 }
+
+template class TransitionFaultSimulator::BatchRunnerT<std::uint64_t>;
+template class TransitionFaultSimulator::BatchRunnerT<Simd256>;
+template class TransitionFaultSimulator::BatchRunnerT<Simd512>;
 
 // ---------------------------------------------------------------------------
 // TransitionFaultSimulator
@@ -411,23 +459,35 @@ std::vector<DetectionRecord> TransitionFaultSimulator::run(
 std::vector<DetectionRecord> TransitionFaultSimulator::run(
     const SequenceView& view, std::span<const TransitionFault> faults,
     std::vector<LatchRecord>* latched) const {
+  switch (resolved_slot_width()) {
+    case SlotWidth::W256: return run_impl<Simd256>(view, faults, latched);
+    case SlotWidth::W512: return run_impl<Simd512>(view, faults, latched);
+    default: return run_impl<std::uint64_t>(view, faults, latched);
+  }
+}
+
+template <class Word>
+std::vector<DetectionRecord> TransitionFaultSimulator::run_impl(
+    const SequenceView& view, std::span<const TransitionFault> faults,
+    std::vector<LatchRecord>* latched) const {
+  constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
   std::vector<DetectionRecord> out(faults.size());
   if (latched) latched->assign(faults.size(), LatchRecord{});
-  const std::size_t num_batches = (faults.size() + 62) / 63;
+  const std::size_t num_batches = (faults.size() + kPer - 1) / kPer;
   ThreadPool& pool = ThreadPool::global();
   if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
-    const std::size_t base = b * 63;
-    const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-    BatchRunner runner(compiled_, faults.subspan(base, count));
-    SimBatchState s = runner.initial_state();
-    BatchRunner::AdvanceOptions opt;
+    const std::size_t base = b * kPer;
+    const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
+    BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+    SimBatchStateT<Word> s = runner.initial_state();
+    typename BatchRunnerT<Word>::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
     if (latched) opt.latched = std::span<LatchRecord>(latched->data() + base, count);
-    runner.advance(s, view, scratch_[w], opt);
+    runner.advance(s, view, scratch_[w].get<Word>(), opt);
     for (std::size_t i = 0; i < count; ++i) {
       const unsigned slot = static_cast<unsigned>(i + 1);
-      if (s.detected_slots & (1ULL << slot)) {
+      if (w_test(s.detected_slots, slot)) {
         out[base + i].detected = true;
         out[base + i].time = s.detect_time[slot];
       }
@@ -443,7 +503,18 @@ bool TransitionFaultSimulator::detects_all(const TestSequence& seq,
 
 bool TransitionFaultSimulator::detects_all(const SequenceView& view,
                                            std::span<const TransitionFault> faults) const {
-  const std::size_t num_batches = (faults.size() + 62) / 63;
+  switch (resolved_slot_width()) {
+    case SlotWidth::W256: return detects_all_impl<Simd256>(view, faults);
+    case SlotWidth::W512: return detects_all_impl<Simd512>(view, faults);
+    default: return detects_all_impl<std::uint64_t>(view, faults);
+  }
+}
+
+template <class Word>
+bool TransitionFaultSimulator::detects_all_impl(const SequenceView& view,
+                                                std::span<const TransitionFault> faults) const {
+  constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
+  const std::size_t num_batches = (faults.size() + kPer - 1) / kPer;
   ThreadPool& pool = ThreadPool::global();
   if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
   // Wave-scheduled deterministic fail-fast; see FaultSimulator::detects_all.
@@ -452,12 +523,12 @@ bool TransitionFaultSimulator::detects_all(const SequenceView& view,
     const std::size_t n = std::min(kFailFastWave, num_batches - wave);
     std::atomic<bool> wave_ok{true};
     pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
-      const std::size_t base = (wave + k) * 63;
-      const std::size_t count = std::min<std::size_t>(63, faults.size() - base);
-      BatchRunner runner(compiled_, faults.subspan(base, count));
-      SimBatchState s = runner.initial_state();
-      runner.advance(s, view, scratch_[w], {});
-      if ((s.detected_slots & runner.slot_mask()) != runner.slot_mask())
+      const std::size_t base = (wave + k) * kPer;
+      const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
+      BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+      SimBatchStateT<Word> s = runner.initial_state();
+      runner.advance(s, view, scratch_[w].get<Word>(), {});
+      if (!((s.detected_slots & runner.slot_mask()) == runner.slot_mask()))
         wave_ok.store(false, std::memory_order_relaxed);
     });
     ok = wave_ok.load(std::memory_order_relaxed);
@@ -477,138 +548,257 @@ std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
 // ---------------------------------------------------------------------------
 // TransitionSimSession
 
-TransitionSimSession::TransitionSimSession(const Netlist& nl,
-                                           std::span<const TransitionFault> faults)
-    : nl_(&nl),
-      compiled_(nl),
-      faults_(faults.begin(), faults.end()),
-      good_runner_(compiled_, std::span<const TransitionFault>{}) {
-  detection_.assign(faults_.size(), DetectionRecord{});
-  good_ = good_runner_.initial_state();
+namespace {
 
-  order_ = hardest_first_order(nl, std::span<const TransitionFault>(faults_));
-  pos_.resize(order_.size());
-  packed_.reserve(order_.size());
-  for (std::size_t p = 0; p < order_.size(); ++p) {
-    pos_[order_[p]] = p;
-    packed_.push_back(faults_[order_[p]]);
+/// Width-tagged payload behind the opaque session Snapshot.
+template <class Word>
+struct TransitionSnapshotT {
+  SimBatchStateT<Word> good;
+  std::vector<std::pair<std::size_t, SimBatchStateT<Word>>> live_states;
+  std::vector<DetectionRecord> detection;
+  std::size_t num_detected = 0;
+  std::size_t now = 0;
+};
+
+}  // namespace
+
+struct TransitionSimSession::Impl {
+  virtual ~Impl() = default;
+  virtual std::size_t advance(const TestSequence& chunk) = 0;
+  virtual std::size_t now() const noexcept = 0;
+  virtual std::size_t num_faults() const noexcept = 0;
+  virtual bool is_detected(std::size_t i) const = 0;
+  virtual const std::vector<DetectionRecord>& detections() const noexcept = 0;
+  virtual std::size_t num_detected() const noexcept = 0;
+  virtual const CompiledNetlist& compiled() const noexcept = 0;
+  virtual State good_state() const = 0;
+  virtual void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const = 0;
+  virtual std::shared_ptr<const void> snapshot() const = 0;
+  virtual void restore(const void* snap) = 0;
+  virtual SlotWidth width() const noexcept = 0;
+};
+
+namespace {
+
+template <class Word>
+class TransitionSessionImpl final : public TransitionSimSession::Impl {
+ public:
+  static constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
+  using Runner = TransitionFaultSimulator::BatchRunnerT<Word>;
+  using BatchState = SimBatchStateT<Word>;
+
+  TransitionSessionImpl(const Netlist& nl, std::span<const TransitionFault> faults)
+      : nl_(&nl),
+        compiled_(nl),
+        faults_(faults.begin(), faults.end()),
+        good_runner_(compiled_, std::span<const TransitionFault>{}) {
+    detection_.assign(faults_.size(), DetectionRecord{});
+    good_ = good_runner_.initial_state();
+
+    order_ = hardest_first_order(nl, std::span<const TransitionFault>(faults_));
+    pos_.resize(order_.size());
+    packed_.reserve(order_.size());
+    for (std::size_t p = 0; p < order_.size(); ++p) {
+      pos_[order_[p]] = p;
+      packed_.push_back(faults_[order_[p]]);
+    }
+
+    const std::size_t num_batches = (packed_.size() + kPer - 1) / kPer;
+    runners_.reserve(num_batches);
+    states_.reserve(num_batches);
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      const std::size_t lo = b * kPer;
+      const std::size_t count = std::min<std::size_t>(kPer, packed_.size() - lo);
+      runners_.emplace_back(compiled_,
+                            std::span<const TransitionFault>(packed_.data() + lo, count));
+      states_.push_back(runners_.back().initial_state());
+    }
   }
 
-  const std::size_t num_batches = (packed_.size() + 62) / 63;
-  runners_.reserve(num_batches);
-  states_.reserve(num_batches);
-  for (std::size_t b = 0; b < num_batches; ++b) {
-    const std::size_t lo = b * 63;
-    const std::size_t count = std::min<std::size_t>(63, packed_.size() - lo);
-    runners_.emplace_back(compiled_,
-                          std::span<const TransitionFault>(packed_.data() + lo, count));
-    states_.push_back(runners_.back().initial_state());
+  std::size_t advance(const TestSequence& chunk) override {
+    if (chunk.num_inputs() != nl_->num_inputs())
+      throw std::invalid_argument("TransitionSimSession::advance: input width mismatch");
+    const SequenceView view(chunk);
+    const obs::TraceSpan span("session_advance");
+
+    live_idx_.clear();
+    for (std::size_t b = 0; b < states_.size(); ++b)
+      if (w_any(states_[b].live)) live_idx_.push_back(b);
+    before_.resize(live_idx_.size());
+    obs::count(obs::Counter::BatchSkips, states_.size() - live_idx_.size());
+
+    // Task 0 advances the good machine; tasks 1.. the live batches. No early
+    // exit: the session must carry every state to the chunk end.
+    ThreadPool& pool = ThreadPool::global();
+    if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
+    typename Runner::AdvanceOptions opt;
+    opt.early_exit = false;
+    pool.parallel_for(live_idx_.size() + 1, [&](std::size_t k, std::size_t w) {
+      if (k == 0) {
+        good_.frame = 0;
+        good_runner_.advance(good_, view, scratch_[w], opt);
+        return;
+      }
+      BatchState& s = states_[live_idx_[k - 1]];
+      before_[k - 1] = s.detected_slots;
+      s.frame = 0;
+      runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
+    });
+
+    const std::size_t gained_before = num_detected_;
+    for (std::size_t k = 0; k < live_idx_.size(); ++k) {
+      const std::size_t b = live_idx_[k];
+      const BatchState& s = states_[b];
+      const Word newly = s.detected_slots & ~before_[k];
+      w_for_each_set(newly, [&](unsigned slot) {
+        DetectionRecord& dr = detection_[order_[b * kPer + slot - 1]];
+        dr.detected = true;
+        dr.time = static_cast<std::uint32_t>(now_ + s.detect_time[slot]);
+        ++num_detected_;
+      });
+    }
+    now_ += chunk.length();
+    return num_detected_ - gained_before;
+  }
+
+  std::size_t now() const noexcept override { return now_; }
+  std::size_t num_faults() const noexcept override { return faults_.size(); }
+  bool is_detected(std::size_t i) const override { return detection_[i].detected; }
+  const std::vector<DetectionRecord>& detections() const noexcept override { return detection_; }
+  std::size_t num_detected() const noexcept override { return num_detected_; }
+  const CompiledNetlist& compiled() const noexcept override { return compiled_; }
+
+  State good_state() const override {
+    State s(nl_->num_dffs(), V3::X);
+    for (std::size_t j = 0; j < s.size(); ++j) s[j] = good_.state[j].get(0);
+    return s;
+  }
+
+  void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const override {
+    const std::size_t p = pos_[i];
+    const unsigned slot = static_cast<unsigned>(p % kPer + 1);
+    const std::size_t b = p / kPer;
+    const BatchState& s = states_[b];
+    const Runner& runner = runners_[b];
+    good.assign(nl_->num_dffs(), V3::X);
+    faulty.assign(nl_->num_dffs(), V3::X);
+    for (std::size_t j = 0; j < good.size(); ++j) {
+      if (runner.samples_dff(j)) {
+        good[j] = s.state[j].get(0);
+        faulty[j] = s.state[j].get(slot);
+      } else {
+        // Outside the batch's cone-plus-support the runner does not maintain
+        // the DFF; both machines hold the (identical) good-machine value.
+        const V3 v = good_.state[j].get(0);
+        good[j] = v;
+        faulty[j] = v;
+      }
+    }
+    prev_driven = s.prev_driven[p % kPer];
+  }
+
+  std::shared_ptr<const void> snapshot() const override {
+    auto s = std::make_shared<TransitionSnapshotT<Word>>();
+    s->good = good_;
+    for (std::size_t b = 0; b < states_.size(); ++b)
+      if (w_any(states_[b].live)) s->live_states.emplace_back(b, states_[b]);
+    s->detection = detection_;
+    s->num_detected = num_detected_;
+    s->now = now_;
+    return s;
+  }
+
+  void restore(const void* snap) override {
+    const auto& s = *static_cast<const TransitionSnapshotT<Word>*>(snap);
+    good_ = s.good;
+    std::size_t k = 0;
+    for (std::size_t b = 0; b < states_.size(); ++b) {
+      if (k < s.live_states.size() && s.live_states[k].first == b) {
+        states_[b] = s.live_states[k].second;
+        ++k;
+      } else {
+        states_[b].live = Word{};
+      }
+    }
+    detection_ = s.detection;
+    num_detected_ = s.num_detected;
+    now_ = s.now;
+  }
+
+  SlotWidth width() const noexcept override {
+    return static_cast<SlotWidth>(WordTraits<Word>::kBits);
+  }
+
+ private:
+  const Netlist* nl_;
+  CompiledNetlist compiled_;
+  std::vector<TransitionFault> faults_;  // original (caller) order
+  std::vector<std::size_t> order_;       // packed position -> original index
+  std::vector<std::size_t> pos_;         // original index -> packed position
+  std::vector<TransitionFault> packed_;  // runners reference this storage
+  std::vector<Runner> runners_;
+  std::vector<BatchState> states_;
+  Runner good_runner_;  // empty batch
+  BatchState good_;
+  std::vector<DetectionRecord> detection_;  // original order
+  std::size_t num_detected_ = 0;
+  std::size_t now_ = 0;
+  std::vector<std::size_t> live_idx_;
+  std::vector<Word> before_;
+  std::vector<std::vector<W3T<Word>>> scratch_;
+};
+
+}  // namespace
+
+TransitionSimSession::TransitionSimSession(const Netlist& nl,
+                                           std::span<const TransitionFault> faults) {
+  switch (resolved_slot_width()) {
+    case SlotWidth::W256:
+      impl_ = std::make_unique<TransitionSessionImpl<Simd256>>(nl, faults);
+      break;
+    case SlotWidth::W512:
+      impl_ = std::make_unique<TransitionSessionImpl<Simd512>>(nl, faults);
+      break;
+    default:
+      impl_ = std::make_unique<TransitionSessionImpl<std::uint64_t>>(nl, faults);
+      break;
   }
 }
+
+TransitionSimSession::~TransitionSimSession() = default;
+TransitionSimSession::TransitionSimSession(TransitionSimSession&&) noexcept = default;
+TransitionSimSession& TransitionSimSession::operator=(TransitionSimSession&&) noexcept = default;
 
 std::size_t TransitionSimSession::advance(const TestSequence& chunk) {
-  if (chunk.num_inputs() != nl_->num_inputs())
-    throw std::invalid_argument("TransitionSimSession::advance: input width mismatch");
-  const SequenceView view(chunk);
-  const obs::TraceSpan span("session_advance");
-
-  live_idx_.clear();
-  for (std::size_t b = 0; b < states_.size(); ++b)
-    if (states_[b].live != 0) live_idx_.push_back(b);
-  before_.resize(live_idx_.size());
-  obs::count(obs::Counter::BatchSkips, states_.size() - live_idx_.size());
-
-  // Task 0 advances the good machine; tasks 1.. the live batches. No early
-  // exit: the session must carry every state to the chunk end.
-  ThreadPool& pool = ThreadPool::global();
-  if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
-  TransitionFaultSimulator::BatchRunner::AdvanceOptions opt;
-  opt.early_exit = false;
-  pool.parallel_for(live_idx_.size() + 1, [&](std::size_t k, std::size_t w) {
-    if (k == 0) {
-      good_.frame = 0;
-      good_runner_.advance(good_, view, scratch_[w], opt);
-      return;
-    }
-    SimBatchState& s = states_[live_idx_[k - 1]];
-    before_[k - 1] = s.detected_slots;
-    s.frame = 0;
-    runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
-  });
-
-  const std::size_t gained_before = num_detected_;
-  for (std::size_t k = 0; k < live_idx_.size(); ++k) {
-    const std::size_t b = live_idx_[k];
-    const SimBatchState& s = states_[b];
-    std::uint64_t newly = s.detected_slots & ~before_[k];
-    while (newly) {
-      const unsigned slot = static_cast<unsigned>(std::countr_zero(newly));
-      newly &= newly - 1;
-      DetectionRecord& dr = detection_[order_[b * 63 + slot - 1]];
-      dr.detected = true;
-      dr.time = static_cast<std::uint32_t>(now_ + s.detect_time[slot]);
-      ++num_detected_;
-    }
-  }
-  now_ += chunk.length();
-  return num_detected_ - gained_before;
+  return impl_->advance(chunk);
 }
-
-State TransitionSimSession::good_state() const {
-  State s(nl_->num_dffs(), V3::X);
-  for (std::size_t j = 0; j < s.size(); ++j) s[j] = good_.state[j].get(0);
-  return s;
+std::size_t TransitionSimSession::now() const noexcept { return impl_->now(); }
+std::size_t TransitionSimSession::num_faults() const noexcept { return impl_->num_faults(); }
+bool TransitionSimSession::is_detected(std::size_t i) const { return impl_->is_detected(i); }
+const std::vector<DetectionRecord>& TransitionSimSession::detections() const noexcept {
+  return impl_->detections();
 }
-
+std::size_t TransitionSimSession::num_detected() const noexcept { return impl_->num_detected(); }
+const CompiledNetlist& TransitionSimSession::compiled() const noexcept {
+  return impl_->compiled();
+}
+State TransitionSimSession::good_state() const { return impl_->good_state(); }
 void TransitionSimSession::pair_state(std::size_t i, State& good, State& faulty,
                                       V3& prev_driven) const {
-  const std::size_t p = pos_[i];
-  const unsigned slot = static_cast<unsigned>(p % 63 + 1);
-  const std::size_t b = p / 63;
-  const SimBatchState& s = states_[b];
-  const TransitionFaultSimulator::BatchRunner& runner = runners_[b];
-  good.assign(nl_->num_dffs(), V3::X);
-  faulty.assign(nl_->num_dffs(), V3::X);
-  for (std::size_t j = 0; j < good.size(); ++j) {
-    if (runner.samples_dff(j)) {
-      good[j] = s.state[j].get(0);
-      faulty[j] = s.state[j].get(slot);
-    } else {
-      // Outside the batch's cone-plus-support the runner does not maintain
-      // the DFF; both machines hold the (identical) good-machine value.
-      const V3 v = good_.state[j].get(0);
-      good[j] = v;
-      faulty[j] = v;
-    }
-  }
-  prev_driven = s.prev_driven[p % 63];
+  impl_->pair_state(i, good, faulty, prev_driven);
 }
 
 TransitionSimSession::Snapshot TransitionSimSession::snapshot() const {
   Snapshot s;
-  s.good = good_;
-  for (std::size_t b = 0; b < states_.size(); ++b)
-    if (states_[b].live != 0) s.live_states.emplace_back(b, states_[b]);
-  s.detection = detection_;
-  s.num_detected = num_detected_;
-  s.now = now_;
+  s.state_ = impl_->snapshot();
+  s.width_ = impl_->width();
   return s;
 }
 
 void TransitionSimSession::restore(const Snapshot& s) {
-  good_ = s.good;
-  std::size_t k = 0;
-  for (std::size_t b = 0; b < states_.size(); ++b) {
-    if (k < s.live_states.size() && s.live_states[k].first == b) {
-      states_[b] = s.live_states[k].second;
-      ++k;
-    } else {
-      states_[b].live = 0;
-    }
-  }
-  detection_ = s.detection;
-  num_detected_ = s.num_detected;
-  now_ = s.now;
+  if (!s.state_ || s.width_ != impl_->width())
+    throw std::invalid_argument("TransitionSimSession::restore: snapshot width mismatch");
+  impl_->restore(s.state_.get());
 }
 
 }  // namespace uniscan

@@ -1,18 +1,20 @@
 // Parallel-fault sequential simulation for transition (gross-delay) faults.
 //
-// Same 63-machines-per-word organisation as FaultSimulator; the injected
+// Same machines-per-slot-word organisation as FaultSimulator (63/255/511
+// faulty machines per batch depending on the slot width); the injected
 // value is dynamic: each faulty slot remembers the faulted line's driven
 // value from the previous cycle and forces
 //     STR: and(driven(t), driven(t-1))     STF: or(driven(t), driven(t-1))
 // onto its slot. Slot 0 remains the good machine.
 //
-// Mirrors FaultSimulator's two-layer structure: BatchRunner is the
+// Mirrors FaultSimulator's two-layer structure: BatchRunnerT<Word> is the
 // incremental per-batch engine (checkpoint-resumable over a SequenceView,
 // caller-provided scratch) built on the CompiledNetlist kernel with the same
 // engine selection and observation-cone pruning; the one-shot
-// run/detects_all fan batches across ThreadPool::global() with bit-identical
-// results at any thread count. The launch history (previous driven value per
-// fault) is part of SimBatchState::prev_driven so checkpoints capture it.
+// run/detects_all fan batches across ThreadPool::global() at the
+// process-wide slot width, with bit-identical results at any thread count
+// and any width. The launch history (previous driven value per fault) is
+// part of SimBatchStateT::prev_driven so checkpoints capture it.
 //
 // Unlike the stuck-at engine's static forcing, a transition fault's forced
 // value depends on prev_driven, so the event engine re-evaluates every
@@ -21,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -34,6 +38,7 @@
 #include "sim/sequence.hpp"
 #include "sim/sequence_view.hpp"
 #include "sim/sequential_sim.hpp"
+#include "sim/slot_word.hpp"
 
 namespace uniscan {
 
@@ -60,60 +65,68 @@ class TransitionFaultSimulator {
   std::vector<std::size_t> detected_indices(const TestSequence& seq,
                                             std::span<const TransitionFault> faults) const;
 
-  /// Incremental engine for one batch of up to 63 transition faults; see
-  /// FaultSimulator::BatchRunner for the contract.
-  class BatchRunner {
+  /// Incremental engine for one batch of up to kSlots-1 transition faults;
+  /// see FaultSimulator::BatchRunnerT for the contract. Instantiated for
+  /// std::uint64_t, Simd256 and Simd512 (explicit instantiations in
+  /// transition_sim.cpp).
+  template <class Word>
+  class BatchRunnerT {
    public:
-    BatchRunner(const CompiledNetlist& cnl, std::span<const TransitionFault> faults);
+    static constexpr unsigned kSlots = WordTraits<Word>::kBits;
+    using State = SimBatchStateT<Word>;
+
+    BatchRunnerT(const CompiledNetlist& cnl, std::span<const TransitionFault> faults);
 
     std::span<const TransitionFault> faults() const noexcept { return faults_; }
-    std::uint64_t slot_mask() const noexcept { return slot_mask_; }
+    Word slot_mask() const noexcept { return slot_mask_; }
 
     SimEngine engine() const noexcept { return engine_; }
     bool pruned() const noexcept { return prog_.pruned; }
-    /// See FaultSimulator::BatchRunner::samples_dff.
+    /// See FaultSimulator::BatchRunnerT::samples_dff.
     bool samples_dff(std::size_t j) const noexcept {
       return !prog_.pruned || prog_.dff_sampled[j] != 0;
     }
 
     /// All-X power-up state, X launch history, every fault slot live.
-    SimBatchState initial_state() const;
+    State initial_state() const;
 
     struct AdvanceOptions {
       bool early_exit = true;
       std::span<LatchRecord> latched = {};
-      CheckpointStore* checkpoints = nullptr;
+      CheckpointStoreT<Word>* checkpoints = nullptr;
       std::size_t batch_index = 0;
       std::size_t capture_limit = 0;
     };
 
-    std::uint64_t advance(SimBatchState& s, const SequenceView& view, std::vector<W3>& values,
+    std::uint64_t advance(State& s, const SequenceView& view, std::vector<W3T<Word>>& values,
                           const AdvanceOptions& opt) const;
 
    private:
     static constexpr std::int32_t kNone = -1;
 
-    void run_frame(SimBatchState& s, const std::vector<V3>& pi, std::vector<W3>& values) const;
-    void apply_stems_value(GateId g, SimBatchState& s, W3& w) const;
-    void apply_stems(GateId g, SimBatchState& s, std::vector<W3>& values) const {
+    void run_frame(State& s, const std::vector<V3>& pi, std::vector<W3T<Word>>& values) const;
+    void apply_stems_value(GateId g, State& s, W3T<Word>& w) const;
+    void apply_stems(GateId g, State& s, std::vector<W3T<Word>>& values) const {
       apply_stems_value(g, s, values[g]);
     }
-    void apply_branches(GateId g, W3* fanin_buf, std::size_t n, SimBatchState& s,
-                        const std::vector<W3>& values) const;
+    void apply_branches(GateId g, W3T<Word>* fanin_buf, std::size_t n, State& s,
+                        const std::vector<W3T<Word>>& values) const;
     /// Evaluate one injection-carrying combinational gate (branch forcing on
     /// its fanins, stem forcing on its output); refreshes launch histories.
-    W3 eval_forced(GateId g, SimBatchState& s, const std::vector<W3>& values) const;
+    W3T<Word> eval_forced(GateId g, State& s, const std::vector<W3T<Word>>& values) const;
     void enqueue(GateId g) const;
     void enqueue_fanouts(GateId g) const;
-    std::uint64_t advance_levelized(SimBatchState& s, const SequenceView& view,
-                                    std::vector<W3>& values, const AdvanceOptions& opt) const;
-    std::uint64_t advance_kernel(SimBatchState& s, const SequenceView& view,
-                                 std::vector<W3>& values, const AdvanceOptions& opt) const;
+    std::uint64_t advance_levelized(State& s, const SequenceView& view,
+                                    std::vector<W3T<Word>>& values,
+                                    const AdvanceOptions& opt) const;
+    std::uint64_t advance_kernel(State& s, const SequenceView& view,
+                                 std::vector<W3T<Word>>& values,
+                                 const AdvanceOptions& opt) const;
 
     const CompiledNetlist* cnl_;
     const Netlist* nl_;
     std::span<const TransitionFault> faults_;
-    std::uint64_t slot_mask_ = 0;
+    Word slot_mask_{};
     SimEngine engine_;
     // A line carries up to two faults (STR and STF) per batch; both stem and
     // branch faults are chained in per-gate intrusive lists.
@@ -121,15 +134,24 @@ class TransitionFaultSimulator {
     std::vector<std::int32_t> branch_head_;  // per gate -> fault index
     std::vector<std::int32_t> next_;         // per fault, shared by both chains
     // Per-fault launch value captured while evaluating the current frame,
-    // committed into SimBatchState::prev_driven at frame end. Scratch: a
+    // committed into SimBatchStateT::prev_driven at frame end. Scratch: a
     // runner is used by one thread at a time.
     mutable std::vector<V3> pending_;
 
-    // Compiled/event program (see FaultSimulator::BatchRunner). Boundary
+    // Compiled/event program (see FaultSimulator::BatchRunnerT). Boundary
     // gates carrying stem faults are listed once so the per-frame forcing
     // pass doesn't scan all boundaries.
+    // forced_ holds only gates with branch (pin) faults; stem-only sites
+    // stay inside the type runs (patched_) and get their slot rewrites
+    // applied level-interleaved. fix_* merges both fixup streams
+    // level-ascending: fix_idx_[i] is a patch gate id when fix_patch_[i],
+    // else an index into forced_.
     BatchProgram prog_;
     std::vector<GateId> forced_;
+    std::vector<GateId> patched_;
+    std::vector<std::uint32_t> fix_idx_;
+    std::vector<std::uint32_t> fix_level_;
+    std::vector<std::uint8_t> fix_patch_;
     std::vector<GateId> bstem_dff_;  // DFF gates with stem faults
     std::vector<GateId> bstem_pi_;   // PI gates with stem faults
     std::vector<std::uint8_t> in_plan_;
@@ -137,62 +159,83 @@ class TransitionFaultSimulator {
     mutable std::vector<std::uint8_t> queued_;
   };
 
+  /// The historical 63-fault runner — the uint64_t instantiation.
+  using BatchRunner = BatchRunnerT<std::uint64_t>;
+
  private:
+  template <class Word>
+  std::vector<DetectionRecord> run_impl(const SequenceView& view,
+                                        std::span<const TransitionFault> faults,
+                                        std::vector<LatchRecord>* latched) const;
+  template <class Word>
+  bool detects_all_impl(const SequenceView& view, std::span<const TransitionFault> faults) const;
+
+  struct Scratch {
+    std::vector<W3T<std::uint64_t>> w64;
+    std::vector<W3T<Simd256>> w256;
+    std::vector<W3T<Simd512>> w512;
+    template <class Word>
+    std::vector<W3T<Word>>& get() noexcept {
+      if constexpr (std::is_same_v<Word, Simd256>) return w256;
+      else if constexpr (std::is_same_v<Word, Simd512>) return w512;
+      else return w64;
+    }
+  };
+
   const Netlist* nl_;
   CompiledNetlist compiled_;
-  mutable std::vector<std::vector<W3>> scratch_;  // per pool worker
+  mutable std::vector<Scratch> scratch_;  // per pool worker
 };
 
 /// Streaming session for the transition generator (mirrors FaultSimSession:
-/// one BatchRunner + SimBatchState per 63-fault batch, packed hardest-first,
-/// dead batches skipped, live batches fanned across ThreadPool::global(),
-/// bit-identical at every thread count).
+/// one BatchRunnerT + SimBatchStateT per batch at the slot width resolved at
+/// construction, packed hardest-first, dead batches skipped, live batches
+/// fanned across ThreadPool::global(), bit-identical at every thread count
+/// and width).
 class TransitionSimSession {
  public:
   TransitionSimSession(const Netlist& nl, std::span<const TransitionFault> faults);
+  ~TransitionSimSession();
+  TransitionSimSession(TransitionSimSession&&) noexcept;
+  TransitionSimSession& operator=(TransitionSimSession&&) noexcept;
 
   std::size_t advance(const TestSequence& chunk);
-  std::size_t now() const noexcept { return now_; }
-  std::size_t num_faults() const noexcept { return faults_.size(); }
-  bool is_detected(std::size_t i) const { return detection_[i].detected; }
-  const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
-  std::size_t num_detected() const noexcept { return num_detected_; }
+  std::size_t now() const noexcept;
+  std::size_t num_faults() const noexcept;
+  bool is_detected(std::size_t i) const;
+  const std::vector<DetectionRecord>& detections() const noexcept;
+  std::size_t num_detected() const noexcept;
   /// Compiled form of the netlist, shared by all of the session's runners
   /// (and reusable by FrameModels targeting the same circuit).
-  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+  const CompiledNetlist& compiled() const noexcept;
   State good_state() const;
   /// Machine-pair state plus the faulted line's previous driven value for
   /// fault `i` (needed to seed the ATPG window's launch history).
   void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const;
 
-  /// See FaultSimSession::Snapshot for the live-batches-only contract.
-  struct Snapshot {
-    SimBatchState good;
-    std::vector<std::pair<std::size_t, SimBatchState>> live_states;
-    std::vector<DetectionRecord> detection;
-    std::size_t num_detected;
-    std::size_t now;
+  /// Opaque resumable session state (live batches only — see
+  /// FaultSimSession::Snapshot for the contract). Copyable; only valid for
+  /// the session that produced it (sessions share a snapshot type across
+  /// slot widths, the payload carries the width it was captured at).
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+   private:
+    friend class TransitionSimSession;
+    std::shared_ptr<const void> state_;
+    SlotWidth width_ = SlotWidth::W64;
   };
   Snapshot snapshot() const;
   void restore(const Snapshot& s);
 
+  /// Width-erased implementation interface (public so the width-templated
+  /// implementations in transition_sim.cpp can derive from it; not part of
+  /// the session's API).
+  struct Impl;
+
  private:
-  const Netlist* nl_;
-  CompiledNetlist compiled_;
-  std::vector<TransitionFault> faults_;  // original (caller) order
-  std::vector<std::size_t> order_;       // packed position -> original index
-  std::vector<std::size_t> pos_;         // original index -> packed position
-  std::vector<TransitionFault> packed_;  // runners reference this storage
-  std::vector<TransitionFaultSimulator::BatchRunner> runners_;
-  std::vector<SimBatchState> states_;
-  TransitionFaultSimulator::BatchRunner good_runner_;  // empty batch
-  SimBatchState good_;
-  std::vector<DetectionRecord> detection_;  // original order
-  std::size_t num_detected_ = 0;
-  std::size_t now_ = 0;
-  std::vector<std::size_t> live_idx_;
-  std::vector<std::uint64_t> before_;
-  std::vector<std::vector<W3>> scratch_;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace uniscan

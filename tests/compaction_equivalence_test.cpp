@@ -178,8 +178,8 @@ TEST(OmissionEngine, EraseAtBoundaryFramesMatchesReference) {
   ASSERT_FALSE(must.empty());
 
   constexpr std::size_t kInterval = 4;
-  detail::OmissionEngine<FaultSimulator> engine(sim.compiled(), fx.atpg.sequence, must, must_time,
-                                                kInterval);
+  detail::OmissionEngine<FaultSimulator, std::uint64_t> engine(sim.compiled(), fx.atpg.sequence,
+                                                               must, must_time, kInterval);
 
   // Reference predicate against the engine's own current selection.
   TestSequence cur = fx.atpg.sequence;

@@ -21,10 +21,13 @@
 // Global flags: --time-budget=SECS caps the wall clock of the long-running
 // commands (generate/compact/baseline/classify) with graceful degradation;
 // --json reports errors as a one-line {"error": ...} object on stdout;
-// --metrics appends one {"schema_version": 2, "counters": {...}} line on
-// stdout with the run's telemetry counter totals (same keys as the bench
-// JSON's `counters` object); --trace=FILE writes a Chrome trace_event JSON
-// of the run (load in chrome://tracing or Perfetto).
+// --metrics appends one {"schema_version": 2, "counters": {...},
+// "slot_width": N} line on stdout with the run's telemetry counter totals
+// (same keys as the bench JSON's `counters` object) and the resolved
+// simulation slot width; --slot-width=64|256|512|auto picks the slot width
+// (default auto: widest SIMD the build and CPU support); --trace=FILE
+// writes a Chrome trace_event JSON of the run (load in chrome://tracing or
+// Perfetto).
 // Exit codes: 0 success, 1 error (std::exception), 2 usage, 3 unexpected
 // non-standard exception.
 #include <cstdio>
@@ -38,6 +41,7 @@
 #include "atpg/redundancy.hpp"
 #include "core/uniscan.hpp"
 #include "obs/counters.hpp"
+#include "sim/engine.hpp"
 #include "obs/trace.hpp"
 #include "sim/sequence_io.hpp"
 
@@ -58,6 +62,7 @@ struct CliArgs {
   bool json = false;
   bool metrics = false;   // --metrics: counter-totals JSON line on stdout
   std::string trace;      // --trace=FILE: Chrome trace_event output
+  SlotWidth slot_width = SlotWidth::Auto;  // --slot-width=64|256|512|auto
   double time_budget_secs = 0;
   XFillPolicy fill = XFillPolicy::RandomFill;
 };
@@ -93,6 +98,11 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       a.metrics = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       a.trace = arg.substr(8);
+    } else if (arg.rfind("--slot-width=", 0) == 0) {
+      if (!parse_slot_width(arg.substr(13), a.slot_width)) {
+        std::fprintf(stderr, "unknown slot width: %s (64|256|512|auto)\n", arg.c_str() + 13);
+        return std::nullopt;
+      }
     } else if (arg.rfind("--time-budget=", 0) == 0) {
       a.time_budget_secs = std::strtod(arg.c_str() + 14, nullptr);
     } else if (arg == "--skip-restoration") {
@@ -314,8 +324,9 @@ void report_error(bool as_json, const char* what) {
   std::fprintf(stderr, "error: %s\n", what);
 }
 
-/// One {"schema_version": 2, "counters": {...}} line: the process-wide
-/// telemetry totals, keyed like the bench JSON's `counters` object.
+/// One {"schema_version": 2, "counters": {...}, "slot_width": N} line: the
+/// process-wide telemetry totals, keyed like the bench JSON's `counters`
+/// object, plus the slot width the run resolved to.
 void print_metrics_line() {
   std::string out = "{\"schema_version\": 2, \"counters\": {";
   for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
@@ -325,7 +336,9 @@ void print_metrics_line() {
     out += "\": ";
     out += std::to_string(obs::total(static_cast<obs::Counter>(i)));
   }
-  out += "}}";
+  out += "}, \"slot_width\": ";
+  out += std::to_string(slot_width_bits(resolved_slot_width()));
+  out += "}";
   std::printf("%s\n", out.c_str());
 }
 
@@ -352,6 +365,7 @@ int run_command(const CliArgs& args) {
 int main(int argc, char** argv) {
   const auto args = parse(argc, argv);
   if (!args) return usage();
+  set_global_slot_width(args->slot_width);
   if (!args->trace.empty()) obs::Tracer::start(args->trace);
   int rc;
   try {
