@@ -16,6 +16,10 @@
 //                        support; see sim/slot_word.hpp)
 //   --json=FILE          also write machine-readable results to FILE
 //   --circuits=A,B,C     run an explicit comma-separated subset of the suite
+//   --corpus=TIER        run the corpus registry instead of the paper suite:
+//                        fast | mid | large | all (circuits come from
+//                        corpus/manifest.tsv; hash-verified on load);
+//                        combine with --circuits to narrow by name
 //   --time-budget=SECS   suite-wide wall-clock budget (graceful degradation)
 //   --per-circuit-budget=SECS  per-circuit wall-clock budget
 //   --fail-fast          abort the whole run on the first circuit failure
@@ -23,6 +27,7 @@
 //   --trace=FILE         emit a Chrome trace_event JSON of the run to FILE
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -56,7 +61,8 @@ struct Args {
   double time_budget_secs = 0;
   double per_circuit_budget_secs = 0;
   bool fail_fast = false;
-  std::string trace;  // --trace=FILE: Chrome trace_event output
+  std::string trace;   // --trace=FILE: Chrome trace_event output
+  std::string corpus;  // --corpus=fast|mid|large|all
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -93,6 +99,13 @@ inline Args parse_args(int argc, char** argv) {
         if (end > start) a.circuits.push_back(rest.substr(start, end - start));
         if (comma == std::string::npos) break;
         start = comma + 1;
+      }
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      a.corpus = arg.substr(9);
+      CorpusTier tier;
+      if (a.corpus != "all" && !parse_corpus_tier(a.corpus, tier)) {
+        std::fprintf(stderr, "unknown corpus tier: %s (fast|mid|large|all)\n", arg.c_str() + 9);
+        std::exit(2);
       }
     } else if (arg.rfind("--time-budget=", 0) == 0)
       a.time_budget_secs = std::strtod(arg.c_str() + 14, nullptr);
@@ -264,6 +277,35 @@ class BenchJson {
 };
 
 inline std::vector<SuiteEntry> select_suite(const Args& a) {
+  if (!a.corpus.empty()) {
+    const CorpusRegistry& reg = CorpusRegistry::global();
+    std::optional<CorpusTier> tier;
+    CorpusTier parsed;
+    if (parse_corpus_tier(a.corpus, parsed)) tier = parsed;  // "all" -> nullopt
+    std::vector<SuiteEntry> out = reg.suite_entries(tier);
+    if (out.empty()) {
+      std::fprintf(stderr, "corpus tier '%s' is empty (no manifest at %s?)\n", a.corpus.c_str(),
+                   reg.dir().c_str());
+      std::exit(2);
+    }
+    // --circuits narrows the corpus selection by name (corpus order kept).
+    if (!a.circuits.empty()) {
+      std::vector<SuiteEntry> picked;
+      for (const SuiteEntry& e : out)
+        if (std::find(a.circuits.begin(), a.circuits.end(), e.name) != a.circuits.end())
+          picked.push_back(e);
+      if (picked.size() != a.circuits.size()) {
+        for (const std::string& name : a.circuits)
+          if (std::none_of(picked.begin(), picked.end(),
+                           [&](const SuiteEntry& e) { return e.name == name; }))
+            std::fprintf(stderr, "circuit '%s' is not in corpus tier '%s'\n", name.c_str(),
+                         a.corpus.c_str());
+        std::exit(2);
+      }
+      return picked;
+    }
+    return out;
+  }
   if (!a.circuits.empty()) {
     std::vector<SuiteEntry> out;
     for (const std::string& name : a.circuits) {

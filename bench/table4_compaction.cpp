@@ -24,7 +24,7 @@ struct CircuitRows {
 
 CircuitRows run_circuit(const SuiteEntry& entry, const bench::Args& args,
                         const PipelineConfig& cfg, bench::BenchJson& json,
-                        bool print_s27_table) {
+                        std::string* s27_table) {
   const ScanCircuit sc = run_stage(entry.name, "scan", [&] {
     return insert_scan(run_stage(entry.name, "load",
                                  [&] { return load_circuit(entry, args.bench_dir); }));
@@ -58,9 +58,9 @@ CircuitRows run_circuit(const SuiteEntry& entry, const bench::Args& args,
   json.add("omission_" + entry.name, omit_stages.back().wall_ms, omit.gate_evals,
            rest.sequence.length(), omit.sequence.length(), omit.timed_out, &omit_stages);
 
-  if (print_s27_table) {
-    std::cout << "=== Table 4: compacted test sequence for s27_scan ===\n\n";
-    std::cout << format_sequence_table(sc, omit.sequence) << "\n";
+  if (s27_table) {
+    *s27_table = "=== Table 4: compacted test sequence for s27_scan ===\n\n" +
+                 format_sequence_table(sc, omit.sequence) + "\n";
   }
 
   FaultSimulator sim(sc.netlist);
@@ -76,38 +76,28 @@ int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
 
   // Default: the paper's s27 row. --full: the fast-suite circuits (the
-  // larger paper circuits make compaction runs impractically long here).
+  // larger paper circuits make compaction runs impractically long here);
+  // --circuit/--circuits/--corpus select like the other table binaries.
   std::vector<SuiteEntry> suite;
-  if (!args.circuits.empty()) {
-    for (const std::string& name : args.circuits) {
-      const auto e = find_suite_entry(name);
-      if (!e) {
-        std::fprintf(stderr, "unknown circuit: %s\n", name.c_str());
-        return 2;
-      }
-      suite.push_back(*e);
-    }
-  } else if (!args.circuit.empty()) {
-    const auto e = find_suite_entry(args.circuit);
-    if (!e) {
-      std::fprintf(stderr, "unknown circuit: %s\n", args.circuit.c_str());
-      return 2;
-    }
-    suite.push_back(*e);
-  } else if (args.full) {
-    suite = fast_suite();
+  if (args.circuits.empty() && args.circuit.empty() && args.corpus.empty()) {
+    suite = args.full ? fast_suite() : std::vector<SuiteEntry>{*find_suite_entry("s27")};
   } else {
-    suite.push_back(*find_suite_entry("s27"));
+    suite = bench::select_suite(args);
   }
 
   bench::BenchJson json;
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
-  std::vector<CircuitRows> rows;
   std::vector<TaskFailure> failures;
-  TextTable summary({"circuit", "generated", "restored", "omitted", "detected", "status"});
+  std::string s27_table;
+  // Rows stream: each circuit's summary line prints the moment its
+  // (serial) compaction flow finishes; the s27 sequence printout follows
+  // the summary so the streamed table is never interrupted.
+  StreamTable summary(std::cout,
+                      {"circuit", "generated", "restored", "omitted", "detected", "status"});
   for (const SuiteEntry& entry : suite) {
+    CircuitRows r;
     try {
-      rows.push_back(run_circuit(entry, args, cfg, json, entry.name == "s27"));
+      r = run_circuit(entry, args, cfg, json, entry.name == "s27" ? &s27_table : nullptr);
     } catch (const StageError& e) {
       if (cfg.fail_fast) throw;
       failures.push_back(TaskFailure{entry.name, e.stage(), e.what()});
@@ -121,13 +111,12 @@ int main(int argc, char** argv) {
       json.add_failure(failures.back());
       continue;
     }
-    const CircuitRows& r = rows.back();
     summary.add_row({r.name, std::to_string(r.generated), std::to_string(r.restored),
                      std::to_string(r.omitted),
                      std::to_string(r.detected) + "/" + std::to_string(r.total_faults),
                      bench::row_status(r.timed_out)});
   }
-  summary.print(std::cout);
+  if (!s27_table.empty()) std::cout << "\n" << s27_table;
 
   json.write(args.json, args.threads);
   if (!failures.empty()) {

@@ -6,9 +6,11 @@
 //
 // Run with --no-scan-knowledge for the ablation (funct becomes 0 and
 // coverage may drop). Circuits run as parallel tasks on the global pool
-// (--threads=N) and merge in suite order, so the output is identical at any
-// thread count; --json=FILE records per-circuit wall time and gate
-// evaluations (BENCH_atpg.json).
+// (--threads=N); rows STREAM to stdout as the completed prefix of the suite
+// grows (run_suite_tasks_streaming), so a long --corpus run under
+// --time-budget shows its finished rows immediately — while the emitted
+// order stays identical at any thread count; --json=FILE records
+// per-circuit wall time and gate evaluations (BENCH_atpg.json).
 #include "bench_common.hpp"
 
 #include <iostream>
@@ -30,8 +32,15 @@ int main(int argc, char** argv) {
     double wall_ms = 0.0;
     std::vector<obs::StageStat> stages;
   };
+  // `redund` and `eff` extend the paper's columns: faults PROVED untestable
+  // by any single-vector scan test, and coverage relative to the remaining
+  // (possibly testable) universe.
+  StreamTable table(std::cout, {"circ", "inp", "stvr", "faults", "total", "fcov", "funct",
+                                "redund", "eff", "status"});
+  bench::BenchJson json;
+  std::size_t total_faults = 0, total_detected = 0;
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
-  const auto rows = run_suite_tasks_isolated(
+  const auto rows = run_suite_tasks_streaming(
       suite,
       [&](std::size_t i) {
         const bench::Stopwatch sw;
@@ -54,42 +63,33 @@ int main(int argc, char** argv) {
         row.wall_ms = sw.ms();
         return row;
       },
+      [&](std::size_t i, const TaskOutcome<Row>& outcome) {
+        if (outcome.failed()) {
+          table.add_row({suite[i].name, "-", "-", "-", "-", "-", "-", "-", "-",
+                         bench::row_status(*outcome.failure)});
+          json.add_failure(*outcome.failure);
+          return;
+        }
+        const Row& row = outcome.value;
+        const AtpgResult& r = row.r;
+        const std::size_t testable_universe = r.num_faults - r.proved_redundant;
+        const double efficiency =
+            testable_universe == 0
+                ? 100.0
+                : 100.0 * static_cast<double>(r.detected) / static_cast<double>(testable_universe);
+        table.add_row({suite[i].name, std::to_string(row.inputs), std::to_string(row.dffs),
+                       std::to_string(r.num_faults), std::to_string(r.detected),
+                       format_pct(r.fault_coverage()), std::to_string(r.detected_by_scan_knowledge),
+                       std::to_string(r.proved_redundant), format_pct(efficiency),
+                       bench::row_status(r.timed_out)});
+        // Generation builds the sequence from scratch: in_len 0, out_len the
+        // generated vector count.
+        json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length(), r.timed_out,
+                 &row.stages);
+        total_faults += r.num_faults;
+        total_detected += r.detected;
+      },
       cfg.fail_fast);
-
-  // `redund` and `eff` extend the paper's columns: faults PROVED untestable
-  // by any single-vector scan test, and coverage relative to the remaining
-  // (possibly testable) universe.
-  TextTable table({"circ", "inp", "stvr", "faults", "total", "fcov", "funct", "redund", "eff",
-                   "status"});
-  bench::BenchJson json;
-  std::size_t total_faults = 0, total_detected = 0;
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    if (rows[i].failed()) {
-      table.add_row({suite[i].name, "-", "-", "-", "-", "-", "-", "-", "-",
-                     bench::row_status(*rows[i].failure)});
-      json.add_failure(*rows[i].failure);
-      continue;
-    }
-    const Row& row = rows[i].value;
-    const AtpgResult& r = row.r;
-    const std::size_t testable_universe = r.num_faults - r.proved_redundant;
-    const double efficiency =
-        testable_universe == 0
-            ? 100.0
-            : 100.0 * static_cast<double>(r.detected) / static_cast<double>(testable_universe);
-    table.add_row({suite[i].name, std::to_string(row.inputs), std::to_string(row.dffs),
-                   std::to_string(r.num_faults), std::to_string(r.detected),
-                   format_pct(r.fault_coverage()), std::to_string(r.detected_by_scan_knowledge),
-                   std::to_string(r.proved_redundant), format_pct(efficiency),
-                   bench::row_status(r.timed_out)});
-    // Generation builds the sequence from scratch: in_len 0, out_len the
-    // generated vector count.
-    json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length(), r.timed_out,
-             &row.stages);
-    total_faults += r.num_faults;
-    total_detected += r.detected;
-  }
-  table.print(std::cout);
   if (total_faults > 0)
     std::cout << "\nsuite total: " << total_detected << "/" << total_faults << " ("
               << format_pct(100.0 * static_cast<double>(total_detected) /

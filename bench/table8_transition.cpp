@@ -4,7 +4,8 @@
 // generate one sequence on C_scan (consecutive vectors are launch/capture
 // pairs at speed, scan shifts included), then compact with the same
 // restoration + omission machinery, all under gross-delay semantics.
-// Circuits run as parallel tasks (--threads=N) and merge in suite order.
+// Circuits run as parallel tasks (--threads=N); rows stream to stdout in
+// suite order as the completed prefix grows (run_suite_tasks_streaming).
 #include "bench_common.hpp"
 
 #include <iostream>
@@ -25,8 +26,12 @@ int main(int argc, char** argv) {
     double wall_ms = 0.0;
     std::vector<obs::StageStat> stages;
   };
+  StreamTable table(std::cout, {"circ", "tfaults", "det", "tcov", "funct", "test.total",
+                                "omit.total", "omit.scan", "status"});
+  bench::BenchJson json;
+  std::size_t total_faults = 0, total_detected = 0;
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
-  const auto rows = run_suite_tasks_isolated(
+  const auto rows = run_suite_tasks_streaming(
       suite,
       [&](std::size_t i) {
         const bench::Stopwatch sw;
@@ -65,33 +70,27 @@ int main(int argc, char** argv) {
         row.wall_ms = sw.ms();
         return row;
       },
+      [&](std::size_t i, const TaskOutcome<Row>& outcome) {
+        if (outcome.failed()) {
+          table.add_row({suite[i].name, "-", "-", "-", "-", "-", "-", "-",
+                         bench::row_status(*outcome.failure)});
+          json.add_failure(*outcome.failure);
+          return;
+        }
+        const Row& row = outcome.value;
+        const TransitionAtpgResult& r = row.r;
+        const bool timed_out = r.timed_out || row.compaction_timed_out;
+        table.add_row({suite[i].name, std::to_string(r.num_faults), std::to_string(r.detected),
+                       format_pct(r.fault_coverage()),
+                       std::to_string(r.detected_by_scan_knowledge),
+                       std::to_string(r.sequence.length()), std::to_string(row.omitted.total),
+                       std::to_string(row.omitted.scan), bench::row_status(timed_out)});
+        json.add(suite[i].name, row.wall_ms, row.gate_evals, r.sequence.length(),
+                 row.omitted.total, timed_out, &row.stages);
+        total_faults += r.num_faults;
+        total_detected += r.detected;
+      },
       cfg.fail_fast);
-
-  TextTable table({"circ", "tfaults", "det", "tcov", "funct", "test.total", "omit.total",
-                   "omit.scan", "status"});
-  bench::BenchJson json;
-  std::size_t total_faults = 0, total_detected = 0;
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    if (rows[i].failed()) {
-      table.add_row({suite[i].name, "-", "-", "-", "-", "-", "-", "-",
-                     bench::row_status(*rows[i].failure)});
-      json.add_failure(*rows[i].failure);
-      continue;
-    }
-    const Row& row = rows[i].value;
-    const TransitionAtpgResult& r = row.r;
-    const bool timed_out = r.timed_out || row.compaction_timed_out;
-    table.add_row({suite[i].name, std::to_string(r.num_faults), std::to_string(r.detected),
-                   format_pct(r.fault_coverage()),
-                   std::to_string(r.detected_by_scan_knowledge),
-                   std::to_string(r.sequence.length()), std::to_string(row.omitted.total),
-                   std::to_string(row.omitted.scan), bench::row_status(timed_out)});
-    json.add(suite[i].name, row.wall_ms, row.gate_evals, r.sequence.length(),
-             row.omitted.total, timed_out, &row.stages);
-    total_faults += r.num_faults;
-    total_detected += r.detected;
-  }
-  table.print(std::cout);
   if (total_faults > 0)
     std::cout << "\nsuite transition coverage: "
               << format_pct(100.0 * static_cast<double>(total_detected) /

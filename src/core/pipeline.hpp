@@ -6,6 +6,7 @@
 //    translation, then the same two compactions (Table 7).
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -223,6 +224,50 @@ auto run_suite_tasks_isolated(const std::vector<SuiteEntry>& suite, Fn&& fn,
       } catch (...) {
         out[task].failure = TaskFailure{suite[task].name, "unknown", "non-standard exception"};
       }
+    }
+  });
+  return out;
+}
+
+/// run_suite_tasks_isolated + ordered streaming: `emit(index, outcome)` is
+/// called for every slot, in suite order, as soon as the completed prefix
+/// grows — a 100-circuit run under --time-budget shows its finished rows
+/// while the stragglers still compute, and the emitted order is identical
+/// to the buffered runners' (the stable-merge contract, DESIGN.md §5d:
+/// emission is keyed on slot index, never on completion order). `emit`
+/// runs under an internal mutex on whichever worker finished the
+/// prefix-extending task; keep it cheap (format + print one row). With
+/// `fail_fast`, the first (lowest-index) failure escapes after the pool
+/// drains and rows past it are not emitted.
+template <typename Fn, typename Emit>
+auto run_suite_tasks_streaming(const std::vector<SuiteEntry>& suite, Fn&& fn, Emit&& emit,
+                               bool fail_fast = false) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  const obs::TraceSpan span("suite");
+  std::vector<TaskOutcome<R>> out(suite.size());
+  std::vector<char> done(suite.size(), 0);
+  std::mutex mu;
+  std::size_t next_to_emit = 0;
+  ThreadPool::global().parallel_for(suite.size(), [&](std::size_t task, std::size_t) {
+    try {
+      out[task].value = fn(task);
+    } catch (...) {
+      if (fail_fast) throw;
+      try {
+        throw;
+      } catch (const StageError& e) {
+        out[task].failure = TaskFailure{suite[task].name, e.stage(), e.what()};
+      } catch (const std::exception& e) {
+        out[task].failure = TaskFailure{suite[task].name, "unknown", e.what()};
+      } catch (...) {
+        out[task].failure = TaskFailure{suite[task].name, "unknown", "non-standard exception"};
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    done[task] = 1;
+    while (next_to_emit < out.size() && done[next_to_emit]) {
+      emit(next_to_emit, out[next_to_emit]);
+      ++next_to_emit;
     }
   });
   return out;

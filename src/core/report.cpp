@@ -56,6 +56,38 @@ std::string TextTable::to_string() const {
   return os.str();
 }
 
+StreamTable::StreamTable(std::ostream& out, std::vector<std::string> header,
+                         std::vector<std::size_t> min_widths)
+    : out_(out), width_(header.size()) {
+  // Default minimum keeps typical numeric cells aligned without knowing the
+  // data in advance; the name column gets extra room.
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    width_[c] = std::max(header[c].size(), c < min_widths.size() ? min_widths[c]
+                                           : c == 0             ? std::size_t{10}
+                                                                : std::size_t{8});
+  }
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width_.size(); ++c) {
+    if (c) out_ << "  ";
+    if (c == 0) out_ << header[c] << std::string(width_[c] - header[c].size(), ' ');
+    else out_ << std::string(width_[c] - header[c].size(), ' ') << header[c];
+    total += width_[c] + (c ? 2 : 0);
+  }
+  out_ << "\n" << std::string(total, '-') << "\n" << std::flush;
+}
+
+void StreamTable::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_.size())
+    throw std::invalid_argument("StreamTable::add_row: cell count mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << "  ";
+    const std::size_t pad = cells[c].size() < width_[c] ? width_[c] - cells[c].size() : 0;
+    if (c == 0) out_ << cells[c] << std::string(pad, ' ');
+    else out_ << std::string(pad, ' ') << cells[c];
+  }
+  out_ << "\n" << std::flush;
+}
+
 std::string format_pct(double v) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(2) << v;

@@ -30,6 +30,25 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Column-aligned table that prints each row the moment it is added, for
+/// suite runs that stream results as circuits complete. Column widths are
+/// fixed up front (header width vs. a per-column minimum), so rows render
+/// identically whether the run finishes or is cut short by --time-budget;
+/// an oversized cell widens its own row rather than re-flowing the table.
+/// The header + rule are printed by the constructor; every add_row flushes.
+class StreamTable {
+ public:
+  StreamTable(std::ostream& out, std::vector<std::string> header,
+              std::vector<std::size_t> min_widths = {});
+
+  /// Print a data row immediately (must match the header width).
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& out_;
+  std::vector<std::size_t> width_;
+};
+
 /// Format a double like the paper's coverage column ("99.63").
 std::string format_pct(double v);
 

@@ -25,6 +25,8 @@
 #include "compact/omission.hpp"
 #include "compact/restoration.hpp"
 #include "core/pipeline.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/golden.hpp"
 #include "core/metrics.hpp"
 #include "core/report.hpp"
 #include "diag/diagnosis.hpp"

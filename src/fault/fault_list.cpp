@@ -142,4 +142,12 @@ FaultList FaultList::collapsed(const Netlist& nl) {
   return fl;
 }
 
+FaultList FaultList::prefix(std::size_t n) const {
+  FaultList fl;
+  fl.uncollapsed_count_ = uncollapsed_count_;
+  fl.faults_.assign(faults_.begin(),
+                    faults_.begin() + static_cast<std::ptrdiff_t>(std::min(n, faults_.size())));
+  return fl;
+}
+
 }  // namespace uniscan

@@ -38,6 +38,12 @@ class FaultList {
   /// Total number of faults before collapsing (for reporting).
   std::size_t uncollapsed_count() const noexcept { return uncollapsed_count_; }
 
+  /// The first `n` faults of this list (everything when n >= size()). The
+  /// collapsed order is deterministic, so a prefix is a stable bounded
+  /// target set (the corpus digest harness caps large-tier ATPG cost with
+  /// it). uncollapsed_count() is preserved for reporting.
+  FaultList prefix(std::size_t n) const;
+
  private:
   std::vector<Fault> faults_;
   std::size_t uncollapsed_count_ = 0;

@@ -26,6 +26,18 @@ struct PendingGate {
   std::size_t line_no;
 };
 
+/// A physical line is an incomplete fragment of a logical line when its
+/// parenthesis is still open or it visibly trails off. Real .bench writers
+/// wrap wide operand lists as
+///   G123 = AND(G1, G2,
+///               G3)
+/// and some put the `=` and the expression on separate lines.
+bool needs_continuation(std::string_view body) {
+  const auto open = body.find('(');
+  if (open != std::string_view::npos && body.find(')', open) == std::string_view::npos) return true;
+  return !body.empty() && (body.back() == ',' || body.back() == '=');
+}
+
 }  // namespace
 
 Netlist read_bench(std::istream& in, std::string circuit_name, const std::string& source) {
@@ -38,34 +50,27 @@ Netlist read_bench(std::istream& in, std::string circuit_name, const std::string
   std::vector<std::size_t> output_lines;
   std::vector<PendingGate> pending;
 
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view body = line;
-    if (const auto hash = body.find('#'); hash != std::string_view::npos)
-      body = body.substr(0, hash);
-    body = trim(body);
-    if (body.empty()) continue;
-
-    if (starts_with(to_upper(body), "INPUT(")) {
+  const auto process = [&](std::string_view body, std::size_t line_no) {
+    if (starts_with(to_upper(body), "INPUT(") || starts_with(to_upper(body), "OUTPUT(")) {
+      const bool is_input = to_upper(body)[0] == 'I';
       const auto open = body.find('(');
       const auto close = body.rfind(')');
       if (close == std::string_view::npos || close < open) fail_at(line_no, "missing ')'");
+      if (!trim(body.substr(close + 1)).empty())
+        fail_at(line_no, "unexpected text after ')': '" +
+                             excerpt(trim(body.substr(close + 1))) + "'");
       const auto name = std::string(trim(body.substr(open + 1, close - open - 1)));
-      if (name.empty()) fail_at(line_no, "empty INPUT name");
-      nl.add_input(name);
-      continue;
-    }
-    if (starts_with(to_upper(body), "OUTPUT(")) {
-      const auto open = body.find('(');
-      const auto close = body.rfind(')');
-      if (close == std::string_view::npos || close < open) fail_at(line_no, "missing ')'");
-      const auto name = std::string(trim(body.substr(open + 1, close - open - 1)));
-      if (name.empty()) fail_at(line_no, "empty OUTPUT name");
-      output_names.push_back(name);
-      output_lines.push_back(line_no);
-      continue;
+      if (name.empty()) fail_at(line_no, is_input ? "empty INPUT name" : "empty OUTPUT name");
+      if (is_input) {
+        for (GateId pi : nl.inputs())
+          if (nl.gate(pi).name == name)
+            fail_at(line_no, "duplicate INPUT '" + excerpt(name) + "'");
+        nl.add_input(name);
+      } else {
+        output_names.push_back(name);
+        output_lines.push_back(line_no);
+      }
+      return;
     }
 
     const auto eq = body.find('=');
@@ -77,6 +82,9 @@ Netlist read_bench(std::istream& in, std::string circuit_name, const std::string
     if (lhs.empty()) fail_at(line_no, "empty left-hand side");
     if (open == std::string_view::npos || close == std::string_view::npos || close < open)
       fail_at(line_no, "malformed gate expression");
+    if (!trim(rhs.substr(close + 1)).empty())
+      fail_at(line_no,
+              "unexpected text after ')': '" + excerpt(trim(rhs.substr(close + 1))) + "'");
 
     GateType type;
     const auto keyword = trim(rhs.substr(0, open));
@@ -90,8 +98,43 @@ Netlist read_bench(std::istream& in, std::string circuit_name, const std::string
       for (const auto& op : operands)
         if (op.empty()) fail_at(line_no, "empty operand");
     }
+    const int arity = gate_type_arity(type);
+    if (arity >= 0 && operands.size() != static_cast<std::size_t>(arity))
+      fail_at(line_no, std::string(keyword) + " takes exactly " + std::to_string(arity) +
+                           " operand(s), got " + std::to_string(operands.size()));
+    if (arity < 0 && operands.empty())
+      fail_at(line_no, std::string(keyword) + " needs at least one operand");
     pending.push_back(PendingGate{type, lhs, std::move(operands), line_no});
+  };
+
+  // Assemble logical lines: strip comments/CR, join wrapped lines (open
+  // parenthesis, trailing ',' or '=') before handing them to `process`.
+  std::string line, logical;
+  std::size_t line_no = 0, logical_line = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view body = line;
+    if (const auto hash = body.find('#'); hash != std::string_view::npos)
+      body = body.substr(0, hash);
+    body = trim(body);
+    if (body.empty()) continue;
+    if (logical.empty()) {
+      if (!needs_continuation(body)) {
+        process(body, line_no);
+        continue;
+      }
+      logical = body;
+      logical_line = line_no;
+    } else {
+      logical += ' ';
+      logical += body;
+      if (needs_continuation(logical)) continue;
+      process(logical, logical_line);
+      logical.clear();
+    }
   }
+  if (!logical.empty())
+    fail_at(logical_line, "unterminated line (expression continues past end of file)");
 
   // First pass: create all gates (fanins resolved later so definitions may
   // appear in any order, which real ISCAS files rely on).

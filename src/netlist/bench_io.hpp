@@ -4,10 +4,17 @@
 //   # comment
 //   INPUT(name)
 //   OUTPUT(name)
-//   name = GATE(op1, op2, ...)       GATE in {AND,NAND,OR,NOR,XOR,XNOR,NOT,BUF(F),DFF,MUX,CONST0,CONST1}
+//   name = GATE(op1, op2, ...)       GATE in {AND,NAND,OR,NOR,XOR,XNOR,
+//                                    NOT/INV,BUF/BUFF,DFF,MUX,CONST0,CONST1}
 //
 // OUTPUT lines may appear before the net they reference is defined.
-// MUX operand order is (d0, d1, select).
+// MUX operand order is (d0, d1, select). Keywords are case-insensitive.
+// Logical lines may wrap: a line whose parenthesis is still open, or that
+// ends in ',' or '=', continues on the next non-blank line (comments and
+// blank lines are tolerated anywhere, including inside a wrapped line).
+// Diagnostics carry <source>:<line>: duplicate INPUT, duplicate definition,
+// undefined (undriven) nets, arity mismatches, and trailing junk all fail
+// loudly instead of parsing to a surprising netlist.
 #pragma once
 
 #include <iosfwd>

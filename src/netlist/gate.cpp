@@ -27,7 +27,7 @@ bool parse_gate_type(std::string_view keyword, GateType& out) noexcept {
   const std::string k = to_upper(keyword);
   if (k == "DFF") out = GateType::Dff;
   else if (k == "BUF" || k == "BUFF") out = GateType::Buf;
-  else if (k == "NOT") out = GateType::Not;
+  else if (k == "NOT" || k == "INV") out = GateType::Not;
   else if (k == "AND") out = GateType::And;
   else if (k == "NAND") out = GateType::Nand;
   else if (k == "OR") out = GateType::Or;

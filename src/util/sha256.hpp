@@ -1,0 +1,43 @@
+// Self-contained SHA-256 (FIPS 180-4) for corpus content pinning and golden
+// result digests. No external dependency: the corpus workflow (DESIGN.md §5i)
+// must hash identically on every platform the suite builds on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace uniscan {
+
+/// Incremental SHA-256. Feed any number of update() calls, then hex() (or
+/// digest()) exactly once.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(const void* data, std::size_t len) noexcept;
+  void update(std::string_view s) noexcept { update(s.data(), s.size()); }
+
+  /// Finalize and return the 32-byte digest. The object must not be reused.
+  std::array<std::uint8_t, 32> digest() noexcept;
+
+  /// Finalize and return the digest as 64 lowercase hex characters.
+  std::string hex() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot helpers.
+std::string sha256_hex(std::string_view data);
+/// Hash a file's raw bytes. Throws std::runtime_error when the file cannot
+/// be opened.
+std::string sha256_file_hex(const std::string& path);
+
+}  // namespace uniscan

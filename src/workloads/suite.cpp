@@ -1,8 +1,11 @@
 #include "workloads/suite.hpp"
 
 #include <filesystem>
+#include <stdexcept>
 
+#include "corpus/corpus.hpp"
 #include "netlist/bench_io.hpp"
+#include "util/sha256.hpp"
 #include "workloads/circuits.hpp"
 #include "workloads/synth_gen.hpp"
 
@@ -14,34 +17,44 @@ const std::vector<SuiteEntry>& paper_suite() {
   // circuits' combinational sizes. Fast-suite membership keeps the default
   // experiment runtime moderate; pass --full to the table binaries for the
   // rest.
+  const auto row = [](const char* name, std::size_t inputs, std::size_t dffs, std::size_t gates,
+                      bool fast) {
+    SuiteEntry e;
+    e.name = name;
+    e.num_inputs = inputs;
+    e.num_dffs = dffs;
+    e.num_gates = gates;
+    e.in_fast_suite = fast;
+    return e;
+  };
   static const std::vector<SuiteEntry> suite = {
-      {"s27", 4, 3, 10, true},
-      {"s208", 11, 8, 104, true},
-      {"s298", 3, 14, 119, true},
-      {"s344", 9, 15, 160, true},
-      {"s382", 3, 21, 158, true},
-      {"s386", 7, 6, 159, true},
-      {"s400", 3, 21, 162, true},
-      {"s420", 19, 16, 218, true},
-      {"s444", 3, 21, 181, true},
-      {"s510", 19, 6, 211, true},
-      {"s526", 3, 21, 193, true},
-      {"s641", 35, 19, 379, false},
-      {"s820", 18, 5, 289, false},
-      {"s953", 16, 29, 395, false},
-      {"s1196", 14, 18, 529, false},
-      {"s1423", 17, 74, 657, false},
-      {"s1488", 8, 6, 653, false},
-      {"s5378", 35, 179, 2779, false},
-      {"s35932", 35, 1728, 16065, false},
-      {"b01", 3, 5, 45, true},
-      {"b02", 2, 4, 25, true},
-      {"b03", 5, 30, 150, true},
-      {"b04", 12, 66, 600, false},
-      {"b06", 3, 9, 50, true},
-      {"b09", 2, 28, 160, true},
-      {"b10", 12, 17, 180, true},
-      {"b11", 8, 30, 500, false},
+      row("s27", 4, 3, 10, true),
+      row("s208", 11, 8, 104, true),
+      row("s298", 3, 14, 119, true),
+      row("s344", 9, 15, 160, true),
+      row("s382", 3, 21, 158, true),
+      row("s386", 7, 6, 159, true),
+      row("s400", 3, 21, 162, true),
+      row("s420", 19, 16, 218, true),
+      row("s444", 3, 21, 181, true),
+      row("s510", 19, 6, 211, true),
+      row("s526", 3, 21, 193, true),
+      row("s641", 35, 19, 379, false),
+      row("s820", 18, 5, 289, false),
+      row("s953", 16, 29, 395, false),
+      row("s1196", 14, 18, 529, false),
+      row("s1423", 17, 74, 657, false),
+      row("s1488", 8, 6, 653, false),
+      row("s5378", 35, 179, 2779, false),
+      row("s35932", 35, 1728, 16065, false),
+      row("b01", 3, 5, 45, true),
+      row("b02", 2, 4, 25, true),
+      row("b03", 5, 30, 150, true),
+      row("b04", 12, 66, 600, false),
+      row("b06", 3, 9, 50, true),
+      row("b09", 2, 28, 160, true),
+      row("b10", 12, 17, 180, true),
+      row("b11", 8, 30, 500, false),
   };
   return suite;
 }
@@ -56,10 +69,38 @@ std::vector<SuiteEntry> fast_suite() {
 std::optional<SuiteEntry> find_suite_entry(const std::string& name) {
   for (const auto& e : paper_suite())
     if (e.name == name) return e;
+  // Names not in the paper tables resolve from the corpus registry, so
+  // --circuit/--circuits reach every corpus row without per-binary wiring.
+  if (const CorpusEntry* ce = CorpusRegistry::global().find(name)) {
+    auto rows = CorpusRegistry::global().suite_entries(ce->tier);
+    for (auto& e : rows)
+      if (e.name == name) return e;
+  }
   return std::nullopt;
 }
 
 Netlist load_circuit(const SuiteEntry& entry, const std::string& bench_dir) {
+  if (!entry.bench_path.empty() || entry.from_corpus) {
+    const bool present =
+        !entry.bench_path.empty() && std::filesystem::exists(entry.bench_path);
+    if (present) {
+      if (!entry.expected_sha256.empty()) {
+        const std::string got = sha256_file_hex(entry.bench_path);
+        if (got != entry.expected_sha256)
+          throw std::runtime_error("corpus hash mismatch for " + entry.name + ": " +
+                                   entry.bench_path + " has sha256 " + got + ", manifest pins " +
+                                   entry.expected_sha256 +
+                                   " (re-fetch or re-pin via tools/fetch_corpus)");
+      }
+      return read_bench_file(entry.bench_path);
+    }
+    if (entry.from_corpus) {
+      const CorpusRegistry& reg = CorpusRegistry::global();
+      if (const CorpusEntry* ce = reg.find(entry.name)) return reg.load(*ce);
+    }
+    throw std::runtime_error("corpus circuit " + entry.name + " missing: " + entry.bench_path +
+                             " (run tools/fetch_corpus)");
+  }
   if (entry.name == "s27") return make_s27();
   if (!bench_dir.empty()) {
     const auto path = std::filesystem::path(bench_dir) / (entry.name + ".bench");

@@ -23,6 +23,17 @@ struct SuiteEntry {
   std::size_t num_dffs;    // paper's stvr
   std::size_t num_gates;   // synthetic gate budget (≈ real circuit size)
   bool in_fast_suite;      // included in the default (fast) experiment runs
+
+  // ---- corpus binding (corpus/corpus.hpp) ---------------------------------
+  /// When set, load_circuit() reads this .bench file (taking precedence over
+  /// the embedded/`bench_dir`/synthetic resolution below).
+  std::string bench_path;
+  /// Expected SHA-256 of the file's bytes; non-empty values are verified at
+  /// load so a corrupt corpus file fails loudly.
+  std::string expected_sha256;
+  /// Entry came from the corpus registry: a missing bench_path falls back to
+  /// the registry's deterministic in-memory stand-in instead of erroring.
+  bool from_corpus = false;
 };
 
 /// All circuits appearing in the paper's tables (plus s27).

@@ -139,6 +139,75 @@ TEST(BenchIo, CrlfLineEndingsTolerated) {
   EXPECT_EQ(nl.num_outputs(), 1u);
 }
 
+TEST(BenchIo, ContinuationLinesJoined) {
+  // Wrapped operand lists (open paren / trailing comma) continue onto the
+  // following lines; comments and blank lines may interleave the wrap.
+  const auto wrapped = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(o)\n"
+                       "o = AND(a,\n        b,   # wrapped mid-list\n\n        c)\n";
+  const Netlist nl = read_bench_string(wrapped, "wrap");
+  const auto o = nl.find("o");
+  ASSERT_TRUE(o);
+  EXPECT_EQ(nl.gate(*o).fanins.size(), 3u);
+}
+
+TEST(BenchIo, ContinuationAfterEquals) {
+  const auto text = "INPUT(a)\nOUTPUT(o)\no =\n  NOT(a)\n";
+  const Netlist nl = read_bench_string(text, "wrap");
+  EXPECT_EQ(nl.num_comb_gates(), 1u);
+}
+
+TEST(BenchIo, UnterminatedContinuationReported) {
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(o)\no = AND(a,\n", "bad");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("unterminated"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BenchIo, SpellingVariantsAccepted) {
+  // BUFF/INV synonyms and lower-case keywords all parse.
+  const auto text = "INPUT(a)\nOUTPUT(o)\nb1 = BUFF(a)\nb2 = buff(b1)\n"
+                    "n1 = INV(b2)\nd = dff(n1)\no = not(d)\n";
+  const Netlist nl = read_bench_string(text, "variants");
+  EXPECT_EQ(nl.num_dffs(), 1u);
+  EXPECT_EQ(nl.gate(*nl.find("n1")).type, GateType::Not);
+  EXPECT_EQ(nl.gate(*nl.find("b2")).type, GateType::Buf);
+}
+
+TEST(BenchIo, DuplicateInputReported) {
+  try {
+    read_bench_string("INPUT(a)\nINPUT(a)\nOUTPUT(o)\no = NOT(a)\n", "bad");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate INPUT"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BenchIo, InputRedefinedAsGateReported) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n", "bad"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, ArityMismatchReported) {
+  // NOT with two operands, MUX with two, AND with none.
+  EXPECT_THROW(read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = NOT(a, b)\n", "bad"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = MUX(a, b)\n", "bad"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(o)\no = AND()\n", "bad"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, TrailingJunkReported) {
+  EXPECT_THROW(read_bench_string("INPUT(a) junk\nOUTPUT(o)\no = NOT(a)\n", "bad"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(o)\no = NOT(a) junk\n", "bad"),
+               std::runtime_error);
+}
+
 TEST(BenchIo, ErrorExcerptsAreCapped) {
   // A pathologically long identifier must not be echoed wholesale into the
   // error message — it is cut to a short excerpt with a "..." marker.

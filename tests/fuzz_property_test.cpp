@@ -1,5 +1,12 @@
 // Fuzz-style property sweeps: random synthetic circuits through the whole
 // stack, asserting the invariants that must hold for ANY circuit.
+//
+// Reproducibility audit: every random choice in this file — circuit shape,
+// circuit contents, scan-chain count, loaded states, ATPG restarts — derives
+// from the gtest parameter seed and NOTHING else (no time, no global RNG
+// state), so a failing case is replayed exactly by its printed seed /
+// --gtest_filter suffix. Each test opens with a SCOPED_TRACE carrying the
+// seed and derived spec, so any assertion that fires logs the full recipe.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +17,14 @@
 
 namespace uniscan {
 namespace {
+
+std::string fuzz_repro(std::uint64_t seed, const SynthSpec& spec) {
+  return "fuzz seed=" + std::to_string(seed) + " circuit=" + spec.name +
+         " (pi=" + std::to_string(spec.num_inputs) + " ff=" + std::to_string(spec.num_dffs) +
+         " gates=" + std::to_string(spec.num_gates) +
+         "); deterministic in the seed — rerun with --gtest_filter='*Seeds/*/" +
+         std::to_string(seed - 1) + "' to replay exactly";
+}
 
 // The same file builds twice: the default (tier1) matrix in uniscan_tests,
 // and a wider seed matrix in uniscan_slow_tests (-DUNISCAN_SLOW_FUZZ,
@@ -39,6 +54,7 @@ class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzPipeline, EndToEndInvariants) {
   const SynthSpec spec = fuzz_spec(GetParam());
+  SCOPED_TRACE(fuzz_repro(GetParam(), spec));
   const Netlist c = generate_synthetic(spec);
   const ScanCircuit sc = insert_scan(c);
   const FaultList fl = FaultList::collapsed(sc.netlist);
@@ -102,6 +118,7 @@ class FuzzScanChain : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzScanChain, LoadUnloadIdentityAnyChainCount) {
   const SynthSpec spec = fuzz_spec(GetParam() + 100);
+  SCOPED_TRACE(fuzz_repro(GetParam(), spec));
   const Netlist c = generate_synthetic(spec);
   Rng rng(GetParam());
   const std::size_t chains = 1 + rng.next_below(std::min<std::size_t>(c.num_dffs(), 4));
@@ -144,6 +161,7 @@ class FuzzBaselineTranslate : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzBaselineTranslate, BaselineBookkeepingIsExactTranslation) {
   const SynthSpec spec = fuzz_spec(GetParam() + 200);
+  SCOPED_TRACE(fuzz_repro(GetParam(), spec));
   const Netlist c = generate_synthetic(spec);
   const ScanCircuit sc = insert_scan(c);
   const FaultList fl = FaultList::collapsed(sc.netlist);
@@ -165,6 +183,50 @@ TEST_P(FuzzBaselineTranslate, BaselineBookkeepingIsExactTranslation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBaselineTranslate,
+                         ::testing::Range<std::uint64_t>(1, kBaselineSeedEnd));
+
+// Corpus-derived fuzz: the seed picks a fast-tier corpus circuit (real
+// .bench parse path, hash-verified) and drives a capped-effort generation
+// run twice — the detection records must match independent simulation, and
+// the second run must be BIT-IDENTICAL to the first, which is exactly the
+// property that makes a failure reproducible from the logged seed alone.
+class FuzzCorpus : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCorpus, CorpusCaseReproducibleFromSeed) {
+  const std::uint64_t seed = GetParam();
+  const CorpusRegistry& reg = CorpusRegistry::global();
+  const auto fast = reg.tier(CorpusTier::Fast);
+  if (fast.empty()) GTEST_SKIP() << "corpus manifest not present at " << reg.dir();
+  const CorpusEntry& entry = fast[seed % fast.size()];
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed) + " -> corpus circuit " + entry.name +
+               " (tier fast, " + reg.circuit_path(entry) +
+               "); deterministic in the seed — rerun with --gtest_filter='*FuzzCorpus*/" +
+               std::to_string(seed - 1) + "' to replay exactly");
+
+  const Netlist c = reg.load(entry);
+  const ScanCircuit sc = insert_scan(c);
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+
+  AtpgOptions opt;
+  opt.seed = seed;
+  opt.max_backtracks = 10;
+  opt.final_effort_backtracks = 0;
+  opt.max_random_chunks = 4;
+  opt.window_schedule = {4};
+  const AtpgResult first = generate_tests(sc, fl, opt);
+
+  FaultSimulator sim(sc.netlist);
+  const auto check = sim.run(first.sequence, fl.faults());
+  for (std::size_t i = 0; i < fl.size(); ++i)
+    ASSERT_EQ(check[i].detected, first.detection[i].detected) << "fault " << i;
+
+  const AtpgResult again = generate_tests(sc, fl, opt);
+  ASSERT_EQ(again.sequence, first.sequence) << "same seed must replay bit-identically";
+  ASSERT_EQ(again.detected, first.detected);
+  ASSERT_EQ(again.gate_evals, first.gate_evals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCorpus,
                          ::testing::Range<std::uint64_t>(1, kBaselineSeedEnd));
 
 }  // namespace
