@@ -13,7 +13,13 @@
 //   --no-cone-pruning    disable per-batch observation-cone pruning
 //   --slot-width=W       simulation slot width: 64 | 256 | 512 | auto
 //                        (default auto: widest SIMD the build and CPU
-//                        support; see sim/slot_word.hpp)
+//                        support; see sim/slot_word.hpp). With --repack=on
+//                        (the default) auto additionally narrows per fault
+//                        population; an explicit width is always honored.
+//   --repack=on|off      live-fault batch repacking + slot-width
+//                        auto-narrowing in the streaming sessions (default
+//                        on; results are bit-identical either way — see
+//                        DESIGN.md §5j)
 //   --json=FILE          also write machine-readable results to FILE
 //   --circuits=A,B,C     run an explicit comma-separated subset of the suite
 //   --corpus=TIER        run the corpus registry instead of the paper suite:
@@ -57,6 +63,7 @@ struct Args {
   XFillPolicy fill = XFillPolicy::RandomFill;
   SimEngine engine = SimEngine::Compiled;
   bool cone_pruning = true;
+  bool repack = true;
   SlotWidth slot_width = SlotWidth::Auto;
   double time_budget_secs = 0;
   double per_circuit_budget_secs = 0;
@@ -85,7 +92,15 @@ inline Args parse_args(int argc, char** argv) {
         std::exit(2);
       }
     } else if (arg == "--no-cone-pruning") a.cone_pruning = false;
-    else if (arg.rfind("--slot-width=", 0) == 0) {
+    else if (arg.rfind("--repack=", 0) == 0) {
+      const std::string v = arg.substr(9);
+      if (v == "on") a.repack = true;
+      else if (v == "off") a.repack = false;
+      else {
+        std::fprintf(stderr, "unknown repack mode: %s (on|off)\n", v.c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--slot-width=", 0) == 0) {
       if (!parse_slot_width(arg.substr(13), a.slot_width)) {
         std::fprintf(stderr, "unknown slot width: %s (64|256|512|auto)\n", arg.c_str() + 13);
         std::exit(2);
@@ -122,6 +137,7 @@ inline Args parse_args(int argc, char** argv) {
   ThreadPool::set_global_threads(a.threads);
   set_global_sim_engine(a.engine);
   set_global_cone_pruning(a.cone_pruning);
+  set_global_repack(a.repack);
   set_global_slot_width(a.slot_width);
   if (!a.trace.empty()) obs::Tracer::start(a.trace);
   return a;
@@ -200,6 +216,7 @@ inline std::string counters_json(const obs::CounterArray& c) {
 
 /// Collects per-row results and writes them as a JSON document (schema v2):
 ///   { "schema_version": 2, "threads": N, "slot_width": 64|256|512,
+///     "repack": true|false,                             // additive in v2
 ///     "counters": {gate_evals, batch_skips, ...},       // process totals
 ///     "entries": [ {name, wall_ms, gate_evals, in_len, out_len, timed_out,
 ///                   "stages": [{name, wall_ms, counters: {...}}, ...]},
@@ -233,6 +250,7 @@ class BenchJson {
     }
     out << "{\n  \"schema_version\": 2,\n  \"threads\": " << threads
         << ",\n  \"slot_width\": " << slot_width_bits(resolved_slot_width())
+        << ",\n  \"repack\": " << (global_repack() ? "true" : "false")
         << ",\n  \"counters\": " << counters_json(obs::totals()) << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];

@@ -206,6 +206,50 @@ void BM_SessionAdvance(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionAdvance)->Unit(benchmark::kMillisecond);
 
+void BM_RepackFaultSim(benchmark::State& state) {
+  // Repacking ablation (DESIGN.md §5j): a session advanced chunk by chunk,
+  // the regime repacking targets — early chunks detect the easy faults, so
+  // without repacking the later chunks drag mostly-dead batches. s344 is
+  // random-testable (most lanes die within the first chunks); a
+  // random-resistant circuit like s526 keeps its population live and the
+  // trigger correctly never fires. Arg pairs are (slot width or 0 for
+  // auto, repack on/off); detections are bit-identical across all
+  // variants, only the work moves.
+  static Setup s("s344", 2048);
+  const SlotWidth width = static_cast<SlotWidth>(state.range(0));
+  const bool repack = state.range(1) != 0;
+  constexpr std::size_t kChunk = 64;
+  std::vector<TestSequence> chunks;
+  for (std::size_t t = 0; t < s.seq.length(); t += kChunk) {
+    TestSequence c(s.nl.num_inputs());
+    for (std::size_t u = t; u < std::min(t + kChunk, s.seq.length()); ++u)
+      c.append(std::vector<V3>(s.seq.vector_at(u)));
+    chunks.push_back(std::move(c));
+  }
+  set_global_slot_width(width);
+  set_global_repack(repack);
+  const std::uint64_t evals0 = obs::totals()[static_cast<std::size_t>(obs::Counter::GateEvals)];
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultSimSession session(s.nl, s.fl.faults());
+    state.ResumeTiming();
+    for (const TestSequence& c : chunks) session.advance(c);
+    benchmark::DoNotOptimize(session.num_detected());
+    ++iters;
+  }
+  const std::uint64_t evals1 = obs::totals()[static_cast<std::size_t>(obs::Counter::GateEvals)];
+  if (iters)
+    state.counters["gate_evals/iter"] = static_cast<double>((evals1 - evals0) / iters);
+  set_global_repack(true);
+  set_global_slot_width(SlotWidth::Auto);
+}
+BENCHMARK(BM_RepackFaultSim)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({512, 0})->Args({512, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -277,6 +277,7 @@ PodemResult PodemSearch::run() {
 
   std::vector<Decision> stack;
   int backtracks = 0;
+  StridedPoll cancel(opt_.cancel);
 
   const auto finish = [&](std::size_t frames_used, bool at_po,
                           std::size_t latched_dff) -> PodemResult {
@@ -291,11 +292,12 @@ PodemResult PodemSearch::run() {
   };
 
   for (;;) {
-    // Cooperative cancellation: checked once per iteration (each iteration
-    // either decides, backtracks, or finishes, and each involves a full
-    // window simulation — the poll is noise next to that). An aborted search
-    // is a plain failure, but flagged so it is never read as exhaustion.
-    if (opt_.cancel.poll()) {
+    // Cooperative cancellation, polled at stride (util/cancel.hpp): each
+    // iteration either decides, backtracks, or finishes, and small-window
+    // simulations are cheap enough that a per-iteration clock read showed up
+    // in profiles. An aborted search is a plain failure, but flagged so it
+    // is never read as exhaustion.
+    if (cancel.poll()) {
       result.aborted = true;
       result.backtracks = backtracks;
       return result;

@@ -30,8 +30,9 @@ enum class PodemGoal { ObservePo, LatchIntoFf, ScanObserve };
 
 struct PodemOptions {
   int max_backtracks = 300;
-  /// Cooperative deadline/cancellation, polled once per search iteration
-  /// (every decision and every backtrack). Inert by default.
+  /// Cooperative deadline/cancellation, checked every search iteration
+  /// (every decision and every backtrack) but polled at kCancelPollStride
+  /// via StridedPoll. Inert by default.
   CancelToken cancel;
 };
 

@@ -3,6 +3,7 @@
 #include "atpg/frame_model.hpp"
 #include "atpg/podem.hpp"
 #include "sim/compiled_netlist.hpp"
+#include "util/cancel.hpp"
 
 namespace uniscan {
 
@@ -12,8 +13,9 @@ RedundancyReport classify_faults(const ScanCircuit& sc, std::span<const Fault> f
   report.classes.reserve(faults.size());
 
   const CompiledNetlist compiled(sc.netlist);
+  StridedPoll cancel(options.cancel);
   for (const Fault& f : faults) {
-    if (options.cancel.poll()) {
+    if (cancel.poll()) {
       // Deadline fired: everything not yet proved stays unproved.
       while (report.classes.size() < faults.size()) {
         report.classes.push_back(FaultClass::Aborted);

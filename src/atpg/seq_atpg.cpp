@@ -8,6 +8,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault_sim_session.hpp"
+#include "util/cancel.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -63,13 +64,18 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
   FaultSimSession session(nl, faults.faults());
   std::vector<bool> via_scan_knowledge(faults.size(), false);
 
+  // One strided view of the deadline for the whole generation flow: loop
+  // bodies here cost microseconds, so polling the token every iteration
+  // dominated small-circuit runs (see util/cancel.hpp).
+  StridedPoll cancel(options.cancel);
+
   // ---- phase 1: random bootstrap -------------------------------------------
   std::size_t useless = 0;
   for (std::size_t chunk_no = 0;
        chunk_no < options.max_random_chunks && useless < options.random_give_up_after &&
        session.num_detected() < faults.size();
        ++chunk_no) {
-    if (options.cancel.poll()) {
+    if (cancel.poll()) {
       result.timed_out = true;
       break;
     }
@@ -104,7 +110,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
 
   State good, faulty;
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    if (options.cancel.poll()) {
+    if (cancel.poll()) {
       result.timed_out = true;
       break;
     }
@@ -178,7 +184,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
   // deep scan-load-assisted search each.
   if (options.use_scan_knowledge && options.final_effort_backtracks > 0) {
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      if (options.cancel.poll()) {
+      if (cancel.poll()) {
         result.timed_out = true;
         break;
       }

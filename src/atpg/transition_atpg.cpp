@@ -7,6 +7,7 @@
 #include "atpg/scan_knowledge.hpp"
 #include "obs/counters.hpp"
 #include "sim/transition_sim.hpp"
+#include "util/cancel.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -61,13 +62,16 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
   TransitionSimSession session(nl, faults);
   std::vector<bool> via_scan_knowledge(faults.size(), false);
 
+  // Strided deadline polling, as in generate_tests (see util/cancel.hpp).
+  StridedPoll cancel(options.cancel);
+
   // ---- random bootstrap ------------------------------------------------------
   std::size_t useless = 0;
   for (std::size_t chunk_no = 0;
        chunk_no < options.max_random_chunks && useless < options.random_give_up_after &&
        session.num_detected() < faults.size();
        ++chunk_no) {
-    if (options.cancel.poll()) {
+    if (cancel.poll()) {
       result.timed_out = true;
       break;
     }
@@ -100,7 +104,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
   State good, faulty;
   V3 prev_driven = V3::X;
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    if (options.cancel.poll()) {
+    if (cancel.poll()) {
       result.timed_out = true;
       break;
     }

@@ -5,6 +5,7 @@
 #include "atpg/frame_model.hpp"
 #include "atpg/podem.hpp"
 #include "sim/fault_sim_session.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace uniscan {
@@ -113,9 +114,11 @@ BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& f
     return ok;
   };
 
-  // Deterministic per-fault generation.
+  // Deterministic per-fault generation (deadline polled at stride — see
+  // util/cancel.hpp).
+  StridedPoll cancel(options.cancel);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    if (options.cancel.poll()) {
+    if (cancel.poll()) {
       result.timed_out = true;
       break;
     }
@@ -160,7 +163,7 @@ BaselineResult generate_baseline_tests(const ScanCircuit& sc, const FaultList& f
       for (std::size_t i = tests.size(); i-- > 0;) {
         // Every committed drop already passed detects_all, so stopping
         // mid-pass leaves a consistent (just less compacted) test set.
-        if (options.cancel.poll()) {
+        if (cancel.poll()) {
           result.timed_out = true;
           break;
         }

@@ -49,6 +49,7 @@
 #include "sim/fault_sim.hpp"
 #include "sim/sequence.hpp"
 #include "sim/sequence_view.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace uniscan::detail {
@@ -202,7 +203,9 @@ CompactionResult omission_run(const Netlist& nl, const TestSequence& seq,
 
   // Every committed erasure has already passed full resimulation of the
   // must-detect faults, so the selection is consistent after ANY trial —
-  // deadline expiry simply stops trying further omissions.
+  // deadline expiry simply stops trying further omissions. Trials are cheap
+  // relative to the deadline granularity, so the token is polled at stride.
+  StridedPoll cancel(options.cancel);
   for (std::size_t pass = 0; pass < options.max_passes && !result.timed_out; ++pass) {
     const obs::TraceSpan pass_span("omission_pass");
     ++result.rounds;
@@ -210,7 +213,7 @@ CompactionResult omission_run(const Netlist& nl, const TestSequence& seq,
 
     if (options.back_to_front) {
       for (std::size_t t = engine.length(); t-- > 0;) {
-        if (options.cancel.poll()) {
+        if (cancel.poll()) {
           result.timed_out = true;
           break;
         }
@@ -218,7 +221,7 @@ CompactionResult omission_run(const Netlist& nl, const TestSequence& seq,
       }
     } else {
       for (std::size_t t = 0; t < engine.length();) {
-        if (options.cancel.poll()) {
+        if (cancel.poll()) {
           result.timed_out = true;
           break;
         }
@@ -239,12 +242,14 @@ CompactionResult omission_run(const Netlist& nl, const TestSequence& seq,
   return result;
 }
 
-/// Width dispatch: the omission engine's batch granularity follows the
-/// process-wide slot width, like the simulators' one-shot entry points.
+/// Width dispatch: like the simulators' one-shot entry points, the omission
+/// engine picks the cheapest slot width for the fault population (the
+/// must-detect set is a subset of `faults`, so the count is an upper bound);
+/// with repacking disabled this is exactly the process-wide slot width.
 template <typename Simulator, typename FaultT>
 CompactionResult omission_impl(const Netlist& nl, const TestSequence& seq,
                                std::span<const FaultT> faults, const OmissionOptions& options) {
-  switch (resolved_slot_width()) {
+  switch (resolved_slot_width_for(faults.size())) {
     case SlotWidth::W256:
       return omission_run<Simulator, FaultT, Simd256>(nl, seq, faults, options);
     case SlotWidth::W512:
@@ -283,6 +288,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
   });
 
   bool converged = false;
+  StridedPoll cancel(options.cancel);
   for (std::size_t round = 0; round < options.max_rounds && !result.timed_out; ++round) {
     const obs::TraceSpan round_span("restoration_round");
     ++result.rounds;
@@ -294,7 +300,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
     const auto cur_det = sim.run(selection(), target_faults);
 
     for (std::size_t k = 0; k < targets.size(); ++k) {
-      if (options.cancel.poll()) {
+      if (cancel.poll()) {
         result.timed_out = true;
         break;
       }
@@ -310,7 +316,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
       std::size_t lo = t_f;
       for (;;) {
         obs::count(obs::Counter::RestorationRestores);
-        if (options.cancel.poll()) {
+        if (cancel.poll()) {
           result.timed_out = true;
           break;
         }
@@ -353,7 +359,7 @@ CompactionResult restoration_impl(const Netlist& nl, const TestSequence& seq,
     for (const auto& [begin, end] : segments) {
       // Committed drops are individually verified, so stopping between
       // segments keeps the converged (coverage-complete) selection.
-      if (options.cancel.poll()) {
+      if (cancel.poll()) {
         result.timed_out = true;
         break;
       }

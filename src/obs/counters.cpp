@@ -30,6 +30,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::OmissionTrials: return "omission_trials";
     case Counter::RestorationRestores: return "restoration_restores";
     case Counter::BatchesRun: return "batches_run";
+    case Counter::RepackEvents: return "repack_events";
+    case Counter::LanesReclaimed: return "lanes_reclaimed";
+    case Counter::FaultsCollapsed: return "faults_collapsed";
+    case Counter::LiveFaultsPeak: return "live_faults_peak";
   }
   return "unknown";
 }
@@ -39,16 +43,30 @@ void set_enabled(bool on) noexcept { detail::g_enabled.store(on, std::memory_ord
 CounterArray totals() noexcept {
   CounterArray out{};
   for (const detail::Shard& s : detail::g_shards)
-    for (std::size_t i = 0; i < kNumCounters; ++i)
-      out[i] += s.v[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      const std::uint64_t v = s.v[i].load(std::memory_order_relaxed);
+      if (counter_is_max(static_cast<Counter>(i))) {
+        if (v > out[i]) out[i] = v;
+      } else {
+        out[i] += v;
+      }
+    }
   return out;
 }
 
 std::uint64_t total(Counter c) noexcept {
   const std::size_t i = static_cast<std::size_t>(c);
-  std::uint64_t sum = 0;
-  for (const detail::Shard& s : detail::g_shards) sum += s.v[i].load(std::memory_order_relaxed);
-  return sum;
+  const bool is_max = counter_is_max(c);
+  std::uint64_t acc = 0;
+  for (const detail::Shard& s : detail::g_shards) {
+    const std::uint64_t v = s.v[i].load(std::memory_order_relaxed);
+    if (is_max) {
+      if (v > acc) acc = v;
+    } else {
+      acc += v;
+    }
+  }
+  return acc;
 }
 
 void reset() noexcept {

@@ -42,8 +42,22 @@ enum class Counter : std::uint8_t {
   RestorationRestores,  // widening restore attempts in restoration
   BatchesRun,           // batch advances executed (a width-dependent count:
                         // wider slot words pack more faults per batch)
+  RepackEvents,         // live-fault repacks performed by the sessions
+  LanesReclaimed,       // fault lanes freed by repacking (old live batches x
+                        // old lanes-per-batch minus the repacked capacity)
+  FaultsCollapsed,      // faults removed by equivalence collapsing
+  LiveFaultsPeak,       // MAX semantics (count_max): largest concurrently
+                        // live fault population seen by any session
 };
-inline constexpr std::size_t kNumCounters = 8;
+inline constexpr std::size_t kNumCounters = 12;
+
+/// Counters with max semantics: count_max() raises the shard value, totals()
+/// max-reduces across shards instead of summing, and CounterScope reports a
+/// zero delta (a running maximum has no meaningful per-stage delta; only the
+/// process total is defined).
+inline constexpr bool counter_is_max(Counter c) noexcept {
+  return c == Counter::LiveFaultsPeak;
+}
 
 /// Stable snake_case name (the bench-JSON / --metrics key).
 const char* counter_name(Counter c) noexcept;
@@ -80,6 +94,16 @@ inline void count(Counter c, std::uint64_t n = 1) noexcept {
   detail::shard_here().v[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
 }
 
+/// Raise a max-semantics counter (counter_is_max) to at least `n` on the
+/// calling worker's shard; totals() max-reduces the shards.
+inline void count_max(Counter c, std::uint64_t n) noexcept {
+  if (!enabled()) return;
+  std::atomic<std::uint64_t>& v = detail::shard_here().v[static_cast<std::size_t>(c)];
+  std::uint64_t cur = v.load(std::memory_order_relaxed);
+  while (cur < n && !v.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+  }
+}
+
 /// Serial sum over all shards. Call only while no counted work is in
 /// flight (between parallel_for joins); the join's synchronisation makes
 /// every worker's relaxed adds visible.
@@ -112,6 +136,7 @@ class CounterScope {
   }
 
   std::uint64_t delta(Counter c) const noexcept {
+    if (counter_is_max(c)) return 0;  // running maxima have no stage delta
     const std::size_t i = static_cast<std::size_t>(c);
     const std::uint64_t now =
         local_ ? detail::shard_here().v[i].load(std::memory_order_relaxed) : total(c);

@@ -1,7 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
+#include <cstring>
 
 namespace uniscan {
 
@@ -9,6 +11,20 @@ namespace {
 std::atomic<SimEngine> g_engine{SimEngine::Compiled};
 std::atomic<bool> g_prune{true};
 std::atomic<SlotWidth> g_width{SlotWidth::Auto};
+std::atomic<bool> g_repack{true};
+
+/// UNISCAN_REPACK override, parsed once. 0 = forced off, 1 = forced on,
+/// -1 = no override.
+int env_repack() noexcept {
+  static const int v = [] {
+    const char* e = std::getenv("UNISCAN_REPACK");
+    if (!e || !*e) return -1;
+    if (std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0) return 0;
+    if (std::strcmp(e, "1") == 0 || std::strcmp(e, "on") == 0) return 1;
+    return -1;
+  }();
+  return v;
+}
 
 /// UNISCAN_SLOT_WIDTH override, parsed once. Auto means "no override" (both
 /// when the variable is unset and when it holds "auto" or garbage).
@@ -87,5 +103,51 @@ bool parse_slot_width(std::string_view name, SlotWidth& out) noexcept {
 }
 
 unsigned slot_width_bits(SlotWidth w) noexcept { return static_cast<unsigned>(w); }
+
+void set_global_repack(bool on) noexcept { g_repack.store(on, std::memory_order_relaxed); }
+
+bool global_repack() noexcept {
+  const int env = env_repack();
+  if (env >= 0) return env != 0;
+  return g_repack.load(std::memory_order_relaxed);
+}
+
+bool slot_width_is_auto() noexcept {
+  return env_slot_width() == SlotWidth::Auto &&
+         g_width.load(std::memory_order_relaxed) == SlotWidth::Auto;
+}
+
+SlotWidth efficient_slot_width(std::size_t live, SlotWidth widest) noexcept {
+  // Per-batch advance cost in permille of a 64-bit batch. Wider words touch
+  // more bytes per gate but amortize the per-batch fixed work (program walk,
+  // forced-gate fixups) over more faults; the ratios below match the
+  // measured per-batch overheads of the AVX2/AVX-512 kernels closely enough
+  // to pick the right word, and being *fixed* keeps the choice a pure
+  // function of the live count.
+  struct Candidate {
+    SlotWidth width;
+    std::size_t cost;
+  };
+  static constexpr Candidate kCandidates[] = {
+      {SlotWidth::W64, 1000}, {SlotWidth::W256, 1300}, {SlotWidth::W512, 1700}};
+  SlotWidth best = SlotWidth::W64;
+  std::size_t best_cost = ~std::size_t{0};
+  for (const Candidate& c : kCandidates) {
+    if (slot_width_bits(c.width) > slot_width_bits(widest)) break;
+    const std::size_t per = slot_width_bits(c.width) - 1;
+    const std::size_t batches = (live + per - 1) / per;
+    const std::size_t cost = batches * c.cost;
+    if (cost < best_cost) {  // strict: ties keep the narrower word
+      best = c.width;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+SlotWidth resolved_slot_width_for(std::size_t n) noexcept {
+  if (!global_repack() || !slot_width_is_auto()) return resolved_slot_width();
+  return efficient_slot_width(n, auto_slot_width());
+}
 
 }  // namespace uniscan

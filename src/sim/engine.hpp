@@ -17,6 +17,7 @@
 // construction; changing them does not affect already-built runners.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -63,5 +64,35 @@ bool parse_slot_width(std::string_view name, SlotWidth& out) noexcept;
 
 /// Bit width of a resolved SlotWidth (64/256/512).
 unsigned slot_width_bits(SlotWidth w) noexcept;
+
+/// Live-fault repacking (DESIGN.md §5j): when enabled, the streaming
+/// sessions periodically repack their surviving faults into dense batches
+/// and — when the width is Auto — narrow the slot word to the cheapest one
+/// for the live population; the one-shot simulators size their word to the
+/// fault count the same way. Results are bit-identical either way; only the
+/// amount of work changes. The UNISCAN_REPACK environment variable (read
+/// once: "0"/"off" disables, "1"/"on" enables) overrides this setting so CI
+/// can pin a whole binary. Read at session construction and at every
+/// advance-boundary repack decision.
+void set_global_repack(bool on) noexcept;
+bool global_repack() noexcept;
+
+/// True when no explicit width was requested (env and global both Auto):
+/// the auto-narrowing paths may pick per-population widths.
+bool slot_width_is_auto() noexcept;
+
+/// Cheapest slot width for `live` concurrently-simulated faults, never wider
+/// than `widest`: minimizes batches(width) x per-batch-advance cost under a
+/// fixed cost model (a wide word costs more per advance than a narrow one,
+/// but far less than proportionally). Ties pick the narrower word. Pure —
+/// the repack layer's determinism rests on it.
+SlotWidth efficient_slot_width(std::size_t live, SlotWidth widest) noexcept;
+
+/// The width a simulator should use for `n` concurrent faults: an explicit
+/// env/global width is honored exactly; under Auto with repacking enabled
+/// the width is efficient_slot_width(n, auto); with repacking disabled this
+/// is resolved_slot_width() (the historical behavior, the --repack=off
+/// baseline).
+SlotWidth resolved_slot_width_for(std::size_t n) noexcept;
 
 }  // namespace uniscan

@@ -28,15 +28,24 @@ namespace uniscan {
 /// Gates that reach no output get num_gates() (hardest).
 std::vector<std::uint32_t> observation_depth(const Netlist& nl);
 
-/// Indices of `faults` ordered hardest (deepest fault site) first; ties keep
-/// fault-list order. Works for any fault type with a `gate` member.
+/// Indices of `faults` ordered hardest (deepest fault site) first. Within a
+/// depth class faults are grouped by ascending gate id — gate ids are
+/// roughly topological, so equally-deep faults with overlapping observation
+/// cones land in the same batch and their (correlated) detections kill whole
+/// lanes together, which is what makes live-fault repacking (DESIGN.md §5j)
+/// pay off early. Remaining ties keep fault-list order. Works for any fault
+/// type with a `gate` member; the ordering is a pure function of the
+/// netlist and the fault list — identical at every thread count.
 template <typename FaultT>
 std::vector<std::size_t> hardest_first_order(const Netlist& nl, std::span<const FaultT> faults) {
   const std::vector<std::uint32_t> depth = observation_depth(nl);
   std::vector<std::size_t> order(faults.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return depth[faults[a].gate] > depth[faults[b].gate];
+    const std::uint32_t da = depth[faults[a].gate];
+    const std::uint32_t db = depth[faults[b].gate];
+    if (da != db) return da > db;
+    return faults[a].gate < faults[b].gate;
   });
   return order;
 }

@@ -536,7 +536,7 @@ std::vector<DetectionRecord> FaultSimulator::run(const TestSequence& seq,
 std::vector<DetectionRecord> FaultSimulator::run(const SequenceView& view,
                                                  std::span<const Fault> faults,
                                                  std::vector<LatchRecord>* latched) const {
-  switch (resolved_slot_width()) {
+  switch (resolved_slot_width_for(faults.size())) {
     case SlotWidth::W256: return run_impl<Simd256>(view, faults, latched);
     case SlotWidth::W512: return run_impl<Simd512>(view, faults, latched);
     default: return run_impl<std::uint64_t>(view, faults, latched);
@@ -579,7 +579,7 @@ bool FaultSimulator::detects_all(const TestSequence& seq, std::span<const Fault>
 }
 
 bool FaultSimulator::detects_all(const SequenceView& view, std::span<const Fault> faults) const {
-  switch (resolved_slot_width()) {
+  switch (resolved_slot_width_for(faults.size())) {
     case SlotWidth::W256: return detects_all_impl<Simd256>(view, faults);
     case SlotWidth::W512: return detects_all_impl<Simd512>(view, faults);
     default: return detects_all_impl<std::uint64_t>(view, faults);
@@ -626,7 +626,7 @@ std::vector<std::uint32_t> FaultSimulator::run_counts(const TestSequence& seq,
 std::vector<std::uint32_t> FaultSimulator::run_counts(const SequenceView& view,
                                                       std::span<const Fault> faults,
                                                       std::uint32_t cap) const {
-  switch (resolved_slot_width()) {
+  switch (resolved_slot_width_for(faults.size())) {
     case SlotWidth::W256: return run_counts_impl<Simd256>(view, faults, cap);
     case SlotWidth::W512: return run_counts_impl<Simd512>(view, faults, cap);
     default: return run_counts_impl<std::uint64_t>(view, faults, cap);

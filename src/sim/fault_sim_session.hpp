@@ -6,16 +6,19 @@
 // whole fault universe and advances them incrementally. Candidate
 // subsequences can be evaluated tentatively via snapshot/restore.
 //
-// The session is built on the same engine shape as the compaction engine
-// (DESIGN.md §5c/§5d): one FaultSimulator::BatchRunnerT + SimBatchStateT per
-// fault batch at the slot width resolved at construction (63/255/511 faults
-// per batch — see sim/slot_word.hpp), packed hardest-first
-// (sim/fault_order.hpp) so batches whose faults are all detected go cold
-// early and are skipped without simulation; the live batches of every
-// advance() fan out across ThreadPool::global(). Each batch writes only its
-// own state and detection slots and the merge runs serially in batch order,
-// so results are bit-identical at every thread count — and at every width,
-// because per-fault detection is a pure function of that fault's slot.
+// The session is built on the shared SessionCoreT engine (DESIGN.md
+// §5c/§5d/§5j): one FaultSimulator::BatchRunnerT + SimBatchStateT per fault
+// batch (63/255/511 faults per batch — see sim/slot_word.hpp), packed
+// hardest-first (sim/fault_order.hpp) so batches whose faults are all
+// detected go cold early and are skipped without simulation; the live
+// batches of every advance() fan out across ThreadPool::global(). With
+// repacking enabled (engine.hpp, the default) the core additionally repacks
+// surviving faults into dense batches between advances and auto-narrows the
+// slot word as the live population shrinks. Each batch writes only its own
+// state and detection slots and the merge runs serially in batch order, so
+// results are bit-identical at every thread count — and at every width and
+// with repacking on or off, because per-fault detection is a pure function
+// of that fault's slot.
 #pragma once
 
 #include <cstdint>
@@ -68,8 +71,11 @@ class FaultSimSession {
   /// still undetected) at capture time carry a machine state: a batch dead
   /// at capture time was dead — and therefore skipped, untouched — ever
   /// since it died, and a batch can only return to life through a restore
-  /// that also restores its state. Copyable; only valid for sessions of the
-  /// slot width it was captured at.
+  /// that also restores its state. The snapshot pins the batch pack it was
+  /// captured under, so restoring across an intervening repack (even one
+  /// that changed the slot width) re-installs that exact pack. Copyable;
+  /// only valid for the session that produced it — restoring into a
+  /// different session throws std::invalid_argument.
   class Snapshot {
    public:
     Snapshot() = default;
@@ -77,14 +83,13 @@ class FaultSimSession {
    private:
     friend class FaultSimSession;
     std::shared_ptr<const void> state_;
-    SlotWidth width_ = SlotWidth::W64;
   };
   Snapshot snapshot() const;
   void restore(const Snapshot& s);
 
-  /// Width-erased implementation interface (public so the width-templated
-  /// implementations in fault_sim_session.cpp can derive from it; not part
-  /// of the session's API).
+  /// Implementation (the shared SessionCoreT engine; public so the
+  /// definition in fault_sim_session.cpp can name it; not part of the
+  /// session's API).
   struct Impl;
 
  private:

@@ -9,8 +9,8 @@
 #include "fault/fault.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
-#include "sim/fault_order.hpp"
 #include "sim/sequential_sim.hpp"
+#include "sim/session_core.hpp"
 #include "util/thread_pool.hpp"
 
 namespace uniscan {
@@ -459,7 +459,7 @@ std::vector<DetectionRecord> TransitionFaultSimulator::run(
 std::vector<DetectionRecord> TransitionFaultSimulator::run(
     const SequenceView& view, std::span<const TransitionFault> faults,
     std::vector<LatchRecord>* latched) const {
-  switch (resolved_slot_width()) {
+  switch (resolved_slot_width_for(faults.size())) {
     case SlotWidth::W256: return run_impl<Simd256>(view, faults, latched);
     case SlotWidth::W512: return run_impl<Simd512>(view, faults, latched);
     default: return run_impl<std::uint64_t>(view, faults, latched);
@@ -503,7 +503,7 @@ bool TransitionFaultSimulator::detects_all(const TestSequence& seq,
 
 bool TransitionFaultSimulator::detects_all(const SequenceView& view,
                                            std::span<const TransitionFault> faults) const {
-  switch (resolved_slot_width()) {
+  switch (resolved_slot_width_for(faults.size())) {
     case SlotWidth::W256: return detects_all_impl<Simd256>(view, faults);
     case SlotWidth::W512: return detects_all_impl<Simd512>(view, faults);
     default: return detects_all_impl<std::uint64_t>(view, faults);
@@ -548,222 +548,14 @@ std::vector<std::size_t> TransitionFaultSimulator::detected_indices(
 // ---------------------------------------------------------------------------
 // TransitionSimSession
 
-namespace {
-
-/// Width-tagged payload behind the opaque session Snapshot.
-template <class Word>
-struct TransitionSnapshotT {
-  SimBatchStateT<Word> good;
-  std::vector<std::pair<std::size_t, SimBatchStateT<Word>>> live_states;
-  std::vector<DetectionRecord> detection;
-  std::size_t num_detected = 0;
-  std::size_t now = 0;
+struct TransitionSimSession::Impl : SessionCoreT<TransitionFaultSimulator> {
+  Impl(const Netlist& nl, std::span<const TransitionFault> faults)
+      : SessionCoreT<TransitionFaultSimulator>(nl, faults, "TransitionSimSession") {}
 };
-
-}  // namespace
-
-struct TransitionSimSession::Impl {
-  virtual ~Impl() = default;
-  virtual std::size_t advance(const TestSequence& chunk) = 0;
-  virtual std::size_t now() const noexcept = 0;
-  virtual std::size_t num_faults() const noexcept = 0;
-  virtual bool is_detected(std::size_t i) const = 0;
-  virtual const std::vector<DetectionRecord>& detections() const noexcept = 0;
-  virtual std::size_t num_detected() const noexcept = 0;
-  virtual const CompiledNetlist& compiled() const noexcept = 0;
-  virtual State good_state() const = 0;
-  virtual void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const = 0;
-  virtual std::shared_ptr<const void> snapshot() const = 0;
-  virtual void restore(const void* snap) = 0;
-  virtual SlotWidth width() const noexcept = 0;
-};
-
-namespace {
-
-template <class Word>
-class TransitionSessionImpl final : public TransitionSimSession::Impl {
- public:
-  static constexpr std::size_t kPer = WordTraits<Word>::kBits - 1;
-  using Runner = TransitionFaultSimulator::BatchRunnerT<Word>;
-  using BatchState = SimBatchStateT<Word>;
-
-  TransitionSessionImpl(const Netlist& nl, std::span<const TransitionFault> faults)
-      : nl_(&nl),
-        compiled_(nl),
-        faults_(faults.begin(), faults.end()),
-        good_runner_(compiled_, std::span<const TransitionFault>{}) {
-    detection_.assign(faults_.size(), DetectionRecord{});
-    good_ = good_runner_.initial_state();
-
-    order_ = hardest_first_order(nl, std::span<const TransitionFault>(faults_));
-    pos_.resize(order_.size());
-    packed_.reserve(order_.size());
-    for (std::size_t p = 0; p < order_.size(); ++p) {
-      pos_[order_[p]] = p;
-      packed_.push_back(faults_[order_[p]]);
-    }
-
-    const std::size_t num_batches = (packed_.size() + kPer - 1) / kPer;
-    runners_.reserve(num_batches);
-    states_.reserve(num_batches);
-    for (std::size_t b = 0; b < num_batches; ++b) {
-      const std::size_t lo = b * kPer;
-      const std::size_t count = std::min<std::size_t>(kPer, packed_.size() - lo);
-      runners_.emplace_back(compiled_,
-                            std::span<const TransitionFault>(packed_.data() + lo, count));
-      states_.push_back(runners_.back().initial_state());
-    }
-  }
-
-  std::size_t advance(const TestSequence& chunk) override {
-    if (chunk.num_inputs() != nl_->num_inputs())
-      throw std::invalid_argument("TransitionSimSession::advance: input width mismatch");
-    const SequenceView view(chunk);
-    const obs::TraceSpan span("session_advance");
-
-    live_idx_.clear();
-    for (std::size_t b = 0; b < states_.size(); ++b)
-      if (w_any(states_[b].live)) live_idx_.push_back(b);
-    before_.resize(live_idx_.size());
-    obs::count(obs::Counter::BatchSkips, states_.size() - live_idx_.size());
-
-    // Task 0 advances the good machine; tasks 1.. the live batches. No early
-    // exit: the session must carry every state to the chunk end.
-    ThreadPool& pool = ThreadPool::global();
-    if (scratch_.size() < pool.num_workers()) scratch_.resize(pool.num_workers());
-    typename Runner::AdvanceOptions opt;
-    opt.early_exit = false;
-    pool.parallel_for(live_idx_.size() + 1, [&](std::size_t k, std::size_t w) {
-      if (k == 0) {
-        good_.frame = 0;
-        good_runner_.advance(good_, view, scratch_[w], opt);
-        return;
-      }
-      BatchState& s = states_[live_idx_[k - 1]];
-      before_[k - 1] = s.detected_slots;
-      s.frame = 0;
-      runners_[live_idx_[k - 1]].advance(s, view, scratch_[w], opt);
-    });
-
-    const std::size_t gained_before = num_detected_;
-    for (std::size_t k = 0; k < live_idx_.size(); ++k) {
-      const std::size_t b = live_idx_[k];
-      const BatchState& s = states_[b];
-      const Word newly = s.detected_slots & ~before_[k];
-      w_for_each_set(newly, [&](unsigned slot) {
-        DetectionRecord& dr = detection_[order_[b * kPer + slot - 1]];
-        dr.detected = true;
-        dr.time = static_cast<std::uint32_t>(now_ + s.detect_time[slot]);
-        ++num_detected_;
-      });
-    }
-    now_ += chunk.length();
-    return num_detected_ - gained_before;
-  }
-
-  std::size_t now() const noexcept override { return now_; }
-  std::size_t num_faults() const noexcept override { return faults_.size(); }
-  bool is_detected(std::size_t i) const override { return detection_[i].detected; }
-  const std::vector<DetectionRecord>& detections() const noexcept override { return detection_; }
-  std::size_t num_detected() const noexcept override { return num_detected_; }
-  const CompiledNetlist& compiled() const noexcept override { return compiled_; }
-
-  State good_state() const override {
-    State s(nl_->num_dffs(), V3::X);
-    for (std::size_t j = 0; j < s.size(); ++j) s[j] = good_.state[j].get(0);
-    return s;
-  }
-
-  void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const override {
-    const std::size_t p = pos_[i];
-    const unsigned slot = static_cast<unsigned>(p % kPer + 1);
-    const std::size_t b = p / kPer;
-    const BatchState& s = states_[b];
-    const Runner& runner = runners_[b];
-    good.assign(nl_->num_dffs(), V3::X);
-    faulty.assign(nl_->num_dffs(), V3::X);
-    for (std::size_t j = 0; j < good.size(); ++j) {
-      if (runner.samples_dff(j)) {
-        good[j] = s.state[j].get(0);
-        faulty[j] = s.state[j].get(slot);
-      } else {
-        // Outside the batch's cone-plus-support the runner does not maintain
-        // the DFF; both machines hold the (identical) good-machine value.
-        const V3 v = good_.state[j].get(0);
-        good[j] = v;
-        faulty[j] = v;
-      }
-    }
-    prev_driven = s.prev_driven[p % kPer];
-  }
-
-  std::shared_ptr<const void> snapshot() const override {
-    auto s = std::make_shared<TransitionSnapshotT<Word>>();
-    s->good = good_;
-    for (std::size_t b = 0; b < states_.size(); ++b)
-      if (w_any(states_[b].live)) s->live_states.emplace_back(b, states_[b]);
-    s->detection = detection_;
-    s->num_detected = num_detected_;
-    s->now = now_;
-    return s;
-  }
-
-  void restore(const void* snap) override {
-    const auto& s = *static_cast<const TransitionSnapshotT<Word>*>(snap);
-    good_ = s.good;
-    std::size_t k = 0;
-    for (std::size_t b = 0; b < states_.size(); ++b) {
-      if (k < s.live_states.size() && s.live_states[k].first == b) {
-        states_[b] = s.live_states[k].second;
-        ++k;
-      } else {
-        states_[b].live = Word{};
-      }
-    }
-    detection_ = s.detection;
-    num_detected_ = s.num_detected;
-    now_ = s.now;
-  }
-
-  SlotWidth width() const noexcept override {
-    return static_cast<SlotWidth>(WordTraits<Word>::kBits);
-  }
-
- private:
-  const Netlist* nl_;
-  CompiledNetlist compiled_;
-  std::vector<TransitionFault> faults_;  // original (caller) order
-  std::vector<std::size_t> order_;       // packed position -> original index
-  std::vector<std::size_t> pos_;         // original index -> packed position
-  std::vector<TransitionFault> packed_;  // runners reference this storage
-  std::vector<Runner> runners_;
-  std::vector<BatchState> states_;
-  Runner good_runner_;  // empty batch
-  BatchState good_;
-  std::vector<DetectionRecord> detection_;  // original order
-  std::size_t num_detected_ = 0;
-  std::size_t now_ = 0;
-  std::vector<std::size_t> live_idx_;
-  std::vector<Word> before_;
-  std::vector<std::vector<W3T<Word>>> scratch_;
-};
-
-}  // namespace
 
 TransitionSimSession::TransitionSimSession(const Netlist& nl,
-                                           std::span<const TransitionFault> faults) {
-  switch (resolved_slot_width()) {
-    case SlotWidth::W256:
-      impl_ = std::make_unique<TransitionSessionImpl<Simd256>>(nl, faults);
-      break;
-    case SlotWidth::W512:
-      impl_ = std::make_unique<TransitionSessionImpl<Simd512>>(nl, faults);
-      break;
-    default:
-      impl_ = std::make_unique<TransitionSessionImpl<std::uint64_t>>(nl, faults);
-      break;
-  }
-}
+                                           std::span<const TransitionFault> faults)
+    : impl_(std::make_unique<Impl>(nl, faults)) {}
 
 TransitionSimSession::~TransitionSimSession() = default;
 TransitionSimSession::TransitionSimSession(TransitionSimSession&&) noexcept = default;
@@ -785,20 +577,15 @@ const CompiledNetlist& TransitionSimSession::compiled() const noexcept {
 State TransitionSimSession::good_state() const { return impl_->good_state(); }
 void TransitionSimSession::pair_state(std::size_t i, State& good, State& faulty,
                                       V3& prev_driven) const {
-  impl_->pair_state(i, good, faulty, prev_driven);
+  impl_->pair_state(i, good, faulty, &prev_driven);
 }
 
 TransitionSimSession::Snapshot TransitionSimSession::snapshot() const {
   Snapshot s;
   s.state_ = impl_->snapshot();
-  s.width_ = impl_->width();
   return s;
 }
 
-void TransitionSimSession::restore(const Snapshot& s) {
-  if (!s.state_ || s.width_ != impl_->width())
-    throw std::invalid_argument("TransitionSimSession::restore: snapshot width mismatch");
-  impl_->restore(s.state_.get());
-}
+void TransitionSimSession::restore(const Snapshot& s) { impl_->restore(s.state_); }
 
 }  // namespace uniscan

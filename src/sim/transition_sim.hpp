@@ -188,10 +188,12 @@ class TransitionFaultSimulator {
 };
 
 /// Streaming session for the transition generator (mirrors FaultSimSession:
-/// one BatchRunnerT + SimBatchStateT per batch at the slot width resolved at
-/// construction, packed hardest-first, dead batches skipped, live batches
-/// fanned across ThreadPool::global(), bit-identical at every thread count
-/// and width).
+/// built on the shared SessionCoreT engine — one BatchRunnerT +
+/// SimBatchStateT per batch, packed hardest-first, dead batches skipped,
+/// live batches fanned across ThreadPool::global(), and with repacking
+/// enabled (the default) surviving faults repacked into dense batches with
+/// the slot word auto-narrowed as the live population shrinks — DESIGN.md
+/// §5j). Bit-identical at every thread count and width, repack on or off.
 class TransitionSimSession {
  public:
   TransitionSimSession(const Netlist& nl, std::span<const TransitionFault> faults);
@@ -214,9 +216,11 @@ class TransitionSimSession {
   void pair_state(std::size_t i, State& good, State& faulty, V3& prev_driven) const;
 
   /// Opaque resumable session state (live batches only — see
-  /// FaultSimSession::Snapshot for the contract). Copyable; only valid for
-  /// the session that produced it (sessions share a snapshot type across
-  /// slot widths, the payload carries the width it was captured at).
+  /// FaultSimSession::Snapshot for the contract). The snapshot pins the
+  /// batch pack it was captured under, so restoring across an intervening
+  /// repack (even one that changed the slot width) re-installs that exact
+  /// pack. Copyable; only valid for the session that produced it —
+  /// restoring into a different session throws std::invalid_argument.
   class Snapshot {
    public:
     Snapshot() = default;
@@ -224,14 +228,13 @@ class TransitionSimSession {
    private:
     friend class TransitionSimSession;
     std::shared_ptr<const void> state_;
-    SlotWidth width_ = SlotWidth::W64;
   };
   Snapshot snapshot() const;
   void restore(const Snapshot& s);
 
-  /// Width-erased implementation interface (public so the width-templated
-  /// implementations in transition_sim.cpp can derive from it; not part of
-  /// the session's API).
+  /// Implementation (the shared SessionCoreT engine; public so the
+  /// definition in transition_sim.cpp can name it; not part of the
+  /// session's API).
   struct Impl;
 
  private:

@@ -25,7 +25,9 @@
 // "slot_width": N} line on stdout with the run's telemetry counter totals
 // (same keys as the bench JSON's `counters` object) and the resolved
 // simulation slot width; --slot-width=64|256|512|auto picks the slot width
-// (default auto: widest SIMD the build and CPU support); --trace=FILE
+// (default auto: widest SIMD the build and CPU support); --repack=on|off
+// toggles live-fault repacking in the streaming sessions (default on,
+// results bit-identical either way, DESIGN.md §5j); --trace=FILE
 // writes a Chrome trace_event JSON of the run (load in chrome://tracing or
 // Perfetto).
 // Exit codes: 0 success, 1 error (std::exception), 2 usage, 3 unexpected
@@ -63,6 +65,7 @@ struct CliArgs {
   bool metrics = false;   // --metrics: counter-totals JSON line on stdout
   std::string trace;      // --trace=FILE: Chrome trace_event output
   SlotWidth slot_width = SlotWidth::Auto;  // --slot-width=64|256|512|auto
+  bool repack = true;     // --repack=on|off: live-fault repacking (§5j)
   double time_budget_secs = 0;
   XFillPolicy fill = XFillPolicy::RandomFill;
 };
@@ -103,6 +106,10 @@ std::optional<CliArgs> parse(int argc, char** argv) {
         std::fprintf(stderr, "unknown slot width: %s (64|256|512|auto)\n", arg.c_str() + 13);
         return std::nullopt;
       }
+    } else if (arg == "--repack=on") {
+      a.repack = true;
+    } else if (arg == "--repack=off") {
+      a.repack = false;
     } else if (arg.rfind("--time-budget=", 0) == 0) {
       a.time_budget_secs = std::strtod(arg.c_str() + 14, nullptr);
     } else if (arg == "--skip-restoration") {
@@ -366,6 +373,7 @@ int main(int argc, char** argv) {
   const auto args = parse(argc, argv);
   if (!args) return usage();
   set_global_slot_width(args->slot_width);
+  set_global_repack(args->repack);
   if (!args->trace.empty()) obs::Tracer::start(args->trace);
   int rc;
   try {
