@@ -31,6 +31,10 @@
 //   --fail-fast          abort the whole run on the first circuit failure
 //                        (default: failures are isolated into FAILED rows)
 //   --trace=FILE         emit a Chrome trace_event JSON of the run to FILE
+//   --via-scheduler      route the suite's circuit tasks through the serve
+//                        JobScheduler (admission control, fair dispatch,
+//                        transient-failure retries) instead of a bare
+//                        parallel_for; rows are bit-identical either way
 #pragma once
 
 #include <algorithm>
@@ -43,9 +47,11 @@
 #include <string>
 #include <vector>
 
+#include "core/exit_codes.hpp"
 #include "core/uniscan.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "serve/suite_client.hpp"
 #include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
 
@@ -68,6 +74,7 @@ struct Args {
   double time_budget_secs = 0;
   double per_circuit_budget_secs = 0;
   bool fail_fast = false;
+  bool via_scheduler = false;  // --via-scheduler: thin-client JobScheduler path
   std::string trace;   // --trace=FILE: Chrome trace_event output
   std::string corpus;  // --corpus=fast|mid|large|all
 };
@@ -127,6 +134,7 @@ inline Args parse_args(int argc, char** argv) {
     else if (arg.rfind("--per-circuit-budget=", 0) == 0)
       a.per_circuit_budget_secs = std::strtod(arg.c_str() + 21, nullptr);
     else if (arg == "--fail-fast") a.fail_fast = true;
+    else if (arg == "--via-scheduler") a.via_scheduler = true;
     else if (arg.rfind("--trace=", 0) == 0) a.trace = arg.substr(8);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -364,8 +372,29 @@ inline std::string row_status(bool timed_out) { return timed_out ? "TIMEOUT" : "
 inline std::string row_status(const TaskFailure& f) { return "FAILED(" + f.stage + ")"; }
 
 /// Exit code of a table binary whose run had isolated failures (the healthy
-/// rows were still produced; CI asserts on this).
-inline constexpr int kExitHadFailures = 4;
+/// rows were still produced; CI asserts on this). Alias of the shared
+/// taxonomy in core/exit_codes.hpp.
+inline constexpr int kExitHadFailures = uniscan::kExitHadFailures;
+
+/// Suite fan-out dispatcher: the direct streaming path by default, the serve
+/// JobScheduler thin-client path under --via-scheduler. Both produce the
+/// same ordered row stream and identical row values — the scheduler only
+/// changes HOW tasks are dispatched (admission, fairness, retries), never
+/// what they compute (serve/suite_client.hpp).
+template <typename Fn, typename Emit>
+auto run_suite_rows(const Args& a, const std::vector<SuiteEntry>& suite, Fn&& fn, Emit&& emit,
+                    bool fail_fast = false) {
+  if (!a.via_scheduler)
+    return run_suite_tasks_streaming(suite, std::forward<Fn>(fn), std::forward<Emit>(emit),
+                                     fail_fast);
+  serve::JobScheduler::Options opt;
+  // The whole suite is submitted up front by one tenant: size the queue so
+  // admission control never sheds the bench's own rows.
+  opt.max_queue_per_tenant = std::max<std::size_t>(suite.size(), 1);
+  serve::JobScheduler sched(opt);
+  return serve::run_suite_tasks_scheduled(sched, suite, std::forward<Fn>(fn),
+                                          std::forward<Emit>(emit), fail_fast);
+}
 
 /// Print isolated failures to stderr, one structured line each.
 inline void print_failures(const std::vector<TaskFailure>& failures) {

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   bench::BenchJson json;
   std::size_t total_faults = 0, total_detected = 0;
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
-  const auto rows = run_suite_tasks_streaming(
-      suite,
+  const auto rows = bench::run_suite_rows(
+      args, suite,
       [&](std::size_t i) {
         const bench::Stopwatch sw;
         Row row;

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -19,6 +21,8 @@
 #include "netlist/gate.hpp"
 
 namespace uniscan {
+
+class CompiledNetlist;
 
 class Netlist {
  public:
@@ -94,7 +98,30 @@ class Netlist {
   /// Human-readable one-line statistics.
   std::string stats_string() const;
 
+  /// The one-time CSR compile of this netlist, built lazily on first call
+  /// and shared by every simulator constructed over the same Netlist object
+  /// (see DESIGN.md §5k). Requires finalize(); the netlist is structurally
+  /// immutable afterwards, so the compile can never go stale. Thread-safe.
+  /// Implemented in sim/compiled_netlist.cpp to keep the netlist layer free
+  /// of a sim-layer dependency at compile time.
+  std::shared_ptr<const CompiledNetlist> compiled_shared() const;
+
  private:
+  // Lazily-built shared compile. The cached CompiledNetlist holds a pointer
+  // back to the owning Netlist, so the slot must reset — never transfer —
+  // on copy or move: a copied/moved netlist lives at a new address (and a
+  // moved-from one has surrendered its vectors), so a carried-over compile
+  // would dangle. Copies simply recompile on first use.
+  struct CompiledSlot {
+    CompiledSlot() = default;
+    CompiledSlot(const CompiledSlot&) noexcept {}
+    CompiledSlot(CompiledSlot&&) noexcept {}
+    CompiledSlot& operator=(const CompiledSlot&) noexcept { return *this; }
+    CompiledSlot& operator=(CompiledSlot&&) noexcept { return *this; }
+
+    mutable std::mutex mutex;
+    mutable std::shared_ptr<const CompiledNetlist> ptr;
+  };
   GateId add_raw(GateType type, std::string net_name, std::vector<GateId> fanins);
   void check_not_finalized(const char* op) const;
 
@@ -109,6 +136,7 @@ class Netlist {
   std::vector<GateId> topo_;
   std::vector<std::uint32_t> levels_;
   std::vector<std::vector<GateId>> fanouts_;
+  CompiledSlot compiled_slot_;
 };
 
 }  // namespace uniscan

@@ -34,6 +34,11 @@ const char* counter_name(Counter c) noexcept {
     case Counter::LanesReclaimed: return "lanes_reclaimed";
     case Counter::FaultsCollapsed: return "faults_collapsed";
     case Counter::LiveFaultsPeak: return "live_faults_peak";
+    case Counter::CacheHits: return "cache_hits";
+    case Counter::CacheMisses: return "cache_misses";
+    case Counter::CacheQuarantined: return "cache_quarantined";
+    case Counter::JobsShed: return "jobs_shed";
+    case Counter::JobRetries: return "job_retries";
   }
   return "unknown";
 }

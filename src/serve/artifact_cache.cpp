@@ -1,0 +1,267 @@
+#include "serve/artifact_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/fault_list.hpp"
+#include "netlist/bench_io.hpp"
+#include "obs/counters.hpp"
+#include "util/fault_inject.hpp"
+#include "util/sha256.hpp"
+
+namespace uniscan::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kMagic = "uniscan-artifact-cache v";
+
+/// Rough resident footprint of one RAM entry: the scan netlist + its shared
+/// compile dominate and scale with gate count; the constant is calibrated
+/// loosely high so the LRU budget errs toward evicting.
+std::size_t estimate_bytes(const std::string& bench_text, const CircuitArtifacts& a) {
+  return bench_text.size() + a.faults->size() * sizeof(Fault) +
+         a.scan->netlist.num_gates() * 160 + 4096;
+}
+
+std::string serialize_payload(const std::string& bench_text, const FaultList& fl) {
+  std::ostringstream os;
+  os << bench_text;
+  os << "FAULTS " << fl.size() << " uncollapsed " << fl.uncollapsed_count() << "\n";
+  for (const Fault& f : fl.faults())
+    os << f.gate << " " << f.pin << " " << (f.stuck_one ? 1 : 0) << "\n";
+  os << "END\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ArtifactCache::key_for(std::string_view bench_text, std::size_t num_chains) {
+  std::string material = std::string(kMagic) + std::to_string(kArtifactCacheVersion) +
+                         "\nchains " + std::to_string(num_chains) + "\n";
+  material += bench_text;
+  return sha256_hex(material);
+}
+
+ArtifactCache::GetResult ArtifactCache::get(const std::string& name,
+                                            const std::string& bench_text,
+                                            std::size_t num_chains) {
+  const std::string key = key_for(bench_text, num_chains);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++stats_.hits_ram;
+      obs::count(obs::Counter::CacheHits);
+      return {it->second.artifacts, Source::Ram};
+    }
+  }
+
+  // Disk tier, then full rebuild. Both happen outside the lock: builds are
+  // expensive and deterministic, so two racing misses at worst build the
+  // same artifacts twice (last insert wins; either copy is bit-identical).
+  CircuitArtifacts a = try_load_disk(key, name, bench_text, num_chains);
+  Source source = Source::Disk;
+  if (!a.scan) {
+    a = build_circuit_artifacts(read_bench_string(bench_text, name, "cache:" + name), num_chains);
+    source = Source::Built;
+    store_disk(key, name, bench_text, num_chains, a);
+  }
+
+  const std::size_t bytes = estimate_bytes(bench_text, a);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (source == Source::Built) {
+      ++stats_.misses;
+      obs::count(obs::Counter::CacheMisses);
+    } else {
+      ++stats_.hits_disk;
+      obs::count(obs::Counter::CacheHits);
+    }
+    if (map_.find(key) == map_.end()) insert_ram_locked(key, a, bytes);
+  }
+  return {std::move(a), source};
+}
+
+void ArtifactCache::insert_ram_locked(const std::string& key, const CircuitArtifacts& a,
+                                      std::size_t bytes) {
+  lru_.push_front(key);
+  map_[key] = Entry{a, bytes, lru_.begin()};
+  ram_bytes_ += bytes;
+  while (ram_bytes_ > opt_.max_ram_bytes && map_.size() > 1) {
+    const std::string& victim = lru_.back();
+    const auto vit = map_.find(victim);
+    ram_bytes_ -= vit->second.bytes;
+    map_.erase(vit);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::string ArtifactCache::disk_path(const std::string& key) const {
+  return opt_.disk_dir + "/" + key + ".uart";
+}
+
+CircuitArtifacts ArtifactCache::try_load_disk(const std::string& key, const std::string& name,
+                                              const std::string& bench_text,
+                                              std::size_t num_chains) {
+  if (opt_.disk_dir.empty()) return {};
+  const std::string path = disk_path(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return {};
+
+  try {
+    // Deterministic corruption hook: an injected cache_load fault takes the
+    // same quarantine-and-rebuild path a real corrupt entry would.
+    maybe_inject_fault(name, "cache_load");
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("unreadable");
+    std::ostringstream whole;
+    whole << in.rdbuf();
+    const std::string file = whole.str();
+
+    std::istringstream header(file);
+    std::string line;
+    if (!std::getline(header, line) ||
+        line != std::string(kMagic) + std::to_string(kArtifactCacheVersion))
+      throw std::runtime_error("bad magic/version: '" + line + "'");
+    std::string want_key, want_circuit;
+    std::size_t chains = 0, bench_bytes = 0, nfaults = 0, uncollapsed = 0;
+    std::string payload_sha;
+    std::string tag;
+    while (std::getline(header, line) && line != "---") {
+      std::istringstream ls(line);
+      ls >> tag;
+      if (tag == "key") ls >> want_key;
+      else if (tag == "circuit") ls >> want_circuit;
+      else if (tag == "chains") ls >> chains;
+      else if (tag == "bench_bytes") ls >> bench_bytes;
+      else if (tag == "faults") ls >> nfaults;
+      else if (tag == "uncollapsed") ls >> uncollapsed;
+      else if (tag == "payload_sha") ls >> payload_sha;
+      if (ls.fail()) throw std::runtime_error("malformed header line '" + line + "'");
+    }
+    if (line != "---") throw std::runtime_error("missing header terminator");
+    if (want_key != key) throw std::runtime_error("key mismatch");
+    if (chains != num_chains) throw std::runtime_error("chains mismatch");
+
+    const std::size_t payload_off = static_cast<std::size_t>(header.tellg());
+    if (header.tellg() < 0 || payload_off > file.size())
+      throw std::runtime_error("truncated payload");
+    const std::string_view payload(file.data() + payload_off, file.size() - payload_off);
+    if (sha256_hex(payload) != payload_sha) throw std::runtime_error("payload hash mismatch");
+    if (bench_bytes > payload.size()) throw std::runtime_error("truncated bench text");
+    if (payload.substr(0, bench_bytes) != bench_text)
+      throw std::runtime_error("bench text mismatch");
+
+    std::istringstream body(std::string(payload.substr(bench_bytes)));
+    std::size_t fcount = 0, funcollapsed = 0;
+    std::string kw1, kw2;
+    body >> kw1 >> fcount >> kw2 >> funcollapsed;
+    if (kw1 != "FAULTS" || kw2 != "uncollapsed" || fcount != nfaults ||
+        funcollapsed != uncollapsed)
+      throw std::runtime_error("fault-list header mismatch");
+    std::vector<Fault> faults;
+    faults.reserve(fcount);
+    for (std::size_t i = 0; i < fcount; ++i) {
+      std::uint32_t g = 0;
+      int pin = 0, s1 = 0;
+      if (!(body >> g >> pin >> s1)) throw std::runtime_error("truncated fault list");
+      Fault f;
+      f.gate = g;
+      f.pin = static_cast<std::int16_t>(pin);
+      f.stuck_one = s1 != 0;
+      faults.push_back(f);
+    }
+    body >> kw1;
+    if (kw1 != "END") throw std::runtime_error("missing END marker");
+
+    // The bench text is byte-identical to the request's, so re-parsing and
+    // re-inserting scan reproduces the exact netlist; only the collapse —
+    // the part the disk tier persists — is skipped.
+    CircuitArtifacts a;
+    a.circuit = name;
+    auto sc = std::make_shared<ScanCircuit>(
+        insert_scan(read_bench_string(bench_text, name, "cache:" + name), num_chains));
+    sc->netlist.compiled_shared();
+    a.scan = std::move(sc);
+    a.faults = std::make_shared<FaultList>(FaultList::from_faults(std::move(faults), uncollapsed));
+    return a;
+  } catch (const std::exception&) {
+    quarantine(path);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.quarantined;
+    }
+    obs::count(obs::Counter::CacheQuarantined);
+    return {};
+  }
+}
+
+void ArtifactCache::store_disk(const std::string& key, const std::string& name,
+                               const std::string& bench_text, std::size_t num_chains,
+                               const CircuitArtifacts& a) {
+  if (opt_.disk_dir.empty()) return;
+  std::error_code ec;
+  fs::create_directories(opt_.disk_dir, ec);
+
+  const std::string payload = serialize_payload(bench_text, *a.faults);
+  std::ostringstream os;
+  os << kMagic << kArtifactCacheVersion << "\n";
+  os << "key " << key << "\n";
+  os << "circuit " << name << "\n";
+  os << "chains " << num_chains << "\n";
+  os << "bench_bytes " << bench_text.size() << "\n";
+  os << "faults " << a.faults->size() << "\n";
+  os << "uncollapsed " << a.faults->uncollapsed_count() << "\n";
+  os << "payload_sha " << sha256_hex(payload) << "\n";
+  os << "---\n";
+  os << payload;
+
+  // Crash-safe publish: whole entry to a temp file, fsync-free rename into
+  // place. A crash mid-write leaves only a temp file (ignored by loads); a
+  // torn rename is impossible on POSIX.
+  const std::string path = disk_path(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // cache write failure is never fatal
+    out << os.str();
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+void ArtifactCache::quarantine(const std::string& path) {
+  std::error_code ec;
+  fs::rename(path, path + ".quarantined", ec);
+  if (ec) fs::remove(path, ec);  // rename failed: drop it rather than retry it
+}
+
+CacheStats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.ram_entries = map_.size();
+  s.ram_bytes = ram_bytes_;
+  return s;
+}
+
+void ArtifactCache::clear_ram() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  ram_bytes_ = 0;
+}
+
+}  // namespace uniscan::serve

@@ -1,0 +1,108 @@
+// Content-hash-keyed cache of per-circuit pipeline artifacts (DESIGN.md §5k).
+//
+// A cache entry holds CircuitArtifacts — the scan-inserted netlist (whose
+// shared CompiledNetlist is warmed once) and the collapsed fault list — for
+// one (netlist content, chain count) pair. Both are pure functions of the
+// key, so serving from cache is bit-identical to rebuilding; the key is
+//
+//   sha256( "uniscan-artifact v<version>\nchains <n>\n" + bench_text )
+//
+// so a format bump or a different scan configuration can never alias an old
+// entry. Two tiers:
+//
+//  * RAM: LRU over a byte budget. A hit skips parse, scan insertion, fault
+//    collapsing AND netlist compile.
+//  * Disk (optional): one `<key>.uart` file per entry holding the original
+//    bench text plus the serialized collapsed fault list, with byte counts
+//    and a payload SHA-256 in the header. A hit re-parses the text (cheap)
+//    but skips fault collapsing. Crash-safe by construction: writes go to a
+//    temp file and rename into place; loads validate magic/version, key,
+//    counts, payload length and payload hash, and ANY mismatch — truncation,
+//    bit flips, stale versions — quarantines the file (renamed to
+//    `*.quarantined`), bumps obs::Counter::CacheQuarantined, and rebuilds
+//    from source. A corrupt cache is never trusted and never fatal.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+
+namespace uniscan::serve {
+
+/// Bumped whenever the on-disk entry layout or the artifact semantics
+/// change; part of the cache key, so old entries simply miss.
+inline constexpr int kArtifactCacheVersion = 1;
+
+struct CacheStats {
+  std::uint64_t hits_ram = 0;
+  std::uint64_t hits_disk = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t evictions = 0;
+  std::size_t ram_entries = 0;
+  std::size_t ram_bytes = 0;
+};
+
+class ArtifactCache {
+ public:
+  struct Options {
+    std::size_t max_ram_bytes = 256u << 20;
+    std::string disk_dir;  // "" = RAM-only cache
+  };
+
+  /// Where a get() found its artifacts (reported per job).
+  enum class Source { Ram, Disk, Built };
+
+  explicit ArtifactCache(Options opt) : opt_(std::move(opt)) {}
+
+  /// Cache key for one (content, chains) pair.
+  static std::string key_for(std::string_view bench_text, std::size_t num_chains);
+
+  struct GetResult {
+    CircuitArtifacts artifacts;
+    Source source = Source::Built;
+  };
+
+  /// Look up or build the artifacts for `bench_text` (a .bench netlist,
+  /// parsed as `name` on rebuild). Throws what parsing/scan insertion throw
+  /// on genuinely bad input — but never because of cache state.
+  GetResult get(const std::string& name, const std::string& bench_text,
+                std::size_t num_chains = 1);
+
+  CacheStats stats() const;
+
+  /// Drop every RAM entry (disk entries stay; tests use this to force the
+  /// disk-load path).
+  void clear_ram();
+
+ private:
+  struct Entry {
+    CircuitArtifacts artifacts;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void insert_ram_locked(const std::string& key, const CircuitArtifacts& a, std::size_t bytes);
+  std::string disk_path(const std::string& key) const;
+  /// Returns empty artifacts (null scan) when the entry is absent; corrupt
+  /// entries are quarantined inside.
+  CircuitArtifacts try_load_disk(const std::string& key, const std::string& name,
+                                 const std::string& bench_text, std::size_t num_chains);
+  void store_disk(const std::string& key, const std::string& name, const std::string& bench_text,
+                  std::size_t num_chains, const CircuitArtifacts& a);
+  void quarantine(const std::string& path);
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // front = most recent
+  std::size_t ram_bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace uniscan::serve

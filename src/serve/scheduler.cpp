@@ -1,0 +1,306 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/pipeline.hpp"
+#include "util/fault_inject.hpp"
+#include "util/thread_pool.hpp"
+
+namespace uniscan::serve {
+
+using Clock = std::chrono::steady_clock;
+
+const char* job_status_name(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::Done: return "done";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Shed: return "shed";
+    case JobStatus::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobScheduler::JobScheduler(Options opt) : opt_(std::move(opt)) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+bool JobScheduler::submit(JobSpec spec, Work work, Callback done, JobResult* shed_result) {
+  const auto shed = [&](const std::string& reason) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+      ++stats_.shed;
+    }
+    obs::count(obs::Counter::JobsShed);
+    if (shed_result) {
+      shed_result->id = spec.id;
+      shed_result->tenant = spec.tenant;
+      shed_result->status = JobStatus::Shed;
+      shed_result->error = reason;
+    }
+    return false;
+  };
+
+  // Deterministic admission-failure hook (UNISCAN_FAULT_INJECT=<ckt>:admit).
+  try {
+    maybe_inject_fault(spec.circuit, "admit");
+  } catch (const std::exception& e) {
+    return shed(e.what());
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      lock.unlock();
+      return shed("scheduler shutting down");
+    }
+    std::deque<Job>& q = queues_[spec.tenant];
+    if (q.size() >= opt_.max_queue_per_tenant) {
+      lock.unlock();
+      return shed("tenant queue full (" + std::to_string(opt_.max_queue_per_tenant) +
+                  " jobs queued)");
+    }
+    if (std::find(rr_order_.begin(), rr_order_.end(), spec.tenant) == rr_order_.end())
+      rr_order_.push_back(spec.tenant);
+    Job job;
+    job.spec = std::move(spec);
+    job.work = std::move(work);
+    job.done = std::move(done);
+    job.ready = Clock::now();
+    q.push_back(std::move(job));
+    ++stats_.submitted;
+    ++stats_.admitted;
+  }
+  cv_dispatch_.notify_one();
+  return true;
+}
+
+void JobScheduler::pause_dispatch() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void JobScheduler::resume_dispatch() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_dispatch_.notify_one();
+}
+
+void JobScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] {
+    if (in_flight_ > 0 || !delayed_.empty()) return false;
+    for (const auto& [tenant, q] : queues_)
+      if (!q.empty()) return false;
+    return true;
+  });
+}
+
+void JobScheduler::shutdown() {
+  {
+    // A paused scheduler must still shut down: un-gate dispatch so the
+    // drain below can make progress.
+    const std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_dispatch_.notify_all();
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_dispatch_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void JobScheduler::shutdown_now() {
+  std::vector<Job> cancelled;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [tenant, q] : queues_) {
+      for (Job& j : q) cancelled.push_back(std::move(j));
+      q.clear();
+    }
+    for (Job& j : delayed_) cancelled.push_back(std::move(j));
+    delayed_.clear();
+  }
+  for (Job& j : cancelled) {
+    JobResult r;
+    r.id = j.spec.id;
+    r.tenant = j.spec.tenant;
+    r.status = JobStatus::Cancelled;
+    r.attempts = j.attempts;
+    r.error = "cancelled at shutdown";
+    finish(j, std::move(r));
+  }
+  shutdown();
+}
+
+JobScheduler::Stats JobScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double JobScheduler::backoff_ms(const Job& job) const {
+  // attempt k (1-based) already failed: wait base * 2^(k-1) plus a
+  // deterministic jitter derived from (id, attempt) — reproducible runs,
+  // decorrelated tenants.
+  const double base = std::max(0.0, opt_.backoff_base_ms);
+  const double exp = base * static_cast<double>(1u << std::min(job.attempts - 1, 10));
+  const std::size_t h =
+      std::hash<std::string>{}(job.spec.id) ^ (static_cast<std::size_t>(job.attempts) * 0x9e3779b97f4a7c15ull);
+  const double jitter = base > 0 ? static_cast<double>(h % 1000) / 1000.0 * base : 0;
+  return exp + jitter;
+}
+
+std::vector<JobScheduler::Job> JobScheduler::collect_wave_locked() {
+  std::vector<Job> wave;
+  if (rr_order_.empty()) return wave;
+  const std::size_t cap = std::max<std::size_t>(1, ThreadPool::global().num_workers());
+  std::size_t idle_tenants = 0;
+  while (wave.size() < cap && idle_tenants < rr_order_.size()) {
+    const std::string& tenant = rr_order_[rr_next_];
+    rr_next_ = (rr_next_ + 1) % rr_order_.size();
+    std::size_t taken = 0;
+    const auto qit = queues_.find(tenant);
+    if (qit != queues_.end()) {
+      const std::size_t quantum = std::max<std::size_t>(1, opt_.drr_quantum);
+      while (taken < quantum && !qit->second.empty() && wave.size() < cap) {
+        wave.push_back(std::move(qit->second.front()));
+        qit->second.pop_front();
+        ++taken;
+      }
+    }
+    idle_tenants = taken == 0 ? idle_tenants + 1 : 0;
+  }
+  return wave;
+}
+
+void JobScheduler::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Promote delayed (backing-off) jobs whose wait expired.
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < delayed_.size();) {
+      if (delayed_[i].ready <= now) {
+        queues_[delayed_[i].spec.tenant].push_back(std::move(delayed_[i]));
+        delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    bool have_ready = false;
+    for (const auto& [tenant, q] : queues_)
+      if (!q.empty()) {
+        have_ready = true;
+        break;
+      }
+
+    if (!paused_ && have_ready) {
+      std::vector<Job> wave = collect_wave_locked();
+      if (!wave.empty()) {
+        in_flight_ += wave.size();
+        lock.unlock();
+        run_wave(std::move(wave));
+        lock.lock();
+        continue;
+      }
+    }
+
+    if (stopping_ && !have_ready && delayed_.empty() && in_flight_ == 0) return;
+
+    if (!delayed_.empty()) {
+      Clock::time_point next = delayed_.front().ready;
+      for (const Job& j : delayed_) next = std::min(next, j.ready);
+      cv_dispatch_.wait_until(lock, next);
+    } else {
+      cv_dispatch_.wait(lock);
+    }
+  }
+}
+
+void JobScheduler::run_wave(std::vector<Job> wave) {
+  // One pool task per job: the job's whole attempt stays on one worker
+  // (nested parallel_for is inline), so CounterScope deltas are exact and
+  // the work itself is bit-identical to a direct call.
+  std::vector<std::optional<JobResult>> terminal(wave.size());
+  std::vector<char> retrying(wave.size(), 0);
+  ThreadPool::global().parallel_for(wave.size(), [&](std::size_t i, std::size_t) {
+    Job& job = wave[i];
+    ++job.attempts;
+    const Clock::time_point t0 = Clock::now();
+    const obs::CounterScope scope;
+    JobResult r;
+    r.id = job.spec.id;
+    r.tenant = job.spec.tenant;
+    r.attempts = job.attempts;
+    try {
+      maybe_inject_fault(job.spec.circuit, "dispatch");
+      maybe_inject_fault(job.spec.circuit, "job_run");
+      CancelToken tok = opt_.parent;
+      if (job.spec.budget_secs > 0) {
+        tok = tok.child(Deadline::after(job.spec.budget_secs));
+      } else if (opt_.default_budget_secs > 0) {
+        tok = tok.child(Deadline::after(opt_.default_budget_secs));
+      }
+      job.work(tok);
+      r.status = JobStatus::Done;
+    } catch (const std::exception& e) {
+      const bool transient = is_injected_fault_message(e.what());
+      const int budget = job.spec.max_retries >= 0 ? job.spec.max_retries : opt_.max_retries;
+      if (transient && job.attempts <= budget) {
+        retrying[i] = 1;
+      } else {
+        r.status = JobStatus::Failed;
+        if (const auto* se = dynamic_cast<const StageError*>(&e)) r.error_stage = se->stage();
+        else r.error_stage = "job_run";
+        r.error = e.what();
+      }
+    }
+    r.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    r.counters = scope.deltas();
+    if (!retrying[i]) terminal[i] = std::move(r);
+  });
+
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    if (retrying[i]) {
+      obs::count(obs::Counter::JobRetries);
+      Job& job = wave[i];
+      job.ready = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double, std::milli>(backoff_ms(job)));
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+        delayed_.push_back(std::move(job));
+        --in_flight_;
+      }
+      cv_dispatch_.notify_one();
+    } else {
+      finish(wave[i], std::move(*terminal[i]));
+    }
+  }
+  cv_idle_.notify_all();
+}
+
+void JobScheduler::finish(Job& job, JobResult result) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    switch (result.status) {
+      case JobStatus::Done: ++stats_.done; break;
+      case JobStatus::Failed: ++stats_.failed; break;
+      case JobStatus::Cancelled: ++stats_.cancelled; break;
+      case JobStatus::Shed: break;  // shed jobs never reach finish()
+    }
+    if (in_flight_ > 0 && result.status != JobStatus::Cancelled) --in_flight_;
+  }
+  if (job.done) job.done(result);
+  cv_idle_.notify_all();
+}
+
+}  // namespace uniscan::serve

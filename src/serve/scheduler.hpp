@@ -1,0 +1,154 @@
+// Multi-tenant job scheduler with admission control, fair-share dispatch,
+// and retry-with-backoff (DESIGN.md §5k).
+//
+// Jobs are arbitrary work closures (the serve loop submits pipeline flows;
+// the table binaries submit their own row lambdas). The scheduler owns:
+//
+//  * Admission control — one bounded FIFO queue per tenant. A submit to a
+//    full queue is REJECTED synchronously (JobStatus::Shed, the explicit
+//    backpressure signal) instead of growing memory without bound.
+//  * Fair dispatch — a dispatcher thread assembles waves by deficit
+//    round-robin over the tenant queues (each tenant earns `drr_quantum`
+//    credits per round, a job costs one), then runs the wave on
+//    ThreadPool::global() via parallel_for. A job executes entirely on one
+//    worker (nested fan-out runs inline), so per-job counter deltas are
+//    exact and results stay bit-identical at any pool size.
+//  * Budgets — each job gets a CancelToken derived from its budget_secs
+//    (plus any parent token), so one tenant's pathological circuit degrades
+//    per PR 4 semantics instead of starving the others.
+//  * Retries — an attempt that fails *transiently* (injected fault, or any
+//    exception classified retryable) is re-queued with exponential backoff
+//    and deterministic jitter until the retry budget is exhausted, then the
+//    job reaches the permanently-failed terminal state.
+//
+// Exactly one completion callback fires per ADMITTED job (Done, Failed or
+// Cancelled); shed jobs are reported synchronously by submit(). stats()
+// exposes the conservation law the soak test asserts:
+//   submitted == admitted + shed  and  admitted == done+failed+cancelled.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/cancel.hpp"
+
+namespace uniscan::serve {
+
+enum class JobStatus { Done, Failed, Shed, Cancelled };
+
+const char* job_status_name(JobStatus s) noexcept;
+
+struct JobResult {
+  std::string id;
+  std::string tenant;
+  JobStatus status = JobStatus::Done;
+  int attempts = 0;       // execution attempts (retries = attempts - 1)
+  double wall_ms = 0;     // last attempt's wall time
+  std::string error_stage;  // Failed: stage tag from StageError, else "job_run"
+  std::string error;        // Failed/Shed/Cancelled: human-readable reason
+  obs::CounterArray counters{};  // last attempt's counter deltas
+};
+
+struct JobSpec {
+  std::string id;
+  std::string tenant = "default";
+  std::string circuit;     // fault-injection / reporting tag
+  double budget_secs = 0;  // 0 = no per-job deadline
+  int max_retries = -1;    // -1 = scheduler default
+};
+
+class JobScheduler {
+ public:
+  struct Options {
+    std::size_t max_queue_per_tenant = 64;
+    int max_retries = 2;          // retry budget for transient failures
+    double backoff_base_ms = 10;  // attempt k waits base * 2^(k-1) + jitter
+    std::size_t drr_quantum = 1;  // jobs per tenant per dispatch round
+    double default_budget_secs = 0;
+    CancelToken parent;  // cancels every job (e.g. process shutdown)
+  };
+
+  /// Work runs on a pool worker; `cancel` is the job's derived token.
+  using Work = std::function<void(const CancelToken& cancel)>;
+  /// Fires exactly once per admitted job, from a pool worker (terminal
+  /// success/failure) or from stop() (Cancelled). Keep it cheap.
+  using Callback = std::function<void(const JobResult&)>;
+
+  explicit JobScheduler(Options opt);
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admit or shed. Returns true when admitted; on shed returns false after
+  /// filling `shed_result` (if non-null) — the caller reports it, keeping
+  /// the one-callback-per-admitted-job invariant simple.
+  bool submit(JobSpec spec, Work work, Callback done, JobResult* shed_result = nullptr);
+
+  /// Gate dispatch (queues still admit). The deterministic-backpressure
+  /// tests pause, fill a queue to overflow, then resume.
+  void pause_dispatch();
+  void resume_dispatch();
+
+  /// Block until every admitted job reached a terminal state.
+  void drain();
+
+  /// Drain, then stop the dispatcher. Called by the destructor.
+  void shutdown();
+
+  /// Cancel queued jobs (terminal state Cancelled), let running attempts
+  /// finish, then stop. The fast path for process teardown.
+  void shutdown_now();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t retries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    JobSpec spec;
+    Work work;
+    Callback done;
+    int attempts = 0;
+    std::chrono::steady_clock::time_point ready;  // backoff gate
+  };
+
+  void dispatcher_loop();
+  std::vector<Job> collect_wave_locked();
+  void run_wave(std::vector<Job> wave);
+  void finish(Job& job, JobResult result);
+  double backoff_ms(const Job& job) const;
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_dispatch_;  // dispatcher wakeups
+  std::condition_variable cv_idle_;      // drain() wakeups
+  std::map<std::string, std::deque<Job>> queues_;  // per tenant, FIFO
+  std::vector<Job> delayed_;                       // backoff parking lot
+  std::map<std::string, std::size_t> deficit_;     // DRR credits
+  std::vector<std::string> rr_order_;              // tenant round-robin order
+  std::size_t rr_next_ = 0;
+  std::size_t in_flight_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  Stats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace uniscan::serve

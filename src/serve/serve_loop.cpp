@@ -1,0 +1,328 @@
+#include "serve/serve_loop.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "core/exit_codes.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/golden.hpp"
+#include "serve/minijson.hpp"
+
+namespace uniscan::serve {
+
+namespace {
+
+const char* source_name(ArtifactCache::Source s) noexcept {
+  switch (s) {
+    case ArtifactCache::Source::Ram: return "ram";
+    case ArtifactCache::Source::Disk: return "disk";
+    case ArtifactCache::Source::Built: return "built";
+  }
+  return "unknown";
+}
+
+std::string counters_json(const obs::CounterArray& c) {
+  JsonWriter w;
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i)
+    w.field(obs::counter_name(static_cast<obs::Counter>(i)), static_cast<std::uint64_t>(c[i]));
+  return w.str();
+}
+
+std::string stage_names_json(const std::vector<obs::StageStat>& stages) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(stages[i].name) + "\"";
+  }
+  return out + "]";
+}
+
+/// Result fields a job's work computes for its response line, handed from
+/// the work closure to the completion callback (the last attempt wins).
+struct JobPayload {
+  std::mutex mu;
+  std::string cache_source;
+  std::string stages_json = "[]";
+  std::string result_json;  // pre-rendered "result" object, "" when failed
+};
+
+struct ServerState {
+  explicit ServerState(const ServeOptions& opt) : cache(opt.cache), sched(opt.sched) {}
+
+  ArtifactCache cache;
+  JobScheduler sched;
+  std::mutex out_mu;
+  std::atomic<bool> any_failed{false};
+  std::atomic<bool> any_shed{false};
+};
+
+void emit_line(ServerState& st, std::ostream& out, const std::string& line) {
+  const std::lock_guard<std::mutex> lock(st.out_mu);
+  out << line << "\n" << std::flush;
+}
+
+/// Render the per-job usage record (the bench-JSON-v2-style row).
+std::string render_job_response(const std::string& op, const JobResult& r, JobPayload* payload) {
+  JsonWriter w;
+  w.field("schema_version", 2);
+  w.field("op", op);
+  w.field("id", r.id);
+  w.field("tenant", r.tenant);
+  w.field("status", job_status_name(r.status));
+  w.field("attempts", r.attempts);
+  w.field("wall_ms", r.wall_ms);
+  if (payload) {
+    const std::lock_guard<std::mutex> lock(payload->mu);
+    if (!payload->cache_source.empty()) w.field("cache", payload->cache_source);
+    w.raw_field("stages", payload->stages_json);
+    if (!payload->result_json.empty()) w.raw_field("result", payload->result_json);
+  }
+  if (r.status == JobStatus::Failed) {
+    w.field("stage", r.error_stage);
+    w.field("error", r.error);
+  } else if (r.status == JobStatus::Shed || r.status == JobStatus::Cancelled) {
+    w.field("error", r.error);
+  }
+  w.raw_field("counters", counters_json(r.counters));
+  return w.str();
+}
+
+std::string render_generate_result(const GenerateCompactReport& rep) {
+  JsonWriter w;
+  w.field("circuit", rep.circuit);
+  w.field("inputs", rep.num_inputs);
+  w.field("dffs", rep.num_dffs);
+  w.field("detected", rep.atpg.detected);
+  w.field("redundant", rep.atpg.proved_redundant);
+  w.field("raw_len", rep.raw.total);
+  w.field("restored_len", rep.restored.total);
+  w.field("omitted_len", rep.omitted.total);
+  w.field("extra_detected", rep.extra_detected);
+  w.field("timed_out", rep.timed_out());
+  return w.str();
+}
+
+std::string render_translate_result(const TranslateCompactReport& rep) {
+  JsonWriter w;
+  w.field("circuit", rep.circuit);
+  w.field("baseline_detected", rep.baseline.detected);
+  w.field("translated_len", rep.translated.total);
+  w.field("restored_len", rep.restored.total);
+  w.field("omitted_len", rep.omitted.total);
+  w.field("timed_out", rep.timed_out());
+  return w.str();
+}
+
+/// Resolve the request's circuit text: inline `bench` field, or `corpus`
+/// naming a manifest row. Throws on unknown/unfetchable corpus entries.
+struct ResolvedCircuit {
+  std::string name;
+  std::string bench_text;
+  const CorpusEntry* corpus_entry = nullptr;  // when resolved via corpus
+};
+
+ResolvedCircuit resolve_circuit(const JsonObject& req) {
+  ResolvedCircuit rc;
+  const auto corpus_it = req.find("corpus");
+  if (corpus_it != req.end() && corpus_it->second.kind == JsonValue::Kind::String) {
+    const std::string& cname = corpus_it->second.s;
+    const CorpusEntry* e = CorpusRegistry::global().find(cname);
+    if (!e) throw std::runtime_error("unknown corpus entry '" + cname + "'");
+    rc.name = e->name;
+    rc.bench_text = CorpusRegistry::global().bench_text(*e);
+    rc.corpus_entry = e;
+    return rc;
+  }
+  const auto bench_it = req.find("bench");
+  if (bench_it == req.end() || bench_it->second.kind != JsonValue::Kind::String)
+    throw std::runtime_error("job needs a 'bench' (inline .bench text) or 'corpus' field");
+  rc.bench_text = bench_it->second.s;
+  const auto name_it = req.find("circuit");
+  rc.name = name_it != req.end() ? name_it->second.as_string("inline") : "inline";
+  return rc;
+}
+
+void handle_job(ServerState& st, std::ostream& out, const std::string& op,
+                const JsonObject& req) {
+  JobSpec spec;
+  spec.id = req.count("id") ? req.at("id").as_string() : "";
+  spec.tenant = req.count("tenant") ? req.at("tenant").as_string("default") : "default";
+  spec.budget_secs = req.count("budget_secs") ? req.at("budget_secs").as_double(0) : 0;
+  spec.max_retries =
+      req.count("max_retries") ? static_cast<int>(req.at("max_retries").as_int(-1)) : -1;
+
+  ResolvedCircuit rc;
+  try {
+    rc = resolve_circuit(req);
+  } catch (const std::exception& e) {
+    JobResult r;
+    r.id = spec.id;
+    r.tenant = spec.tenant;
+    r.status = JobStatus::Failed;
+    r.attempts = 0;
+    r.error_stage = "request";
+    r.error = e.what();
+    st.any_failed = true;
+    emit_line(st, out, render_job_response(op, r, nullptr));
+    return;
+  }
+  spec.circuit = rc.name;
+
+  // The digest is defined over the single-chain scan configuration; other
+  // ops honor a requested chain count.
+  const std::size_t chains =
+      op == "digest" ? 1
+                     : static_cast<std::size_t>(
+                           req.count("chains") ? std::max<std::int64_t>(1, req.at("chains").as_int(1)) : 1);
+
+  auto payload = std::make_shared<JobPayload>();
+  const CorpusEntry* corpus_entry = rc.corpus_entry;
+
+  JobScheduler::Work work = [&st, op, rc, chains, corpus_entry, payload](const CancelToken& tok) {
+    const ArtifactCache::GetResult got = st.cache.get(rc.name, rc.bench_text, chains);
+    std::string result_json, stages_json = "[]";
+    if (op == "digest") {
+      DigestOptions dopt = corpus_entry
+                               ? digest_profile(corpus_entry->tier, corpus_entry->num_gates)
+                               : digest_profile(CorpusTier::Fast);
+      dopt.atpg.cancel = tok;
+      const CircuitDigest d = compute_circuit_digest(got.artifacts, dopt);
+      JsonWriter w;
+      w.field("circuit", d.circuit);
+      w.field("sha", d.sha_hex);
+      result_json = w.str();
+    } else if (op == "translate") {
+      PipelineConfig cfg;
+      cfg.cancel = tok;
+      const TranslateCompactReport rep = run_translate_and_compact(got.artifacts, cfg);
+      result_json = render_translate_result(rep);
+      stages_json = stage_names_json(rep.stages);
+    } else {
+      PipelineConfig cfg;
+      cfg.cancel = tok;
+      const GenerateCompactReport rep = run_generate_and_compact(got.artifacts, cfg);
+      result_json = render_generate_result(rep);
+      stages_json = stage_names_json(rep.stages);
+    }
+    const std::lock_guard<std::mutex> lock(payload->mu);
+    payload->cache_source = source_name(got.source);
+    payload->stages_json = std::move(stages_json);
+    payload->result_json = std::move(result_json);
+  };
+
+  JobScheduler::Callback done = [&st, &out, op, payload](const JobResult& r) {
+    if (r.status == JobStatus::Failed) st.any_failed = true;
+    if (r.status == JobStatus::Cancelled) st.any_shed = true;
+    emit_line(st, out, render_job_response(op, r, payload.get()));
+  };
+
+  JobResult shed;
+  if (!st.sched.submit(std::move(spec), std::move(work), std::move(done), &shed)) {
+    st.any_shed = true;
+    emit_line(st, out, render_job_response(op, shed, nullptr));
+  }
+}
+
+void handle_stats(ServerState& st, std::ostream& out, const JsonObject& req) {
+  const CacheStats cs = st.cache.stats();
+  const JobScheduler::Stats ss = st.sched.stats();
+  JsonWriter w;
+  w.field("schema_version", 2);
+  w.field("op", "stats");
+  if (req.count("id")) w.field("id", req.at("id").as_string());
+  w.field("status", "done");
+  {
+    JsonWriter c;
+    c.field("hits_ram", cs.hits_ram);
+    c.field("hits_disk", cs.hits_disk);
+    c.field("misses", cs.misses);
+    c.field("quarantined", cs.quarantined);
+    c.field("evictions", cs.evictions);
+    c.field("ram_entries", cs.ram_entries);
+    c.field("ram_bytes", cs.ram_bytes);
+    w.raw_field("cache", c.str());
+  }
+  {
+    JsonWriter s;
+    s.field("submitted", ss.submitted);
+    s.field("admitted", ss.admitted);
+    s.field("shed", ss.shed);
+    s.field("done", ss.done);
+    s.field("failed", ss.failed);
+    s.field("cancelled", ss.cancelled);
+    s.field("retries", ss.retries);
+    w.raw_field("scheduler", s.str());
+  }
+  w.raw_field("counters", counters_json(obs::totals()));
+  emit_line(st, out, w.str());
+}
+
+void ack(ServerState& st, std::ostream& out, const std::string& op, const JsonObject& req,
+         const char* status = "done") {
+  JsonWriter w;
+  w.field("schema_version", 2);
+  w.field("op", op);
+  if (req.count("id")) w.field("id", req.at("id").as_string());
+  w.field("status", status);
+  emit_line(st, out, w.str());
+}
+
+void reject(ServerState& st, std::ostream& out, const std::string& reason) {
+  JsonWriter w;
+  w.field("schema_version", 2);
+  w.field("op", "error");
+  w.field("status", "failed");
+  w.field("error", reason);
+  st.any_failed = true;
+  emit_line(st, out, w.str());
+}
+
+}  // namespace
+
+int run_serve(std::istream& in, std::ostream& out, const ServeOptions& opt) {
+  ServerState st(opt);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string err;
+    const std::optional<JsonObject> req = parse_json_object(line, &err);
+    if (!req) {
+      reject(st, out, "malformed request: " + err);
+      continue;
+    }
+    const std::string op = req->count("op") ? req->at("op").as_string() : "";
+    if (op == "ping") {
+      ack(st, out, op, *req);
+    } else if (op == "stats") {
+      handle_stats(st, out, *req);
+    } else if (op == "pause") {
+      st.sched.pause_dispatch();
+      ack(st, out, op, *req);
+    } else if (op == "resume") {
+      st.sched.resume_dispatch();
+      ack(st, out, op, *req);
+    } else if (op == "drain") {
+      st.sched.drain();
+      ack(st, out, op, *req);
+    } else if (op == "shutdown") {
+      st.sched.shutdown();
+      ack(st, out, op, *req);
+      break;
+    } else if (op == "generate" || op == "translate" || op == "digest") {
+      handle_job(st, out, op, *req);
+    } else {
+      reject(st, out, "unknown op '" + op + "'");
+    }
+  }
+  st.sched.shutdown();
+  if (st.any_failed.load()) return kExitHadFailures;
+  if (st.any_shed.load()) return kExitOverload;
+  return kExitOk;
+}
+
+}  // namespace uniscan::serve

@@ -1,0 +1,27 @@
+// Line-delimited JSON job protocol over std streams (`uniscan_cli serve`).
+//
+// One JSON object per input line, one JSON response line per request (see
+// README "Service mode" for the schema). Job ops (generate / translate /
+// digest) flow through the JobScheduler + ArtifactCache; control ops (ping /
+// stats / pause / resume / shutdown) are answered synchronously. Responses
+// are emitted in completion order; the `id` field correlates them.
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/artifact_cache.hpp"
+#include "serve/scheduler.hpp"
+
+namespace uniscan::serve {
+
+struct ServeOptions {
+  ArtifactCache::Options cache;
+  JobScheduler::Options sched;
+};
+
+/// Run the serve loop until `shutdown` or EOF. Returns the process exit
+/// code: kExitHadFailures when any job failed permanently, else
+/// kExitOverload when any job was shed, else kExitOk.
+int run_serve(std::istream& in, std::ostream& out, const ServeOptions& opt);
+
+}  // namespace uniscan::serve

@@ -1,0 +1,71 @@
+// Thin-client suite fan-out over the JobScheduler (--via-scheduler).
+//
+// run_suite_tasks_scheduled mirrors run_suite_tasks_streaming's contract —
+// ordered prefix emission, per-task failure isolation, deterministic
+// fail-fast — but routes every circuit task through the scheduler's
+// admission control, fair dispatch and retry machinery instead of a bare
+// parallel_for. The row-computing lambda is the same one the direct path
+// runs, so emitted rows are bit-identical; only the scheduling layer
+// changes (the serve-vs-direct equivalence test pins this).
+#pragma once
+
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/scheduler.hpp"
+#include "workloads/suite.hpp"
+
+namespace uniscan::serve {
+
+template <typename Fn, typename Emit>
+auto run_suite_tasks_scheduled(JobScheduler& sched, const std::vector<SuiteEntry>& suite,
+                               Fn&& fn, Emit&& emit, bool fail_fast = false) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<TaskOutcome<R>> out(suite.size());
+  std::vector<char> done(suite.size(), 0);
+  std::mutex mu;
+  std::size_t next_to_emit = 0;
+
+  const auto mark_done = [&](std::size_t task) {
+    const std::lock_guard<std::mutex> lock(mu);
+    done[task] = 1;
+    while (next_to_emit < out.size() && done[next_to_emit]) {
+      // Fail-fast runs stall emission at the first failed row: the
+      // exception escapes after the drain instead (streaming contract).
+      if (fail_fast && out[next_to_emit].failed()) break;
+      emit(next_to_emit, out[next_to_emit]);
+      ++next_to_emit;
+    }
+  };
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    JobSpec spec;
+    spec.id = suite[i].name;
+    spec.tenant = "suite";
+    spec.circuit = suite[i].name;
+    const bool admitted = sched.submit(
+        std::move(spec), [&out, &fn, i](const CancelToken&) { out[i].value = fn(i); },
+        [&out, &suite, &mark_done, i](const JobResult& r) {
+          if (r.status != JobStatus::Done) {
+            out[i].failure = TaskFailure{
+                suite[i].name, r.error_stage.empty() ? "unknown" : r.error_stage, r.error};
+          }
+          mark_done(i);
+        });
+    if (!admitted) {
+      out[i].failure = TaskFailure{suite[i].name, "admit", "job shed (tenant queue full)"};
+      mark_done(i);
+    }
+  }
+  sched.drain();
+
+  if (fail_fast) {
+    for (const TaskOutcome<R>& o : out)
+      if (o.failed()) throw StageError(o.failure->stage, o.failure->what);
+  }
+  return out;
+}
+
+}  // namespace uniscan::serve

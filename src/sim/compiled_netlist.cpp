@@ -199,4 +199,12 @@ BatchProgram CompiledNetlist::build_program(std::span<const GateId> sites,
   return p;
 }
 
+std::shared_ptr<const CompiledNetlist> Netlist::compiled_shared() const {
+  std::lock_guard<std::mutex> lock(compiled_slot_.mutex);
+  if (!compiled_slot_.ptr) {
+    compiled_slot_.ptr = std::make_shared<const CompiledNetlist>(*this);
+  }
+  return compiled_slot_.ptr;
+}
+
 }  // namespace uniscan

@@ -4,11 +4,11 @@
 
 namespace uniscan {
 
-EventSimulator::EventSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {
+EventSimulator::EventSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl.compiled_shared()) {
   values_.assign(nl.num_gates(), V3::X);
   state_.assign(nl.num_dffs(), V3::X);
   prev_pi_.assign(nl.num_inputs(), V3::X);
-  buckets_.assign(compiled_.num_levels(), {});
+  buckets_.assign(compiled_->num_levels(), {});
   queued_.assign(nl.num_gates(), 0);
 }
 
@@ -20,11 +20,11 @@ void EventSimulator::reset(const State& initial) {
 }
 
 void EventSimulator::enqueue_fanouts(GateId g) {
-  for (GateId fo : compiled_.fanouts(g)) {
-    if (!is_combinational(compiled_.type(fo))) continue;  // DFFs sampled at end of frame
+  for (GateId fo : compiled_->fanouts(g)) {
+    if (!is_combinational(compiled_->type(fo))) continue;  // DFFs sampled at end of frame
     if (queued_[fo]) continue;
     queued_[fo] = 1;
-    buckets_[compiled_.level(fo)].push_back(fo);
+    buckets_[compiled_->level(fo)].push_back(fo);
   }
 }
 
@@ -41,14 +41,14 @@ FrameValues EventSimulator::step(const std::vector<V3>& pi) {
 
   if (needs_full_eval_) {
     needs_full_eval_ = false;
-    for (std::size_t i = 0; i < pi.size(); ++i) values_[compiled_.inputs()[i]] = pi[i];
-    for (std::size_t j = 0; j < state_.size(); ++j) values_[compiled_.dffs()[j]] = state_[j];
-    compiled_.eval_full_v3(values_.data());
-    gate_evals_ += compiled_.eval_order().size();
+    for (std::size_t i = 0; i < pi.size(); ++i) values_[compiled_->inputs()[i]] = pi[i];
+    for (std::size_t j = 0; j < state_.size(); ++j) values_[compiled_->dffs()[j]] = state_[j];
+    compiled_->eval_full_v3(values_.data());
+    gate_evals_ += compiled_->eval_order().size();
   } else {
     // Seed events from changed boundary values, then propagate by level.
-    for (std::size_t i = 0; i < pi.size(); ++i) set_boundary(compiled_.inputs()[i], pi[i]);
-    for (std::size_t j = 0; j < state_.size(); ++j) set_boundary(compiled_.dffs()[j], state_[j]);
+    for (std::size_t i = 0; i < pi.size(); ++i) set_boundary(compiled_->inputs()[i], pi[i]);
+    for (std::size_t j = 0; j < state_.size(); ++j) set_boundary(compiled_->dffs()[j], state_[j]);
     for (auto& bucket : buckets_) {
       // enqueue_fanouts may append to HIGHER buckets while this one drains;
       // same-level appends cannot happen (fanout level > fanin level).
@@ -56,7 +56,7 @@ FrameValues EventSimulator::step(const std::vector<V3>& pi) {
         const GateId g = bucket[k];
         queued_[g] = 0;
         ++gate_evals_;
-        const V3 v = compiled_.eval_gate_v3_at(g, values_.data());
+        const V3 v = compiled_->eval_gate_v3_at(g, values_.data());
         if (v != values_[g]) {
           values_[g] = v;
           enqueue_fanouts(g);
@@ -69,9 +69,9 @@ FrameValues EventSimulator::step(const std::vector<V3>& pi) {
 
   FrameValues out;
   out.po.reserve(nl.num_outputs());
-  for (GateId po : compiled_.outputs()) out.po.push_back(values_[po]);
+  for (GateId po : compiled_->outputs()) out.po.push_back(values_[po]);
   out.next_state.reserve(nl.num_dffs());
-  for (GateId d : compiled_.dff_d()) out.next_state.push_back(values_[d]);
+  for (GateId d : compiled_->dff_d()) out.next_state.push_back(values_[d]);
   state_ = out.next_state;
   return out;
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -25,7 +26,7 @@ class EventSimulator {
   explicit EventSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
-  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+  const CompiledNetlist& compiled() const noexcept { return *compiled_; }
 
   /// Establish `initial` as the current state and fully evaluate once the
   /// next step() runs. Must be called before the first step().
@@ -46,7 +47,7 @@ class EventSimulator {
   void set_boundary(GateId g, V3 v);
 
   const Netlist* nl_;
-  CompiledNetlist compiled_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
   std::vector<V3> values_;
   State state_;                 // current DFF outputs
   std::vector<V3> prev_pi_;

@@ -520,7 +520,7 @@ template class FaultSimulator::BatchRunnerT<Simd512>;
 // ---------------------------------------------------------------------------
 // FaultSimulator
 
-FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {}
+FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl.compiled_shared()) {}
 
 template <class Word>
 std::vector<W3T<Word>>& FaultSimulator::scratch_for(std::size_t worker) const {
@@ -557,7 +557,7 @@ std::vector<DetectionRecord> FaultSimulator::run_impl(const SequenceView& view,
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
     const std::size_t base = b * kPer;
     const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
-    BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+    BatchRunnerT<Word> runner(*compiled_, faults.subspan(base, count));
     SimBatchStateT<Word> s = runner.initial_state();
     typename BatchRunnerT<Word>::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
@@ -606,7 +606,7 @@ bool FaultSimulator::detects_all_impl(const SequenceView& view,
     pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
       const std::size_t base = (wave + k) * kPer;
       const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
-      BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+      BatchRunnerT<Word> runner(*compiled_, faults.subspan(base, count));
       SimBatchStateT<Word> s = runner.initial_state();
       runner.advance(s, view, scratch_for<Word>(w), {});
       if (!((s.detected_slots & runner.slot_mask()) == runner.slot_mask()))
@@ -646,7 +646,7 @@ std::vector<std::uint32_t> FaultSimulator::run_counts_impl(const SequenceView& v
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
     const std::size_t base = b * kPer;
     const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
-    BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+    BatchRunnerT<Word> runner(*compiled_, faults.subspan(base, count));
     SimBatchStateT<Word> s = runner.initial_state();
     typename BatchRunnerT<Word>::AdvanceOptions opt;
     opt.count_cap = cap;

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <type_traits>
@@ -81,7 +82,7 @@ class FaultSimulator {
   explicit FaultSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
-  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+  const CompiledNetlist& compiled() const noexcept { return *compiled_; }
 
   /// Simulate `seq` against every fault in `faults`. Returns one detection
   /// record per fault (same order). If `latched` is non-null it receives one
@@ -257,7 +258,9 @@ class FaultSimulator {
   std::vector<W3T<Word>>& scratch_for(std::size_t worker) const;
 
   const Netlist* nl_;
-  CompiledNetlist compiled_;
+  // Shared one-time compile from Netlist::compiled_shared(): every simulator
+  // over the same Netlist object reuses it instead of recompiling.
+  std::shared_ptr<const CompiledNetlist> compiled_;
   // Index = ThreadPool worker id.
   mutable std::vector<Scratch> scratch_;
 };

@@ -41,7 +41,7 @@ V3 eval_gate_v3(GateType type, const V3* in, std::size_t n) noexcept {
   return V3::X;
 }
 
-SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl) {
+SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl), compiled_(nl.compiled_shared()) {
   values_.assign(nl.num_gates(), V3::X);
 }
 
@@ -55,7 +55,7 @@ FrameValues SequentialSimulator::eval_frame(const State& state, const std::vecto
   for (std::size_t i = 0; i < pi.size(); ++i) values_[nl.inputs()[i]] = pi[i];
   for (std::size_t i = 0; i < state.size(); ++i) values_[nl.dffs()[i]] = state[i];
 
-  compiled_.eval_full_v3(values_.data());
+  compiled_->eval_full_v3(values_.data());
 
   FrameValues out;
   out.po.reserve(nl.num_outputs());

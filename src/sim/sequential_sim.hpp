@@ -6,6 +6,7 @@
 // all-X.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -35,7 +36,7 @@ class SequentialSimulator {
   explicit SequentialSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
-  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+  const CompiledNetlist& compiled() const noexcept { return *compiled_; }
 
   /// All-X power-up state.
   State initial_state() const { return State(nl_->num_dffs(), V3::X); }
@@ -58,7 +59,7 @@ class SequentialSimulator {
 
  private:
   const Netlist* nl_;
-  CompiledNetlist compiled_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
   mutable std::vector<V3> values_;  // scratch: value per net
 };
 

@@ -79,10 +79,10 @@ class SessionCoreT {
   /// references (not copies) `nl`; it must outlive the core.
   SessionCoreT(const Netlist& nl, std::span<const FaultT> faults, const char* name)
       : nl_(&nl),
-        compiled_(nl),
+        compiled_(nl.compiled_shared()),
         faults_(faults.begin(), faults.end()),
         name_(name),
-        good_runner_(compiled_, std::span<const FaultT>{}) {
+        good_runner_(*compiled_, std::span<const FaultT>{}) {
     detection_.assign(faults_.size(), DetectionRecord{});
     good_ = good_runner_.initial_state();
     repack_on_ = global_repack();
@@ -118,7 +118,7 @@ class SessionCoreT {
   bool is_detected(std::size_t i) const { return detection_[i].detected; }
   const std::vector<DetectionRecord>& detections() const noexcept { return detection_; }
   std::size_t num_detected() const noexcept { return num_detected_; }
-  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+  const CompiledNetlist& compiled() const noexcept { return *compiled_; }
 
   State good_state() const {
     State s(nl_->num_dffs(), V3::X);
@@ -248,7 +248,7 @@ class SessionCoreT {
     for (std::size_t b = 0; b < num_batches; ++b) {
       const std::size_t lo = b * PackT<Word>::kPer;
       const std::size_t count = std::min<std::size_t>(PackT<Word>::kPer, pack->packed.size() - lo);
-      pack->runners.emplace_back(compiled_,
+      pack->runners.emplace_back(*compiled_,
                                  std::span<const FaultT>(pack->packed.data() + lo, count));
     }
     slot = pack;
@@ -485,7 +485,7 @@ class SessionCoreT {
 
   const Netlist* nl_;
   std::shared_ptr<const int> ident_ = std::make_shared<int>(0);  // see CoreSnapshot
-  CompiledNetlist compiled_;  // shared by all runners (declared first)
+  std::shared_ptr<const CompiledNetlist> compiled_;  // shared compile (declared first)
   std::vector<FaultT> faults_;  // original (caller) order
   const char* name_;
   RunnerT<std::uint64_t> good_runner_;  // empty batch: the good machine

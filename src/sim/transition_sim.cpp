@@ -448,7 +448,7 @@ template class TransitionFaultSimulator::BatchRunnerT<Simd512>;
 // TransitionFaultSimulator
 
 TransitionFaultSimulator::TransitionFaultSimulator(const Netlist& nl)
-    : nl_(&nl), compiled_(nl) {}
+    : nl_(&nl), compiled_(nl.compiled_shared()) {}
 
 std::vector<DetectionRecord> TransitionFaultSimulator::run(
     const TestSequence& seq, std::span<const TransitionFault> faults,
@@ -479,7 +479,7 @@ std::vector<DetectionRecord> TransitionFaultSimulator::run_impl(
   pool.parallel_for(num_batches, [&](std::size_t b, std::size_t w) {
     const std::size_t base = b * kPer;
     const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
-    BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+    BatchRunnerT<Word> runner(*compiled_, faults.subspan(base, count));
     SimBatchStateT<Word> s = runner.initial_state();
     typename BatchRunnerT<Word>::AdvanceOptions opt;
     opt.early_exit = latched == nullptr;
@@ -525,7 +525,7 @@ bool TransitionFaultSimulator::detects_all_impl(const SequenceView& view,
     pool.parallel_for(n, [&](std::size_t k, std::size_t w) {
       const std::size_t base = (wave + k) * kPer;
       const std::size_t count = std::min<std::size_t>(kPer, faults.size() - base);
-      BatchRunnerT<Word> runner(compiled_, faults.subspan(base, count));
+      BatchRunnerT<Word> runner(*compiled_, faults.subspan(base, count));
       SimBatchStateT<Word> s = runner.initial_state();
       runner.advance(s, view, scratch_[w].get<Word>(), {});
       if (!((s.detected_slots & runner.slot_mask()) == runner.slot_mask()))

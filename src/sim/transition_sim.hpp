@@ -49,7 +49,7 @@ class TransitionFaultSimulator {
   explicit TransitionFaultSimulator(const Netlist& nl);
 
   const Netlist& netlist() const noexcept { return *nl_; }
-  const CompiledNetlist& compiled() const noexcept { return compiled_; }
+  const CompiledNetlist& compiled() const noexcept { return *compiled_; }
 
   /// Simulate from power-up; one detection record per fault.
   std::vector<DetectionRecord> run(const TestSequence& seq,
@@ -183,7 +183,7 @@ class TransitionFaultSimulator {
   };
 
   const Netlist* nl_;
-  CompiledNetlist compiled_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
   mutable std::vector<Scratch> scratch_;  // per pool worker
 };
 

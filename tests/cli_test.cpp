@@ -209,4 +209,65 @@ TEST_F(CliFlow, GenerateUnderExpiredBudgetDegradesGracefully) {
   EXPECT_NE(r.output.find("TIMED OUT"), std::string::npos) << r.output;
 }
 
+// Exit-code taxonomy (core/exit_codes.hpp), shared with the table binaries:
+// 0 success, 1 runtime error, 2 usage, 4 isolated job failures (serve),
+// 5 overload/shed (serve). Scripts branch on WHAT went wrong.
+TEST_F(CliFlow, ExitCodeTaxonomy) {
+  EXPECT_EQ(run_cli("stats " + bench_).exit_code, 0);
+  EXPECT_EQ(run_cli("stats /nonexistent.bench").exit_code, 1);
+  EXPECT_EQ(run_cli("").exit_code, 2);
+  EXPECT_EQ(run_cli("stats " + bench_ + " --no-such-flag").exit_code, 2);
+  EXPECT_EQ(run_cli("no-such-command").exit_code, 2);
+}
+
+/// Pipe `lines` into `uniscan_cli serve` on stdin and capture the response.
+RunResult run_serve_mode(const std::string& flags, const std::string& lines) {
+  const std::string in_path = scratch_path("serve_in.jsonl");
+  {
+    std::ofstream f(in_path);
+    f << lines;
+  }
+  RunResult r = run_cli("serve " + flags + " < " + in_path);
+  std::remove(in_path.c_str());
+  return r;
+}
+
+TEST_F(CliFlow, ServeModeAnswersJobsAndExitsZero) {
+  const RunResult r = run_serve_mode(
+      "--threads=2",
+      R"({"op":"ping","id":"p"})"
+      "\n"
+      R"({"op":"generate","id":"g","bench":"INPUT(a)\nOUTPUT(o)\nf0 = DFF(a)\no = AND(a, f0)\n"})"
+      "\n"
+      R"({"op":"shutdown"})"
+      "\n");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"op\":\"ping\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"status\":\"done\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"cache\":\"built\""), std::string::npos) << r.output;
+}
+
+TEST_F(CliFlow, ServeModeFailedJobExitsFour) {
+  const RunResult r = run_serve_mode(
+      "", R"({"op":"generate","id":"bad","bench":"THIS IS NOT A BENCH FILE"})"
+          "\n"
+          R"({"op":"shutdown"})"
+          "\n");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("\"status\":\"failed\""), std::string::npos) << r.output;
+}
+
+TEST_F(CliFlow, ServeModeOverloadExitsFive) {
+  // One-deep queue, dispatch paused: the second and third jobs are shed with
+  // an explicit reject; nothing failed, so the exit code reports overload.
+  std::string lines = R"({"op":"pause"})" "\n";
+  for (int i = 0; i < 3; ++i)
+    lines += R"({"op":"generate","id":"burst)" + std::to_string(i) +
+             R"(","bench":"INPUT(a)\nOUTPUT(o)\nf0 = DFF(a)\no = AND(a, f0)\n"})" "\n";
+  lines += R"({"op":"resume"})" "\n" R"({"op":"shutdown"})" "\n";
+  const RunResult r = run_serve_mode("--max-queue=1", lines);
+  EXPECT_EQ(r.exit_code, 5) << r.output;
+  EXPECT_NE(r.output.find("\"status\":\"shed\""), std::string::npos) << r.output;
+}
+
 }  // namespace

@@ -1,0 +1,531 @@
+// The serve subsystem (DESIGN.md §5k): ArtifactCache crash-safe recovery,
+// JobScheduler admission/fairness/retries, and the serve loop protocol.
+//
+// The robustness contract under test: a corrupt or injected-faulty cache
+// entry is quarantined and rebuilt — never trusted, never fatal — and every
+// served result is bit-identical to a direct single-shot run (the cache and
+// the scheduler change HOW work is dispatched, never what it computes).
+// Failures are injected deterministically via UNISCAN_FAULT_INJECT
+// (serve-layer stages: cache_load, admit, dispatch, job_run).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/exit_codes.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/golden.hpp"
+#include "netlist/bench_io.hpp"
+#include "obs/counters.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/serve_loop.hpp"
+#include "util/thread_pool.hpp"
+
+namespace uniscan::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped UNISCAN_FAULT_INJECT setting; always unset on exit so one test's
+/// injection cannot leak into another.
+class ScopedInjection {
+ public:
+  explicit ScopedInjection(const std::string& spec) {
+    ::setenv("UNISCAN_FAULT_INJECT", spec.c_str(), /*overwrite=*/1);
+  }
+  ~ScopedInjection() { ::unsetenv("UNISCAN_FAULT_INJECT"); }
+};
+
+constexpr const char* kDemoBench =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(o)\n"
+    "f0 = DFF(n0)\nf1 = DFF(f0)\n"
+    "n0 = XOR(a, f1)\no = AND(b, f0)\n";
+
+constexpr const char* kDemoBench2 =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(o)\n"
+    "f0 = DFF(n0)\n"
+    "n0 = NAND(a, f0)\no = OR(b, f0)\n";
+
+/// Per-test scratch directory (pid-qualified: ctest -j shares TempDir).
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag)
+      : path(::testing::TempDir() + "serve_" + std::to_string(::getpid()) + "_" + tag) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string demo_digest(const CircuitArtifacts& a) {
+  return compute_circuit_digest(a, digest_profile(CorpusTier::Fast)).sha_hex;
+}
+
+/// The single .uart entry a ScratchDir-backed cache wrote.
+std::string only_uart_file(const std::string& dir) {
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".uart") return e.path().string();
+  return "";
+}
+
+TEST(ArtifactCache, RamHitSkipsRebuildAndIsIdentical) {
+  ArtifactCache cache(ArtifactCache::Options{});
+  const auto cold = cache.get("demo", kDemoBench, 1);
+  EXPECT_EQ(cold.source, ArtifactCache::Source::Built);
+
+  // Warm hit: no fault collapsing happens (the stage-skip proof).
+  const obs::CounterScope scope;
+  const auto warm = cache.get("demo", kDemoBench, 1);
+  EXPECT_EQ(warm.source, ArtifactCache::Source::Ram);
+  EXPECT_EQ(scope.deltas()[static_cast<std::size_t>(obs::Counter::FaultsCollapsed)], 0u);
+  EXPECT_EQ(warm.artifacts.scan.get(), cold.artifacts.scan.get());
+  EXPECT_EQ(demo_digest(warm.artifacts), demo_digest(cold.artifacts));
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits_ram, 1u);
+}
+
+TEST(ArtifactCache, KeySeparatesContentAndChains) {
+  const std::string k1 = ArtifactCache::key_for(kDemoBench, 1);
+  EXPECT_NE(k1, ArtifactCache::key_for(kDemoBench2, 1));
+  EXPECT_NE(k1, ArtifactCache::key_for(kDemoBench, 2));
+  EXPECT_EQ(k1, ArtifactCache::key_for(kDemoBench, 1));
+}
+
+TEST(ArtifactCache, LruEvictsOverByteBudget) {
+  ArtifactCache::Options opt;
+  opt.max_ram_bytes = 1;  // every insert overflows; at least one entry stays
+  ArtifactCache cache(opt);
+  cache.get("demo", kDemoBench, 1);
+  cache.get("demo2", kDemoBench2, 1);
+  const CacheStats s = cache.stats();
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_EQ(s.ram_entries, 1u);
+  // The evicted circuit rebuilds (miss), not a stale hit.
+  EXPECT_EQ(cache.get("demo", kDemoBench, 1).source, ArtifactCache::Source::Built);
+}
+
+TEST(ArtifactCache, DiskRoundTripSkipsCollapse) {
+  ScratchDir dir("disk");
+  ArtifactCache::Options opt;
+  opt.disk_dir = dir.path;
+  ArtifactCache cache(opt);
+  const std::string cold_sha = demo_digest(cache.get("demo", kDemoBench, 1).artifacts);
+  ASSERT_FALSE(only_uart_file(dir.path).empty());
+
+  cache.clear_ram();
+  const obs::CounterScope scope;
+  const auto disk = cache.get("demo", kDemoBench, 1);
+  EXPECT_EQ(disk.source, ArtifactCache::Source::Disk);
+  // The persisted collapsed fault list is reused, not recomputed.
+  EXPECT_EQ(scope.deltas()[static_cast<std::size_t>(obs::Counter::FaultsCollapsed)], 0u);
+  EXPECT_EQ(demo_digest(disk.artifacts), cold_sha);
+
+  const FaultList fresh = FaultList::collapsed(disk.artifacts.scan->netlist);
+  ASSERT_EQ(disk.artifacts.faults->size(), fresh.size());
+  EXPECT_EQ(disk.artifacts.faults->uncollapsed_count(), fresh.uncollapsed_count());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ((*disk.artifacts.faults)[i].gate, fresh[i].gate);
+    EXPECT_EQ((*disk.artifacts.faults)[i].pin, fresh[i].pin);
+    EXPECT_EQ((*disk.artifacts.faults)[i].stuck_one, fresh[i].stuck_one);
+  }
+}
+
+/// Corrupt one persisted entry with `mutate`, then assert the crash-safe
+/// recovery contract: quarantined (counter + renamed file), rebuilt from
+/// source, and the rebuilt artifacts digest bit-identically.
+void check_recovery(const std::string& tag,
+                    const std::function<void(const std::string&)>& mutate) {
+  ScratchDir dir(tag);
+  ArtifactCache::Options opt;
+  opt.disk_dir = dir.path;
+  ArtifactCache cache(opt);
+  const std::string want_sha = demo_digest(cache.get("demo", kDemoBench, 1).artifacts);
+  const std::string entry = only_uart_file(dir.path);
+  ASSERT_FALSE(entry.empty());
+  mutate(entry);
+  cache.clear_ram();
+
+  const std::uint64_t quarantined_before = obs::total(obs::Counter::CacheQuarantined);
+  const auto got = cache.get("demo", kDemoBench, 1);
+  EXPECT_EQ(got.source, ArtifactCache::Source::Built) << tag;
+  EXPECT_EQ(demo_digest(got.artifacts), want_sha) << tag;
+  EXPECT_EQ(cache.stats().quarantined, 1u) << tag;
+  EXPECT_EQ(obs::total(obs::Counter::CacheQuarantined), quarantined_before + 1) << tag;
+  EXPECT_TRUE(fs::exists(entry + ".quarantined")) << tag;
+  // The rebuild re-persisted a FRESH entry at the same key; a later cold
+  // load must trust it again (no second quarantine) and stay bit-identical.
+  cache.clear_ram();
+  const auto reloaded = cache.get("demo", kDemoBench, 1);
+  EXPECT_EQ(reloaded.source, ArtifactCache::Source::Disk) << tag;
+  EXPECT_EQ(demo_digest(reloaded.artifacts), want_sha) << tag;
+  EXPECT_EQ(cache.stats().quarantined, 1u) << tag;
+}
+
+TEST(ArtifactCache, TruncatedEntryQuarantinedAndRebuilt) {
+  check_recovery("trunc", [](const std::string& path) {
+    const auto size = fs::file_size(path);
+    fs::resize_file(path, size / 2);
+  });
+}
+
+TEST(ArtifactCache, BitFlippedEntryQuarantinedAndRebuilt) {
+  check_recovery("flip", [](const std::string& path) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekp(size - 16);  // inside the payload: only the hash can catch it
+    char c;
+    f.seekg(size - 16);
+    f.get(c);
+    f.seekp(size - 16);
+    f.put(static_cast<char>(c ^ 0x01));
+  });
+}
+
+TEST(ArtifactCache, VersionBumpedEntryQuarantinedAndRebuilt) {
+  check_recovery("ver", [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string file = ss.str();
+    in.close();
+    file.replace(0, file.find('\n'), "uniscan-artifact-cache v999");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << file;
+  });
+}
+
+TEST(ArtifactCache, InjectedLoadFaultTakesQuarantinePath) {
+  // Count 1: the first load faults (and quarantines); the recovery helper's
+  // later reload must then succeed from the re-persisted entry.
+  const ScopedInjection inject("demo:cache_load:1");
+  check_recovery("inj", [](const std::string&) {});  // file intact; the fault is injected
+}
+
+TEST(Scheduler, ConservationLawAcrossTenants) {
+  ThreadPool::set_global_threads(4);
+  JobScheduler::Options opt;
+  JobScheduler sched(opt);
+  std::atomic<int> done{0};
+  for (int t = 0; t < 3; ++t) {
+    for (int j = 0; j < 8; ++j) {
+      JobSpec spec;
+      spec.id = "t" + std::to_string(t) + "-j" + std::to_string(j);
+      spec.tenant = "tenant" + std::to_string(t);
+      spec.circuit = spec.id;
+      ASSERT_TRUE(sched.submit(
+          std::move(spec), [](const CancelToken&) {},
+          [&](const JobResult& r) {
+            EXPECT_EQ(r.status, JobStatus::Done);
+            ++done;
+          }));
+    }
+  }
+  sched.shutdown();
+  EXPECT_EQ(done.load(), 24);
+  const JobScheduler::Stats s = sched.stats();
+  EXPECT_EQ(s.submitted, 24u);
+  EXPECT_EQ(s.admitted, 24u);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.submitted, s.admitted + s.shed);
+  EXPECT_EQ(s.admitted, s.done + s.failed + s.cancelled);
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(Scheduler, TransientFailureRetriesThenSucceeds) {
+  // The injection fires on the first 2 job_run calls only: attempts 1 and 2
+  // fail transiently, attempt 3 succeeds within the retry budget of 2.
+  const ScopedInjection inject("flaky:job_run:2");
+  JobScheduler::Options opt;
+  opt.max_retries = 2;
+  opt.backoff_base_ms = 1;
+  JobScheduler sched(opt);
+  JobResult result;
+  JobSpec spec;
+  spec.id = "flaky-job";
+  spec.circuit = "flaky";
+  ASSERT_TRUE(sched.submit(
+      std::move(spec), [](const CancelToken&) {}, [&](const JobResult& r) { result = r; }));
+  sched.shutdown();
+  EXPECT_EQ(result.status, JobStatus::Done);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(sched.stats().retries, 2u);
+  EXPECT_EQ(sched.stats().done, 1u);
+}
+
+TEST(Scheduler, RetryBudgetExhaustionIsPermanentFailure) {
+  const ScopedInjection inject("doomed:job_run");  // fires every attempt
+  JobScheduler::Options opt;
+  opt.max_retries = 2;
+  opt.backoff_base_ms = 1;
+  JobScheduler sched(opt);
+  JobResult result;
+  JobSpec spec;
+  spec.id = "doomed-job";
+  spec.circuit = "doomed";
+  ASSERT_TRUE(sched.submit(
+      std::move(spec), [](const CancelToken&) {}, [&](const JobResult& r) { result = r; }));
+  sched.shutdown();
+  EXPECT_EQ(result.status, JobStatus::Failed);
+  EXPECT_EQ(result.attempts, 3);  // 1 initial + 2 retries, then terminal
+  EXPECT_EQ(result.error_stage, "job_run");
+  EXPECT_NE(result.error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(sched.stats().failed, 1u);
+  EXPECT_EQ(sched.stats().retries, 2u);
+}
+
+TEST(Scheduler, AdmissionInjectionSheds) {
+  const ScopedInjection inject("unwanted:admit");
+  JobScheduler sched(JobScheduler::Options{});
+  JobSpec spec;
+  spec.id = "j";
+  spec.circuit = "unwanted";
+  JobResult shed;
+  EXPECT_FALSE(sched.submit(
+      std::move(spec), [](const CancelToken&) {},
+      [](const JobResult&) { FAIL() << "shed jobs must not get a completion callback"; },
+      &shed));
+  EXPECT_EQ(shed.status, JobStatus::Shed);
+  sched.shutdown();
+  EXPECT_EQ(sched.stats().shed, 1u);
+  EXPECT_EQ(sched.stats().admitted, 0u);
+}
+
+TEST(Scheduler, QueueFullShedsExplicitly) {
+  JobScheduler::Options opt;
+  opt.max_queue_per_tenant = 2;
+  JobScheduler sched(opt);
+  sched.pause_dispatch();  // nothing drains: the queue must overflow
+
+  const std::uint64_t shed_counter_before = obs::total(obs::Counter::JobsShed);
+  std::atomic<int> done{0};
+  int admitted = 0, shed = 0;
+  for (int j = 0; j < 5; ++j) {
+    JobSpec spec;
+    spec.id = "q" + std::to_string(j);
+    spec.circuit = spec.id;
+    JobResult shed_result;
+    if (sched.submit(
+            std::move(spec), [](const CancelToken&) {},
+            [&](const JobResult&) { ++done; }, &shed_result)) {
+      ++admitted;
+    } else {
+      ++shed;
+      EXPECT_EQ(shed_result.status, JobStatus::Shed);
+      EXPECT_NE(shed_result.error.find("queue full"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(admitted, 2);
+  EXPECT_EQ(shed, 3);
+  sched.resume_dispatch();
+  sched.shutdown();
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_EQ(obs::total(obs::Counter::JobsShed), shed_counter_before + 3);
+  const JobScheduler::Stats s = sched.stats();
+  EXPECT_EQ(s.submitted, s.admitted + s.shed);
+  EXPECT_EQ(s.admitted, s.done + s.failed + s.cancelled);
+}
+
+TEST(Scheduler, PerJobBudgetDerivesCancelToken) {
+  JobScheduler sched(JobScheduler::Options{});
+  std::atomic<bool> armed{false}, fired{false};
+  JobSpec spec;
+  spec.id = "budgeted";
+  spec.budget_secs = 0.000001;  // pre-expired by the time the job runs
+  ASSERT_TRUE(sched.submit(
+      std::move(spec),
+      [&](const CancelToken& tok) {
+        armed = tok.armed();
+        // The budget clock starts at dispatch; spin past the 1µs deadline.
+        for (int i = 0; i < 100000000 && !tok.poll(); ++i) {}
+        fired = tok.poll();
+      },
+      [](const JobResult& r) { EXPECT_EQ(r.status, JobStatus::Done); }));
+  sched.shutdown();
+  EXPECT_TRUE(armed.load());
+  EXPECT_TRUE(fired.load());
+}
+
+// Served results must be bit-identical to direct runs: same digest from the
+// cache's artifacts — cold (Built), warm (Ram), disk-reloaded — across
+// thread counts, all equal to the direct Netlist-overload digest and to the
+// checked-in golden (when present).
+TEST(ServeEquivalence, WarmColdDiskThreadsMatchDirectAndGolden) {
+  const CorpusRegistry& reg = CorpusRegistry::global();
+  const CorpusEntry* e = reg.find("s27");
+  ASSERT_NE(e, nullptr);
+  const std::string bench = reg.bench_text(*e);
+  const DigestOptions dopt = digest_profile(e->tier, e->num_gates);
+
+  const std::string direct =
+      compute_circuit_digest(read_bench_string(bench, e->name, "test"), dopt).sha_hex;
+  const std::string golden = read_golden_sha(reg.golden_path(*e));
+  if (!golden.empty()) EXPECT_EQ(direct, golden);
+
+  ScratchDir dir("equiv");
+  ArtifactCache::Options copt;
+  copt.disk_dir = dir.path;
+  ArtifactCache cache(copt);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    const auto cold = cache.get(e->name, bench, 1);
+    const auto warm = cache.get(e->name, bench, 1);
+    EXPECT_EQ(warm.source, ArtifactCache::Source::Ram);
+    cache.clear_ram();
+    const auto disk = cache.get(e->name, bench, 1);
+    EXPECT_EQ(disk.source, ArtifactCache::Source::Disk);
+    for (const auto* got : {&cold, &warm, &disk})
+      EXPECT_EQ(compute_circuit_digest(got->artifacts, dopt).sha_hex, direct)
+          << "threads=" << threads;
+    cache.clear_ram();  // next thread count starts cold again
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(ServeEquivalence, ArtifactPipelineSkipsScanAndFaultStages) {
+  ArtifactCache cache(ArtifactCache::Options{});
+  const auto got = cache.get("demo", kDemoBench, 1);
+  const GenerateCompactReport rep = run_generate_and_compact(got.artifacts);
+  for (const obs::StageStat& st : rep.stages) {
+    EXPECT_NE(st.name, "scan");
+    EXPECT_NE(st.name, "faults");
+  }
+  // The tail stages still ran and verified.
+  EXPECT_FALSE(rep.stages.empty());
+  EXPECT_GT(rep.atpg.detected, 0u);
+}
+
+int run_serve_lines(const std::vector<std::string>& lines, std::string* out_text,
+                    ServeOptions opt = {}) {
+  std::string in_text;
+  for (const std::string& l : lines) in_text += l + "\n";
+  std::istringstream in(in_text);
+  std::ostringstream out;
+  const int rc = run_serve(in, out, opt);
+  *out_text = out.str();
+  return rc;
+}
+
+TEST(ServeLoop, CleanRunAnswersEveryRequestAndExitsZero) {
+  std::string out;
+  const int rc = run_serve_lines(
+      {R"({"op":"ping","id":"p"})",
+       std::string(R"({"op":"generate","id":"g","bench":")") +
+           "INPUT(a)\\nINPUT(b)\\nOUTPUT(o)\\nf0 = DFF(n0)\\nn0 = XOR(a, f0)\\no = AND(b, f0)\\n" +
+           R"("})",
+       R"({"op":"stats","id":"s"})", R"({"op":"shutdown"})"},
+      &out);
+  EXPECT_EQ(rc, kExitOk) << out;
+  EXPECT_NE(out.find(R"("op":"ping","id":"p","status":"done")"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("id":"g","tenant":"default","status":"done")"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("cache":"built")"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("scheduler":{"submitted":1,"admitted":1)"), std::string::npos) << out;
+  // One response line per request.
+  EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(), '\n')), 4) << out;
+}
+
+TEST(ServeLoop, MalformedAndUnknownRequestsFailWithoutCrashing) {
+  std::string out;
+  const int rc = run_serve_lines({"this is not json", R"({"op":"frobnicate"})",
+                                  R"({"op":"generate","id":"nocircuit"})", R"({"op":"shutdown"})"},
+                                 &out);
+  EXPECT_EQ(rc, kExitHadFailures) << out;
+  EXPECT_NE(out.find("malformed request"), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown op"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("stage":"request")"), std::string::npos) << out;
+}
+
+TEST(ServeLoop, OverloadShedsWithExplicitRejectAndExitCode) {
+  ServeOptions opt;
+  opt.sched.max_queue_per_tenant = 1;
+  std::vector<std::string> lines = {R"({"op":"pause"})"};
+  const std::string bench_json =
+      "INPUT(a)\\nINPUT(b)\\nOUTPUT(o)\\nf0 = DFF(n0)\\nn0 = XOR(a, f0)\\no = AND(b, f0)\\n";
+  for (int j = 0; j < 3; ++j)
+    lines.push_back(R"({"op":"generate","id":"burst)" + std::to_string(j) + R"(","bench":")" +
+                    bench_json + R"("})");
+  lines.push_back(R"({"op":"resume"})");
+  lines.push_back(R"({"op":"shutdown"})");
+  std::string out;
+  const int rc = run_serve_lines(lines, &out, opt);
+  // No admitted job failed, so overload (not failure) is the exit status.
+  EXPECT_EQ(rc, kExitOverload) << out;
+  EXPECT_NE(out.find(R"("status":"shed")"), std::string::npos) << out;
+  EXPECT_NE(out.find("queue full"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("status":"done")"), std::string::npos) << out;  // burst0 still ran
+}
+
+// TSan soak: concurrent tenants, injected transient faults, tiny deadlines.
+// Asserts clean shutdown (no leaked jobs: conservation law holds exactly)
+// and deterministic counter totals for the deterministic parts.
+TEST(ServeSoak, ConcurrentTenantsWithFaultsAndDeadlines) {
+  const ScopedInjection inject("soak-t1-*:job_run:6;soak-t2-*:admit:2");
+  ThreadPool::set_global_threads(4);
+  const std::uint64_t retries_before = obs::total(obs::Counter::JobRetries);
+  const std::uint64_t shed_before = obs::total(obs::Counter::JobsShed);
+
+  JobScheduler::Options opt;
+  opt.max_retries = 2;
+  opt.backoff_base_ms = 1;
+  opt.max_queue_per_tenant = 64;
+  opt.default_budget_secs = 0.001;  // tiny: tokens arm and may fire mid-job
+  JobScheduler sched(opt);
+
+  std::atomic<int> callbacks{0};
+  int shed = 0;
+  const int kTenants = 4, kJobs = 12;
+  for (int j = 0; j < kJobs; ++j) {
+    for (int t = 0; t < kTenants; ++t) {
+      JobSpec spec;
+      spec.tenant = "t" + std::to_string(t);
+      spec.id = "soak-t" + std::to_string(t) + "-" + std::to_string(j);
+      spec.circuit = spec.id;
+      const bool admitted = sched.submit(
+          std::move(spec),
+          [](const CancelToken& tok) {
+            for (int spin = 0; spin < 50 && !tok.poll(); ++spin) {}
+          },
+          [&](const JobResult&) { ++callbacks; });
+      if (!admitted) ++shed;
+    }
+  }
+  sched.shutdown();
+
+  const JobScheduler::Stats s = sched.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kTenants * kJobs));
+  EXPECT_EQ(s.submitted, s.admitted + s.shed);
+  EXPECT_EQ(s.admitted, s.done + s.failed + s.cancelled);          // zero leaked jobs
+  EXPECT_EQ(static_cast<std::uint64_t>(callbacks.load()), s.admitted);
+  EXPECT_EQ(static_cast<std::uint64_t>(shed), s.shed);
+  // Deterministic injections: tenant 2 loses exactly its first 2 submits to
+  // the admit fault; tenant 1's first 6 attempts fail transiently and (with
+  // budget 2) produce exactly 2 permanent failures + 6 total retries... but
+  // retries interleave with fresh attempts nondeterministically, so assert
+  // the deterministic aggregates only.
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(obs::total(obs::Counter::JobsShed), shed_before + 2);
+  EXPECT_EQ(s.failed + s.done, s.admitted);
+  // Exactly 6 job_run faults fired; each one became a retry or a terminal
+  // failure, however the attempts interleaved.
+  EXPECT_EQ(s.retries + s.failed, 6u);
+  EXPECT_EQ(obs::total(obs::Counter::JobRetries), retries_before + s.retries);
+  ThreadPool::set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace uniscan::serve

@@ -13,6 +13,15 @@
 //   uniscan_cli classify    <circuit.bench> [--window=K]
 //   uniscan_cli export      <circuit.bench> <seq.useq> [--chains=N]
 //   uniscan_cli metrics     <circuit.bench> <seq.useq> [--chains=N]
+//   uniscan_cli serve       [--cache-dir=DIR] [--cache-bytes=N] [--max-queue=N]
+//                           [--retries=N] [--backoff-ms=MS] [--default-budget=SECS]
+//                           [--threads=N]
+//
+// `serve` (also spelled `--serve`) runs the resident job scheduler: one JSON
+// request per stdin line, one JSON response line per request on stdout (see
+// README "Service mode" for the schema). Compiled circuit artifacts are
+// cached across jobs — keyed by content hash, persisted under --cache-dir
+// when given — so repeat jobs skip parse/scan/collapse/compile.
 //
 // The circuit argument is always the NON-scan netlist; scan insertion
 // happens internally (--chains, default 1). Sequences are over the scan
@@ -30,8 +39,9 @@
 // results bit-identical either way, DESIGN.md §5j); --trace=FILE
 // writes a Chrome trace_event JSON of the run (load in chrome://tracing or
 // Perfetto).
-// Exit codes: 0 success, 1 error (std::exception), 2 usage, 3 unexpected
-// non-standard exception.
+// Exit codes (core/exit_codes.hpp, shared with the table binaries): 0
+// success, 1 error (std::exception), 2 usage, 3 unexpected non-standard
+// exception, 4 isolated job failures (serve), 5 overload/shed (serve).
 #include <cstdio>
 #include <fstream>
 #include <cstring>
@@ -41,11 +51,14 @@
 #include <vector>
 
 #include "atpg/redundancy.hpp"
+#include "core/exit_codes.hpp"
 #include "core/uniscan.hpp"
 #include "obs/counters.hpp"
+#include "serve/serve_loop.hpp"
 #include "sim/engine.hpp"
 #include "obs/trace.hpp"
 #include "sim/sequence_io.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -68,20 +81,29 @@ struct CliArgs {
   bool repack = true;     // --repack=on|off: live-fault repacking (§5j)
   double time_budget_secs = 0;
   XFillPolicy fill = XFillPolicy::RandomFill;
+  // serve-only flags
+  std::string cache_dir;              // --cache-dir=DIR: persist artifacts
+  std::size_t cache_bytes = 0;        // --cache-bytes=N: RAM budget (0 = default)
+  std::size_t max_queue = 0;          // --max-queue=N: per-tenant bound (0 = default)
+  int retries = -1;                   // --retries=N: transient retry budget
+  double backoff_ms = -1;             // --backoff-ms=MS: backoff base
+  double default_budget_secs = 0;     // --default-budget=SECS: per-job deadline
+  std::size_t threads = 0;            // --threads=N: global pool size
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: uniscan_cli <stats|insert-scan|generate|compact|faultsim|baseline|"
-               "translate|classify> <circuit.bench> [args] [flags]\n"
+               "translate|classify|serve> <circuit.bench> [args] [flags]\n"
                "run with a command and no arguments for per-command flags\n");
-  return 2;
+  return kExitUsage;
 }
 
 std::optional<CliArgs> parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   CliArgs a;
   a.command = argv[1];
+  if (a.command == "--serve") a.command = "serve";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o") {
@@ -122,6 +144,20 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       a.fill = XFillPolicy::ZeroFill;
     } else if (arg == "--x-fill=repeat") {
       a.fill = XFillPolicy::RepeatFill;
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      a.cache_dir = arg.substr(12);
+    } else if (arg.rfind("--cache-bytes=", 0) == 0) {
+      a.cache_bytes = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      a.max_queue = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      a.retries = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--backoff-ms=", 0) == 0) {
+      a.backoff_ms = std::strtod(arg.c_str() + 13, nullptr);
+    } else if (arg.rfind("--default-budget=", 0) == 0) {
+      a.default_budget_secs = std::strtod(arg.c_str() + 17, nullptr);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      a.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return std::nullopt;
@@ -282,6 +318,19 @@ int cmd_metrics(const CliArgs& a) {
   return 0;
 }
 
+int cmd_serve(const CliArgs& a) {
+  if (a.threads > 0) ThreadPool::set_global_threads(a.threads);
+  serve::ServeOptions opt;
+  if (!a.cache_dir.empty()) opt.cache.disk_dir = a.cache_dir;
+  if (a.cache_bytes > 0) opt.cache.max_ram_bytes = a.cache_bytes;
+  if (a.max_queue > 0) opt.sched.max_queue_per_tenant = a.max_queue;
+  if (a.retries >= 0) opt.sched.max_retries = a.retries;
+  if (a.backoff_ms >= 0) opt.sched.backoff_base_ms = a.backoff_ms;
+  if (a.default_budget_secs > 0) opt.sched.default_budget_secs = a.default_budget_secs;
+  opt.sched.parent = cli_token(a);
+  return serve::run_serve(std::cin, std::cout, opt);
+}
+
 int cmd_classify(const CliArgs& a) {
   const Netlist c = read_bench_file(a.positional.at(0));
   const ScanCircuit sc = insert_scan(c, a.chains);
@@ -364,6 +413,7 @@ int run_command(const CliArgs& args) {
   if (args.command == "classify") return need(1), cmd_classify(args);
   if (args.command == "export") return need(2), cmd_export(args);
   if (args.command == "metrics") return need(2), cmd_metrics(args);
+  if (args.command == "serve") return cmd_serve(args);
   return usage();
 }
 
@@ -380,12 +430,12 @@ int main(int argc, char** argv) {
     rc = run_command(*args);
   } catch (const std::exception& e) {
     report_error(args->json, e.what());
-    rc = 1;
+    rc = kExitError;
   } catch (...) {
     // Previously this escaped main and std::terminate'd; keep the exit
     // orderly and distinguishable from ordinary errors.
     report_error(args->json, "unexpected non-standard exception");
-    rc = 3;
+    rc = kExitInternal;
   }
   // Emitted even after an error: partial counter totals are still useful
   // and the line's shape stays machine-parseable either way.
