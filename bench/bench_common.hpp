@@ -20,6 +20,11 @@
 //                        auto-narrowing in the streaming sessions (default
 //                        on; results are bit-identical either way — see
 //                        DESIGN.md §5j)
+//   --sat=MODE           SAT second chance (DESIGN.md §5l): off (default;
+//                        byte-identical to the pre-SAT pipeline) |
+//                        second-chance (PODEM-undecided faults go to the SAT
+//                        engine) | cross-check (also re-prove PODEM's own
+//                        redundancy claims)
 //   --json=FILE          also write machine-readable results to FILE
 //   --circuits=A,B,C     run an explicit comma-separated subset of the suite
 //   --corpus=TIER        run the corpus registry instead of the paper suite:
@@ -75,6 +80,7 @@ struct Args {
   double per_circuit_budget_secs = 0;
   bool fail_fast = false;
   bool via_scheduler = false;  // --via-scheduler: thin-client JobScheduler path
+  SatMode sat = SatMode::Off;  // --sat=off|second-chance|cross-check
   std::string trace;   // --trace=FILE: Chrome trace_event output
   std::string corpus;  // --corpus=fast|mid|large|all
 };
@@ -135,6 +141,15 @@ inline Args parse_args(int argc, char** argv) {
       a.per_circuit_budget_secs = std::strtod(arg.c_str() + 21, nullptr);
     else if (arg == "--fail-fast") a.fail_fast = true;
     else if (arg == "--via-scheduler") a.via_scheduler = true;
+    else if (arg.rfind("--sat=", 0) == 0) {
+      const auto mode = parse_sat_mode(arg.substr(6));
+      if (!mode) {
+        std::fprintf(stderr, "unknown sat mode: %s (off|second-chance|cross-check)\n",
+                     arg.c_str() + 6);
+        std::exit(2);
+      }
+      a.sat = *mode;
+    }
     else if (arg.rfind("--trace=", 0) == 0) a.trace = arg.substr(8);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -247,6 +262,16 @@ class BenchJson {
   void add_failure(const TaskFailure& f) { failures_.push_back(f); }
   bool has_failures() const { return !failures_.empty(); }
 
+  /// Accumulate a circuit's SAT second-chance contribution. Once called,
+  /// write() emits the additive v2 `sat` block; table binaries only call it
+  /// when --sat is active, so --sat=off JSON stays byte-identical to the
+  /// pre-SAT output.
+  void record_sat(SatMode mode, const SatSummary& s) {
+    sat_mode_ = mode;
+    sat_.add(s);
+    have_sat_ = true;
+  }
+
   /// No-op when `path` is empty (no --json flag given). The `counters`
   /// object snapshots the process-wide registry totals at write time.
   void write(const std::string& path, std::size_t threads) const {
@@ -258,8 +283,14 @@ class BenchJson {
     }
     out << "{\n  \"schema_version\": 2,\n  \"threads\": " << threads
         << ",\n  \"slot_width\": " << slot_width_bits(resolved_slot_width())
-        << ",\n  \"repack\": " << (global_repack() ? "true" : "false")
-        << ",\n  \"counters\": " << counters_json(obs::totals()) << ",\n  \"entries\": [\n";
+        << ",\n  \"repack\": " << (global_repack() ? "true" : "false");
+    if (have_sat_)
+      out << ",\n  \"sat\": {\"mode\": \"" << sat_mode_name(sat_mode_)
+          << "\", \"attempts\": " << sat_.attempts << ", \"detected\": " << sat_.detected
+          << ", \"proved_redundant\": " << sat_.proved_redundant
+          << ", \"aborted\": " << sat_.aborted << ", \"cross_checks\": " << sat_.cross_checks
+          << ", \"mismatches\": " << sat_.mismatches << "}";
+    out << ",\n  \"counters\": " << counters_json(obs::totals()) << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       out << "    {\"name\": \"" << json_escape(e.name) << "\", \"wall_ms\": " << e.wall_ms
@@ -300,6 +331,9 @@ class BenchJson {
   };
   std::vector<Entry> entries_;
   std::vector<TaskFailure> failures_;
+  SatMode sat_mode_ = SatMode::Off;
+  SatSummary sat_;
+  bool have_sat_ = false;
 };
 
 inline std::vector<SuiteEntry> select_suite(const Args& a) {
@@ -359,6 +393,7 @@ inline PipelineConfig make_config(const Args& a) {
   PipelineConfig cfg;
   cfg.atpg.seed = a.seed;
   cfg.atpg.use_scan_knowledge = a.scan_knowledge;
+  cfg.atpg.sat_mode = a.sat;
   cfg.baseline.seed = a.seed + 10;
   cfg.time_budget_secs = a.time_budget_secs;
   cfg.per_circuit_budget_secs = a.per_circuit_budget_secs;

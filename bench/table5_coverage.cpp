@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
                                 "redund", "eff", "status"});
   bench::BenchJson json;
   std::size_t total_faults = 0, total_detected = 0;
+  SatSummary sat_total;
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
   const auto rows = bench::run_suite_rows(
       args, suite,
@@ -86,6 +87,10 @@ int main(int argc, char** argv) {
         // generated vector count.
         json.add(suite[i].name, row.wall_ms, r.gate_evals, 0, r.sequence.length(), r.timed_out,
                  &row.stages);
+        if (args.sat != SatMode::Off) {
+          sat_total.add(r.sat);
+          json.record_sat(args.sat, r.sat);
+        }
         total_faults += r.num_faults;
         total_detected += r.detected;
       },
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
               << format_pct(100.0 * static_cast<double>(total_detected) /
                             static_cast<double>(total_faults))
               << "%)\n";
+  if (args.sat != SatMode::Off)
+    std::cout << format_sat_summary(args.sat, sat_total) << "\n";
   json.write(args.json, args.threads);
   if (json.has_failures()) {
     std::vector<TaskFailure> failures;

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                                 "omit.total", "omit.scan", "ext", "base.cyc", "status"});
   bench::BenchJson json;
   std::size_t total_omit = 0, total_base = 0;
+  SatSummary sat_total;
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
   const auto rows = bench::run_suite_rows(
       args, suite,
@@ -55,6 +56,10 @@ int main(int argc, char** argv) {
         json.add(suite[i].name, outcome.value.wall_ms,
                  r.atpg.gate_evals + r.restoration.gate_evals + r.omission.gate_evals, r.raw.total,
                  r.omitted.total, r.timed_out(), &r.stages);
+        if (args.sat != SatMode::Off) {
+          sat_total.add(r.atpg.sat);
+          json.record_sat(args.sat, r.atpg.sat);
+        }
         total_omit += r.omitted.total;
         total_base += r.baseline.application_cycles();
       },
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
               << format_pct(100.0 * static_cast<double>(total_omit) /
                             static_cast<double>(total_base))
               << "% of baseline)\n";
+  if (args.sat != SatMode::Off)
+    std::cout << format_sat_summary(args.sat, sat_total) << "\n";
   json.write(args.json, args.threads);
   if (json.has_failures()) {
     std::vector<TaskFailure> failures;

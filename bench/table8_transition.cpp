@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
                                 "omit.total", "omit.scan", "status"});
   bench::BenchJson json;
   std::size_t total_faults = 0, total_detected = 0;
+  SatSummary sat_total;
   const PipelineConfig cfg = anchor_suite_budget(bench::make_config(args));
   const auto rows = bench::run_suite_rows(
       args, suite,
@@ -87,6 +88,10 @@ int main(int argc, char** argv) {
                        std::to_string(row.omitted.scan), bench::row_status(timed_out)});
         json.add(suite[i].name, row.wall_ms, row.gate_evals, r.sequence.length(),
                  row.omitted.total, timed_out, &row.stages);
+        if (args.sat != SatMode::Off) {
+          sat_total.add(r.sat);
+          json.record_sat(args.sat, r.sat);
+        }
         total_faults += r.num_faults;
         total_detected += r.detected;
       },
@@ -96,6 +101,8 @@ int main(int argc, char** argv) {
               << format_pct(100.0 * static_cast<double>(total_detected) /
                             static_cast<double>(total_faults))
               << "% (" << total_detected << "/" << total_faults << ")\n";
+  if (args.sat != SatMode::Off)
+    std::cout << format_sat_summary(args.sat, sat_total) << "\n";
   json.write(args.json, args.threads);
   if (json.has_failures()) {
     std::vector<TaskFailure> failures;

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "atpg/verdict.hpp"
 #include "fault/fault_list.hpp"
 #include "scan/scan_insertion.hpp"
 #include "util/cancel.hpp"
@@ -41,6 +42,15 @@ struct RedundancyOptions {
   /// search was interrupted and every fault not yet examined are classified
   /// Aborted — never Redundant, since their spaces were not exhausted.
   CancelToken cancel;
+
+  // SAT second chance (DESIGN.md §5l). SecondChance hands every Aborted
+  // fault to the SAT engine at the same window: an UNSAT upgrades it to
+  // Redundant, a model that replays through the fault simulator upgrades it
+  // to Testable. CrossCheck additionally re-proves every PODEM Redundant
+  // claim and counts disagreements. Off keeps the report bit-identical to
+  // the PODEM-only classification.
+  SatMode sat_mode = SatMode::Off;
+  std::int64_t sat_max_conflicts = 20000;  // per-fault solver budget
 };
 
 struct RedundancyReport {
@@ -48,6 +58,10 @@ struct RedundancyReport {
   std::size_t testable = 0;
   std::size_t redundant = 0;
   std::size_t aborted = 0;
+  /// What the SAT second-chance pass contributed (all zero when
+  /// `RedundancyOptions::sat_mode == SatMode::Off`). The counters above
+  /// reflect the FINAL classes, after any SAT upgrades.
+  SatSummary sat;
 };
 
 /// Classify every fault in `faults` (usually the subset a generator left

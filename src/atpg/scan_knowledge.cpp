@@ -14,6 +14,16 @@ std::vector<V3> random_vector(const ScanCircuit& sc, Rng& rng) {
 
 }  // namespace
 
+ChainPosition chain_position(const ScanCircuit& sc, std::size_t dff_index) {
+  std::size_t base = 0;
+  for (std::size_t c = 0; c < sc.nets.chains.size(); ++c) {
+    const std::size_t len = sc.nets.chains[c].cells.size();
+    if (dff_index < base + len) return {c, dff_index - base};
+    base += len;
+  }
+  return {0, 0};
+}
+
 TestSequence make_flush_sequence(const ScanCircuit& sc, std::size_t chain_index,
                                  std::size_t shifts, Rng& rng) {
   const ScanChain& chain = sc.nets.chains.at(chain_index);

@@ -17,6 +17,14 @@
 
 namespace uniscan {
 
+/// Chain coordinates of DFF `dff_index` (Netlist::dffs() order): which chain
+/// and which cell. Chains partition the DFFs contiguously in order.
+struct ChainPosition {
+  std::size_t chain = 0;
+  std::size_t cell = 0;
+};
+ChainPosition chain_position(const ScanCircuit& sc, std::size_t dff_index);
+
 /// Vectors needed to move an effect from chain cell `cell_pos` (0-based)
 /// through the chain tail and observe it on scan_out: one shift per
 /// remaining cell plus the observation frame.

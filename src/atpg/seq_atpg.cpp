@@ -7,6 +7,7 @@
 #include "atpg/scan_knowledge.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "sat/sat_engine.hpp"
 #include "sim/fault_sim_session.hpp"
 #include "util/cancel.hpp"
 #include "util/logging.hpp"
@@ -28,22 +29,6 @@ TestSequence random_chunk(const ScanCircuit& sc, std::size_t len, double scan_se
   return seq;
 }
 
-/// Chain position of DFF `dff_index` (Netlist::dffs() order): which chain
-/// and which cell. Chains partition the DFFs contiguously in order.
-struct ChainPos {
-  std::size_t chain;
-  std::size_t cell;
-};
-ChainPos chain_position(const ScanCircuit& sc, std::size_t dff_index) {
-  std::size_t base = 0;
-  for (std::size_t c = 0; c < sc.nets.chains.size(); ++c) {
-    const std::size_t len = sc.nets.chains[c].cells.size();
-    if (dff_index < base + len) return {c, dff_index - base};
-    base += len;
-  }
-  return {0, 0};
-}
-
 }  // namespace
 
 AtpgResult generate_tests(const ScanCircuit& sc, const AtpgOptions& options) {
@@ -63,6 +48,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
 
   FaultSimSession session(nl, faults.faults());
   std::vector<bool> via_scan_knowledge(faults.size(), false);
+  std::vector<bool> podem_proved(faults.size(), false);
 
   // One strided view of the deadline for the whole generation flow: loop
   // bodies here cost microseconds, so polling the token every iteration
@@ -151,7 +137,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
         TestSequence sub = make_scan_load_all(sc, target, rng);
         sub.append_sequence(pr.subsequence);
         if (!pr.observed_at_po) {
-          const ChainPos pos = chain_position(sc, pr.latched_dff);
+          const ChainPosition pos = chain_position(sc, pr.latched_dff);
           sub.append_sequence(make_flush_sequence(
               sc, pos.chain, flush_length(sc.nets.chains[pos.chain], pos.cell), rng));
         }
@@ -172,7 +158,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
         run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks, options.cancel});
     if (!pr.success) continue;
 
-    const ChainPos pos = chain_position(sc, pr.latched_dff);
+    const ChainPosition pos = chain_position(sc, pr.latched_dff);
     TestSequence sub = pr.subsequence;
     sub.append_sequence(make_flush_sequence(
         sc, pos.chain, flush_length(sc.nets.chains[pos.chain], pos.cell), rng));
@@ -199,6 +185,7 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
         const PodemResult pr = run_podem(proof, PodemGoal::ScanObserve,
                                          {options.final_effort_backtracks, options.cancel});
         if (!pr.success && !pr.aborted && pr.backtracks <= options.final_effort_backtracks) {
+          podem_proved[fi] = true;
           ++result.proved_redundant;
           continue;
         }
@@ -213,13 +200,76 @@ AtpgResult generate_tests(const ScanCircuit& sc, const FaultList& faults,
       TestSequence sub = make_scan_load_all(sc, target, rng);
       sub.append_sequence(pr.subsequence);
       if (!pr.observed_at_po) {
-        const ChainPos pos = chain_position(sc, pr.latched_dff);
+        const ChainPosition pos = chain_position(sc, pr.latched_dff);
         sub.append_sequence(make_flush_sequence(
             sc, pos.chain, flush_length(sc.nets.chains[pos.chain], pos.cell), rng));
       }
       if (try_commit(fi, std::move(sub))) {
         ++result.stats.scan_load_assisted;
         if (!pr.observed_at_po) via_scan_knowledge[fi] = true;
+      }
+    }
+  }
+
+  // ---- phase 3.5: SAT second chance (DESIGN.md §5l) --------------------------
+  // Everything PODEM left undecided — undetected and not proved redundant —
+  // gets one complete search: the miter either yields a test (replayed
+  // through the session like every other candidate) or an UNSAT proof that
+  // upgrades the fault from implicitly-Aborted to Redundant(proved).
+  if (options.sat_mode != SatMode::Off && !result.timed_out) {
+    const sat::SatEngine engine(session.compiled());
+    sat::SatEngineOptions sopt;
+    sopt.frames = options.sat_frames;
+    sopt.state_assignable = true;
+    sopt.max_conflicts = options.sat_max_conflicts;
+    sopt.cancel = options.cancel;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (cancel.poll()) {
+        result.timed_out = true;
+        break;
+      }
+      if (session.is_detected(fi)) continue;
+      if (podem_proved[fi]) {
+        // PODEM already exhausted the window-1 space; only the cross-check
+        // mode spends solver time re-deriving (or refuting) that claim.
+        if (options.sat_mode == SatMode::CrossCheck) {
+          ++result.sat.cross_checks;
+          const sat::SatResult sr = engine.prove(faults[fi], sopt);
+          if (sr.verdict == sat::SatVerdict::Testable) {
+            ++result.sat.mismatches;
+            UNISCAN_LOG(Warn) << "SAT found a test for PODEM-proved fault " << fi;
+          }
+        }
+        continue;
+      }
+      ++result.sat.attempts;
+      const sat::SatResult sr = engine.prove(faults[fi], sopt);
+      if (sr.verdict == sat::SatVerdict::RedundantProved) {
+        ++result.sat.proved_redundant;
+        ++result.proved_redundant;
+        continue;
+      }
+      if (sr.verdict == sat::SatVerdict::Aborted) {
+        ++result.sat.aborted;
+        continue;
+      }
+      State target(sr.scan_in.begin(), sr.scan_in.end());
+      TestSequence sub = make_scan_load_all(sc, target, rng);
+      sub.append_sequence(sr.subsequence);
+      if (!sr.observed_at_po) {
+        const ChainPosition pos = chain_position(sc, *sr.latched_dff);
+        sub.append_sequence(make_flush_sequence(
+            sc, pos.chain, flush_length(sc.nets.chains[pos.chain], pos.cell), rng));
+      }
+      if (try_commit(fi, std::move(sub))) {
+        ++result.sat.detected;
+        if (!sr.observed_at_po) via_scan_knowledge[fi] = true;
+      } else {
+        // Same legitimate miss as PODEM's justify path: the (SI, T) model
+        // assumes the scan load delivers SI to BOTH machines, but a fault in
+        // the chain circuitry can corrupt the load itself. No claim is made;
+        // the summary's mismatch counter records it.
+        ++result.sat.mismatches;
       }
     }
   }

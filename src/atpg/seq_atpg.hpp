@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "atpg/verdict.hpp"
 #include "fault/fault_list.hpp"
 #include "scan/scan_insertion.hpp"
 #include "sim/fault_sim.hpp"
@@ -60,6 +61,15 @@ struct AtpgOptions {
   // Last-chance pass: remaining undetected faults get one scan-load-assisted
   // search with this (much larger) backtrack budget. 0 disables the pass.
   int final_effort_backtracks = 6000;
+
+  // SAT second chance (DESIGN.md §5l). Off keeps the pipeline byte-identical
+  // to the pre-SAT generator; SecondChance hands every fault still undecided
+  // after the last-chance pass to the SAT engine (sat/sat_engine.hpp);
+  // CrossCheck additionally re-proves PODEM's own redundancy claims and
+  // counts disagreements in `AtpgResult::sat.mismatches`.
+  SatMode sat_mode = SatMode::Off;
+  std::int64_t sat_max_conflicts = 20000;  // per-fault solver budget
+  std::size_t sat_frames = 1;              // unrolled depth of the miter
 };
 
 struct AtpgStats {
@@ -87,6 +97,9 @@ struct AtpgResult {
   /// Gate-word evaluations spent on fault simulation (session + final
   /// verification) — the bench binaries' work metric.
   std::uint64_t gate_evals = 0;
+  /// What the SAT second-chance phase contributed (all zero when
+  /// `AtpgOptions::sat_mode == SatMode::Off`).
+  SatSummary sat;
 
   double fault_coverage() const {
     return num_faults == 0 ? 0.0 : 100.0 * static_cast<double>(detected) / static_cast<double>(num_faults);

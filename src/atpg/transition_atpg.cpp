@@ -6,6 +6,7 @@
 #include "atpg/podem.hpp"
 #include "atpg/scan_knowledge.hpp"
 #include "obs/counters.hpp"
+#include "sat/sat_engine.hpp"
 #include "sim/transition_sim.hpp"
 #include "util/cancel.hpp"
 #include "util/logging.hpp"
@@ -25,20 +26,6 @@ TestSequence random_chunk(const ScanCircuit& sc, std::size_t len, double scan_se
     seq.append(std::move(vec));
   }
   return seq;
-}
-
-struct ChainPos {
-  std::size_t chain;
-  std::size_t cell;
-};
-ChainPos chain_position(const ScanCircuit& sc, std::size_t dff_index) {
-  std::size_t base = 0;
-  for (std::size_t c = 0; c < sc.nets.chains.size(); ++c) {
-    const std::size_t len = sc.nets.chains[c].cells.size();
-    if (dff_index < base + len) return {c, dff_index - base};
-    base += len;
-  }
-  return {0, 0};
 }
 
 }  // namespace
@@ -141,7 +128,7 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
         TestSequence sub = make_scan_load_all(sc, target, rng);
         sub.append_sequence(pr.subsequence);
         if (!pr.observed_at_po) {
-          const ChainPos pos = chain_position(sc, pr.latched_dff);
+          const ChainPosition pos = chain_position(sc, pr.latched_dff);
           sub.append_sequence(make_flush_sequence(
               sc, pos.chain, flush_length(sc.nets.chains[pos.chain], pos.cell), rng));
         }
@@ -161,11 +148,62 @@ TransitionAtpgResult generate_transition_tests(const ScanCircuit& sc,
     PodemResult pr =
         run_podem(model, PodemGoal::LatchIntoFf, {options.max_backtracks, options.cancel});
     if (!pr.success) continue;
-    const ChainPos pos = chain_position(sc, pr.latched_dff);
+    const ChainPosition pos = chain_position(sc, pr.latched_dff);
     TestSequence sub = pr.subsequence;
     sub.append_sequence(make_flush_sequence(
         sc, pos.chain, flush_length(sc.nets.chains[pos.chain], pos.cell), rng));
     if (try_commit(fi, std::move(sub))) via_scan_knowledge[fi] = true;
+  }
+
+  // ---- SAT second chance (DESIGN.md §5l) --------------------------------------
+  // The transition generator has no exhaustive PODEM proof pass, so every
+  // undetected fault is still open here; the engine either finds a test
+  // (committed through the session like any other candidate) or proves the
+  // depth-bounded miter UNSAT. The extra frame is the launch cycle, matching
+  // the FrameModel windows above.
+  if (options.sat_mode != SatMode::Off && !result.timed_out) {
+    const sat::SatEngine engine(session.compiled());
+    sat::SatEngineOptions sopt;
+    sopt.frames = options.sat_frames + 1;
+    sopt.state_assignable = true;
+    sopt.tf_prev_assignable = true;  // soundness: quantify the launch history
+    sopt.max_conflicts = options.sat_max_conflicts;
+    sopt.cancel = options.cancel;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (cancel.poll()) {
+        result.timed_out = true;
+        break;
+      }
+      if (session.is_detected(fi)) continue;
+      ++result.sat.attempts;
+      const sat::SatResult sr = engine.prove(faults[fi], sopt);
+      if (sr.verdict == sat::SatVerdict::RedundantProved) {
+        ++result.sat.proved_redundant;
+        ++result.proved_redundant;
+        continue;
+      }
+      if (sr.verdict == sat::SatVerdict::Aborted) {
+        ++result.sat.aborted;
+        continue;
+      }
+      State target(sr.scan_in.begin(), sr.scan_in.end());
+      TestSequence sub = make_scan_load_all(sc, target, rng);
+      sub.append_sequence(sr.subsequence);
+      if (!sr.observed_at_po) {
+        const ChainPosition pos = chain_position(sc, *sr.latched_dff);
+        sub.append_sequence(make_flush_sequence(
+            sc, pos.chain, flush_length(sc.nets.chains[pos.chain], pos.cell), rng));
+      }
+      if (try_commit(fi, std::move(sub))) {
+        ++result.sat.detected;
+        if (!sr.observed_at_po) via_scan_knowledge[fi] = true;
+      } else {
+        // The SAT model chose its own launch history; the committed scan
+        // load pins whatever its last shift drives, so a failed replay is a
+        // legitimate miss here, not only an encoder bug. No claim, count it.
+        ++result.sat.mismatches;
+      }
+    }
   }
 
   // ---- final verification ------------------------------------------------------

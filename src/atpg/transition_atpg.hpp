@@ -26,6 +26,10 @@ struct TransitionAtpgResult {
   std::size_t num_faults = 0;
   std::size_t detected = 0;
   std::size_t detected_by_scan_knowledge = 0;
+  /// Undetected faults whose miter the SAT second chance proved UNSAT up to
+  /// its unrolled depth (sat_frames + 1 launch frame, X launch history) — a
+  /// depth-bounded claim for transition faults, see sat/sat_engine.hpp.
+  std::size_t proved_redundant = 0;
   /// True when AtpgOptions::cancel fired: the sequence is the verified
   /// best-so-far prefix and the faults not reached remain undetected.
   bool timed_out = false;
@@ -34,6 +38,9 @@ struct TransitionAtpgResult {
   /// Gate-word evaluations spent on fault simulation (session + final
   /// verification) — the bench binaries' work metric.
   std::uint64_t gate_evals = 0;
+  /// What the SAT second-chance phase contributed (all zero when
+  /// `AtpgOptions::sat_mode == SatMode::Off`).
+  SatSummary sat;
 
   double fault_coverage() const {
     return num_faults == 0

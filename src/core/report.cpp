@@ -94,6 +94,15 @@ std::string format_pct(double v) {
   return os.str();
 }
 
+std::string format_sat_summary(SatMode mode, const SatSummary& s) {
+  std::ostringstream os;
+  os << "sat[" << sat_mode_name(mode) << "]: attempts=" << s.attempts
+     << " detected=" << s.detected << " proved_redundant=" << s.proved_redundant
+     << " aborted=" << s.aborted << " cross_checks=" << s.cross_checks
+     << " mismatches=" << s.mismatches;
+  return os.str();
+}
+
 std::string format_sequence_table(const ScanCircuit& sc, const TestSequence& seq) {
   const std::size_t npi = sc.netlist.num_inputs();
   const std::size_t sel = sc.scan_sel_index();

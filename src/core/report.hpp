@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "atpg/verdict.hpp"
 #include "core/pipeline.hpp"
 #include "scan/scan_insertion.hpp"
 #include "sim/sequence.hpp"
@@ -51,6 +52,11 @@ class StreamTable {
 
 /// Format a double like the paper's coverage column ("99.63").
 std::string format_pct(double v);
+
+/// One-line rendering of what a SAT second-chance pass contributed, printed
+/// by the table binaries under their suite totals when --sat is active:
+///   "sat[second-chance]: attempts=5 detected=1 proved_redundant=2 ..."
+std::string format_sat_summary(SatMode mode, const SatSummary& s);
 
 /// Render a unified test sequence like the paper's Tables 1/3/4: one row per
 /// time unit with original inputs, then scan_sel, then scan_inp.

@@ -39,6 +39,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::CacheQuarantined: return "cache_quarantined";
     case Counter::JobsShed: return "jobs_shed";
     case Counter::JobRetries: return "job_retries";
+    case Counter::SatConflicts: return "sat_conflicts";
+    case Counter::SatDecisions: return "sat_decisions";
+    case Counter::SatPropagations: return "sat_propagations";
   }
   return "unknown";
 }

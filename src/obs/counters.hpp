@@ -54,8 +54,11 @@ enum class Counter : std::uint8_t {
                         // quarantined and rebuilt (never trusted, never fatal)
   JobsShed,             // jobs rejected by admission control (queue full)
   JobRetries,           // job attempts re-queued after a transient failure
+  SatConflicts,         // CDCL conflicts across all SAT engine solves
+  SatDecisions,         // CDCL decisions across all SAT engine solves
+  SatPropagations,      // CDCL literal propagations across all SAT solves
 };
-inline constexpr std::size_t kNumCounters = 17;
+inline constexpr std::size_t kNumCounters = 20;
 
 /// Counters with max semantics: count_max() raises the shard value, totals()
 /// max-reduces across shards instead of summing, and CounterScope reports a

@@ -1,0 +1,51 @@
+// CNF building blocks shared by the Tseitin encoder (sat/encode.hpp), the
+// CDCL solver (sat/solver.hpp), and the UNSAT certificates
+// (sat/certificate.hpp).
+//
+// Literals follow the MiniSat convention: variable * 2 + sign, so a literal
+// indexes watch lists and polarity tables directly and negation is one XOR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace uniscan::sat {
+
+using Var = std::uint32_t;
+
+struct Lit {
+  std::uint32_t x = 0xffffffffu;
+
+  constexpr Var var() const noexcept { return x >> 1; }
+  constexpr bool sign() const noexcept { return (x & 1u) != 0; }  // true = negated
+  constexpr std::size_t index() const noexcept { return x; }
+
+  friend constexpr Lit operator~(Lit l) noexcept { return Lit{l.x ^ 1u}; }
+  friend constexpr bool operator==(Lit a, Lit b) noexcept { return a.x == b.x; }
+  friend constexpr bool operator!=(Lit a, Lit b) noexcept { return a.x != b.x; }
+  friend constexpr bool operator<(Lit a, Lit b) noexcept { return a.x < b.x; }
+};
+
+constexpr Lit lit(Var v, bool negated = false) noexcept {
+  return Lit{v * 2 + (negated ? 1u : 0u)};
+}
+inline constexpr Lit kLitUndef{};
+
+using Clause = std::vector<Lit>;
+
+/// Growable clause container: the encoder's output and the certificate's
+/// original-clause list. An empty clause makes the formula trivially UNSAT
+/// (the encoder emits one when a fault has no observable miter output).
+struct Cnf {
+  Var num_vars = 0;
+  std::vector<Clause> clauses;
+  bool has_empty_clause = false;
+
+  Var new_var() { return num_vars++; }
+  void add(Clause c) {
+    if (c.empty()) has_empty_clause = true;
+    clauses.push_back(std::move(c));
+  }
+};
+
+}  // namespace uniscan::sat

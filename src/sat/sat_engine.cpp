@@ -1,0 +1,122 @@
+#include "sat/sat_engine.hpp"
+
+#include <utility>
+
+#include "atpg/frame_model.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "sat/encode.hpp"
+
+namespace uniscan::sat {
+namespace {
+
+/// Replay a model through the FrameModel pair simulator and finish exactly
+/// like PODEM's ScanObserve: prefer the PO observation when it is no later
+/// than the latched one, else take the latch. Returns false (degrading the
+/// call to Aborted) if the model does not actually expose the fault — which
+/// by the encoding's construction would be an encoder bug, never a caller
+/// problem.
+bool confirm_and_fill(FrameModel& fm, const MiterEncoding& enc, const Solver& solver,
+                      bool state_assignable, SatResult& out) {
+  for (std::size_t f = 0; f < enc.frames; ++f)
+    for (std::size_t i = 0; i < enc.num_inputs; ++i)
+      fm.assign(f, i,
+                solver.model_value(enc.pi_var[f * enc.num_inputs + i]) ? V3::One : V3::Zero);
+  if (state_assignable)
+    for (std::size_t j = 0; j < enc.num_dffs; ++j)
+      fm.assign_state(j, solver.model_value(enc.state_var[j]) ? V3::One : V3::Zero);
+  fm.simulate();
+
+  const auto po = fm.po_detection_frame();
+  const auto latch = fm.first_latched_effect();
+  if (po && (!latch || *po <= latch->frame)) {
+    out.observed_at_po = true;
+    out.frames_used = *po + 1;
+  } else if (latch) {
+    out.observed_at_po = false;
+    out.latched_dff = latch->dff_index;
+    out.frames_used = latch->frame + 1;
+  } else {
+    return false;
+  }
+  if (state_assignable) out.scan_in = fm.extract_state_assignment();
+  out.subsequence = fm.extract_sequence(out.frames_used);
+  return true;
+}
+
+template <class FaultT>
+SatResult prove_impl(const CompiledNetlist& cnl, const FaultT& fault,
+                     const SatEngineOptions& options) {
+  obs::TraceSpan span("sat_prove");
+  SatResult out;
+
+  // PR 4 invariant up front: a call that is already cancelled proves
+  // nothing, even when the miter would be structurally UNSAT.
+  if (options.cancel.poll()) return out;
+
+  EncodeOptions eopt;
+  eopt.frames = options.frames;
+  eopt.state_assignable = options.state_assignable;
+  eopt.tf_prev_init = options.tf_prev_init;
+  eopt.tf_prev_assignable = options.tf_prev_assignable;
+  MiterEncoding enc = encode_fault_miter(cnl, fault, eopt);
+
+  if (enc.cnf.has_empty_clause) {
+    // No observation point is reachable from the fault at this depth: the
+    // miter is UNSAT by construction, certificate = the empty clause itself.
+    out.verdict = SatVerdict::RedundantProved;
+    if (options.want_certificate)
+      out.certificate = UnsatCertificate{enc.cnf.num_vars, enc.cnf.clauses, {Clause{}}};
+    return out;
+  }
+
+  Solver solver;
+  solver.ensure_vars(enc.cnf.num_vars);
+  for (const Clause& c : enc.cnf.clauses)
+    if (!solver.add_clause(c)) break;  // UNSAT at top level; solve() reports it
+
+  SolverOptions sopt;
+  sopt.max_conflicts = options.max_conflicts;
+  sopt.cancel = options.cancel;
+  sopt.record_proof = options.want_certificate;
+  const SolveStatus status = solver.solve(sopt);
+
+  out.stats = solver.stats();
+  obs::count(obs::Counter::SatConflicts, out.stats.conflicts);
+  obs::count(obs::Counter::SatDecisions, out.stats.decisions);
+  obs::count(obs::Counter::SatPropagations, out.stats.propagations);
+
+  switch (status) {
+    case SolveStatus::Aborted: return out;
+    case SolveStatus::Unsat:
+      out.verdict = SatVerdict::RedundantProved;
+      if (options.want_certificate)
+        out.certificate = UnsatCertificate{enc.cnf.num_vars, enc.cnf.clauses, solver.proof()};
+      return out;
+    case SolveStatus::Sat: break;
+  }
+
+  FrameModel fm(cnl, fault, options.frames);
+  fm.set_state_assignable(options.state_assignable);
+  if (fm.is_transition()) {
+    out.launch_prev = enc.tf_prev_var
+                          ? (solver.model_value(*enc.tf_prev_var) ? V3::One : V3::Zero)
+                          : options.tf_prev_init;
+    fm.set_initial_prev_driven(out.launch_prev);
+  }
+  if (confirm_and_fill(fm, enc, solver, options.state_assignable, out))
+    out.verdict = SatVerdict::Testable;
+  return out;
+}
+
+}  // namespace
+
+SatResult SatEngine::prove(const Fault& fault, const SatEngineOptions& options) const {
+  return prove_impl(*cnl_, fault, options);
+}
+
+SatResult SatEngine::prove(const TransitionFault& fault, const SatEngineOptions& options) const {
+  return prove_impl(*cnl_, fault, options);
+}
+
+}  // namespace uniscan::sat

@@ -1,0 +1,449 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uniscan::sat {
+
+namespace {
+
+constexpr double kVarDecay = 1.0 / 0.95;
+constexpr double kClaDecay = 1.0 / 0.999;
+constexpr std::uint64_t kRestartBase = 100;
+
+/// Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i and its position in it.
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  model_.push_back(1);
+  phase_.push_back(1);  // default polarity false, like MiniSat
+  activity_.push_back(0.0);
+  reason_.push_back(kNoClause);
+  level_.push_back(0);
+  seen_.push_back(0);
+  heap_pos_.push_back(0xffffffffu);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+void Solver::ensure_vars(Var n) {
+  while (assign_.size() < n) new_var();
+}
+
+bool Solver::add_clause(Clause c) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  // Normalize: sort, drop duplicates and level-0-false literals, detect
+  // tautologies and satisfied clauses.
+  std::sort(c.begin(), c.end());
+  Clause out;
+  Lit prev = kLitUndef;
+  for (const Lit l : c) {
+    assert(l.var() < assign_.size());
+    if (value(l) == kTrue || (prev != kLitUndef && l == ~prev)) return true;  // satisfied/tautology
+    if (value(l) == kFalse || l == prev) continue;
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    // The clause is falsified at top level: the formula is UNSAT, and the
+    // empty clause follows from the originals by unit propagation alone.
+    ok_ = false;
+    record_step({});
+    return false;
+  }
+  if (out.size() == 1) {
+    unchecked_enqueue(out[0], kNoClause);
+    if (propagate() != kNoClause) {
+      ok_ = false;
+      record_step({});
+      return false;
+    }
+    return true;
+  }
+  const std::uint32_t cref = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back({std::move(out), 0.0, /*learnt=*/false, /*deleted=*/false});
+  attach(cref);
+  return true;
+}
+
+void Solver::attach(std::uint32_t cref) {
+  const InternalClause& c = clauses_[cref];
+  watches_[(~c.lits[0]).index()].push_back({cref, c.lits[1]});
+  watches_[(~c.lits[1]).index()].push_back({cref, c.lits[0]});
+}
+
+void Solver::detach(std::uint32_t cref) {
+  const InternalClause& c = clauses_[cref];
+  for (const Lit w : {c.lits[0], c.lits[1]}) {
+    auto& ws = watches_[(~w).index()];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::unchecked_enqueue(Lit p, std::uint32_t reason) {
+  assert(value(p) == kUndef);
+  assign_[p.var()] = p.sign() ? kFalse : kTrue;
+  reason_[p.var()] = reason;
+  level_[p.var()] = decision_level();
+  trail_.push_back(p);
+}
+
+std::uint32_t Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.index()];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      InternalClause& c = clauses_[w.cref];
+      ++i;
+      const Lit not_p = ~p;
+      if (c.lits[0] == not_p) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == not_p);
+      const Lit first = c.lits[0];
+      const Watcher ww{w.cref, first};
+      if (first != w.blocker && value(first) == kTrue) {
+        ws[j++] = ww;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).index()].push_back(ww);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      ws[j++] = ww;
+      if (value(first) == kFalse) {
+        // Conflict: keep the remaining watchers and report.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return w.cref;
+      }
+      unchecked_enqueue(first, w.cref);
+    }
+    ws.resize(j);
+  }
+  return kNoClause;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) heap_sift_up(heap_pos_[v]);
+}
+
+void Solver::bump_clause(InternalClause& c) {
+  c.act += cla_inc_;
+  if (c.act > 1e20) {
+    for (const std::uint32_t r : learnt_refs_)
+      if (!clauses_[r].deleted) clauses_[r].act *= 1e-20;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+/// Local (non-recursive) minimization: a literal is redundant if its reason
+/// clause exists and every other literal of the reason is already marked
+/// seen (i.e. is in the learnt clause or on the trail at level 0).
+bool Solver::lit_redundant_local(Lit p, const Clause&) const {
+  const std::uint32_t r = reason_[p.var()];
+  if (r == kNoClause) return false;
+  const InternalClause& c = clauses_[r];
+  for (const Lit q : c.lits) {
+    if (q.var() == p.var()) continue;
+    if (!seen_[q.var()] && level_[q.var()] > 0) return false;
+  }
+  return true;
+}
+
+void Solver::analyze(std::uint32_t confl, Clause& out_learnt, std::uint32_t& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(kLitUndef);  // slot for the asserting literal
+  std::size_t index = trail_.size();
+  Lit p = kLitUndef;
+  int path_c = 0;
+
+  do {
+    assert(confl != kNoClause);
+    InternalClause& c = clauses_[confl];
+    if (c.learnt) bump_clause(c);
+    for (std::size_t k = (p == kLitUndef ? 0 : 1); k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = 1;
+      bump_var(q.var());
+      if (level_[q.var()] >= decision_level())
+        ++path_c;
+      else
+        out_learnt.push_back(q);
+    }
+    // Next antecedent on the trail.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[--index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --path_c;
+  } while (path_c > 0);
+  out_learnt[0] = ~p;
+
+  // Conflict-clause minimization (local strengthening only). Removed
+  // literals keep their seen_ marks during the scan — lit_redundant_local
+  // relies on them — so their vars are collected and cleared after.
+  std::size_t kept = 1;
+  removed_.clear();
+  for (std::size_t k = 1; k < out_learnt.size(); ++k) {
+    if (!lit_redundant_local(~out_learnt[k], out_learnt))
+      out_learnt[kept++] = out_learnt[k];
+    else
+      removed_.push_back(out_learnt[k].var());
+  }
+  out_learnt.resize(kept);
+  for (const Var v : removed_) seen_[v] = 0;
+
+  // Backjump level: highest level among the non-asserting literals.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < out_learnt.size(); ++k)
+      if (level_[out_learnt[k].var()] > level_[out_learnt[max_i].var()]) max_i = k;
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[out_learnt[1].var()];
+  }
+  for (std::size_t k = 0; k < out_learnt.size(); ++k) seen_[out_learnt[k].var()] = 0;
+}
+
+void Solver::cancel_until(std::uint32_t target) {
+  if (decision_level() <= target) return;
+  for (std::size_t k = trail_.size(); k > trail_lim_[target];) {
+    const Var v = trail_[--k].var();
+    phase_[v] = assign_[v];  // phase saving
+    assign_[v] = kUndef;
+    reason_[v] = kNoClause;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(trail_lim_[target]);
+  trail_lim_.resize(target);
+  qhead_ = trail_.size();
+}
+
+void Solver::reduce_db() {
+  // Drop the less active half of the learnt clauses; keep binary clauses
+  // and clauses locked as a reason for a current assignment.
+  std::vector<std::uint32_t> cand;
+  for (const std::uint32_t r : learnt_refs_) {
+    const InternalClause& c = clauses_[r];
+    if (c.deleted || c.lits.size() <= 2) continue;
+    if (value(c.lits[0]) == kTrue && reason_[c.lits[0].var()] == r) continue;  // locked
+    cand.push_back(r);
+  }
+  std::sort(cand.begin(), cand.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (clauses_[a].act != clauses_[b].act) return clauses_[a].act < clauses_[b].act;
+    return a < b;  // deterministic tie-break
+  });
+  const std::size_t drop = cand.size() / 2;
+  for (std::size_t k = 0; k < drop; ++k) {
+    detach(cand[k]);
+    clauses_[cand[k]].deleted = true;
+    clauses_[cand[k]].lits.clear();
+    clauses_[cand[k]].lits.shrink_to_fit();
+    ++stats_.removed;
+  }
+}
+
+void Solver::record_step(Clause c) {
+  if (record_proof_) proof_.push_back(std::move(c));
+}
+
+SolveStatus Solver::solve(const SolverOptions& options) {
+  record_proof_ = options.record_proof;
+  if (!ok_) {
+    // The conflict happened during add_clause, possibly before proof
+    // recording was requested; the empty clause follows from the originals
+    // by unit propagation alone, so it is the whole trace.
+    if (record_proof_ && proof_.empty()) record_step({});
+    return SolveStatus::Unsat;
+  }
+
+  cancel_until(0);
+  qhead_ = 0;  // re-propagate the top level (cheap; makes re-solve sound)
+  if (propagate() != kNoClause) {
+    ok_ = false;
+    record_step({});
+    return SolveStatus::Unsat;
+  }
+
+  StridedPoll cancel(options.cancel);
+  const std::int64_t conflict_budget =
+      options.max_conflicts < 0
+          ? -1
+          : static_cast<std::int64_t>(stats_.conflicts) + options.max_conflicts;
+  std::size_t max_learnts = std::max<std::size_t>(clauses_.size() / 3, 512);
+  std::uint64_t restart_seq = 0;
+  std::uint64_t restart_limit = kRestartBase * luby(restart_seq);
+  std::uint64_t conflicts_since_restart = 0;
+  Clause learnt;
+
+  for (;;) {
+    const std::uint32_t confl = propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        record_step({});
+        return SolveStatus::Unsat;
+      }
+
+      std::uint32_t bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      record_step(learnt);
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], kNoClause);
+      } else {
+        const std::uint32_t cref = static_cast<std::uint32_t>(clauses_.size());
+        clauses_.push_back({learnt, cla_inc_, /*learnt=*/true, /*deleted=*/false});
+        learnt_refs_.push_back(cref);
+        attach(cref);
+        unchecked_enqueue(learnt[0], cref);
+      }
+      ++stats_.learned;
+      var_inc_ *= kVarDecay;
+      cla_inc_ *= kClaDecay;
+
+      if (conflict_budget >= 0 &&
+          static_cast<std::int64_t>(stats_.conflicts) >= conflict_budget) {
+        cancel_until(0);
+        return SolveStatus::Aborted;
+      }
+      if (cancel.poll()) {
+        cancel_until(0);
+        return SolveStatus::Aborted;
+      }
+      if (conflicts_since_restart >= restart_limit) {
+        ++stats_.restarts;
+        ++restart_seq;
+        restart_limit = kRestartBase * luby(restart_seq);
+        conflicts_since_restart = 0;
+        cancel_until(0);
+      }
+      if (stats_.learned > stats_.removed &&
+          stats_.learned - stats_.removed >= max_learnts) {
+        reduce_db();
+        max_learnts += max_learnts / 2;
+      }
+      continue;
+    }
+
+    // No conflict: pick the next branch variable.
+    Var next = 0xffffffffu;
+    while (!heap_.empty()) {
+      const Var v = heap_pop();
+      if (assign_[v] == kUndef) {
+        next = v;
+        break;
+      }
+    }
+    if (next == 0xffffffffu) {
+      // Every variable assigned: model found.
+      model_ = assign_;
+      cancel_until(0);
+      return SolveStatus::Sat;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    unchecked_enqueue(lit(next, phase_[next] == kFalse), kNoClause);
+  }
+}
+
+// ---- order heap -----------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() && activity_[heap_[child + 1]] > activity_[heap_[child]])
+      ++child;
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+Var Solver::heap_pop() {
+  const Var v = heap_[0];
+  heap_pos_[v] = 0xffffffffu;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return v;
+}
+
+}  // namespace uniscan::sat

@@ -82,6 +82,74 @@ TEST(Redundancy, TinyBudgetAborts) {
   EXPECT_EQ(r.redundant + r.aborted, 1u);
 }
 
+// ---- SAT second chance (DESIGN.md §5l) --------------------------------------
+
+TEST(Redundancy, SatSecondChanceSettlesAbortedFaults) {
+  // Starve PODEM completely (max_backtracks = 0) so every classification
+  // either finishes on the first objective scan or lands in Aborted; the
+  // SAT pass must then settle every survivor into the two PROVED classes:
+  // Detected/Testable (replayed through the fault simulator) or
+  // Redundant(proved) — never a lingering Aborted on this tiny circuit.
+  const ScanCircuit sc = insert_scan(redundant_circuit());
+  const Netlist& nl = sc.netlist;
+  const Fault f1{*nl.find("g"), kStemPin, true};   // redundant
+  const Fault f0{*nl.find("g"), kStemPin, false};  // testable
+  const Fault faults[2] = {f1, f0};
+  RedundancyOptions opt;
+  opt.max_backtracks = 0;
+  opt.sat_mode = SatMode::SecondChance;
+  const RedundancyReport r = classify_faults(sc, faults, opt);
+  EXPECT_EQ(r.classes[0], FaultClass::Redundant);
+  EXPECT_EQ(r.classes[1], FaultClass::Testable);
+  EXPECT_EQ(r.aborted, 0u);
+  // The summary records what SAT actually contributed.
+  EXPECT_GT(r.sat.attempts, 0u);
+  EXPECT_EQ(r.sat.proved_redundant + r.sat.detected, r.sat.attempts);
+  EXPECT_EQ(r.sat.mismatches, 0u);
+}
+
+TEST(Redundancy, SatCrossCheckConfirmsPodemProofs) {
+  // Full PODEM budget proves g s-a-1 redundant on its own; CrossCheck
+  // re-proves the claim with the solver and must find no disagreement.
+  const ScanCircuit sc = insert_scan(redundant_circuit());
+  const Fault f1{*sc.netlist.find("g"), kStemPin, true};
+  const Fault faults[1] = {f1};
+  RedundancyOptions opt;
+  opt.sat_mode = SatMode::CrossCheck;
+  const RedundancyReport r = classify_faults(sc, faults, opt);
+  EXPECT_EQ(r.classes[0], FaultClass::Redundant);
+  EXPECT_GT(r.sat.cross_checks, 0u);
+  EXPECT_EQ(r.sat.mismatches, 0u);
+}
+
+TEST(Redundancy, CancelledSatNeverReportsRedundant) {
+  // PR 4 invariant through the SAT path: with a pre-fired deadline the
+  // second-chance pass must not upgrade anything to Redundant — an aborted
+  // solve proves nothing, no matter how redundant the fault really is.
+  const ScanCircuit sc = insert_scan(redundant_circuit());
+  const Fault f1{*sc.netlist.find("g"), kStemPin, true};
+  const Fault faults[1] = {f1};
+  RedundancyOptions opt;
+  opt.max_backtracks = 0;  // PODEM can't prove it either
+  opt.sat_mode = SatMode::SecondChance;
+  opt.cancel = CancelToken(Deadline::after(0));
+  const RedundancyReport r = classify_faults(sc, faults, opt);
+  EXPECT_NE(r.classes[0], FaultClass::Redundant);
+  EXPECT_EQ(r.sat.proved_redundant, 0u);
+}
+
+TEST(Redundancy, SatOffIsBitIdenticalToPodemOnly) {
+  // Off is the default and must not perturb the PODEM-only classification.
+  const ScanCircuit sc = insert_scan(make_s27());
+  const FaultList fl = FaultList::collapsed(sc.netlist);
+  const RedundancyReport base = classify_faults(sc, fl.faults());
+  RedundancyOptions off;
+  off.sat_mode = SatMode::Off;
+  const RedundancyReport again = classify_faults(sc, fl.faults(), off);
+  EXPECT_EQ(again.classes, base.classes);
+  EXPECT_FALSE(again.sat.any());
+}
+
 TEST(Redundancy, WiderWindowFindsSequentialTests) {
   // A fault needing two frames: effect must accumulate through the DFF.
   // Build: out = XOR(f, a) with f' = XOR(f, b): a single frame observes f

@@ -1,0 +1,174 @@
+// Unit tests for the in-repo CDCL solver (sat/solver.hpp): correctness on
+// crafted instances, equivalence against brute-force enumeration on random
+// small CNFs, budget/cancel discipline (an interrupted solve is Aborted,
+// never a verdict), and the shape of the recorded UNSAT proof trace.
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+
+namespace uniscan::sat {
+namespace {
+
+Lit pos(Var v) { return lit(v, false); }
+Lit neg(Var v) { return lit(v, true); }
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve({}), SolveStatus::Sat);
+}
+
+TEST(SatSolver, UnitAndBinaryPropagation) {
+  Solver s;
+  s.ensure_vars(3);
+  ASSERT_TRUE(s.add_clause({pos(0)}));
+  ASSERT_TRUE(s.add_clause({neg(0), pos(1)}));
+  ASSERT_TRUE(s.add_clause({neg(1), pos(2)}));
+  ASSERT_EQ(s.solve({}), SolveStatus::Sat);
+  EXPECT_TRUE(s.model_value(0));
+  EXPECT_TRUE(s.model_value(1));
+  EXPECT_TRUE(s.model_value(2));
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsatAtAddTime) {
+  Solver s;
+  s.ensure_vars(1);
+  bool ok = s.add_clause({pos(0)});
+  ok = s.add_clause({neg(0)}) && ok;
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(s.solve({}), SolveStatus::Unsat);
+}
+
+/// Pigeonhole PHP(n+1, n): n+1 pigeons in n holes, classically UNSAT and
+/// requires real conflict analysis (no input unit clauses at all).
+void add_pigeonhole(Solver& s, std::size_t holes) {
+  const std::size_t pigeons = holes + 1;
+  const auto var_of = [&](std::size_t p, std::size_t h) {
+    return static_cast<Var>(p * holes + h);
+  };
+  s.ensure_vars(static_cast<Var>(pigeons * holes));
+  for (std::size_t p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (std::size_t h = 0; h < holes; ++h) c.push_back(pos(var_of(p, h)));
+    s.add_clause(c);
+  }
+  for (std::size_t h = 0; h < holes; ++h)
+    for (std::size_t p1 = 0; p1 + 1 < pigeons; ++p1)
+      for (std::size_t p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({neg(var_of(p1, h)), neg(var_of(p2, h))});
+}
+
+TEST(SatSolver, PigeonholeIsUnsat) {
+  for (std::size_t holes = 2; holes <= 5; ++holes) {
+    Solver s;
+    add_pigeonhole(s, holes);
+    EXPECT_EQ(s.solve({}), SolveStatus::Unsat) << "PHP holes=" << holes;
+    EXPECT_GT(s.stats().conflicts, 0u);
+  }
+}
+
+/// Exhaustive truth-table check of a small CNF.
+bool brute_force_sat(std::size_t num_vars, const std::vector<Clause>& clauses) {
+  for (std::uint32_t m = 0; m < (1u << num_vars); ++m) {
+    bool all = true;
+    for (const Clause& c : clauses) {
+      bool any = false;
+      for (const Lit l : c)
+        if (((m >> l.var()) & 1u) == (l.sign() ? 0u : 1u)) {
+          any = true;
+          break;
+        }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(SatSolver, RandomCnfsMatchBruteForce) {
+  Rng rng(20240801);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t nv = 3 + rng.next_below(8);         // 3..10 vars
+    const std::size_t nc = 2 + rng.next_below(5 * nv);    // up to ~5n clauses
+    std::vector<Clause> clauses;
+    for (std::size_t i = 0; i < nc; ++i) {
+      Clause c;
+      const std::size_t len = 1 + rng.next_below(3);
+      for (std::size_t k = 0; k < len; ++k)
+        c.push_back(lit(static_cast<Var>(rng.next_below(nv)), rng.next_bool()));
+      clauses.push_back(std::move(c));
+    }
+    Solver s;
+    s.ensure_vars(static_cast<Var>(nv));
+    for (const Clause& c : clauses)
+      if (!s.add_clause(c)) break;
+    const SolveStatus st = s.solve({});
+    const bool expect_sat = brute_force_sat(nv, clauses);
+    ASSERT_EQ(st, expect_sat ? SolveStatus::Sat : SolveStatus::Unsat)
+        << "iter " << iter << " nv=" << nv << " nc=" << nc;
+    if (expect_sat) {
+      // The model must actually satisfy every clause.
+      for (const Clause& c : clauses) {
+        bool any = false;
+        for (const Lit l : c)
+          if (s.model_value(l.var()) == !l.sign()) any = true;
+        ASSERT_TRUE(any) << "iter " << iter << ": model violates a clause";
+      }
+    }
+  }
+}
+
+TEST(SatSolver, ConflictBudgetAborts) {
+  Solver s;
+  add_pigeonhole(s, 7);  // hard enough to need > 1 conflict
+  SolverOptions opt;
+  opt.max_conflicts = 1;
+  EXPECT_EQ(s.solve(opt), SolveStatus::Aborted);
+  // The same solver finishes once the budget is lifted.
+  EXPECT_EQ(s.solve({}), SolveStatus::Unsat);
+}
+
+TEST(SatSolver, PreFiredCancelAborts) {
+  Solver s;
+  add_pigeonhole(s, 6);
+  SolverOptions opt;
+  opt.cancel = CancelToken(Deadline::after(0));
+  EXPECT_EQ(s.solve(opt), SolveStatus::Aborted);
+}
+
+TEST(SatSolver, ProofIsAdditionOnlyAndEndsEmpty) {
+  Solver s;
+  add_pigeonhole(s, 4);
+  SolverOptions opt;
+  opt.record_proof = true;
+  ASSERT_EQ(s.solve(opt), SolveStatus::Unsat);
+  const auto& proof = s.proof();
+  ASSERT_FALSE(proof.empty());
+  EXPECT_TRUE(proof.back().empty());  // the derivation reaches the empty clause
+  for (std::size_t i = 0; i + 1 < proof.size(); ++i)
+    EXPECT_FALSE(proof[i].empty()) << "only the final step may be empty";
+}
+
+TEST(SatSolver, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Solver s;
+    add_pigeonhole(s, 5);
+    s.solve({});
+    return s.stats();
+  };
+  const SolverStats a = run();
+  const SolverStats b = run();
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.propagations, b.propagations);
+}
+
+}  // namespace
+}  // namespace uniscan::sat
